@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reordering ablation (Section 6.1's closing advice: preprocess the
+ * sparse data into a hardware-friendly shape): RCM-reorder a scattered
+ * matrix and measure what it buys each format — fewer non-zero
+ * partitions, lower sigma, better DIA bandwidth utilization.
+ */
+
+#include <iostream>
+
+#include "analysis/table_writer.hh"
+#include "bench_common.hh"
+#include "core/study.hh"
+#include "matrix/reorder.hh"
+#include "matrix/stats.hh"
+
+using namespace copernicus;
+
+namespace {
+
+void
+characterize(const char *label, const TripletMatrix &matrix,
+             TableWriter &table)
+{
+    StudyConfig cfg;
+    cfg.partitionSizes = {16};
+    Study study(cfg);
+    study.addWorkload(label, matrix);
+    for (const auto &row : study.run().rows) {
+        table.addRow({label, std::string(formatName(row.format)),
+                      TableWriter::num(row.meanSigma, 4),
+                      TableWriter::num(row.bandwidthUtilization, 4),
+                      std::to_string(row.partitions)});
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::banner("Ablation: RCM reorder",
+                      "a band matrix scrambled by a random symmetric "
+                      "permutation, before and after RCM recovery");
+
+    // Build a band matrix, scramble it, then let RCM recover it.
+    Rng rng(benchutil::benchSeed + 17);
+    const Index n = benchutil::syntheticDim() / 2;
+    const auto band = bandMatrix(n, 8, rng);
+    std::vector<Index> scramble(n);
+    for (Index i = 0; i < n; ++i)
+        scramble[i] = i;
+    for (Index i = n - 1; i > 0; --i)
+        std::swap(scramble[i],
+                  scramble[static_cast<Index>(rng.below(i + 1))]);
+    const auto scrambled = permuteSymmetric(band, scramble);
+    const auto recovered = rcmReorder(scrambled);
+
+    std::cout << "bandwidth: original "
+              << computeStats(band).bandwidth << ", scrambled "
+              << computeStats(scrambled).bandwidth << ", after RCM "
+              << computeStats(recovered).bandwidth << "\n\n";
+
+    TableWriter table({"matrix", "format", "sigma", "bw util",
+                       "non-zero partitions"});
+    characterize("scrambled", scrambled, table);
+    characterize("rcm", recovered, table);
+    table.print(std::cout);
+    std::cout << "\nExpected shape: RCM slashes the non-zero partition "
+                 "count and restores DIA/band-format utilization that "
+                 "the scrambling destroyed.\n";
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries that regenerate the paper's
+ * tables and figures.
+ *
+ * Scale: benches default to laptop-friendly matrix sizes (surrogates at
+ * half dimension, synthetic matrices at n = 1024 instead of the paper's
+ * 8000). Setting COPERNICUS_FULL=1 in the environment switches to the
+ * catalog/paper sizes. Per-partition metrics (sigma, balance ratio,
+ * bandwidth utilization) are size-independent given the same density,
+ * so the reduced scale preserves every trend; only absolute end-to-end
+ * seconds shrink.
+ */
+
+#ifndef COPERNICUS_BENCH_BENCH_COMMON_HH
+#define COPERNICUS_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "matrix/triplet_matrix.hh"
+#include "workloads/generators.hh"
+#include "workloads/suite_catalog.hh"
+
+namespace copernicus::benchutil {
+
+/** Fixed seed so bench output is reproducible run to run. */
+inline constexpr std::uint64_t benchSeed = 0xC0FFEE;
+
+/** True when COPERNICUS_FULL=1 requests paper-scale workloads. */
+inline bool
+fullScale()
+{
+    const char *env = std::getenv("COPERNICUS_FULL");
+    return env != nullptr && env[0] == '1';
+}
+
+/** Synthetic matrix dimension (paper: 8000). */
+inline Index
+syntheticDim()
+{
+    return fullScale() ? 8000 : 1024;
+}
+
+/** The density sweep of Figures 5, 9 and 10. */
+inline std::vector<double>
+densitySweep()
+{
+    return {0.0001, 0.001, 0.01, 0.1, 0.2, 0.5};
+}
+
+/** The band-width sweep of Figures 6 and 11 (width 1 = diagonal). */
+inline std::vector<Index>
+bandWidths()
+{
+    return {1, 2, 4, 8, 16, 32, 64};
+}
+
+/** Named workload list. */
+using WorkloadSet = std::vector<std::pair<std::string, TripletMatrix>>;
+
+/** The 20 Table-1 surrogates at bench scale. */
+inline WorkloadSet
+suiteWorkloads()
+{
+    WorkloadSet set;
+    for (const auto &info : suiteCatalog()) {
+        SuiteMatrixInfo scaled = info;
+        if (!fullScale())
+            scaled.surrogateDim = std::max<Index>(512,
+                                                  info.surrogateDim / 2);
+        set.emplace_back(info.id, scaled.generate(benchSeed));
+    }
+    return set;
+}
+
+/** Random matrices across the density sweep. */
+inline WorkloadSet
+randomWorkloads()
+{
+    WorkloadSet set;
+    Rng rng(benchSeed);
+    for (double density : densitySweep()) {
+        set.emplace_back("d=" + std::to_string(density),
+                         randomMatrix(syntheticDim(), density, rng));
+    }
+    return set;
+}
+
+/** Band matrices across the width sweep. */
+inline WorkloadSet
+bandWorkloads()
+{
+    WorkloadSet set;
+    Rng rng(benchSeed + 1);
+    for (Index width : bandWidths()) {
+        set.emplace_back("w=" + std::to_string(width),
+                         bandMatrix(syntheticDim(), width, rng));
+    }
+    return set;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *experiment, const char *description)
+{
+    std::printf("== %s ==\n%s\n", experiment, description);
+    std::printf("scale: %s (set COPERNICUS_FULL=1 for paper scale)\n\n",
+                fullScale() ? "paper" : "reduced");
+}
+
+} // namespace copernicus::benchutil
+
+#endif // COPERNICUS_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Figure 8: balance ratio — the relationship between memory and compute
+ * latency per format and partition size for the three workload classes.
+ * Points with ratio < 1 sit below the paper's balance line
+ * (compute-bound); > 1 is memory-bound.
+ */
+
+#include <iostream>
+
+#include "analysis/ascii_plot.hh"
+#include "analysis/table_writer.hh"
+#include "bench_common.hh"
+#include "core/study.hh"
+
+using namespace copernicus;
+
+namespace {
+
+/** One-character glyph per paper format, shared with the legend. */
+char
+glyphFor(FormatKind kind)
+{
+    switch (kind) {
+      case FormatKind::Dense: return 'd';
+      case FormatKind::CSR: return 'r';
+      case FormatKind::BCSR: return 'B';
+      case FormatKind::CSC: return 'c';
+      case FormatKind::LIL: return 'L';
+      case FormatKind::ELL: return 'E';
+      case FormatKind::COO: return 'o';
+      case FormatKind::DIA: return 'D';
+      default: return '?';
+    }
+}
+
+void
+runClass(const char *label, benchutil::WorkloadSet workloads,
+         TableWriter &table, AsciiPlot &plot)
+{
+    Study study{StudyConfig{}};
+    for (auto &[name, matrix] : workloads)
+        study.addWorkload(name, std::move(matrix));
+    const auto result = study.run();
+
+    for (FormatKind kind : paperFormats()) {
+        for (Index p : {8u, 16u, 32u}) {
+            Cycles memory = 0, compute = 0;
+            double ratio_sum = 0;
+            std::size_t count = 0;
+            for (const auto &r : result.rows) {
+                if (r.format != kind || r.partitionSize != p)
+                    continue;
+                memory += r.memoryCycles;
+                compute += r.computeCycles;
+                ratio_sum += r.balanceRatio;
+                ++count;
+            }
+            table.addRow({label, std::string(formatName(kind)),
+                          std::to_string(p), std::to_string(memory),
+                          std::to_string(compute),
+                          TableWriter::num(ratio_sum / count, 4)});
+            plot.add(static_cast<double>(compute),
+                     static_cast<double>(memory), glyphFor(kind));
+        }
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::banner("Figure 8",
+                      "memory vs compute latency and mean balance "
+                      "ratio (memory/compute; 1 = perfectly balanced "
+                      "streaming)");
+
+    PlotConfig plot_cfg;
+    plot_cfg.logX = true;
+    plot_cfg.logY = true;
+    plot_cfg.xLabel = "compute cycles (log)";
+    plot_cfg.yLabel = "memory cycles (log); balance line = diagonal";
+    AsciiPlot plot(plot_cfg);
+    for (FormatKind kind : paperFormats())
+        plot.legend(glyphFor(kind), std::string(formatName(kind)));
+
+    TableWriter table({"class", "format", "p", "memory cycles",
+                       "compute cycles", "balance ratio"});
+    runClass("suitesparse", benchutil::suiteWorkloads(), table, plot);
+    runClass("random", benchutil::randomWorkloads(), table, plot);
+    runClass("band", benchutil::bandWorkloads(), table, plot);
+    table.print(std::cout);
+    std::cout << '\n';
+    plot.render(std::cout);
+    std::cout << "\nExpected shape: DENSE closest to 1 and drifting "
+                 "memory-bound with p; most sparse formats "
+                 "compute-bound (< 1); CSC far below 1.\n";
+    return 0;
+}

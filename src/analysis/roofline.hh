@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Roofline placement of the SpMV pipeline.
+ *
+ * The paper's balance-ratio discussion (Section 6.2) is a roofline
+ * argument in disguise: a format whose streaming is memory-bound sits
+ * on the bandwidth roof, a compute-bound one under the compute roof.
+ * This module makes it explicit — operational intensity = useful
+ * flops per transferred byte, the roofs come from the platform
+ * parameters (dot-engine width x clock; streamlines x lane width x
+ * clock), and each characterization run becomes one point.
+ */
+
+#ifndef COPERNICUS_ANALYSIS_ROOFLINE_HH
+#define COPERNICUS_ANALYSIS_ROOFLINE_HH
+
+#include "hls/hls_config.hh"
+
+namespace copernicus {
+
+/** One run placed on the roofline. */
+struct RooflinePoint
+{
+    /** Useful flops per transferred byte. */
+    double intensity = 0;
+
+    /** Achieved useful Gflop/s. */
+    double attainedGflops = 0;
+
+    /** min(compute roof, intensity * bandwidth roof), Gflop/s. */
+    double boundGflops = 0;
+
+    /** attained / bound, in (0, 1]. */
+    double efficiency = 0;
+
+    /** True when the point sits in the bandwidth-limited region. */
+    bool memoryBoundRegion = false;
+};
+
+/** Peak useful compute of a width-p dot engine, Gflop/s. */
+double peakComputeGflops(Index p, const HlsConfig &config);
+
+/** Peak memory bandwidth of the AXI streamlines, GB/s. */
+double peakBandwidthGBs(const HlsConfig &config);
+
+/**
+ * Place one run on the roofline.
+ *
+ * @param usefulFlops Flops that produce the result (2 per non-zero).
+ * @param seconds End-to-end run time.
+ * @param transferredBytes All bytes crossing the memory interface.
+ * @param p Dot-engine width (partition size).
+ * @param config Platform parameters.
+ */
+RooflinePoint placeOnRoofline(double usefulFlops, double seconds,
+                              Bytes transferredBytes, Index p,
+                              const HlsConfig &config);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_ANALYSIS_ROOFLINE_HH

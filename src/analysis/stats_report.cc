@@ -1,0 +1,41 @@
+#include "analysis/stats_report.hh"
+
+#include <string>
+
+namespace copernicus {
+
+PipelineStats::PipelineStats(const PipelineResult &result)
+    : grp("pipeline." + std::string(formatName(result.format)) + ".p" +
+          std::to_string(result.partitionSize)),
+      partitions(grp, "partitions", "non-zero partitions streamed"),
+      totalCycles(grp, "total_cycles",
+                  "end-to-end cycles incl. fill/drain"),
+      memoryCycles(grp, "memory_cycles", "sum of memory-read cycles"),
+      computeCycles(grp, "compute_cycles", "sum of compute cycles"),
+      bytesIn(grp, "bytes_in", "bytes transferred (data + metadata)"),
+      usefulBytes(grp, "useful_bytes", "value-payload bytes"),
+      throughput(grp, "throughput_bps", "bytes processed per second"),
+      sigma(grp, "sigma", "decompression overhead (Eq. 1)"),
+      balance(grp, "balance_ratio", "memory/compute per partition"),
+      sigmaDist(grp, "sigma_dist", "per-partition sigma distribution",
+                0.0, 8.0, 16)
+{
+    partitions = static_cast<double>(result.partitions.size());
+    totalCycles = static_cast<double>(result.totalCycles);
+    memoryCycles = static_cast<double>(result.totalMemoryCycles);
+    computeCycles = static_cast<double>(result.totalComputeCycles);
+    bytesIn = static_cast<double>(result.totalBytes);
+    usefulBytes = static_cast<double>(result.totalUsefulBytes);
+    throughput = result.throughputBytesPerSec;
+    for (const auto &timing : result.partitions) {
+        sigma.sample(timing.sigma);
+        if (timing.computeCycles > 0) {
+            balance.sample(
+                static_cast<double>(timing.memoryCycles) /
+                static_cast<double>(timing.computeCycles));
+        }
+        sigmaDist.sample(timing.sigma);
+    }
+}
+
+} // namespace copernicus

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Bridge from pipeline results to the gem5-style stats package: one
+ * dumpable StatGroup per characterization run, including per-partition
+ * sigma and balance distributions.
+ */
+
+#ifndef COPERNICUS_ANALYSIS_STATS_REPORT_HH
+#define COPERNICUS_ANALYSIS_STATS_REPORT_HH
+
+#include <iosfwd>
+
+#include "common/stat_group.hh"
+#include "pipeline/stream_pipeline.hh"
+
+namespace copernicus {
+
+/** Owns the statistics of one pipeline run. */
+class PipelineStats
+{
+  public:
+    /** Populate from a finished run. */
+    explicit PipelineStats(const PipelineResult &result);
+
+    /** The underlying group (for find()/stats()). */
+    const StatGroup &group() const { return grp; }
+
+    /** Dump in `name value # desc` format. */
+    void dump(std::ostream &out) const { grp.dump(out); }
+
+  private:
+    StatGroup grp;
+    ScalarStat partitions;
+    ScalarStat totalCycles;
+    ScalarStat memoryCycles;
+    ScalarStat computeCycles;
+    ScalarStat bytesIn;
+    ScalarStat usefulBytes;
+    ScalarStat throughput;
+    AverageStat sigma;
+    AverageStat balance;
+    DistributionStat sigmaDist;
+};
+
+} // namespace copernicus
+
+#endif // COPERNICUS_ANALYSIS_STATS_REPORT_HH

@@ -1,0 +1,91 @@
+#include "analysis/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+namespace copernicus {
+
+double
+balanceCloseness(double ratio)
+{
+    if (ratio <= 0)
+        return 0;
+    return std::min(ratio, 1.0 / ratio);
+}
+
+namespace {
+
+/**
+ * Assign (v - min)/(max - min) across all metrics selected by @p get,
+ * inverted when lower raw values are better.
+ */
+void
+normalizeOne(const std::vector<FormatMetrics> &metrics,
+             std::vector<NormalizedScores> &scores,
+             const std::function<double(const FormatMetrics &)> &get,
+             const std::function<double &(NormalizedScores &)> &put,
+             bool lower_is_better)
+{
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (const auto &m : metrics) {
+        lo = std::min(lo, get(m));
+        hi = std::max(hi, get(m));
+    }
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        double score = 1.0;
+        if (hi > lo) {
+            score = (get(metrics[i]) - lo) / (hi - lo);
+            if (lower_is_better)
+                score = 1.0 - score;
+        }
+        put(scores[i]) = score;
+    }
+}
+
+} // namespace
+
+std::vector<NormalizedScores>
+normalizeSummary(const std::vector<FormatMetrics> &metrics)
+{
+    std::vector<NormalizedScores> scores(metrics.size());
+    for (std::size_t i = 0; i < metrics.size(); ++i)
+        scores[i].format = metrics[i].format;
+
+    normalizeOne(metrics, scores,
+                 [](const FormatMetrics &m) { return m.meanSigma; },
+                 [](NormalizedScores &s) -> double & { return s.sigma; },
+                 true);
+    normalizeOne(metrics, scores,
+                 [](const FormatMetrics &m) { return m.totalSeconds; },
+                 [](NormalizedScores &s) -> double & { return s.latency; },
+                 true);
+    normalizeOne(
+        metrics, scores,
+        [](const FormatMetrics &m) {
+            return balanceCloseness(m.balanceRatio);
+        },
+        [](NormalizedScores &s) -> double & { return s.balance; }, false);
+    normalizeOne(
+        metrics, scores,
+        [](const FormatMetrics &m) { return m.throughput; },
+        [](NormalizedScores &s) -> double & { return s.throughput; },
+        false);
+    normalizeOne(metrics, scores,
+                 [](const FormatMetrics &m) {
+                     return m.bandwidthUtilization;
+                 },
+                 [](NormalizedScores &s) -> double & {
+                     return s.bandwidthUtilization;
+                 },
+                 false);
+    normalizeOne(metrics, scores,
+                 [](const FormatMetrics &m) { return m.dynamicPowerW; },
+                 [](NormalizedScores &s) -> double & { return s.power; },
+                 true);
+    return scores;
+}
+
+} // namespace copernicus

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Six-metric summary and min-max normalization for Figure 14.
+ *
+ * The paper's radar summary normalizes each metric to its best/worst
+ * observed value so that 1 is the best format and 0 the worst. Lower is
+ * better for sigma, latency and power; higher is better for throughput
+ * and bandwidth utilization; for balance ratio the best value is 1
+ * (perfect streaming balance), so the score uses the distance from 1.
+ */
+
+#ifndef COPERNICUS_ANALYSIS_SUMMARY_HH
+#define COPERNICUS_ANALYSIS_SUMMARY_HH
+
+#include <vector>
+
+#include "formats/format_kind.hh"
+
+namespace copernicus {
+
+/** Aggregated raw metrics for one format over one workload class. */
+struct FormatMetrics
+{
+    FormatKind format = FormatKind::Dense;
+
+    /** Mean decompression overhead sigma (lower better). */
+    double meanSigma = 0;
+
+    /** Total SpMV seconds (lower better). */
+    double totalSeconds = 0;
+
+    /** Mean memory/compute balance ratio (best at 1). */
+    double balanceRatio = 0;
+
+    /** Bytes per second (higher better). */
+    double throughput = 0;
+
+    /** Useful/total byte ratio (higher better). */
+    double bandwidthUtilization = 0;
+
+    /** Dynamic power, watts (lower better). */
+    double dynamicPowerW = 0;
+};
+
+/** Normalized [0, 1] scores; 1 best, 0 worst (Figure 14). */
+struct NormalizedScores
+{
+    FormatKind format = FormatKind::Dense;
+    double sigma = 0;
+    double latency = 0;
+    double balance = 0;
+    double throughput = 0;
+    double bandwidthUtilization = 0;
+    double power = 0;
+};
+
+/**
+ * Min-max normalize a set of format metrics.
+ *
+ * With fewer than two distinct values for a metric, every format gets
+ * score 1 for it (no discrimination possible).
+ */
+std::vector<NormalizedScores>
+normalizeSummary(const std::vector<FormatMetrics> &metrics);
+
+/** Balance-ratio goodness: min(r, 1/r), in (0, 1], best at r = 1. */
+double balanceCloseness(double ratio);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_ANALYSIS_SUMMARY_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * TableWriter: aligned ASCII tables on stdout plus optional CSV files,
+ * used by every bench binary to print the paper's rows/series.
+ */
+
+#ifndef COPERNICUS_ANALYSIS_TABLE_WRITER_HH
+#define COPERNICUS_ANALYSIS_TABLE_WRITER_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace copernicus {
+
+/** Column-aligned table builder. */
+class TableWriter
+{
+  public:
+    /** @param columns Header labels, one per column. */
+    explicit TableWriter(std::vector<std::string> columns);
+
+    /** Append one row; must match the column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows so far. */
+    std::size_t rows() const { return body.size(); }
+
+    /** Print the aligned table. */
+    void print(std::ostream &out) const;
+
+    /** Write the table as CSV. */
+    void writeCsv(std::ostream &out) const;
+
+    /** Write CSV to @p path (directories must exist). */
+    void writeCsvFile(const std::string &path) const;
+
+    /** Format a double with @p precision significant digits. */
+    static std::string num(double value, int precision = 4);
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace copernicus
+
+#endif // COPERNICUS_ANALYSIS_TABLE_WRITER_HH

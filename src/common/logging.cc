@@ -1,0 +1,51 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+
+namespace copernicus {
+
+namespace {
+
+LogLevel minLevel = LogLevel::Info;
+
+void
+emit(LogLevel level, const char *tag, const std::string &msg)
+{
+    if (level < minLevel)
+        return;
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    minLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return minLevel;
+}
+
+void
+debug(const std::string &msg)
+{
+    emit(LogLevel::Debug, "debug", msg);
+}
+
+void
+inform(const std::string &msg)
+{
+    emit(LogLevel::Info, "info", msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    emit(LogLevel::Warn, "warn", msg);
+}
+
+} // namespace copernicus

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal leveled logging for status messages.
+ *
+ * Mirrors gem5's inform()/warn() distinction: inform() is normal operating
+ * status, warn() flags behaviour that might work but deserves attention.
+ * Output goes to stderr so that bench binaries can keep stdout clean for
+ * table data.
+ */
+
+#ifndef COPERNICUS_COMMON_LOGGING_HH
+#define COPERNICUS_COMMON_LOGGING_HH
+
+#include <string>
+
+namespace copernicus {
+
+/** Severity levels, in increasing order of importance. */
+enum class LogLevel { Debug, Info, Warn };
+
+/**
+ * Set the minimum level that is actually printed.
+ *
+ * @param level Messages below this level are dropped.
+ */
+void setLogLevel(LogLevel level);
+
+/** Current minimum printed level. */
+LogLevel logLevel();
+
+/** Print a debug-level message (dropped unless level is Debug). */
+void debug(const std::string &msg);
+
+/** Print an informational status message. */
+void inform(const std::string &msg);
+
+/** Print a warning about suspicious but non-fatal behaviour. */
+void warn(const std::string &msg);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_COMMON_LOGGING_HH

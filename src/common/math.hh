@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Small integer-math helpers used across the schedule and resource models.
+ */
+
+#ifndef COPERNICUS_COMMON_MATH_HH
+#define COPERNICUS_COMMON_MATH_HH
+
+#include <cstdint>
+
+#include "common/status.hh"
+
+namespace copernicus {
+
+/** Integer ceiling division; @p b must be positive. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Ceiling of log2(@p v); log2Ceil(1) == 0. */
+constexpr std::uint32_t
+log2Ceil(std::uint64_t v)
+{
+    std::uint32_t bits = 0;
+    std::uint64_t pow = 1;
+    while (pow < v) {
+        pow <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/** Round @p v up to the next multiple of @p m; @p m must be positive. */
+constexpr std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t m)
+{
+    return ceilDiv(v, m) * m;
+}
+
+} // namespace copernicus
+
+#endif // COPERNICUS_COMMON_MATH_HH

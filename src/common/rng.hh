@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * Copernicus benches must be reproducible run-to-run, so all generators
+ * take an explicit Rng seeded from the experiment configuration rather
+ * than std::random_device. The core generator is xoshiro256**, seeded via
+ * SplitMix64 as its authors recommend.
+ */
+
+#ifndef COPERNICUS_COMMON_RNG_HH
+#define COPERNICUS_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace copernicus {
+
+/** SplitMix64 step, used to expand a single seed into xoshiro state. */
+constexpr std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** generator with convenience draws for workload synthesis.
+ *
+ * Satisfies UniformRandomBitGenerator so it can also drive <random>
+ * distributions where needed.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a single 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state)
+            word = splitMix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Next raw 64-bit draw. */
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, bound); bound must be positive. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Bitmask rejection keeps the draw exactly uniform.
+        std::uint64_t mask = ~0ULL;
+        if (bound > 1) {
+            mask = bound - 1;
+            mask |= mask >> 1;
+            mask |= mask >> 2;
+            mask |= mask >> 4;
+            mask |= mask >> 8;
+            mask |= mask >> 16;
+            mask |= mask >> 32;
+        } else {
+            return 0;
+        }
+        std::uint64_t draw;
+        do {
+            draw = (*this)() & mask;
+        } while (draw >= bound);
+        return draw;
+    }
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Uniform value in [lo, hi). */
+    double
+    range(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace copernicus
+
+#endif // COPERNICUS_COMMON_RNG_HH

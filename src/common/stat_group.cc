@@ -1,0 +1,129 @@
+#include "common/stat_group.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "common/status.hh"
+
+namespace copernicus {
+
+StatBase::StatBase(StatGroup &group, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    group.registerStat(this);
+}
+
+namespace {
+
+void
+printLine(std::ostream &out, const std::string &name, double value,
+          const std::string &desc)
+{
+    out << std::left << std::setw(40) << name << std::right
+        << std::setw(16) << value << "  # " << desc << '\n';
+}
+
+} // namespace
+
+void
+ScalarStat::print(std::ostream &out) const
+{
+    printLine(out, name(), total, description());
+}
+
+void
+AverageStat::print(std::ostream &out) const
+{
+    printLine(out, name(), mean(),
+              description() + " (mean of " + std::to_string(count) +
+                  " samples)");
+}
+
+DistributionStat::DistributionStat(StatGroup &group, std::string name,
+                                   std::string desc, double lo,
+                                   double hi, std::size_t bucketCount)
+    : StatBase(group, std::move(name), std::move(desc)), lo(lo), hi(hi),
+      bins(bucketCount, 0)
+{
+    fatalIf(bucketCount == 0,
+            "DistributionStat needs at least one bucket");
+    fatalIf(hi <= lo, "DistributionStat range must be non-empty");
+}
+
+void
+DistributionStat::sample(double v)
+{
+    ++count;
+    min_seen = std::min(min_seen, v);
+    max_seen = std::max(max_seen, v);
+    if (v < lo) {
+        ++underflow;
+    } else if (v >= hi) {
+        ++overflow;
+    } else {
+        const double width = (hi - lo) / static_cast<double>(bins.size());
+        auto bucket = static_cast<std::size_t>((v - lo) / width);
+        if (bucket >= bins.size())
+            bucket = bins.size() - 1; // guard float edge
+        ++bins[bucket];
+    }
+}
+
+void
+DistributionStat::print(std::ostream &out) const
+{
+    printLine(out, name() + ".samples", static_cast<double>(count),
+              description());
+    if (count == 0)
+        return;
+    printLine(out, name() + ".min", min_seen, "minimum sample");
+    printLine(out, name() + ".max", max_seen, "maximum sample");
+    const double width = (hi - lo) / static_cast<double>(bins.size());
+    if (underflow > 0) {
+        printLine(out, name() + ".underflow",
+                  static_cast<double>(underflow), "samples below range");
+    }
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+        if (bins[b] == 0)
+            continue;
+        printLine(out,
+                  name() + "[" + std::to_string(lo + b * width) + "," +
+                      std::to_string(lo + (b + 1) * width) + ")",
+                  static_cast<double>(bins[b]), "bucket count");
+    }
+    if (overflow > 0) {
+        printLine(out, name() + ".overflow",
+                  static_cast<double>(overflow), "samples above range");
+    }
+}
+
+void
+StatGroup::registerStat(StatBase *stat)
+{
+    for (const StatBase *existing : members) {
+        fatalIf(existing->name() == stat->name(),
+                "duplicate stat name '" + stat->name() + "' in group '" +
+                    _name + "'");
+    }
+    members.push_back(stat);
+}
+
+const StatBase *
+StatGroup::find(const std::string &name) const
+{
+    for (const StatBase *stat : members)
+        if (stat->name() == name)
+            return stat;
+    return nullptr;
+}
+
+void
+StatGroup::dump(std::ostream &out) const
+{
+    out << "---------- " << _name << " ----------\n";
+    for (const StatBase *stat : members)
+        stat->print(out);
+}
+
+} // namespace copernicus

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * A small gem5-style statistics package: named, documented statistics
+ * registered in groups and dumped in the classic
+ * `name  value  # description` format.
+ *
+ * Simulator components expose their counters through these types so
+ * downstream tooling can scrape one uniform dump instead of poking at
+ * result structs; analysis/stats_report.hh builds groups from pipeline
+ * results.
+ */
+
+#ifndef COPERNICUS_COMMON_STAT_GROUP_HH
+#define COPERNICUS_COMMON_STAT_GROUP_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace copernicus {
+
+class StatGroup;
+
+/** Base class for all statistics: a name and a description. */
+class StatBase
+{
+  public:
+    /**
+     * @param group Group to register with.
+     * @param name Dotted stat name ("pipeline.memory_cycles").
+     * @param desc One-line description for the dump.
+     */
+    StatBase(StatGroup &group, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return _name; }
+    const std::string &description() const { return _desc; }
+
+    /** Print one or more dump lines for this stat. */
+    virtual void print(std::ostream &out) const = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** A plain scalar counter/value. */
+class ScalarStat : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    ScalarStat &
+    operator+=(double delta)
+    {
+        total += delta;
+        return *this;
+    }
+
+    ScalarStat &
+    operator=(double v)
+    {
+        total = v;
+        return *this;
+    }
+
+    double value() const { return total; }
+
+    void print(std::ostream &out) const override;
+
+  private:
+    double total = 0;
+};
+
+/** Mean over sampled values. */
+class AverageStat : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void
+    sample(double v)
+    {
+        sum += v;
+        ++count;
+    }
+
+    std::uint64_t samples() const { return count; }
+
+    double
+    mean() const
+    {
+        return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+
+    void print(std::ostream &out) const override;
+
+  private:
+    double sum = 0;
+    std::uint64_t count = 0;
+};
+
+/** Fixed-bucket distribution with underflow/overflow tracking. */
+class DistributionStat : public StatBase
+{
+  public:
+    /**
+     * @param lo Inclusive lower bound of the first bucket.
+     * @param hi Exclusive upper bound of the last bucket.
+     * @param bucketCount Number of equal-width buckets (>= 1).
+     */
+    DistributionStat(StatGroup &group, std::string name,
+                     std::string desc, double lo, double hi,
+                     std::size_t bucketCount);
+
+    void sample(double v);
+
+    std::uint64_t samples() const { return count; }
+    double minSample() const { return min_seen; }
+    double maxSample() const { return max_seen; }
+    const std::vector<std::uint64_t> &buckets() const { return bins; }
+
+    void print(std::ostream &out) const override;
+
+  private:
+    double lo;
+    double hi;
+    std::vector<std::uint64_t> bins;
+    std::uint64_t underflow = 0;
+    std::uint64_t overflow = 0;
+    std::uint64_t count = 0;
+    double min_seen = std::numeric_limits<double>::infinity();
+    double max_seen = -std::numeric_limits<double>::infinity();
+};
+
+/** A named collection of statistics, dumped together. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    const std::string &name() const { return _name; }
+
+    /** Called by StatBase; duplicate names are a FatalError. */
+    void registerStat(StatBase *stat);
+
+    /** All registered stats, registration order. */
+    const std::vector<StatBase *> &stats() const { return members; }
+
+    /** Find a stat by name; nullptr when absent. */
+    const StatBase *find(const std::string &name) const;
+
+    /** Dump every stat in registration order. */
+    void dump(std::ostream &out) const;
+
+  private:
+    std::string _name;
+    std::vector<StatBase *> members;
+};
+
+} // namespace copernicus
+
+#endif // COPERNICUS_COMMON_STAT_GROUP_HH

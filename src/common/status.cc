@@ -1,0 +1,17 @@
+#include "common/status.hh"
+
+namespace copernicus {
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError(msg);
+}
+
+} // namespace copernicus

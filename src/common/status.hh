@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's fatal()/panic() split.
+ *
+ * fatal() reports a condition caused by the caller (bad configuration,
+ * malformed input file); panic() reports an internal invariant violation,
+ * i.e. a Copernicus bug. Both throw typed exceptions so that library users
+ * and tests can catch them; nothing in the library calls std::abort().
+ */
+
+#ifndef COPERNICUS_COMMON_STATUS_HH
+#define COPERNICUS_COMMON_STATUS_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace copernicus {
+
+/** Base class for all Copernicus exceptions. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/** Thrown by fatal(): the user supplied an invalid request or input. */
+class FatalError : public Error
+{
+  public:
+    explicit FatalError(const std::string &what_arg) : Error(what_arg) {}
+};
+
+/** Thrown by panic(): an internal invariant was violated. */
+class PanicError : public Error
+{
+  public:
+    explicit PanicError(const std::string &what_arg) : Error(what_arg) {}
+};
+
+/**
+ * Report a user-caused error.
+ *
+ * @param msg Human-readable description of what the user got wrong.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Report an internal invariant violation.
+ *
+ * @param msg Human-readable description of the broken invariant.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Throw FatalError unless @p cond holds. */
+inline void
+fatalIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
+/** Throw PanicError unless @p cond holds. */
+inline void
+panicIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+} // namespace copernicus
+
+#endif // COPERNICUS_COMMON_STATUS_HH

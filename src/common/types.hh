@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every Copernicus module.
+ *
+ * The hardware platform modelled by Copernicus streams 32-bit values and
+ * 32-bit indices (Section 4.1 of the paper); using fixed-width types here
+ * keeps the byte-accounting of the AXI transfer model exact.
+ */
+
+#ifndef COPERNICUS_COMMON_TYPES_HH
+#define COPERNICUS_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace copernicus {
+
+/** Matrix element type streamed through the dot-product engine. */
+using Value = float;
+
+/** Row/column index type stored in format metadata streams. */
+using Index = std::uint32_t;
+
+/** Cycle counts produced by the HLS schedule model. */
+using Cycles = std::uint64_t;
+
+/** Byte counts for the memory-transfer model. */
+using Bytes = std::uint64_t;
+
+/** Bytes occupied by one matrix value on the wire and in BRAM. */
+inline constexpr std::size_t valueBytes = sizeof(Value);
+
+/** Bytes occupied by one index on the wire and in BRAM. */
+inline constexpr std::size_t indexBytes = sizeof(Index);
+
+static_assert(valueBytes == 4 && indexBytes == 4,
+              "The AXI model assumes 32-bit values and indices");
+
+} // namespace copernicus
+
+#endif // COPERNICUS_COMMON_TYPES_HH

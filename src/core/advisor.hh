@@ -1,0 +1,66 @@
+/**
+ * @file
+ * FormatAdvisor: Section 8's insights as an executable recommendation.
+ *
+ * Given a matrix's structural statistics and an optimization goal, the
+ * advisor applies the paper's conclusions: generic formats (COO) beat
+ * pattern-specific ones (DIA) on generic hardware even for band
+ * matrices; DIA only pays off when the compute engine is co-designed
+ * with it; LIL/BCSR trade a little speed for power and resources; dense
+ * matrices (density > 0.1, e.g. pruned neural networks) should stick to
+ * small partitions and block formats.
+ */
+
+#ifndef COPERNICUS_CORE_ADVISOR_HH
+#define COPERNICUS_CORE_ADVISOR_HH
+
+#include <string>
+#include <vector>
+
+#include "formats/format_kind.hh"
+#include "matrix/stats.hh"
+
+namespace copernicus {
+
+/** What the user wants to optimize for. */
+enum class AdvisorGoal
+{
+    Latency,      ///< lowest end-to-end SpMV time
+    Throughput,   ///< highest sustained bytes/s
+    Power,        ///< lowest dynamic power
+    Bandwidth,    ///< highest memory-bandwidth utilization
+    Balanced,     ///< memory/compute balance closest to 1
+};
+
+/** A recommendation plus its paper-backed rationale. */
+struct Recommendation
+{
+    FormatKind format = FormatKind::COO;
+    Index partitionSize = 16;
+    std::vector<FormatKind> alternatives;
+    std::string rationale;
+
+    /**
+     * True when the pick only wins on hardware whose compute engine is
+     * tailored to the format (the paper's DIA caveat).
+     */
+    bool requiresTailoredEngine = false;
+};
+
+/**
+ * Recommend a format for @p stats under @p goal.
+ *
+ * @param stats Structural statistics of the workload matrix.
+ * @param goal Optimization target.
+ * @param tailoredEngine Whether the deployment can co-design the
+ *        compute engine with the format (enables DIA for bands).
+ */
+Recommendation advise(const MatrixStats &stats, AdvisorGoal goal,
+                      bool tailoredEngine = false);
+
+/** Printable goal name. */
+std::string_view goalName(AdvisorGoal goal);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_CORE_ADVISOR_HH

@@ -1,0 +1,75 @@
+#include "core/scheduler.hh"
+
+#include <limits>
+
+#include "common/status.hh"
+#include "hls/axi.hh"
+#include "hls/decompressor.hh"
+
+namespace copernicus {
+
+FormatPlan
+planFormats(const Partitioning &parts,
+            const std::vector<FormatKind> &candidates,
+            SchedulerObjective objective, const HlsConfig &config,
+            const FormatRegistry &registry)
+{
+    fatalIf(candidates.empty(),
+            "planFormats needs at least one candidate format");
+
+    FormatPlan plan;
+    plan.perTile.reserve(parts.tiles.size());
+    const Bytes out_bytes = Bytes(parts.partitionSize) * valueBytes;
+
+    for (const Tile &tile : parts.tiles) {
+        FormatKind best = candidates.front();
+        auto best_score = std::numeric_limits<double>::infinity();
+        for (FormatKind kind : candidates) {
+            const auto encoded = registry.codec(kind).encode(tile);
+            double score = 0;
+            switch (objective) {
+              case SchedulerObjective::Bottleneck: {
+                const auto decomp = simulateDecompression(*encoded,
+                                                          config);
+                const Cycles memory =
+                    transferCycles(encoded->streams(), config);
+                const Cycles compute = computeCycles(decomp, config);
+                const Cycles write = writebackCycles(out_bytes, config);
+                score = static_cast<double>(
+                    std::max(memory, std::max(compute, write)));
+                break;
+              }
+              case SchedulerObjective::Compute: {
+                const auto decomp = simulateDecompression(*encoded,
+                                                          config);
+                score = static_cast<double>(
+                    computeCycles(decomp, config));
+                break;
+              }
+              case SchedulerObjective::Bytes:
+                score = static_cast<double>(encoded->totalBytes());
+                break;
+            }
+            if (score < best_score) {
+                best_score = score;
+                best = kind;
+            }
+        }
+        plan.perTile.push_back(best);
+        ++plan.histogram[best];
+    }
+    return plan;
+}
+
+PipelineResult
+runAdaptive(const Partitioning &parts,
+            const std::vector<FormatKind> &candidates,
+            SchedulerObjective objective, const HlsConfig &config,
+            const FormatRegistry &registry)
+{
+    const FormatPlan plan = planFormats(parts, candidates, objective,
+                                        config, registry);
+    return runPipelineMixed(parts, plan.perTile, config, registry);
+}
+
+} // namespace copernicus

@@ -1,0 +1,188 @@
+#include "core/study.hh"
+
+#include <fstream>
+
+#include "analysis/table_writer.hh"
+#include "common/status.hh"
+
+namespace copernicus {
+
+std::vector<StudyRow>
+StudyResult::atPartition(Index p) const
+{
+    std::vector<StudyRow> selected;
+    for (const auto &row : rows)
+        if (row.partitionSize == p)
+            selected.push_back(row);
+    return selected;
+}
+
+void
+StudyResult::writeCsv(std::ostream &out) const
+{
+    TableWriter table({"workload", "format", "p", "sigma",
+                       "total_cycles", "seconds", "memory_cycles",
+                       "compute_cycles", "balance_ratio",
+                       "throughput_bps", "bw_util", "bytes",
+                       "partitions", "bram18k", "ff_k", "lut_k",
+                       "dyn_power_w", "static_power_w"});
+    for (const auto &row : rows) {
+        table.addRow({row.workload, std::string(formatName(row.format)),
+                      std::to_string(row.partitionSize),
+                      TableWriter::num(row.meanSigma, 8),
+                      std::to_string(row.totalCycles),
+                      TableWriter::num(row.seconds, 8),
+                      std::to_string(row.memoryCycles),
+                      std::to_string(row.computeCycles),
+                      TableWriter::num(row.balanceRatio, 8),
+                      TableWriter::num(row.throughput, 8),
+                      TableWriter::num(row.bandwidthUtilization, 8),
+                      std::to_string(row.totalBytes),
+                      std::to_string(row.partitions),
+                      TableWriter::num(row.resources.bram18k, 6),
+                      TableWriter::num(row.resources.ffK, 6),
+                      TableWriter::num(row.resources.lutK, 6),
+                      TableWriter::num(row.power.dynamicW(), 6),
+                      TableWriter::num(row.power.staticW, 6)});
+    }
+    table.writeCsv(out);
+}
+
+void
+StudyResult::writeCsvFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    fatalIf(!out, "StudyResult: cannot open '" + path + "'");
+    writeCsv(out);
+}
+
+std::vector<FormatMetrics>
+StudyResult::aggregateByFormat() const
+{
+    std::vector<FormatMetrics> metrics;
+    std::vector<std::size_t> counts;
+    std::vector<Bytes> bytes;
+    for (const auto &row : rows) {
+        FormatMetrics *slot = nullptr;
+        std::size_t i = 0;
+        for (; i < metrics.size(); ++i) {
+            if (metrics[i].format == row.format) {
+                slot = &metrics[i];
+                break;
+            }
+        }
+        if (slot == nullptr) {
+            metrics.push_back({});
+            metrics.back().format = row.format;
+            counts.push_back(0);
+            bytes.push_back(0);
+            slot = &metrics.back();
+            i = metrics.size() - 1;
+        }
+        slot->meanSigma += row.meanSigma;
+        slot->totalSeconds += row.seconds;
+        slot->balanceRatio += row.balanceRatio;
+        slot->bandwidthUtilization += row.bandwidthUtilization;
+        slot->dynamicPowerW += row.power.dynamicW();
+        bytes[i] += row.totalBytes;
+        ++counts[i];
+    }
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        const auto n = static_cast<double>(counts[i]);
+        metrics[i].meanSigma /= n;
+        metrics[i].balanceRatio /= n;
+        metrics[i].bandwidthUtilization /= n;
+        metrics[i].dynamicPowerW /= n;
+        metrics[i].throughput =
+            metrics[i].totalSeconds > 0
+                ? static_cast<double>(bytes[i]) / metrics[i].totalSeconds
+                : 0.0;
+    }
+    return metrics;
+}
+
+Study::Study(StudyConfig config)
+    : cfg(std::move(config)), registry(cfg.formatParams)
+{
+    fatalIf(cfg.partitionSizes.empty(),
+            "Study needs at least one partition size");
+    fatalIf(cfg.formats.empty(), "Study needs at least one format");
+}
+
+void
+Study::addWorkload(const std::string &name, TripletMatrix matrix)
+{
+    for (const auto &[existing, unused] : matrices)
+        fatalIf(existing == name,
+                "Study workload '" + name + "' already registered");
+    panicIf(!matrix.finalized(),
+            "Study workloads must be finalized matrices");
+    matrices.emplace_back(name, std::move(matrix));
+}
+
+StudyRow
+Study::makeRow(const std::string &workload, const Partitioning &parts,
+               FormatKind kind) const
+{
+    const PipelineResult pipe = runPipeline(parts, kind, cfg.hls,
+                                            registry);
+    StudyRow row;
+    row.workload = workload;
+    row.format = kind;
+    row.partitionSize = parts.partitionSize;
+    row.meanSigma = pipe.meanSigma;
+    row.totalCycles = pipe.totalCycles;
+    row.seconds = pipe.seconds;
+    row.memoryCycles = pipe.totalMemoryCycles;
+    row.computeCycles = pipe.totalComputeCycles;
+    row.balanceRatio = pipe.balanceRatio;
+    row.throughput = pipe.throughputBytesPerSec;
+    row.bandwidthUtilization = pipe.bandwidthUtilization;
+    row.totalBytes = pipe.totalBytes;
+    row.partitions = pipe.partitions.size();
+    row.resources = estimateResources(kind, parts.partitionSize);
+    row.power = estimatePower(kind, parts.partitionSize);
+    return row;
+}
+
+StudyResult
+Study::run() const
+{
+    StudyResult result;
+    for (std::size_t w = 0; w < matrices.size(); ++w) {
+        for (Index p : cfg.partitionSizes) {
+            auto key = std::make_pair(w, p);
+            auto it = cache.find(key);
+            if (it == cache.end()) {
+                it = cache.emplace(key,
+                                   partition(matrices[w].second, p))
+                         .first;
+            }
+            for (FormatKind kind : cfg.formats)
+                result.rows.push_back(
+                    makeRow(matrices[w].first, it->second, kind));
+        }
+    }
+    return result;
+}
+
+StudyRow
+Study::evaluate(const std::string &workload, FormatKind kind,
+                Index partitionSize) const
+{
+    for (std::size_t w = 0; w < matrices.size(); ++w) {
+        if (matrices[w].first != workload)
+            continue;
+        auto key = std::make_pair(w, partitionSize);
+        auto it = cache.find(key);
+        if (it == cache.end()) {
+            it = cache.emplace(key, partition(matrices[w].second,
+                                              partitionSize))
+                     .first;
+        }
+        return makeRow(workload, it->second, kind);
+    }
+    fatal("Study: unknown workload '" + workload + "'");
+}
+
+} // namespace copernicus

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Study: the top-level characterization driver.
+ *
+ * A Study owns a set of named workloads and evaluates every requested
+ * (format, partition size) pair over each of them, producing the rows
+ * behind the paper's figures: per-design-point sigma, latency split,
+ * balance ratio, throughput, bandwidth utilization, resources and
+ * power. The bench binaries are thin wrappers that configure a Study
+ * and print one table each.
+ */
+
+#ifndef COPERNICUS_CORE_STUDY_HH
+#define COPERNICUS_CORE_STUDY_HH
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/summary.hh"
+#include "fpga/power_model.hh"
+#include "fpga/resource_model.hh"
+#include "hls/hls_config.hh"
+#include "matrix/triplet_matrix.hh"
+#include "pipeline/stream_pipeline.hh"
+
+namespace copernicus {
+
+/** What a Study evaluates. */
+struct StudyConfig
+{
+    /** Partition sizes to sweep (paper: 8, 16, 32). */
+    std::vector<Index> partitionSizes = {8, 16, 32};
+
+    /** Formats to sweep (paper's eight by default). */
+    std::vector<FormatKind> formats = paperFormats();
+
+    /** Platform parameters. */
+    HlsConfig hls;
+
+    /** Codec hyperparameters. */
+    FormatParams formatParams;
+};
+
+/** One evaluated design point over one workload. */
+struct StudyRow
+{
+    std::string workload;
+    FormatKind format = FormatKind::Dense;
+    Index partitionSize = 0;
+
+    /** Mean per-partition sigma (Eq. 1). */
+    double meanSigma = 0;
+
+    /** End-to-end cycles / seconds for the whole matrix. */
+    Cycles totalCycles = 0;
+    double seconds = 0;
+
+    /** Stage totals. */
+    Cycles memoryCycles = 0;
+    Cycles computeCycles = 0;
+
+    /** Mean per-partition memory/compute ratio. */
+    double balanceRatio = 0;
+
+    /** Bytes per second. */
+    double throughput = 0;
+
+    /** Useful/total transferred bytes. */
+    double bandwidthUtilization = 0;
+
+    /** Bytes transferred (data + metadata). */
+    Bytes totalBytes = 0;
+
+    /** Non-zero partitions processed. */
+    std::size_t partitions = 0;
+
+    /** Resource and power estimates for this design point. */
+    ResourceEstimate resources;
+    PowerEstimate power;
+};
+
+/** All rows of a finished study. */
+struct StudyResult
+{
+    std::vector<StudyRow> rows;
+
+    /** Rows restricted to one partition size. */
+    std::vector<StudyRow> atPartition(Index p) const;
+
+    /**
+     * Write every row as CSV (workload, format, p, sigma, cycles,
+     * seconds, memory/compute cycles, balance, throughput, bw-util,
+     * bytes, partitions, resources, power).
+     */
+    void writeCsv(std::ostream &out) const;
+
+    /** Write CSV to @p path. */
+    void writeCsvFile(const std::string &path) const;
+
+    /**
+     * Aggregate to one FormatMetrics per format (used by Fig. 14):
+     * sigma/balance/bandwidth are averaged across rows, seconds and
+     * bytes summed, throughput recomputed from the sums, power
+     * averaged.
+     */
+    std::vector<FormatMetrics> aggregateByFormat() const;
+};
+
+/** Named-workload characterization driver. */
+class Study
+{
+  public:
+    explicit Study(StudyConfig config = StudyConfig());
+
+    /** Register a workload; names must be unique. */
+    void addWorkload(const std::string &name, TripletMatrix matrix);
+
+    /** Number of registered workloads. */
+    std::size_t workloads() const { return matrices.size(); }
+
+    /** Evaluate every (workload, format, partition size) triple. */
+    StudyResult run() const;
+
+    /** Evaluate one triple (workload must be registered). */
+    StudyRow evaluate(const std::string &workload, FormatKind kind,
+                      Index partitionSize) const;
+
+    const StudyConfig &config() const { return cfg; }
+
+  private:
+    StudyRow makeRow(const std::string &workload,
+                     const Partitioning &parts, FormatKind kind) const;
+
+    StudyConfig cfg;
+    FormatRegistry registry;
+    std::vector<std::pair<std::string, TripletMatrix>> matrices;
+    /** Partitioning cache keyed by (workload index, partition size). */
+    mutable std::map<std::pair<std::size_t, Index>, Partitioning> cache;
+};
+
+} // namespace copernicus
+
+#endif // COPERNICUS_CORE_STUDY_HH

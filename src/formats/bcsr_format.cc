@@ -1,0 +1,67 @@
+#include "formats/bcsr_format.hh"
+
+#include "common/status.hh"
+
+namespace copernicus {
+
+BcsrCodec::BcsrCodec(Index blockSize) : block(blockSize)
+{
+    fatalIf(blockSize == 0, "BCSR block size must be positive");
+}
+
+std::unique_ptr<EncodedTile>
+BcsrCodec::encode(const Tile &tile) const
+{
+    const Index p = tile.size();
+    fatalIf(p % block != 0,
+            "BCSR block size must divide the partition size");
+    auto encoded = std::make_unique<BcsrEncoded>(p, tile.nnz(), block);
+
+    const Index grid = p / block;
+    Index running = 0;
+    for (Index br = 0; br < grid; ++br) {
+        for (Index bc = 0; bc < grid; ++bc) {
+            // Gather the block and check whether it is non-zero.
+            std::vector<Value> flat(static_cast<std::size_t>(block) *
+                                    block, Value(0));
+            bool non_zero = false;
+            for (Index r = 0; r < block; ++r) {
+                for (Index c = 0; c < block; ++c) {
+                    const Value v = tile(br * block + r, bc * block + c);
+                    flat[static_cast<std::size_t>(r) * block + c] = v;
+                    non_zero |= v != Value(0);
+                }
+            }
+            if (non_zero) {
+                encoded->colInx.push_back(bc * block);
+                encoded->values.push_back(std::move(flat));
+                ++running;
+            }
+        }
+        encoded->offsets.push_back(running);
+    }
+    return encoded;
+}
+
+Tile
+BcsrCodec::decode(const EncodedTile &encoded) const
+{
+    const auto &bcsr = encodedAs<BcsrEncoded>(encoded, FormatKind::BCSR);
+    const Index p = bcsr.tileSize();
+    const Index b = bcsr.blockSize();
+    const Index grid = p / b;
+    Tile tile(p);
+    for (Index br = 0; br < grid; ++br) {
+        for (Index i = bcsr.blockRowStart(br); i < bcsr.blockRowEnd(br);
+             ++i) {
+            const Index col0 = bcsr.colInx[i];
+            const auto &flat = bcsr.values[i];
+            // Listing 2: drows[j / b][col0 + j mod b] = values[i][j].
+            for (Index j = 0; j < b * b; ++j)
+                tile(br * b + j / b, col0 + j % b) = flat[j];
+        }
+    }
+    return tile;
+}
+
+} // namespace copernicus

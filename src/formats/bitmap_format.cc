@@ -1,0 +1,37 @@
+#include "formats/bitmap_format.hh"
+
+namespace copernicus {
+
+std::unique_ptr<EncodedTile>
+BitmapCodec::encode(const Tile &tile) const
+{
+    const Index p = tile.size();
+    auto encoded = std::make_unique<BitmapEncoded>(p, tile.nnz());
+    for (Index r = 0; r < p; ++r) {
+        for (Index c = 0; c < p; ++c) {
+            const Value v = tile(r, c);
+            if (v != Value(0)) {
+                encoded->set(r, c);
+                encoded->values.push_back(v);
+            }
+        }
+    }
+    return encoded;
+}
+
+Tile
+BitmapCodec::decode(const EncodedTile &encoded) const
+{
+    const auto &bitmap = encodedAs<BitmapEncoded>(encoded,
+                                                  FormatKind::BITMAP);
+    const Index p = bitmap.tileSize();
+    Tile tile(p);
+    std::size_t next = 0;
+    for (Index r = 0; r < p; ++r)
+        for (Index c = 0; c < p; ++c)
+            if (bitmap.test(r, c))
+                tile(r, c) = bitmap.values[next++];
+    return tile;
+}
+
+} // namespace copernicus

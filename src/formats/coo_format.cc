@@ -1,0 +1,33 @@
+#include "formats/coo_format.hh"
+
+namespace copernicus {
+
+std::unique_ptr<EncodedTile>
+CooCodec::encode(const Tile &tile) const
+{
+    const Index p = tile.size();
+    auto encoded = std::make_unique<CooEncoded>(p, tile.nnz());
+    for (Index r = 0; r < p; ++r) {
+        for (Index c = 0; c < p; ++c) {
+            const Value v = tile(r, c);
+            if (v != Value(0)) {
+                encoded->rowInx.push_back(r);
+                encoded->colInx.push_back(c);
+                encoded->values.push_back(v);
+            }
+        }
+    }
+    return encoded;
+}
+
+Tile
+CooCodec::decode(const EncodedTile &encoded) const
+{
+    const auto &coo = encodedAs<CooEncoded>(encoded, FormatKind::COO);
+    Tile tile(coo.tileSize());
+    for (std::size_t i = 0; i < coo.values.size(); ++i)
+        tile(coo.rowInx[i], coo.colInx[i]) = coo.values[i];
+    return tile;
+}
+
+} // namespace copernicus

@@ -1,0 +1,38 @@
+#include "formats/csc_format.hh"
+
+namespace copernicus {
+
+std::unique_ptr<EncodedTile>
+CscCodec::encode(const Tile &tile) const
+{
+    const Index p = tile.size();
+    auto encoded = std::make_unique<CscEncoded>(p, tile.nnz());
+    encoded->offsets.reserve(p);
+    Index running = 0;
+    for (Index c = 0; c < p; ++c) {
+        for (Index r = 0; r < p; ++r) {
+            const Value v = tile(r, c);
+            if (v != Value(0)) {
+                encoded->rowInx.push_back(r);
+                encoded->values.push_back(v);
+                ++running;
+            }
+        }
+        encoded->offsets.push_back(running);
+    }
+    return encoded;
+}
+
+Tile
+CscCodec::decode(const EncodedTile &encoded) const
+{
+    const auto &csc = encodedAs<CscEncoded>(encoded, FormatKind::CSC);
+    const Index p = csc.tileSize();
+    Tile tile(p);
+    for (Index c = 0; c < p; ++c)
+        for (Index i = csc.colStart(c); i < csc.colEnd(c); ++i)
+            tile(csc.rowInx[i], c) = csc.values[i];
+    return tile;
+}
+
+} // namespace copernicus

@@ -1,0 +1,38 @@
+#include "formats/csr_format.hh"
+
+namespace copernicus {
+
+std::unique_ptr<EncodedTile>
+CsrCodec::encode(const Tile &tile) const
+{
+    const Index p = tile.size();
+    auto encoded = std::make_unique<CsrEncoded>(p, tile.nnz());
+    encoded->offsets.reserve(p);
+    Index running = 0;
+    for (Index r = 0; r < p; ++r) {
+        for (Index c = 0; c < p; ++c) {
+            const Value v = tile(r, c);
+            if (v != Value(0)) {
+                encoded->colInx.push_back(c);
+                encoded->values.push_back(v);
+                ++running;
+            }
+        }
+        encoded->offsets.push_back(running);
+    }
+    return encoded;
+}
+
+Tile
+CsrCodec::decode(const EncodedTile &encoded) const
+{
+    const auto &csr = encodedAs<CsrEncoded>(encoded, FormatKind::CSR);
+    const Index p = csr.tileSize();
+    Tile tile(p);
+    for (Index r = 0; r < p; ++r)
+        for (Index i = csr.rowStart(r); i < csr.rowEnd(r); ++i)
+            tile(r, csr.colInx[i]) = csr.values[i];
+    return tile;
+}
+
+} // namespace copernicus

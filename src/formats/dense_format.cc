@@ -1,0 +1,25 @@
+#include "formats/dense_format.hh"
+
+namespace copernicus {
+
+std::unique_ptr<EncodedTile>
+DenseCodec::encode(const Tile &tile) const
+{
+    return std::make_unique<DenseEncoded>(tile.size(), tile.nnz(),
+                                          tile.data());
+}
+
+Tile
+DenseCodec::decode(const EncodedTile &encoded) const
+{
+    const auto &dense = encodedAs<DenseEncoded>(encoded,
+                                                FormatKind::Dense);
+    const Index p = dense.tileSize();
+    Tile tile(p);
+    for (Index r = 0; r < p; ++r)
+        for (Index c = 0; c < p; ++c)
+            tile(r, c) = dense.values[static_cast<std::size_t>(r) * p + c];
+    return tile;
+}
+
+} // namespace copernicus

@@ -1,0 +1,51 @@
+#include "formats/dia_format.hh"
+
+namespace copernicus {
+
+std::unique_ptr<EncodedTile>
+DiaCodec::encode(const Tile &tile) const
+{
+    const Index p = tile.size();
+    auto encoded = std::make_unique<DiaEncoded>(p, tile.nnz());
+    const auto size = static_cast<std::int32_t>(p);
+    for (std::int32_t d = -(size - 1); d <= size - 1; ++d) {
+        DiaDiagonal diag;
+        diag.number = d;
+        diag.values.assign(p, Value(0));
+        bool non_zero = false;
+        const Index row_begin = d < 0 ? static_cast<Index>(-d) : 0;
+        const Index row_end = d < 0 ? p : static_cast<Index>(size - d);
+        for (Index r = row_begin; r < row_end; ++r) {
+            const Index c = static_cast<Index>(
+                static_cast<std::int32_t>(r) + d);
+            const Value v = tile(r, c);
+            diag.values[DiaEncoded::slotForRow(r, d)] = v;
+            non_zero |= v != Value(0);
+        }
+        if (non_zero)
+            encoded->diagonals.push_back(std::move(diag));
+    }
+    return encoded;
+}
+
+Tile
+DiaCodec::decode(const EncodedTile &encoded) const
+{
+    const auto &dia = encodedAs<DiaEncoded>(encoded, FormatKind::DIA);
+    const Index p = dia.tileSize();
+    Tile tile(p);
+    // Listing 7: for each row, scan every stored diagonal.
+    for (Index row = 0; row < p; ++row) {
+        for (const auto &diag : dia.diagonals) {
+            if (!dia.rowOnDiagonal(row, diag.number))
+                continue;
+            const Index col = static_cast<Index>(
+                static_cast<std::int32_t>(row) + diag.number);
+            tile(row, col) = diag.values[DiaEncoded::slotForRow(
+                row, diag.number)];
+        }
+    }
+    return tile;
+}
+
+} // namespace copernicus

@@ -1,0 +1,33 @@
+#include "formats/dok_format.hh"
+
+namespace copernicus {
+
+std::unique_ptr<EncodedTile>
+DokCodec::encode(const Tile &tile) const
+{
+    const Index p = tile.size();
+    auto encoded = std::make_unique<DokEncoded>(p, tile.nnz());
+    for (Index r = 0; r < p; ++r) {
+        for (Index c = 0; c < p; ++c) {
+            const Value v = tile(r, c);
+            if (v != Value(0))
+                encoded->table.emplace(DokEncoded::key(r, c), v);
+        }
+    }
+    return encoded;
+}
+
+Tile
+DokCodec::decode(const EncodedTile &encoded) const
+{
+    const auto &dok = encodedAs<DokEncoded>(encoded, FormatKind::DOK);
+    Tile tile(dok.tileSize());
+    for (const auto &[key, value] : dok.table) {
+        const Index row = static_cast<Index>(key >> 32);
+        const Index col = static_cast<Index>(key & 0xffffffffULL);
+        tile(row, col) = value;
+    }
+    return tile;
+}
+
+} // namespace copernicus

@@ -1,0 +1,57 @@
+#include "formats/ell_format.hh"
+
+#include <algorithm>
+
+#include "common/status.hh"
+
+namespace copernicus {
+
+EllCodec::EllCodec(Index minWidth) : wMin(minWidth)
+{
+    fatalIf(minWidth == 0, "ELL minimum width must be positive");
+}
+
+Index
+EllCodec::widthFor(const Tile &tile) const
+{
+    return std::max(std::min(wMin, tile.size()), tile.maxRowNnz());
+}
+
+std::unique_ptr<EncodedTile>
+EllCodec::encode(const Tile &tile) const
+{
+    const Index p = tile.size();
+    const Index width = widthFor(tile);
+    auto encoded = std::make_unique<EllEncoded>(p, tile.nnz(), width);
+    for (Index r = 0; r < p; ++r) {
+        Index slot = 0;
+        for (Index c = 0; c < p; ++c) {
+            const Value v = tile(r, c);
+            if (v != Value(0)) {
+                encoded->valueAt(r, slot) = v;
+                encoded->colAt(r, slot) = c;
+                ++slot;
+            }
+        }
+    }
+    return encoded;
+}
+
+Tile
+EllCodec::decode(const EncodedTile &encoded) const
+{
+    const auto &ell = encodedAs<EllEncoded>(encoded, FormatKind::ELL);
+    const Index p = ell.tileSize();
+    Tile tile(p);
+    for (Index r = 0; r < p; ++r) {
+        for (Index slot = 0; slot < ell.width(); ++slot) {
+            const Index col = ell.colAt(r, slot);
+            if (col == EllEncoded::padMarker)
+                break;
+            tile(r, col) = ell.valueAt(r, slot);
+        }
+    }
+    return tile;
+}
+
+} // namespace copernicus

@@ -1,0 +1,62 @@
+#include "formats/ellcoo_format.hh"
+
+#include <algorithm>
+
+#include "common/status.hh"
+
+namespace copernicus {
+
+EllCooCodec::EllCooCodec(Index width) : w(width)
+{
+    fatalIf(width == 0, "ELL+COO width must be positive");
+}
+
+std::unique_ptr<EncodedTile>
+EllCooCodec::encode(const Tile &tile) const
+{
+    const Index p = tile.size();
+    const Index width = std::min(w, p);
+    auto encoded = std::make_unique<EllCooEncoded>(p, tile.nnz(), width);
+    for (Index r = 0; r < p; ++r) {
+        Index slot = 0;
+        for (Index c = 0; c < p; ++c) {
+            const Value v = tile(r, c);
+            if (v == Value(0))
+                continue;
+            if (slot < width) {
+                encoded->valueAt(r, slot) = v;
+                encoded->colAt(r, slot) = c;
+                ++slot;
+            } else {
+                encoded->overflowRows.push_back(r);
+                encoded->overflowCols.push_back(c);
+                encoded->overflowValues.push_back(v);
+            }
+        }
+    }
+    return encoded;
+}
+
+Tile
+EllCooCodec::decode(const EncodedTile &encoded) const
+{
+    const auto &hybrid = encodedAs<EllCooEncoded>(encoded,
+                                                  FormatKind::ELLCOO);
+    const Index p = hybrid.tileSize();
+    Tile tile(p);
+    for (Index r = 0; r < p; ++r) {
+        for (Index slot = 0; slot < hybrid.width(); ++slot) {
+            const Index col = hybrid.colAt(r, slot);
+            if (col == EllCooEncoded::padMarker)
+                break;
+            tile(r, col) = hybrid.valueAt(r, slot);
+        }
+    }
+    for (std::size_t i = 0; i < hybrid.overflowValues.size(); ++i) {
+        tile(hybrid.overflowRows[i], hybrid.overflowCols[i]) =
+            hybrid.overflowValues[i];
+    }
+    return tile;
+}
+
+} // namespace copernicus

@@ -1,0 +1,85 @@
+#include "formats/format_kind.hh"
+
+#include <string>
+
+#include "common/status.hh"
+
+namespace copernicus {
+
+std::string_view
+formatName(FormatKind kind)
+{
+    switch (kind) {
+      case FormatKind::Dense: return "DENSE";
+      case FormatKind::CSR: return "CSR";
+      case FormatKind::BCSR: return "BCSR";
+      case FormatKind::CSC: return "CSC";
+      case FormatKind::COO: return "COO";
+      case FormatKind::DOK: return "DOK";
+      case FormatKind::LIL: return "LIL";
+      case FormatKind::ELL: return "ELL";
+      case FormatKind::SELL: return "SELL";
+      case FormatKind::DIA: return "DIA";
+      case FormatKind::JDS: return "JDS";
+      case FormatKind::ELLCOO: return "ELLCOO";
+      case FormatKind::SELLCS: return "SELLCS";
+      case FormatKind::BITMAP: return "BITMAP";
+    }
+    panic("formatName: unknown FormatKind");
+}
+
+FormatKind
+parseFormatKind(std::string_view name)
+{
+    for (FormatKind kind : allFormats()) {
+        if (formatName(kind) == name)
+            return kind;
+    }
+    fatal("unknown format name '" + std::string(name) + "'");
+}
+
+const std::vector<FormatKind> &
+paperFormats()
+{
+    static const std::vector<FormatKind> kinds = {
+        FormatKind::Dense, FormatKind::CSR, FormatKind::BCSR,
+        FormatKind::CSC, FormatKind::LIL, FormatKind::ELL,
+        FormatKind::COO, FormatKind::DIA,
+    };
+    return kinds;
+}
+
+const std::vector<FormatKind> &
+sparseFormats()
+{
+    static const std::vector<FormatKind> kinds = {
+        FormatKind::CSR, FormatKind::BCSR, FormatKind::CSC,
+        FormatKind::LIL, FormatKind::ELL, FormatKind::COO,
+        FormatKind::DIA,
+    };
+    return kinds;
+}
+
+const std::vector<FormatKind> &
+extensionFormats()
+{
+    static const std::vector<FormatKind> kinds = {
+        FormatKind::DOK, FormatKind::SELL, FormatKind::JDS,
+        FormatKind::ELLCOO, FormatKind::SELLCS, FormatKind::BITMAP,
+    };
+    return kinds;
+}
+
+const std::vector<FormatKind> &
+allFormats()
+{
+    static const std::vector<FormatKind> kinds = [] {
+        std::vector<FormatKind> all = paperFormats();
+        const auto &ext = extensionFormats();
+        all.insert(all.end(), ext.begin(), ext.end());
+        return all;
+    }();
+    return kinds;
+}
+
+} // namespace copernicus

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Enumeration of the compression formats studied by Copernicus.
+ *
+ * The paper's seven formats (CSR, BCSR, CSC, COO, LIL, ELL, DIA) plus the
+ * dense baseline form the core set; DOK, SELL, JDS and ELL+COO are the
+ * variants Section 2 describes, implemented here as extensions.
+ */
+
+#ifndef COPERNICUS_FORMATS_FORMAT_KIND_HH
+#define COPERNICUS_FORMATS_FORMAT_KIND_HH
+
+#include <string_view>
+#include <vector>
+
+namespace copernicus {
+
+/** Identifier for one sparse compression format. */
+enum class FormatKind
+{
+    Dense, ///< uncompressed baseline
+    CSR,   ///< compressed sparse row
+    BCSR,  ///< block CSR with 4x4 blocks
+    CSC,   ///< compressed sparse column
+    COO,   ///< coordinate tuples
+    DOK,   ///< dictionary of keys (hash of coordinate tuples)
+    LIL,   ///< per-column lists pushed to the top (Fig. 1f)
+    ELL,   ///< Ellpack with explicit padding
+    SELL,  ///< sliced Ellpack (per-slice width)
+    DIA,   ///< non-zero diagonals with diagonal-number headers
+    JDS,   ///< jagged diagonal storage (row-sorted Ellpack)
+    ELLCOO, ///< ELL of fixed width + COO overflow
+    SELLCS, ///< SELL-C-sigma: SELL with windowed row sorting
+    BITMAP, ///< occupancy bitmap + dense value list (SparTen/SMASH)
+};
+
+/** Printable name of @p kind ("CSR", "BCSR", ...). */
+std::string_view formatName(FormatKind kind);
+
+/**
+ * Parse a format name (case-sensitive, as printed by formatName).
+ *
+ * Throws FatalError for unknown names.
+ */
+FormatKind parseFormatKind(std::string_view name);
+
+/**
+ * The eight formats characterized in the paper's figures:
+ * Dense, CSR, BCSR, CSC, COO, LIL, ELL, DIA, in the paper's plot order.
+ */
+const std::vector<FormatKind> &paperFormats();
+
+/** The seven sparse formats (paperFormats() without Dense). */
+const std::vector<FormatKind> &sparseFormats();
+
+/** Extension formats: DOK, SELL, JDS, ELLCOO, SELLCS, BITMAP. */
+const std::vector<FormatKind> &extensionFormats();
+
+/** All implemented formats (paper + extensions). */
+const std::vector<FormatKind> &allFormats();
+
+} // namespace copernicus
+
+#endif // COPERNICUS_FORMATS_FORMAT_KIND_HH

@@ -1,0 +1,69 @@
+#include "formats/jds_format.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace copernicus {
+
+std::unique_ptr<EncodedTile>
+JdsCodec::encode(const Tile &tile) const
+{
+    const Index p = tile.size();
+    auto encoded = std::make_unique<JdsEncoded>(p, tile.nnz());
+
+    // Sort rows by descending non-zero count; stable keeps ties in
+    // original order so the permutation is deterministic.
+    std::vector<Index> row_nnz(p);
+    for (Index r = 0; r < p; ++r)
+        row_nnz[r] = tile.rowNnz(r);
+    encoded->perm.resize(p);
+    std::iota(encoded->perm.begin(), encoded->perm.end(), Index(0));
+    std::stable_sort(encoded->perm.begin(), encoded->perm.end(),
+                     [&](Index a, Index b) {
+                         return row_nnz[a] > row_nnz[b];
+                     });
+
+    // Left-compacted column lists per row, in sorted order.
+    std::vector<std::vector<std::pair<Index, Value>>> compact(p);
+    for (Index k = 0; k < p; ++k) {
+        const Index r = encoded->perm[k];
+        for (Index c = 0; c < p; ++c) {
+            const Value v = tile(r, c);
+            if (v != Value(0))
+                compact[k].push_back({c, v});
+        }
+    }
+
+    const Index width = p == 0 ? 0 : row_nnz[encoded->perm[0]];
+    encoded->jdPtr.push_back(0);
+    for (Index j = 0; j < width; ++j) {
+        for (Index k = 0; k < p && compact[k].size() > j; ++k) {
+            encoded->colInx.push_back(compact[k][j].first);
+            encoded->values.push_back(compact[k][j].second);
+        }
+        encoded->jdPtr.push_back(
+            static_cast<Index>(encoded->values.size()));
+    }
+    return encoded;
+}
+
+Tile
+JdsCodec::decode(const EncodedTile &encoded) const
+{
+    const auto &jds = encodedAs<JdsEncoded>(encoded, FormatKind::JDS);
+    const Index p = jds.tileSize();
+    Tile tile(p);
+    const Index width = static_cast<Index>(jds.jdPtr.size()) - 1;
+    for (Index j = 0; j < width; ++j) {
+        const Index begin = jds.jdPtr[j];
+        const Index end = jds.jdPtr[j + 1];
+        // Diagonal j covers the first (end - begin) sorted rows.
+        for (Index i = begin; i < end; ++i) {
+            const Index row = jds.perm[i - begin];
+            tile(row, jds.colInx[i]) = jds.values[i];
+        }
+    }
+    return tile;
+}
+
+} // namespace copernicus

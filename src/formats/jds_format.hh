@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Jagged Diagonal Storage codec (Section 2's JDS variant).
+ *
+ * Rows are sorted by descending non-zero count (the permutation is kept),
+ * then stored as jagged diagonals: diagonal j holds the j-th non-zero of
+ * every row long enough to have one. No padding is stored; the jagged
+ * pointer array delimits the diagonals.
+ */
+
+#ifndef COPERNICUS_FORMATS_JDS_FORMAT_HH
+#define COPERNICUS_FORMATS_JDS_FORMAT_HH
+
+#include "formats/codec.hh"
+
+namespace copernicus {
+
+/** JDS-encoded tile. */
+class JdsEncoded : public EncodedTile
+{
+  public:
+    JdsEncoded(Index tileSize, Index nnz) : EncodedTile(tileSize, nnz) {}
+
+    FormatKind kind() const override { return FormatKind::JDS; }
+
+    std::vector<Bytes>
+    streams() const override
+    {
+        return {Bytes(values.size()) * valueBytes,
+                Bytes(colInx.size()) * indexBytes,
+                Bytes(perm.size() + jdPtr.size()) * indexBytes};
+    }
+
+    /** perm[k] = original row stored at sorted position k. */
+    std::vector<Index> perm;
+
+    /** Start of each jagged diagonal in values/colInx; length width+1. */
+    std::vector<Index> jdPtr;
+
+    /** Non-zero values, jagged-diagonal-major. */
+    std::vector<Value> values;
+
+    /** Column index of each value. */
+    std::vector<Index> colInx;
+};
+
+/** Codec for JDS. */
+class JdsCodec : public FormatCodec
+{
+  public:
+    FormatKind kind() const override { return FormatKind::JDS; }
+    std::unique_ptr<EncodedTile> encode(const Tile &tile) const override;
+    Tile decode(const EncodedTile &encoded) const override;
+};
+
+} // namespace copernicus
+
+#endif // COPERNICUS_FORMATS_JDS_FORMAT_HH

@@ -1,0 +1,43 @@
+#include "formats/lil_format.hh"
+
+namespace copernicus {
+
+std::unique_ptr<EncodedTile>
+LilCodec::encode(const Tile &tile) const
+{
+    const Index p = tile.size();
+    // Height is the longest column plus one all-sentinel terminator row.
+    const Index height = tile.maxColNnz() + 1;
+    auto encoded = std::make_unique<LilEncoded>(p, tile.nnz(), height);
+    for (Index c = 0; c < p; ++c) {
+        Index level = 0;
+        for (Index r = 0; r < p; ++r) {
+            const Value v = tile(r, c);
+            if (v != Value(0)) {
+                encoded->valueAt(level, c) = v;
+                encoded->rowAt(level, c) = r;
+                ++level;
+            }
+        }
+    }
+    return encoded;
+}
+
+Tile
+LilCodec::decode(const EncodedTile &encoded) const
+{
+    const auto &lil = encodedAs<LilEncoded>(encoded, FormatKind::LIL);
+    const Index p = lil.tileSize();
+    Tile tile(p);
+    for (Index c = 0; c < p; ++c) {
+        for (Index level = 0; level < lil.height(); ++level) {
+            const Index row = lil.rowAt(level, c);
+            if (row == LilEncoded::endMarker)
+                break;
+            tile(row, c) = lil.valueAt(level, c);
+        }
+    }
+    return tile;
+}
+
+} // namespace copernicus

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * FormatRegistry: owns one configured codec per format.
+ *
+ * Codec hyperparameters (BCSR block, ELL minimum width, SELL slice
+ * height, ELL+COO width) come from a FormatParams bundle whose defaults
+ * are the paper's choices; benches that ablate a parameter construct
+ * their own registry.
+ */
+
+#ifndef COPERNICUS_FORMATS_REGISTRY_HH
+#define COPERNICUS_FORMATS_REGISTRY_HH
+
+#include <memory>
+#include <vector>
+
+#include "formats/codec.hh"
+
+namespace copernicus {
+
+/** Codec hyperparameters; defaults match Sections 2 and 4.2. */
+struct FormatParams
+{
+    /** BCSR block edge length b. */
+    Index bcsrBlock = 4;
+
+    /** ELL compressed-width floor. */
+    Index ellMinWidth = 6;
+
+    /** SELL slice height C. */
+    Index sellSlice = 4;
+
+    /** ELL-part width of the ELL+COO hybrid. */
+    Index ellCooWidth = 2;
+
+    /** SELL-C-sigma sorting window (multiple of sellSlice). */
+    Index sellCsWindow = 8;
+};
+
+/** Owns one codec instance per FormatKind. */
+class FormatRegistry
+{
+  public:
+    /** Build all codecs with the given hyperparameters. */
+    explicit FormatRegistry(const FormatParams &params = FormatParams());
+
+    /** The codec for @p kind; every FormatKind is registered. */
+    const FormatCodec &codec(FormatKind kind) const;
+
+    /** Hyperparameters this registry was built with. */
+    const FormatParams &params() const { return _params; }
+
+  private:
+    FormatParams _params;
+    std::vector<std::unique_ptr<FormatCodec>> codecs;
+};
+
+/** Process-wide registry with default (paper) hyperparameters. */
+const FormatRegistry &defaultRegistry();
+
+/** Shorthand for defaultRegistry().codec(kind). */
+const FormatCodec &defaultCodec(FormatKind kind);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_FORMATS_REGISTRY_HH

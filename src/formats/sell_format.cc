@@ -1,0 +1,70 @@
+#include "formats/sell_format.hh"
+
+#include <algorithm>
+
+#include "common/status.hh"
+
+namespace copernicus {
+
+SellCodec::SellCodec(Index sliceHeight) : c(sliceHeight)
+{
+    fatalIf(sliceHeight == 0, "SELL slice height must be positive");
+}
+
+std::unique_ptr<EncodedTile>
+SellCodec::encode(const Tile &tile) const
+{
+    const Index p = tile.size();
+    fatalIf(p % c != 0, "SELL slice height must divide the tile size");
+    auto encoded = std::make_unique<SellEncoded>(p, tile.nnz(), c);
+    for (Index base = 0; base < p; base += c) {
+        SellSlice slice;
+        for (Index r = base; r < base + c; ++r)
+            slice.width = std::max(slice.width, tile.rowNnz(r));
+        slice.values.assign(static_cast<std::size_t>(c) * slice.width,
+                            Value(0));
+        slice.colInx.assign(static_cast<std::size_t>(c) * slice.width,
+                            SellEncoded::padMarker);
+        for (Index r = 0; r < c; ++r) {
+            Index slot = 0;
+            for (Index col = 0; col < p; ++col) {
+                const Value v = tile(base + r, col);
+                if (v != Value(0)) {
+                    const auto at = static_cast<std::size_t>(r) *
+                                    slice.width + slot;
+                    slice.values[at] = v;
+                    slice.colInx[at] = col;
+                    ++slot;
+                }
+            }
+        }
+        encoded->slices.push_back(std::move(slice));
+    }
+    return encoded;
+}
+
+Tile
+SellCodec::decode(const EncodedTile &encoded) const
+{
+    const auto &sell = encodedAs<SellEncoded>(encoded, FormatKind::SELL);
+    const Index p = sell.tileSize();
+    const Index c = sell.sliceHeight();
+    Tile tile(p);
+    for (std::size_t s = 0; s < sell.slices.size(); ++s) {
+        const auto &slice = sell.slices[s];
+        const Index base = static_cast<Index>(s) * c;
+        for (Index r = 0; r < c; ++r) {
+            for (Index slot = 0; slot < slice.width; ++slot) {
+                const auto at = static_cast<std::size_t>(r) * slice.width +
+                                slot;
+                const Index col = slice.colInx[at];
+                if (col == SellEncoded::padMarker)
+                    break;
+                tile(base + r, col) = slice.values[at];
+            }
+        }
+    }
+    return tile;
+}
+
+} // namespace copernicus

@@ -1,0 +1,97 @@
+#include "formats/sellcs_format.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/status.hh"
+
+namespace copernicus {
+
+SellCsCodec::SellCsCodec(Index sliceHeight, Index window)
+    : c(sliceHeight), sigma(window)
+{
+    fatalIf(sliceHeight == 0, "SELL-C-sigma slice height must be > 0");
+    fatalIf(window == 0 || window % sliceHeight != 0,
+            "SELL-C-sigma window must be a multiple of the slice "
+            "height");
+}
+
+std::unique_ptr<EncodedTile>
+SellCsCodec::encode(const Tile &tile) const
+{
+    const Index p = tile.size();
+    fatalIf(p % sigma != 0,
+            "SELL-C-sigma window must divide the tile size");
+    auto encoded = std::make_unique<SellCsEncoded>(p, tile.nnz(), c,
+                                                   sigma);
+
+    // Sort rows by descending length within each sigma window.
+    std::vector<Index> row_nnz(p);
+    for (Index r = 0; r < p; ++r)
+        row_nnz[r] = tile.rowNnz(r);
+    encoded->perm.resize(p);
+    std::iota(encoded->perm.begin(), encoded->perm.end(), Index(0));
+    for (Index base = 0; base < p; base += sigma) {
+        std::stable_sort(encoded->perm.begin() + base,
+                         encoded->perm.begin() + base + sigma,
+                         [&](Index a, Index b) {
+                             return row_nnz[a] > row_nnz[b];
+                         });
+    }
+
+    // Sliced ELL over the permuted row order.
+    for (Index base = 0; base < p; base += c) {
+        SellSlice slice;
+        for (Index k = base; k < base + c; ++k)
+            slice.width = std::max(slice.width,
+                                   row_nnz[encoded->perm[k]]);
+        slice.values.assign(static_cast<std::size_t>(c) * slice.width,
+                            Value(0));
+        slice.colInx.assign(static_cast<std::size_t>(c) * slice.width,
+                            SellCsEncoded::padMarker);
+        for (Index k = 0; k < c; ++k) {
+            const Index row = encoded->perm[base + k];
+            Index slot = 0;
+            for (Index col = 0; col < p; ++col) {
+                const Value v = tile(row, col);
+                if (v != Value(0)) {
+                    const auto at = static_cast<std::size_t>(k) *
+                                    slice.width + slot;
+                    slice.values[at] = v;
+                    slice.colInx[at] = col;
+                    ++slot;
+                }
+            }
+        }
+        encoded->slices.push_back(std::move(slice));
+    }
+    return encoded;
+}
+
+Tile
+SellCsCodec::decode(const EncodedTile &encoded) const
+{
+    const auto &scs = encodedAs<SellCsEncoded>(encoded,
+                                               FormatKind::SELLCS);
+    const Index p = scs.tileSize();
+    const Index height = scs.sliceHeight();
+    Tile tile(p);
+    for (std::size_t s = 0; s < scs.slices.size(); ++s) {
+        const auto &slice = scs.slices[s];
+        const Index base = static_cast<Index>(s) * height;
+        for (Index k = 0; k < height; ++k) {
+            const Index row = scs.perm[base + k];
+            for (Index slot = 0; slot < slice.width; ++slot) {
+                const auto at = static_cast<std::size_t>(k) *
+                                slice.width + slot;
+                const Index col = slice.colInx[at];
+                if (col == SellCsEncoded::padMarker)
+                    break;
+                tile(row, col) = slice.values[at];
+            }
+        }
+    }
+    return tile;
+}
+
+} // namespace copernicus

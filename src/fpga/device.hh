@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Capacity of the paper's target device (Zynq-7000 xc7z020) as reported
+ * in Table 2's Total row, used to express resource utilization as
+ * percentages.
+ */
+
+#ifndef COPERNICUS_FPGA_DEVICE_HH
+#define COPERNICUS_FPGA_DEVICE_HH
+
+namespace copernicus {
+
+/** xc7z020 capacity (Table 2, Total row). */
+struct DeviceCapacity
+{
+    double bram18k = 140.0;
+    double ffK = 106.4;
+    double lutK = 53.2;
+};
+
+} // namespace copernicus
+
+#endif // COPERNICUS_FPGA_DEVICE_HH

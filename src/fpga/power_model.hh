@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Power model (Table 2's dynamic power column, Figure 13's breakdown,
+ * and Section 6.4's static power).
+ *
+ * Like the resource model, the total dynamic power at the paper's 24
+ * design points is calibration data (Table 2); the logic/BRAM/signal
+ * breakdown of Figure 13 is reconstructed from structural shares —
+ * logic power scales with LUTs, BRAM power with banks and access
+ * intensity, signal power with FFs plus routed LUT outputs — normalized
+ * so the three components sum to the calibrated total. Static power is
+ * the per-format constant Section 6.4 reports.
+ */
+
+#ifndef COPERNICUS_FPGA_POWER_MODEL_HH
+#define COPERNICUS_FPGA_POWER_MODEL_HH
+
+#include <optional>
+
+#include "fpga/resource_model.hh"
+
+namespace copernicus {
+
+/** Dynamic-power breakdown plus static power, watts. */
+struct PowerEstimate
+{
+    double logicW = 0;
+    double bramW = 0;
+    double signalsW = 0;
+    double staticW = 0;
+
+    /** Total dynamic power. */
+    double dynamicW() const { return logicW + bramW + signalsW; }
+
+    /** Total power. */
+    double totalW() const { return dynamicW() + staticW; }
+};
+
+/**
+ * Table 2's total dynamic power for a paper design point, if measured.
+ */
+std::optional<double> paperDynamicPower(FormatKind kind, Index p);
+
+/**
+ * Static power per Section 6.4: 0.121 W for dense/CSR/BCSR/LIL/ELL
+ * (and their extensions), 0.103 W for CSC/COO/DIA (and DOK).
+ */
+double paperStaticPower(FormatKind kind);
+
+/**
+ * Full power estimate for a design point.
+ *
+ * @param kind Format.
+ * @param p Partition size.
+ * @return Breakdown normalized to the calibrated total where one
+ *         exists, anchored structural estimate otherwise.
+ */
+PowerEstimate estimatePower(FormatKind kind, Index p);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_FPGA_POWER_MODEL_HH

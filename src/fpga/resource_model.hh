@@ -1,0 +1,75 @@
+/**
+ * @file
+ * FPGA resource model (Table 2).
+ *
+ * Copernicus cannot run Vivado synthesis, so the model has two layers:
+ *
+ *  1. A calibration table holding the paper's measured BRAM_18K/FF/LUT
+ *     numbers for the eight paper formats at partition sizes 8/16/32
+ *     (Table 2) — the authoritative values for those points.
+ *  2. A structural estimator used for everything else (the extension
+ *     formats and unmeasured partition sizes): BRAM banks follow from
+ *     worst-case buffer bits and array_partition factors; FF/LUT scale
+ *     with pipeline depth, unroll width and dot-engine width. Structural
+ *     estimates are anchored to the nearest calibrated point so the two
+ *     layers agree where they meet.
+ */
+
+#ifndef COPERNICUS_FPGA_RESOURCE_MODEL_HH
+#define COPERNICUS_FPGA_RESOURCE_MODEL_HH
+
+#include <optional>
+
+#include "fpga/device.hh"
+#include "formats/format_kind.hh"
+#include "common/types.hh"
+
+namespace copernicus {
+
+/** Estimated or measured resource usage of one design point. */
+struct ResourceEstimate
+{
+    /** 18Kbit BRAM blocks. */
+    double bram18k = 0;
+
+    /** Flip-flops, thousands. */
+    double ffK = 0;
+
+    /** Look-up tables, thousands. */
+    double lutK = 0;
+
+    /** True when taken verbatim from the paper's Table 2. */
+    bool calibrated = false;
+};
+
+/**
+ * Table 2 calibration point, if the paper measured this design.
+ *
+ * @param kind Paper format.
+ * @param p Partition size 8, 16 or 32.
+ */
+std::optional<ResourceEstimate> paperCalibration(FormatKind kind, Index p);
+
+/**
+ * Resource estimate for any implemented format and partition size.
+ * Returns the calibration point when one exists, the anchored
+ * structural estimate otherwise.
+ */
+ResourceEstimate estimateResources(FormatKind kind, Index p);
+
+/** Utilization percentages against the device capacity. */
+struct ResourceUtilization
+{
+    double bramPct = 0;
+    double ffPct = 0;
+    double lutPct = 0;
+};
+
+/** Express @p est as a percentage of @p device. */
+ResourceUtilization utilization(const ResourceEstimate &est,
+                                const DeviceCapacity &device =
+                                    DeviceCapacity());
+
+} // namespace copernicus
+
+#endif // COPERNICUS_FPGA_RESOURCE_MODEL_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * DDR3 timing model.
+ *
+ * The paper's platform streams from a DDR3 part; the default AXI model
+ * charges a flat burst-setup cost per partition, which is accurate for
+ * long sequential bursts. This model refines that with first-order
+ * DDR3 timing — row activations (tRCD), CAS latency (tCL), precharge
+ * (tRP) and the double-data-rate transfer itself — so the ablation
+ * bench can show when the flat model is (and is not) a safe
+ * simplification.
+ */
+
+#ifndef COPERNICUS_HLS_DRAM_HH
+#define COPERNICUS_HLS_DRAM_HH
+
+#include "common/types.hh"
+
+namespace copernicus {
+
+/** First-order DDR3 channel parameters (defaults ~ DDR3-1600 CL11). */
+struct DramConfig
+{
+    /** Memory bus clock, MHz (DDR3-1600 I/O clock = 800). */
+    double busClockMhz = 800.0;
+
+    /** Channel width in bytes (64-bit). */
+    Bytes busBytes = 8;
+
+    /** Activate-to-read delay, memory cycles. */
+    Cycles tRcd = 11;
+
+    /** CAS (read) latency, memory cycles. */
+    Cycles tCl = 11;
+
+    /** Precharge latency, memory cycles. */
+    Cycles tRp = 11;
+
+    /** Row-buffer (page) size, bytes. */
+    Bytes rowBytes = 8192;
+
+    /** Bytes moved per memory cycle (double data rate). */
+    Bytes
+    bytesPerCycle() const
+    {
+        return busBytes * 2;
+    }
+};
+
+/**
+ * FPGA cycles to stream @p bytes sequentially from DDR3.
+ *
+ * The transfer opens ceil(bytes/rowBytes) rows; the first pays
+ * tRCD + tCL, subsequent rows add tRP + tRCD (precharge + activate,
+ * with CAS pipelined behind the data), and the data itself moves at
+ * the double data rate. Memory cycles convert to FPGA cycles by the
+ * clock ratio.
+ *
+ * @param bytes Bytes to move; 0 costs nothing.
+ * @param dram Channel parameters.
+ * @param fpgaClockMhz The consuming fabric's clock.
+ */
+Cycles dramServiceCycles(Bytes bytes, const DramConfig &dram,
+                         double fpgaClockMhz);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_HLS_DRAM_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * HLS loop-schedule arithmetic.
+ *
+ * These helpers encode the two scheduling rules every cycle walker in
+ * decompressor.cc uses: a loop under `#pragma HLS pipeline` with
+ * initiation interval II completes `depth + II*(trips-1)` cycles after
+ * it starts, and a loop under `#pragma HLS unroll` whose iterations hit
+ * distinct BRAM banks collapses to a single iteration's depth.
+ */
+
+#ifndef COPERNICUS_HLS_SCHEDULE_HH
+#define COPERNICUS_HLS_SCHEDULE_HH
+
+#include "common/types.hh"
+
+namespace copernicus {
+
+/**
+ * Cycles for a pipelined loop.
+ *
+ * @param trips Trip count; zero trips cost nothing.
+ * @param depth Pipeline depth of one iteration.
+ * @param ii Initiation interval (cycles between iteration starts).
+ */
+constexpr Cycles
+pipelinedLoop(Cycles trips, Cycles depth, Cycles ii = 1)
+{
+    return trips == 0 ? 0 : depth + ii * (trips - 1);
+}
+
+/**
+ * Cycles for a fully unrolled loop over partitioned BRAM banks: all
+ * iterations issue together, so the loop costs one iteration's depth.
+ */
+constexpr Cycles
+unrolledLoop(Cycles trips, Cycles depth)
+{
+    return trips == 0 ? 0 : depth;
+}
+
+} // namespace copernicus
+
+#endif // COPERNICUS_HLS_SCHEDULE_HH

@@ -1,0 +1,148 @@
+#include "hlsc/decoder_bodies.hh"
+
+#include "common/math.hh"
+
+namespace copernicus {
+
+std::string_view
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::BramLoad: return "bram_load";
+      case OpKind::BramStore: return "bram_store";
+      case OpKind::IndexArith: return "index_arith";
+      case OpKind::Add: return "add";
+      case OpKind::Mul: return "mul";
+      case OpKind::Compare: return "compare";
+      case OpKind::Select: return "select";
+      case OpKind::HashProbe: return "hash_probe";
+    }
+    return "unknown";
+}
+
+LoopBody
+cooLoopBody()
+{
+    LoopBody body;
+    body.name = "coo_tuple";
+    const auto tuple = body.add(OpKind::BramLoad, {}, 0);
+    const auto addr = body.add(OpKind::IndexArith, {tuple});
+    body.add(OpKind::BramStore, {addr}, 1);
+    return body;
+}
+
+LoopBody
+csrInnerLoopBody()
+{
+    LoopBody body;
+    body.name = "csr_entry";
+    const auto col = body.add(OpKind::BramLoad, {}, 0);
+    const auto val = body.add(OpKind::BramLoad, {}, 1);
+    const auto addr = body.add(OpKind::IndexArith, {col});
+    body.add(OpKind::BramStore, {addr, val}, 2);
+    return body;
+}
+
+LoopBody
+cscScanLoopBody()
+{
+    LoopBody body;
+    body.name = "csc_scan";
+    const auto row = body.add(OpKind::BramLoad, {}, 0);
+    const auto hit = body.add(OpKind::Compare, {row});
+    body.add(OpKind::BramStore, {hit}, 1);
+    return body;
+}
+
+LoopBody
+bcsrBlockBody(Index blockSize)
+{
+    LoopBody body;
+    body.name = "bcsr_block";
+    const auto col0 = body.add(OpKind::BramLoad, {}, 0);
+    const auto base = body.add(OpKind::IndexArith, {col0});
+    // b*b element copies, each on its own partitioned bank.
+    for (Index j = 0; j < blockSize * blockSize; ++j) {
+        const auto val = body.add(OpKind::BramLoad, {}, 1 + j);
+        body.add(OpKind::BramStore, {base, val},
+                 1 + blockSize * blockSize + j);
+    }
+    return body;
+}
+
+LoopBody
+ellRowBody(Index width)
+{
+    LoopBody body;
+    body.name = "ell_row";
+    for (Index j = 0; j < width; ++j) {
+        const auto col = body.add(OpKind::BramLoad, {}, 2 * j);
+        const auto val = body.add(OpKind::BramLoad, {}, 2 * j + 1);
+        const auto addr = body.add(OpKind::IndexArith, {col});
+        // drow is itself partitioned for the wide dot engine, so each
+        // lane's scatter lands in its own bank.
+        body.add(OpKind::BramStore, {addr, val}, 2 * width + j);
+    }
+    return body;
+}
+
+LoopBody
+lilMergeBody(Index p)
+{
+    LoopBody body;
+    body.name = "lil_merge";
+    // Parallel head loads across the p partitioned column lists.
+    std::vector<std::size_t> heads;
+    for (Index c = 0; c < p; ++c)
+        heads.push_back(body.add(OpKind::BramLoad, {}, c));
+    // Comparator tree of depth log2(p).
+    std::vector<std::size_t> level = heads;
+    while (level.size() > 1) {
+        std::vector<std::size_t> next;
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(body.add(OpKind::Compare,
+                                    {level[i], level[i + 1]}));
+        if (level.size() % 2 != 0)
+            next.push_back(level.back());
+        level = std::move(next);
+    }
+    const auto winner = body.add(OpKind::Select, {level.front()});
+    body.add(OpKind::BramStore, {winner}, p);
+    // The winning column's cursor advances before the next merge step
+    // can compare heads again: compare + select = 2 cycles carried to
+    // the next iteration.
+    body.carried.push_back({2, 1});
+    return body;
+}
+
+LoopBody
+dokLoopBody()
+{
+    LoopBody body;
+    body.name = "dok_tuple";
+    const auto probe = body.add(OpKind::HashProbe, {}, 0);
+    const auto addr = body.add(OpKind::IndexArith, {probe});
+    body.add(OpKind::BramStore, {addr}, 1);
+    // The collision-chain cursor for the next tuple resolves only
+    // after the current probe completes.
+    body.carried.push_back({2, 1});
+    return body;
+}
+
+LoopBody
+diaRowScanBody()
+{
+    LoopBody body;
+    body.name = "dia_scan";
+    // Two diagonal headers per iteration through the dual-ported
+    // buffer.
+    const auto d0 = body.add(OpKind::BramLoad, {}, 0);
+    const auto d1 = body.add(OpKind::BramLoad, {}, 0);
+    const auto on0 = body.add(OpKind::Compare, {d0});
+    const auto on1 = body.add(OpKind::Compare, {d1});
+    body.add(OpKind::BramStore, {on0}, 1);
+    body.add(OpKind::BramStore, {on1}, 1);
+    return body;
+}
+
+} // namespace copernicus

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The decompressor inner loops of Listings 1-7 expressed as hlsc loop
+ * bodies, so their pipeline depth and initiation interval can be
+ * *derived* by the scheduler instead of asserted. The analytic model's
+ * constants (HlsConfig::loopDepth, the LIL II of 2, the DOK hash II)
+ * are validated against these schedules by the test suite.
+ */
+
+#ifndef COPERNICUS_HLSC_DECODER_BODIES_HH
+#define COPERNICUS_HLSC_DECODER_BODIES_HH
+
+#include "hlsc/ir.hh"
+
+namespace copernicus {
+
+/**
+ * COO (Listing 6): load the tuple, compute the destination address,
+ * scatter into the dense row buffer.
+ */
+LoopBody cooLoopBody();
+
+/**
+ * CSR entry loop (Listing 1): parallel loads of colInx and values
+ * (separate arrays, separate banks), address arithmetic, scatter.
+ */
+LoopBody csrInnerLoopBody();
+
+/**
+ * CSC scan (Listing 3): load rowInx, compare against the wanted row,
+ * conditionally scatter the value.
+ */
+LoopBody cscScanLoopBody();
+
+/**
+ * BCSR block copy (Listing 2): the b*b element copy fully unrolled
+ * over partitioned banks.
+ *
+ * @param blockSize Block edge length b.
+ */
+LoopBody bcsrBlockBody(Index blockSize);
+
+/**
+ * ELL row sweep (Listing 5): the width-wide copy unrolled over
+ * partitioned banks.
+ *
+ * @param width Compressed row width.
+ */
+LoopBody ellRowBody(Index width);
+
+/**
+ * LIL merge step (Listing 4): parallel head loads, a comparator tree
+ * finding the minimum pending row index, select + scatter. The row
+ * cursor of the winning column feeds the next iteration's scan — a
+ * loop-carried dependency that bounds the II.
+ *
+ * @param p Partition size (number of column lists).
+ */
+LoopBody lilMergeBody(Index p);
+
+/**
+ * DOK tuple walk: hash-probe the table (bucket header then entry on
+ * the same bank), then scatter; the collision-chain cursor carried to
+ * the next iteration bounds the II.
+ */
+LoopBody dokLoopBody();
+
+/**
+ * DIA row scan (Listing 7): two diagonal headers checked per cycle
+ * through the dual-ported diagonal buffer.
+ */
+LoopBody diaRowScanBody();
+
+} // namespace copernicus
+
+#endif // COPERNICUS_HLSC_DECODER_BODIES_HH

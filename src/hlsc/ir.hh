@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tiny HLS intermediate representation.
+ *
+ * The paper's decompressors are C++ loops pushed through Vivado HLS;
+ * the cycle constants in hls/hls_config.hh (loop depth 4, II 1, hash
+ * II 2) are properties of the schedules that tool would produce. This
+ * module makes that derivation explicit: a decompressor's loop body is
+ * a small dependency DAG of primitive operations, and hlsc/schedule
+ * computes its pipeline depth and initiation interval under the
+ * platform's resource constraints. The test suite checks that the
+ * derived numbers equal the constants the analytic model uses — the
+ * constants are scheduled, not guessed.
+ */
+
+#ifndef COPERNICUS_HLSC_IR_HH
+#define COPERNICUS_HLSC_IR_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace copernicus {
+
+/** Primitive operation kinds the decompressor bodies use. */
+enum class OpKind
+{
+    BramLoad,   ///< read one element from a BRAM bank
+    BramStore,  ///< write one element to a BRAM bank
+    IndexArith, ///< address/index computation (LUT logic)
+    Add,        ///< integer/float add
+    Mul,        ///< multiply
+    Compare,    ///< comparison
+    Select,     ///< mux/select
+    HashProbe,  ///< hash-table bucket probe (DOK)
+};
+
+/** Printable op-kind name. */
+std::string_view opKindName(OpKind kind);
+
+/** One operation in a loop body. */
+struct Op
+{
+    OpKind kind = OpKind::IndexArith;
+
+    /** Indices of ops (within the body) this op consumes. */
+    std::vector<std::size_t> deps;
+
+    /** BRAM bank this op touches (Load/Store/HashProbe only). */
+    Index bank = 0;
+};
+
+/**
+ * A loop-carried dependency: the chain producing `delay` cycles of
+ * latency must complete before the iteration `distance` later can
+ * consume it, constraining the initiation interval to
+ * ceil(delay / distance).
+ */
+struct CarriedDep
+{
+    Cycles delay = 0;
+    Cycles distance = 1;
+};
+
+/** One pipelined loop body. */
+struct LoopBody
+{
+    std::string name;
+    std::vector<Op> ops;
+    std::vector<CarriedDep> carried;
+
+    /** Append an op, returning its index for later deps. */
+    std::size_t
+    add(OpKind kind, std::vector<std::size_t> deps = {}, Index bank = 0)
+    {
+        ops.push_back({kind, std::move(deps), bank});
+        return ops.size() - 1;
+    }
+};
+
+} // namespace copernicus
+
+#endif // COPERNICUS_HLSC_IR_HH

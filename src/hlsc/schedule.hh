@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Resource-constrained list scheduling and initiation-interval
+ * derivation for hlsc loop bodies.
+ */
+
+#ifndef COPERNICUS_HLSC_SCHEDULE_HH
+#define COPERNICUS_HLSC_SCHEDULE_HH
+
+#include <vector>
+
+#include "hlsc/ir.hh"
+
+namespace copernicus {
+
+/** Operation latencies and per-cycle resource capacities. */
+struct HlscConstraints
+{
+    /** Latency of each op kind, cycles. */
+    Cycles bramLoadLatency = 2;
+    Cycles bramStoreLatency = 1;
+    Cycles indexArithLatency = 1;
+    Cycles addLatency = 1;
+    Cycles mulLatency = 1;
+    Cycles compareLatency = 1;
+    Cycles selectLatency = 1;
+    Cycles hashProbeLatency = 2;
+
+    /** Ports per BRAM bank (7-series true dual port). */
+    Index bramPortsPerBank = 2;
+
+    /** Latency of @p kind. */
+    Cycles latency(OpKind kind) const;
+};
+
+/** Result of scheduling one loop body. */
+struct BodySchedule
+{
+    /** Start cycle of each op. */
+    std::vector<Cycles> start;
+
+    /**
+     * Pipeline depth: the cycle at which the last op's result is
+     * available (max over ops of start + latency).
+     */
+    Cycles depth = 0;
+
+    /** Derived initiation interval. */
+    Cycles ii = 1;
+
+    /**
+     * Cycles for `trips` pipelined iterations of this body:
+     * depth + ii * (trips - 1); zero trips cost nothing.
+     */
+    Cycles
+    pipelinedCycles(Cycles trips) const
+    {
+        return trips == 0 ? 0 : depth + ii * (trips - 1);
+    }
+};
+
+/**
+ * ASAP list scheduling with per-cycle BRAM-port limits.
+ *
+ * Ops issue at the earliest cycle where all dependencies have
+ * completed and a port is free on their bank. The initiation interval
+ * is the maximum of the resource constraint (port uses per bank over
+ * ports available) and the recurrence constraint
+ * (ceil(delay/distance) over the carried dependencies).
+ *
+ * @param body The loop body; its dep indices must point backwards.
+ * @param constraints Latencies and port counts.
+ */
+BodySchedule scheduleBody(const LoopBody &body,
+                          const HlscConstraints &constraints =
+                              HlscConstraints());
+
+} // namespace copernicus
+
+#endif // COPERNICUS_HLSC_SCHEDULE_HH

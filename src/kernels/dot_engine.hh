@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Reference model of the fine-grained-parallel dot-product engine
+ * (Figure 2, stage 3): a width-p multiplier array feeding a balanced
+ * adder tree.
+ *
+ * The summation order matters for float reproducibility, so the software
+ * reference reduces pairwise exactly like the tree would; the HLS cycle
+ * model in src/hls prices the same structure in time.
+ */
+
+#ifndef COPERNICUS_KERNELS_DOT_ENGINE_HH
+#define COPERNICUS_KERNELS_DOT_ENGINE_HH
+
+#include <span>
+
+#include "common/types.hh"
+
+namespace copernicus {
+
+/**
+ * Dot product of two equal-length spans via a balanced pairwise tree,
+ * matching the hardware adder-tree summation order.
+ */
+Value treeDot(std::span<const Value> a, std::span<const Value> b);
+
+/** Pairwise tree reduction of @p terms (helper for treeDot and tests). */
+Value treeSum(std::span<const Value> terms);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_KERNELS_DOT_ENGINE_HH

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Sparse x sparse matrix multiplication (Gustavson's row-wise
+ * algorithm), the second ML kernel of Section 3.3 beside SpMV/SpMM.
+ */
+
+#ifndef COPERNICUS_KERNELS_SPGEMM_HH
+#define COPERNICUS_KERNELS_SPGEMM_HH
+
+#include "matrix/csr_matrix.hh"
+#include "matrix/triplet_matrix.hh"
+
+namespace copernicus {
+
+/**
+ * C = A * B for sparse A and B.
+ *
+ * @param a Left operand.
+ * @param b Right operand; b.rows() must equal a.cols().
+ * @return Finalized sparse product (exact zeros produced by
+ *         cancellation are dropped).
+ */
+TripletMatrix spgemm(const CsrMatrix &a, const CsrMatrix &b);
+
+/** Convenience overload building the CSR operands internally. */
+TripletMatrix spgemm(const TripletMatrix &a, const TripletMatrix &b);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_KERNELS_SPGEMM_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * CscMatrix: full-matrix compressed-sparse-column storage, the
+ * column-oriented sibling of CsrMatrix, with direct (no densification)
+ * conversions between the two.
+ */
+
+#ifndef COPERNICUS_MATRIX_CSC_MATRIX_HH
+#define COPERNICUS_MATRIX_CSC_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/csr_matrix.hh"
+#include "matrix/triplet_matrix.hh"
+
+namespace copernicus {
+
+/** Full-matrix CSC representation. */
+class CscMatrix
+{
+  public:
+    /** Build from a finalized triplet matrix. */
+    explicit CscMatrix(const TripletMatrix &matrix);
+
+    /** Direct conversion from CSR (counting sort by column). */
+    explicit CscMatrix(const CsrMatrix &csr);
+
+    Index rows() const { return _rows; }
+    Index cols() const { return _cols; }
+    std::size_t nnz() const { return vals.size(); }
+
+    /** Column pointer array of length cols()+1. */
+    const std::vector<std::size_t> &colPtr() const { return ptr; }
+
+    /** Row indices, column-major. */
+    const std::vector<Index> &rowIndices() const { return inds; }
+
+    /** Non-zero values, column-major. */
+    const std::vector<Value> &values() const { return vals; }
+
+    /** y = A * x (column-major accumulation). */
+    std::vector<Value> multiply(const std::vector<Value> &x) const;
+
+    /** Back to a finalized triplet matrix. */
+    TripletMatrix toTriplets() const;
+
+  private:
+    void buildFromSortedColumns(Index rows, Index cols,
+                                const std::vector<Index> &row_inds,
+                                const std::vector<Index> &col_inds,
+                                const std::vector<Value> &values);
+
+    Index _rows;
+    Index _cols;
+    std::vector<std::size_t> ptr;
+    std::vector<Index> inds;
+    std::vector<Value> vals;
+};
+
+/** Direct CSC -> CSR conversion (counting sort by row). */
+CsrMatrix toCsr(const CscMatrix &csc);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_MATRIX_CSC_MATRIX_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * CsrMatrix: full-matrix compressed-sparse-row storage.
+ *
+ * This is the software-side workhorse used by the solver substrate
+ * (conjugate gradient, PageRank) for whole-matrix SpMV. It is distinct
+ * from the tile-level CSR codec in src/formats, which models the
+ * hardware's per-partition compression.
+ */
+
+#ifndef COPERNICUS_MATRIX_CSR_MATRIX_HH
+#define COPERNICUS_MATRIX_CSR_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+#include "matrix/triplet_matrix.hh"
+
+namespace copernicus {
+
+/** Full-matrix CSR representation. */
+class CsrMatrix
+{
+  public:
+    /** Build from a finalized triplet matrix. */
+    explicit CsrMatrix(const TripletMatrix &matrix);
+
+    Index rows() const { return _rows; }
+    Index cols() const { return _cols; }
+    std::size_t nnz() const { return vals.size(); }
+
+    /** Row pointer array of length rows()+1. */
+    const std::vector<std::size_t> &rowPtr() const { return ptr; }
+
+    /** Column indices, row-major. */
+    const std::vector<Index> &colIndices() const { return inds; }
+
+    /** Non-zero values, row-major. */
+    const std::vector<Value> &values() const { return vals; }
+
+    /**
+     * y = A * x.
+     *
+     * @param x Input vector of length cols().
+     * @return Output vector of length rows().
+     */
+    std::vector<Value> multiply(const std::vector<Value> &x) const;
+
+    /** y = A^T * x without materializing the transpose. */
+    std::vector<Value>
+    multiplyTransposed(const std::vector<Value> &x) const;
+
+  private:
+    Index _rows;
+    Index _cols;
+    std::vector<std::size_t> ptr;
+    std::vector<Index> inds;
+    std::vector<Value> vals;
+};
+
+} // namespace copernicus
+
+#endif // COPERNICUS_MATRIX_CSR_MATRIX_HH

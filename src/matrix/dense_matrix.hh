@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Row-major dense matrix, the reference representation for tests and the
+ * baseline "format" of the characterization.
+ */
+
+#ifndef COPERNICUS_MATRIX_DENSE_MATRIX_HH
+#define COPERNICUS_MATRIX_DENSE_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace copernicus {
+
+/** Row-major dense matrix of Value. */
+class DenseMatrix
+{
+  public:
+    /** Construct a zero-filled rows x cols matrix. */
+    DenseMatrix(Index rows, Index cols);
+
+    Index rows() const { return _rows; }
+    Index cols() const { return _cols; }
+
+    /** Mutable element access (row, col), bounds-checked. */
+    Value &operator()(Index row, Index col);
+
+    /** Const element access (row, col), bounds-checked. */
+    Value operator()(Index row, Index col) const;
+
+    /** Number of non-zero elements. */
+    std::size_t nnz() const;
+
+    /** True iff every element of @p row is zero. */
+    bool rowIsZero(Index row) const;
+
+    /** Number of non-zero elements in @p row. */
+    Index rowNnz(Index row) const;
+
+    /** Raw row-major storage. */
+    const std::vector<Value> &data() const { return store; }
+
+    friend bool operator==(const DenseMatrix &a, const DenseMatrix &b);
+
+  private:
+    Index _rows;
+    Index _cols;
+    std::vector<Value> store;
+};
+
+} // namespace copernicus
+
+#endif // COPERNICUS_MATRIX_DENSE_MATRIX_HH

@@ -1,0 +1,126 @@
+#include "matrix/mm_io.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/status.hh"
+
+namespace copernicus {
+
+namespace {
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+/** Skip comment lines (starting with '%') and blank lines. */
+bool
+nextDataLine(std::istream &in, std::string &line)
+{
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (line[0] == '%')
+            continue;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+TripletMatrix
+readMatrixMarket(std::istream &in)
+{
+    std::string banner;
+    fatalIf(!std::getline(in, banner),
+            "MatrixMarket: empty input stream");
+    std::istringstream head(banner);
+    std::string magic, object, layout, field, symmetry;
+    head >> magic >> object >> layout >> field >> symmetry;
+    fatalIf(magic != "%%MatrixMarket",
+            "MatrixMarket: missing %%MatrixMarket banner");
+    fatalIf(toLower(object) != "matrix",
+            "MatrixMarket: unsupported object '" + object + "'");
+    fatalIf(toLower(layout) != "coordinate",
+            "MatrixMarket: unsupported layout '" + layout +
+            "' (only coordinate is supported)");
+
+    field = toLower(field);
+    symmetry = toLower(symmetry);
+    const bool pattern = field == "pattern";
+    fatalIf(field != "real" && field != "integer" && !pattern,
+            "MatrixMarket: unsupported field '" + field + "'");
+    const bool symmetric = symmetry == "symmetric";
+    const bool skew = symmetry == "skew-symmetric";
+    fatalIf(symmetry != "general" && !symmetric && !skew,
+            "MatrixMarket: unsupported symmetry '" + symmetry + "'");
+
+    std::string line;
+    fatalIf(!nextDataLine(in, line),
+            "MatrixMarket: missing size line");
+    std::istringstream size_line(line);
+    std::uint64_t rows = 0, cols = 0, count = 0;
+    size_line >> rows >> cols >> count;
+    fatalIf(size_line.fail() || rows == 0 || cols == 0,
+            "MatrixMarket: malformed size line '" + line + "'");
+
+    TripletMatrix matrix(static_cast<Index>(rows),
+                         static_cast<Index>(cols));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        fatalIf(!nextDataLine(in, line),
+                "MatrixMarket: fewer entries than declared");
+        std::istringstream entry(line);
+        std::uint64_t r = 0, c = 0;
+        double v = 1.0;
+        entry >> r >> c;
+        if (!pattern)
+            entry >> v;
+        fatalIf(entry.fail() || r == 0 || c == 0 || r > rows || c > cols,
+                "MatrixMarket: malformed entry '" + line + "'");
+        const Index row = static_cast<Index>(r - 1);
+        const Index col = static_cast<Index>(c - 1);
+        matrix.add(row, col, static_cast<Value>(v));
+        if ((symmetric || skew) && row != col)
+            matrix.add(col, row, static_cast<Value>(skew ? -v : v));
+    }
+    matrix.finalize();
+    return matrix;
+}
+
+TripletMatrix
+readMatrixMarketFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "MatrixMarket: cannot open '" + path + "'");
+    return readMatrixMarket(in);
+}
+
+void
+writeMatrixMarket(std::ostream &out, const TripletMatrix &matrix)
+{
+    panicIf(!matrix.finalized(),
+            "writeMatrixMarket requires a finalized matrix");
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << "% written by Copernicus\n";
+    out << matrix.rows() << ' ' << matrix.cols() << ' ' << matrix.nnz()
+        << '\n';
+    for (const auto &t : matrix.triplets())
+        out << (t.row + 1) << ' ' << (t.col + 1) << ' ' << t.value << '\n';
+}
+
+void
+writeMatrixMarketFile(const std::string &path, const TripletMatrix &matrix)
+{
+    std::ofstream out(path);
+    fatalIf(!out, "MatrixMarket: cannot open '" + path + "' for writing");
+    writeMatrixMarket(out, matrix);
+}
+
+} // namespace copernicus

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * MatrixMarket coordinate-format reader/writer.
+ *
+ * SuiteSparse distributes its collection as MatrixMarket (.mtx) files;
+ * Copernicus ships surrogate generators for the Table-1 matrices but this
+ * reader lets users drop in the real files. Supported: `matrix coordinate`
+ * with field real/integer/pattern and symmetry general/symmetric/
+ * skew-symmetric. Array (dense) and complex files are rejected with a
+ * FatalError naming the unsupported feature.
+ */
+
+#ifndef COPERNICUS_MATRIX_MM_IO_HH
+#define COPERNICUS_MATRIX_MM_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/triplet_matrix.hh"
+
+namespace copernicus {
+
+/**
+ * Parse a MatrixMarket coordinate stream into a finalized TripletMatrix.
+ *
+ * Symmetric and skew-symmetric files are expanded to general form.
+ * Pattern files get value 1 for every listed entry.
+ *
+ * @param in Stream positioned at the `%%MatrixMarket` banner.
+ * @return Finalized matrix.
+ */
+TripletMatrix readMatrixMarket(std::istream &in);
+
+/** Read a MatrixMarket file from @p path. */
+TripletMatrix readMatrixMarketFile(const std::string &path);
+
+/**
+ * Write @p matrix as `matrix coordinate real general`.
+ *
+ * @param out Destination stream.
+ * @param matrix Finalized matrix to serialize.
+ */
+void writeMatrixMarket(std::ostream &out, const TripletMatrix &matrix);
+
+/** Write a MatrixMarket file to @p path. */
+void writeMatrixMarketFile(const std::string &path,
+                           const TripletMatrix &matrix);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_MATRIX_MM_IO_HH

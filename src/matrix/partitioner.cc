@@ -1,0 +1,51 @@
+#include "matrix/partitioner.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/math.hh"
+#include "common/status.hh"
+
+namespace copernicus {
+
+Partitioning
+partition(const TripletMatrix &matrix, Index partitionSize)
+{
+    fatalIf(partitionSize == 0, "partition size must be positive");
+    panicIf(!matrix.finalized(), "partition() requires a finalized matrix");
+
+    Partitioning result;
+    result.partitionSize = partitionSize;
+    result.gridRows =
+        static_cast<Index>(ceilDiv(matrix.rows(), partitionSize));
+    result.gridCols =
+        static_cast<Index>(ceilDiv(matrix.cols(), partitionSize));
+
+    // Bucket entries by tile coordinate. The map keeps tiles ordered by
+    // (tileRow, tileCol), which is the streaming order of the platform.
+    std::map<std::pair<Index, Index>, Tile> buckets;
+    for (const auto &t : matrix.triplets()) {
+        const Index tr = t.row / partitionSize;
+        const Index tc = t.col / partitionSize;
+        auto it = buckets.find({tr, tc});
+        if (it == buckets.end()) {
+            it = buckets.emplace(std::make_pair(tr, tc),
+                                 Tile(partitionSize, tr, tc)).first;
+        }
+        it->second(t.row % partitionSize, t.col % partitionSize) = t.value;
+    }
+
+    result.tiles.reserve(buckets.size());
+    for (auto &kv : buckets) {
+        // Entries that summed to zero during finalize() never reach here,
+        // so every bucketed tile is genuinely non-zero.
+        result.tiles.push_back(std::move(kv.second));
+    }
+
+    const std::size_t grid = static_cast<std::size_t>(result.gridRows) *
+                             result.gridCols;
+    result.zeroTiles = grid - result.tiles.size();
+    return result;
+}
+
+} // namespace copernicus

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Partitioner: split a sparse matrix into p x p tiles, eliding all-zero
+ * tiles (Section 4.1: only non-zero partitions are compressed, transferred
+ * and processed).
+ */
+
+#ifndef COPERNICUS_MATRIX_PARTITIONER_HH
+#define COPERNICUS_MATRIX_PARTITIONER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/tile.hh"
+#include "matrix/triplet_matrix.hh"
+
+namespace copernicus {
+
+/** Result of partitioning one matrix at one partition size. */
+struct Partitioning
+{
+    /** Partition edge length p used. */
+    Index partitionSize = 0;
+
+    /** Tiles of the partition grid, row-major. */
+    Index gridRows = 0;
+    Index gridCols = 0;
+
+    /** The non-zero tiles, sorted by (tileRow, tileCol). */
+    std::vector<Tile> tiles;
+
+    /** Number of all-zero tiles that were elided. */
+    std::size_t zeroTiles = 0;
+
+    /** Total tiles in the grid (non-zero + elided). */
+    std::size_t totalTiles() const { return tiles.size() + zeroTiles; }
+
+    /** Fraction of tiles that contain at least one non-zero. */
+    double
+    nonZeroTileFraction() const
+    {
+        const std::size_t total = totalTiles();
+        return total == 0 ? 0.0
+                          : static_cast<double>(tiles.size()) / total;
+    }
+};
+
+/**
+ * Partition @p matrix into @p partitionSize x @p partitionSize tiles.
+ *
+ * Edge tiles of matrices whose dimension is not a multiple of the
+ * partition size are zero-padded, matching the fixed-width hardware
+ * buffers of the platform.
+ *
+ * @param matrix Finalized source matrix.
+ * @param partitionSize Edge length p of each tile; must be positive.
+ * @return Non-zero tiles plus grid bookkeeping.
+ */
+Partitioning partition(const TripletMatrix &matrix, Index partitionSize);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_MATRIX_PARTITIONER_HH

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tile: one p x p partition of a sparse matrix in dense form.
+ *
+ * The paper applies every compression format to fixed-size partitions of
+ * the original matrix (Section 4.1), never to the full matrix, so the
+ * format codecs and decompressor models all operate on Tiles. Partition
+ * sizes are small (8, 16 or 32), which makes the dense representation the
+ * natural exchange format between the partitioner and the codecs.
+ */
+
+#ifndef COPERNICUS_MATRIX_TILE_HH
+#define COPERNICUS_MATRIX_TILE_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/status.hh"
+#include "common/types.hh"
+
+namespace copernicus {
+
+/** Square dense tile of a partitioned sparse matrix. */
+class Tile
+{
+  public:
+    /**
+     * Construct a zero tile.
+     *
+     * @param size Partition edge length p (8, 16 or 32 in the paper).
+     * @param tileRow Partition-grid row coordinate.
+     * @param tileCol Partition-grid column coordinate.
+     */
+    explicit Tile(Index size, Index tileRow = 0, Index tileCol = 0)
+        : p(size), tRow(tileRow), tCol(tileCol),
+          store(static_cast<std::size_t>(size) * size, Value(0))
+    {
+        fatalIf(size == 0, "Tile size must be positive");
+    }
+
+    /** Partition edge length p. */
+    Index size() const { return p; }
+
+    /** Partition-grid row coordinate of this tile. */
+    Index tileRow() const { return tRow; }
+
+    /** Partition-grid column coordinate of this tile. */
+    Index tileCol() const { return tCol; }
+
+    /** Mutable element access, bounds-checked. */
+    Value &
+    operator()(Index row, Index col)
+    {
+        panicIf(row >= p || col >= p, "Tile access out of range");
+        return store[static_cast<std::size_t>(row) * p + col];
+    }
+
+    /** Const element access, bounds-checked. */
+    Value
+    operator()(Index row, Index col) const
+    {
+        panicIf(row >= p || col >= p, "Tile access out of range");
+        return store[static_cast<std::size_t>(row) * p + col];
+    }
+
+    /** Number of non-zero elements. */
+    Index
+    nnz() const
+    {
+        Index count = 0;
+        for (Value v : store)
+            count += v != Value(0);
+        return count;
+    }
+
+    /** Number of non-zero elements in @p row. */
+    Index
+    rowNnz(Index row) const
+    {
+        Index count = 0;
+        for (Index c = 0; c < p; ++c)
+            count += (*this)(row, c) != Value(0);
+        return count;
+    }
+
+    /** Number of non-zero elements in @p col. */
+    Index
+    colNnz(Index col) const
+    {
+        Index count = 0;
+        for (Index r = 0; r < p; ++r)
+            count += (*this)(r, col) != Value(0);
+        return count;
+    }
+
+    /** Number of rows with at least one non-zero. */
+    Index
+    nnzRows() const
+    {
+        Index count = 0;
+        for (Index r = 0; r < p; ++r)
+            count += rowNnz(r) != 0;
+        return count;
+    }
+
+    /** Length of the longest row, in non-zeros. */
+    Index
+    maxRowNnz() const
+    {
+        Index best = 0;
+        for (Index r = 0; r < p; ++r)
+            best = std::max(best, rowNnz(r));
+        return best;
+    }
+
+    /** Length of the longest column, in non-zeros. */
+    Index
+    maxColNnz() const
+    {
+        Index best = 0;
+        for (Index c = 0; c < p; ++c)
+            best = std::max(best, colNnz(c));
+        return best;
+    }
+
+    /** True iff the tile holds no non-zero element. */
+    bool empty() const { return nnz() == 0; }
+
+    /** Raw row-major storage. */
+    const std::vector<Value> &data() const { return store; }
+
+    /** Equality compares contents only, not grid coordinates. */
+    friend bool
+    operator==(const Tile &a, const Tile &b)
+    {
+        return a.p == b.p && a.store == b.store;
+    }
+
+  private:
+    Index p;
+    Index tRow;
+    Index tCol;
+    std::vector<Value> store;
+};
+
+} // namespace copernicus
+
+#endif // COPERNICUS_MATRIX_TILE_HH

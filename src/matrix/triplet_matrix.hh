@@ -1,0 +1,115 @@
+/**
+ * @file
+ * TripletMatrix: the canonical in-memory sparse matrix of Copernicus.
+ *
+ * Every workload generator produces a TripletMatrix, the partitioner
+ * consumes one, and the MatrixMarket reader parses into one. It is a
+ * coordinate-list container with an explicit finalize() step that sorts
+ * entries row-major and combines duplicates, after which lookups and
+ * per-row iteration are cheap.
+ */
+
+#ifndef COPERNICUS_MATRIX_TRIPLET_MATRIX_HH
+#define COPERNICUS_MATRIX_TRIPLET_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace copernicus {
+
+/** One non-zero entry: (row, column, value). */
+struct Triplet
+{
+    Index row = 0;
+    Index col = 0;
+    Value value = 0;
+
+    friend bool
+    operator==(const Triplet &a, const Triplet &b)
+    {
+        return a.row == b.row && a.col == b.col && a.value == b.value;
+    }
+};
+
+class DenseMatrix;
+
+/**
+ * Sparse matrix stored as a list of (row, col, value) triplets.
+ *
+ * Mutation model: add() appends entries in any order; finalize() sorts
+ * them row-major and sums duplicates. Query methods that depend on order
+ * (at(), rowRange()) require a finalized matrix and panic otherwise.
+ */
+class TripletMatrix
+{
+  public:
+    /** Construct an empty rows x cols matrix. */
+    TripletMatrix(Index rows, Index cols);
+
+    /**
+     * Append one non-zero entry.
+     *
+     * @param row Row index, must be < rows().
+     * @param col Column index, must be < cols().
+     * @param value Entry value; explicit zeros are kept until finalize().
+     */
+    void add(Index row, Index col, Value value);
+
+    /**
+     * Sort entries row-major, sum duplicates and drop exact zeros.
+     *
+     * Idempotent; adding after finalize() clears the finalized flag.
+     */
+    void finalize();
+
+    /** True once finalize() has run and no entry was added since. */
+    bool finalized() const { return _finalized; }
+
+    Index rows() const { return _rows; }
+    Index cols() const { return _cols; }
+
+    /** Number of stored entries (non-zeros once finalized). */
+    std::size_t nnz() const { return entries.size(); }
+
+    /** Fraction of entries that are non-zero. */
+    double density() const;
+
+    /** All entries, row-major once finalized. */
+    const std::vector<Triplet> &triplets() const { return entries; }
+
+    /**
+     * Value at (row, col), 0 for entries not stored.
+     *
+     * Requires a finalized matrix (binary search over the sorted list).
+     */
+    Value at(Index row, Index col) const;
+
+    /**
+     * Half-open index range [first, last) of the entries in @p row.
+     *
+     * Requires a finalized matrix.
+     */
+    std::pair<std::size_t, std::size_t> rowRange(Index row) const;
+
+    /** Materialize to a dense matrix (intended for small matrices). */
+    DenseMatrix toDense() const;
+
+    /** Transposed copy (finalized). */
+    TripletMatrix transposed() const;
+
+    friend bool operator==(const TripletMatrix &a, const TripletMatrix &b);
+
+  private:
+    void requireFinalized(const char *op) const;
+
+    Index _rows;
+    Index _cols;
+    bool _finalized = false;
+    std::vector<Triplet> entries;
+};
+
+} // namespace copernicus
+
+#endif // COPERNICUS_MATRIX_TRIPLET_MATRIX_HH

@@ -1,0 +1,71 @@
+#include "pipeline/event_sim.hh"
+
+#include <algorithm>
+
+#include "hls/axi.hh"
+#include "hls/decompressor.hh"
+
+namespace copernicus {
+
+EventSimResult
+runEventSim(const Partitioning &parts, FormatKind kind,
+            const HlsConfig &config, const FormatRegistry &registry,
+            Index inputBuffers)
+{
+    fatalIf(inputBuffers == 0,
+            "runEventSim needs at least one input buffer");
+    EventSimResult result;
+    result.format = kind;
+    result.partitionSize = parts.partitionSize;
+
+    const FormatCodec &codec = registry.codec(kind);
+    const Bytes out_bytes = Bytes(parts.partitionSize) * valueBytes;
+
+    Cycles prev_read_end = 0;
+    Cycles prev_compute_end = 0;
+    Cycles prev_write_end = 0;
+
+    for (const Tile &tile : parts.tiles) {
+        const auto encoded = codec.encode(tile);
+        const auto decomp = simulateDecompression(*encoded, config);
+
+        const Cycles read_cost = transferCycles(encoded->streams(),
+                                                config);
+        const Cycles compute_cost = computeCycles(decomp, config);
+        const Cycles write_cost = writebackCycles(out_bytes, config);
+
+        TileSchedule slot;
+        // Buffering: reading tile i reuses the slot tile
+        // i - inputBuffers computed from.
+        Cycles buffer_free = 0;
+        if (result.schedule.size() >= inputBuffers) {
+            buffer_free = result
+                              .schedule[result.schedule.size() -
+                                        inputBuffers]
+                              .computeEnd;
+        }
+        slot.readStart = std::max(prev_read_end, buffer_free);
+        slot.readEnd = slot.readStart + read_cost;
+        slot.computeStart = std::max(slot.readEnd, prev_compute_end);
+        slot.computeEnd = slot.computeStart + compute_cost;
+        slot.writeStart = std::max(slot.computeEnd, prev_write_end);
+        slot.writeEnd = slot.writeStart + write_cost;
+
+        result.readBusy += read_cost;
+        result.computeBusy += compute_cost;
+        result.writeBusy += write_cost;
+        result.readStall += slot.readStart - prev_read_end;
+        if (!result.schedule.empty())
+            result.computeStall += slot.computeStart - prev_compute_end;
+
+        prev_read_end = slot.readEnd;
+        prev_compute_end = slot.computeEnd;
+        prev_write_end = slot.writeEnd;
+        result.schedule.push_back(slot);
+    }
+
+    result.totalCycles = prev_write_end;
+    return result;
+}
+
+} // namespace copernicus

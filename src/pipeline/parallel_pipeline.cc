@@ -1,0 +1,135 @@
+#include "pipeline/parallel_pipeline.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/math.hh"
+#include "common/status.hh"
+#include "hls/axi.hh"
+#include "hls/decompressor.hh"
+
+namespace copernicus {
+
+namespace {
+
+/** Timing of one tile, reused for scheduling and per-PE accounting. */
+struct TileCost
+{
+    Cycles memory = 0;
+    Cycles compute = 0;
+    Cycles write = 0;
+    Bytes bytes = 0;
+
+    Cycles
+    bottleneck() const
+    {
+        return std::max(memory, std::max(compute, write));
+    }
+};
+
+} // namespace
+
+ParallelResult
+runParallel(const Partitioning &parts, FormatKind kind, Index peCount,
+            ScheduleKind schedule, const HlsConfig &config,
+            const FormatRegistry &registry)
+{
+    fatalIf(peCount == 0, "runParallel needs at least one PE");
+
+    ParallelResult result;
+    result.format = kind;
+    result.partitionSize = parts.partitionSize;
+    result.peCount = peCount;
+    result.schedule = schedule;
+    result.peCycles.assign(peCount, 0);
+
+    const FormatCodec &codec = registry.codec(kind);
+    const Bytes out_bytes = Bytes(parts.partitionSize) * valueBytes;
+
+    std::vector<TileCost> costs;
+    costs.reserve(parts.tiles.size());
+    Bytes total_bytes = 0;
+    for (const Tile &tile : parts.tiles) {
+        const auto encoded = codec.encode(tile);
+        const auto decomp = simulateDecompression(*encoded, config);
+        TileCost cost;
+        cost.memory = transferCycles(encoded->streams(), config);
+        cost.compute = computeCycles(decomp, config);
+        cost.write = writebackCycles(out_bytes, config);
+        cost.bytes = encoded->totalBytes() + out_bytes;
+        total_bytes += cost.bytes;
+        costs.push_back(cost);
+    }
+
+    // Assign tiles to PEs.
+    std::vector<Cycles> pe_steady(peCount, 0);
+    std::vector<Cycles> pe_first_mem(peCount, 0);
+    std::vector<Cycles> pe_last_write(peCount, 0);
+    std::vector<bool> pe_used(peCount, false);
+
+    auto assign = [&](std::size_t tile_index, Index pe) {
+        const TileCost &cost = costs[tile_index];
+        if (!pe_used[pe]) {
+            pe_used[pe] = true;
+            pe_first_mem[pe] = cost.memory;
+        }
+        pe_steady[pe] += cost.bottleneck();
+        pe_last_write[pe] = cost.write;
+    };
+
+    if (schedule == ScheduleKind::RoundRobin) {
+        for (std::size_t i = 0; i < costs.size(); ++i)
+            assign(i, static_cast<Index>(i % peCount));
+    } else {
+        // Longest-processing-time: sort tiles by bottleneck descending
+        // and always feed the least-loaded PE.
+        std::vector<std::size_t> order(costs.size());
+        std::iota(order.begin(), order.end(), std::size_t(0));
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return costs[a].bottleneck() >
+                             costs[b].bottleneck();
+                  });
+        for (std::size_t i : order) {
+            const Index pe = static_cast<Index>(
+                std::min_element(pe_steady.begin(), pe_steady.end()) -
+                pe_steady.begin());
+            assign(i, pe);
+        }
+    }
+
+    for (Index pe = 0; pe < peCount; ++pe) {
+        result.peCycles[pe] = pe_used[pe]
+                                  ? pe_steady[pe] + pe_first_mem[pe] +
+                                        pe_last_write[pe]
+                                  : 0;
+        result.computeBoundCycles =
+            std::max(result.computeBoundCycles, result.peCycles[pe]);
+    }
+
+    // Shared DDR3 channel: every byte (in and out) crosses it once.
+    const Bytes channel_bytes_per_cycle =
+        config.laneBytesPerCycle() * config.streamlines;
+    result.memoryBoundCycles =
+        ceilDiv(total_bytes, channel_bytes_per_cycle) +
+        (costs.empty() ? 0 : config.burstSetupCycles);
+
+    result.totalCycles = std::max(result.computeBoundCycles,
+                                  result.memoryBoundCycles);
+    result.memoryBound =
+        result.memoryBoundCycles > result.computeBoundCycles;
+    result.seconds = static_cast<double>(result.totalCycles) *
+                     config.secondsPerCycle();
+
+    if (peCount == 1 || costs.empty()) {
+        result.speedup = 1.0;
+    } else {
+        const ParallelResult single = runParallel(
+            parts, kind, 1, schedule, config, registry);
+        result.speedup = static_cast<double>(single.totalCycles) /
+                         static_cast<double>(result.totalCycles);
+    }
+    return result;
+}
+
+} // namespace copernicus

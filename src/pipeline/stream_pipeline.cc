@@ -1,0 +1,127 @@
+#include "pipeline/stream_pipeline.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/status.hh"
+#include "hls/axi.hh"
+#include "hls/decompressor.hh"
+
+namespace copernicus {
+
+namespace {
+
+/** Shared core: stream tiles with a per-tile format lookup. */
+PipelineResult
+runImpl(const Partitioning &parts,
+        const std::vector<FormatKind> &perTile, const HlsConfig &config,
+        const FormatRegistry &registry)
+{
+    PipelineResult result;
+    result.partitionSize = parts.partitionSize;
+
+    const Index p = parts.partitionSize;
+    // The partial output vector streamed back per partition.
+    const Bytes out_bytes = Bytes(p) * valueBytes;
+
+    double balance_sum = 0;
+    double sigma_sum = 0;
+    Cycles fill_first = 0;
+    Cycles drain_last = 0;
+    for (std::size_t i = 0; i < parts.tiles.size(); ++i) {
+        const Tile &tile = parts.tiles[i];
+        const FormatCodec &codec = registry.codec(perTile[i]);
+        const auto encoded = codec.encode(tile);
+        const auto decomp = simulateDecompression(*encoded, config);
+        panicIf(!(decomp.decoded == tile),
+                "pipeline: decompressor model corrupted a tile");
+
+        PartitionTiming timing;
+        auto streams = encoded->streams();
+        if (config.streamVectorOperand)
+            streams.push_back(Bytes(p) * valueBytes);
+        timing.memoryCycles = transferCycles(streams, config);
+        timing.decompressCycles = decomp.decompressCycles;
+        timing.rowsProduced = decomp.rowsProduced;
+        timing.computeCycles = computeCycles(decomp, config);
+        timing.writeCycles = writebackCycles(out_bytes, config);
+        timing.sigma = sigmaOverhead(decomp, p, config);
+        timing.totalBytes = encoded->totalBytes();
+        timing.usefulBytes = encoded->usefulBytes();
+
+        result.totalMemoryCycles += timing.memoryCycles;
+        result.totalComputeCycles += timing.computeCycles;
+        result.totalBytes += timing.totalBytes;
+        result.totalUsefulBytes += timing.usefulBytes;
+        result.totalCycles += timing.bottleneckCycles();
+        balance_sum += timing.computeCycles == 0
+                           ? 0.0
+                           : static_cast<double>(timing.memoryCycles) /
+                                 static_cast<double>(timing.computeCycles);
+        sigma_sum += timing.sigma;
+
+        if (result.partitions.empty())
+            fill_first = timing.memoryCycles;
+        drain_last = timing.writeCycles;
+        result.partitions.push_back(timing);
+    }
+
+    if (!result.partitions.empty()) {
+        // Steady state costs max(stage) per partition; the first
+        // partition's read and the last one's write are exposed.
+        result.totalCycles += fill_first + drain_last;
+        const auto count = static_cast<double>(result.partitions.size());
+        result.balanceRatio = balance_sum / count;
+        result.meanSigma = sigma_sum / count;
+    }
+
+    result.seconds = static_cast<double>(result.totalCycles) *
+                     config.secondsPerCycle();
+    result.throughputBytesPerSec =
+        result.seconds == 0.0
+            ? 0.0
+            : static_cast<double>(result.totalBytes) / result.seconds;
+    result.bandwidthUtilization =
+        result.totalBytes == 0
+            ? 0.0
+            : static_cast<double>(result.totalUsefulBytes) /
+                  static_cast<double>(result.totalBytes);
+    return result;
+}
+
+} // namespace
+
+PipelineResult
+runPipeline(const Partitioning &parts, FormatKind kind,
+            const HlsConfig &config, const FormatRegistry &registry)
+{
+    const std::vector<FormatKind> per_tile(parts.tiles.size(), kind);
+    PipelineResult result = runImpl(parts, per_tile, config, registry);
+    result.format = kind;
+    return result;
+}
+
+PipelineResult
+runPipelineMixed(const Partitioning &parts,
+                 const std::vector<FormatKind> &perTile,
+                 const HlsConfig &config, const FormatRegistry &registry)
+{
+    fatalIf(perTile.size() != parts.tiles.size(),
+            "runPipelineMixed: one format per non-zero tile required");
+    PipelineResult result = runImpl(parts, perTile, config, registry);
+
+    // Report the majority format for summary displays.
+    std::map<FormatKind, std::size_t> counts;
+    for (FormatKind kind : perTile)
+        ++counts[kind];
+    std::size_t best = 0;
+    for (const auto &[kind, count] : counts) {
+        if (count > best) {
+            best = count;
+            result.format = kind;
+        }
+    }
+    return result;
+}
+
+} // namespace copernicus

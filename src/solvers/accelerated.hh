@@ -1,0 +1,79 @@
+/**
+ * @file
+ * End-to-end solver time on the modelled accelerator.
+ *
+ * Section 3.3 motivates the platform with iterative solvers whose
+ * inner kernel is SpMV; this module closes that loop: run the solver
+ * in software to learn the iteration count, then price each iteration
+ * on the streaming pipeline (one SpMV pass over the compressed
+ * partitions plus the solver's vector operations on the p-wide
+ * engine). The result is the format-dependent time-to-solution an
+ * architect actually cares about.
+ */
+
+#ifndef COPERNICUS_SOLVERS_ACCELERATED_HH
+#define COPERNICUS_SOLVERS_ACCELERATED_HH
+
+#include "hls/hls_config.hh"
+#include "matrix/partitioner.hh"
+#include "pipeline/stream_pipeline.hh"
+#include "solvers/cg.hh"
+
+namespace copernicus {
+
+/** Time-to-solution estimate for an iterative solve. */
+struct PlatformSolveEstimate
+{
+    FormatKind format = FormatKind::CSR;
+    Index partitionSize = 16;
+
+    /** Solver iterations priced. */
+    std::size_t iterations = 0;
+
+    /** One SpMV pass over the compressed partitions. */
+    Cycles spmvCyclesPerIteration = 0;
+
+    /** The solver's vector work (axpy/dot) on the p-wide engine. */
+    Cycles vectorCyclesPerIteration = 0;
+
+    Cycles totalCycles = 0;
+    double seconds = 0;
+};
+
+/**
+ * Price @p iterations of an iterative solve over @p matrix.
+ *
+ * @param matrix The (square) operand matrix.
+ * @param kind Compression format streamed each iteration.
+ * @param partitionSize Partition edge length.
+ * @param iterations Iteration count to price.
+ * @param vectorOpsPerIteration Length-n vector operations per
+ *        iteration (CG: 3 axpy + 2 dot = 5).
+ * @param config Platform parameters.
+ */
+PlatformSolveEstimate estimateIterativeSolve(
+    const TripletMatrix &matrix, FormatKind kind, Index partitionSize,
+    std::size_t iterations, std::size_t vectorOpsPerIteration = 5,
+    const HlsConfig &config = HlsConfig());
+
+/** Software CG run paired with its platform estimate. */
+struct AcceleratedCgResult
+{
+    SolveResult solve;
+    PlatformSolveEstimate estimate;
+};
+
+/**
+ * Solve A x = b with CG in software, then price the same solve on the
+ * accelerator in @p kind at @p partitionSize.
+ */
+AcceleratedCgResult acceleratedCg(const TripletMatrix &matrix,
+                                  const std::vector<Value> &b,
+                                  FormatKind kind, Index partitionSize,
+                                  double tolerance = 1e-5,
+                                  std::size_t maxIterations = 1000,
+                                  const HlsConfig &config = HlsConfig());
+
+} // namespace copernicus
+
+#endif // COPERNICUS_SOLVERS_ACCELERATED_HH

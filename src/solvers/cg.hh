@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Conjugate-gradient solver (Section 3.3's scientific-computation
+ * consumer of SpMV): solves A x = b for symmetric positive-definite A.
+ */
+
+#ifndef COPERNICUS_SOLVERS_CG_HH
+#define COPERNICUS_SOLVERS_CG_HH
+
+#include <vector>
+
+#include "matrix/csr_matrix.hh"
+
+namespace copernicus {
+
+/** Outcome of an iterative solve. */
+struct SolveResult
+{
+    std::vector<Value> x;
+
+    /** Iterations actually run. */
+    std::size_t iterations = 0;
+
+    /** Final residual 2-norm. */
+    double residual = 0;
+
+    /** True when the residual dropped below the tolerance. */
+    bool converged = false;
+};
+
+/**
+ * Solve A x = b with plain conjugate gradient.
+ *
+ * @param a Symmetric positive-definite matrix.
+ * @param b Right-hand side of length a.rows().
+ * @param tolerance Convergence threshold on ||r||_2.
+ * @param maxIterations Iteration cap.
+ */
+SolveResult conjugateGradient(const CsrMatrix &a,
+                              const std::vector<Value> &b,
+                              double tolerance = 1e-5,
+                              std::size_t maxIterations = 1000);
+
+/**
+ * Solve A x = b with Jacobi iteration (diagonal must be non-zero).
+ */
+SolveResult jacobi(const CsrMatrix &a, const std::vector<Value> &b,
+                   double tolerance = 1e-5,
+                   std::size_t maxIterations = 1000);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_SOLVERS_CG_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Graph algorithms as sparse-matrix kernels (Section 3.3: BFS and
+ * single-source shortest path "can be implemented as a sparse
+ * matrix-vector operation" in the vertex-centric model).
+ *
+ * BFS advances its frontier with one boolean-semiring SpMV per level;
+ * SSSP relaxes with one (min, +)-semiring SpMV per round
+ * (Bellman-Ford). Both run on the library's CSR substrate.
+ */
+
+#ifndef COPERNICUS_SOLVERS_GRAPH_HH
+#define COPERNICUS_SOLVERS_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/triplet_matrix.hh"
+
+namespace copernicus {
+
+/** Level assigned to vertices BFS never reaches. */
+inline constexpr std::uint32_t bfsUnreached = ~std::uint32_t(0);
+
+/** Result of a BFS sweep. */
+struct BfsResult
+{
+    /** Hop count from the source; bfsUnreached if not connected. */
+    std::vector<std::uint32_t> level;
+
+    /** Number of frontier expansions (SpMV rounds). */
+    std::size_t rounds = 0;
+
+    /** Vertices reached, source included. */
+    std::size_t reached = 0;
+};
+
+/**
+ * Breadth-first search over a directed adjacency matrix; entry (u, v)
+ * is an edge u -> v (weights ignored).
+ *
+ * @param adjacency Finalized square adjacency matrix.
+ * @param source Start vertex, must be < rows().
+ */
+BfsResult bfs(const TripletMatrix &adjacency, Index source);
+
+/** Distance for vertices SSSP never reaches. */
+double ssspUnreached();
+
+/** Result of a shortest-path solve. */
+struct SsspResult
+{
+    /** Distance from the source; ssspUnreached() if unreachable. */
+    std::vector<double> distance;
+
+    /** Relaxation rounds executed. */
+    std::size_t rounds = 0;
+
+    /** False when a negative cycle was detected. */
+    bool valid = true;
+};
+
+/**
+ * Single-source shortest paths by Bellman-Ford relaxation; entry
+ * (u, v) is an edge u -> v with weight value (must be the actual edge
+ * weight; negative edges allowed, negative cycles detected).
+ *
+ * @param adjacency Finalized square weighted adjacency matrix.
+ * @param source Start vertex, must be < rows().
+ */
+SsspResult sssp(const TripletMatrix &adjacency, Index source);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_SOLVERS_GRAPH_HH

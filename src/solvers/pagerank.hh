@@ -1,0 +1,49 @@
+/**
+ * @file
+ * PageRank by power iteration (Section 3.3's graph-analytics consumer
+ * of SpMV): each iteration is one SpMV with the column-normalized
+ * adjacency matrix plus the damping redistribution.
+ */
+
+#ifndef COPERNICUS_SOLVERS_PAGERANK_HH
+#define COPERNICUS_SOLVERS_PAGERANK_HH
+
+#include <vector>
+
+#include "matrix/csr_matrix.hh"
+#include "matrix/triplet_matrix.hh"
+
+namespace copernicus {
+
+/** Outcome of a PageRank run. */
+struct PageRankResult
+{
+    /** Rank per vertex; sums to 1. */
+    std::vector<double> ranks;
+
+    std::size_t iterations = 0;
+
+    /** Final L1 change between successive iterations. */
+    double delta = 0;
+
+    bool converged = false;
+};
+
+/**
+ * PageRank over a (possibly weighted) adjacency matrix whose entry
+ * (u, v) means an edge u -> v.
+ *
+ * @param adjacency Finalized adjacency matrix, square.
+ * @param damping Damping factor (0.85 classic).
+ * @param tolerance L1 convergence threshold. The SpMV runs in the
+ *        platform's 32-bit Value type, which floors the reachable delta
+ *        around n * 1e-7; tolerances below that will never trigger.
+ * @param maxIterations Iteration cap.
+ */
+PageRankResult pageRank(const TripletMatrix &adjacency,
+                        double damping = 0.85, double tolerance = 1e-6,
+                        std::size_t maxIterations = 200);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_SOLVERS_PAGERANK_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Synthetic sparse-matrix generators (Section 3.2 plus the structural
+ * families needed by the SuiteSparse surrogate catalog).
+ *
+ * All generators are deterministic given the Rng they are passed and
+ * return finalized TripletMatrix objects.
+ */
+
+#ifndef COPERNICUS_WORKLOADS_GENERATORS_HH
+#define COPERNICUS_WORKLOADS_GENERATORS_HH
+
+#include "common/rng.hh"
+#include "matrix/triplet_matrix.hh"
+
+namespace copernicus {
+
+/**
+ * Uniform random matrix: each cell is non-zero independently with
+ * probability @p density; values are uniform in [0.5, 1.5).
+ *
+ * For densities below ~0.05 the generator samples the non-zero count and
+ * draws distinct positions instead of sweeping all n^2 cells, so very
+ * sparse large matrices stay cheap to build.
+ */
+TripletMatrix randomMatrix(Index n, double density, Rng &rng);
+
+/**
+ * Band matrix of width @p k per the paper's definition: a(i,j) = 0 when
+ * |i - j| > k/2 (so k = 1 is the pure diagonal). Cells inside the band
+ * are non-zero with probability @p fill (default: completely filled).
+ */
+TripletMatrix bandMatrix(Index n, Index k, Rng &rng, double fill = 1.0);
+
+/** Pure diagonal matrix (band of width 1) with non-zero diagonal. */
+TripletMatrix diagonalMatrix(Index n, Rng &rng);
+
+/**
+ * 2D Poisson 5-point stencil on an nx x ny grid: the classic PDE
+ * coefficient matrix (4 on the diagonal, -1 for grid neighbours).
+ * The matrix dimension is nx*ny and it is symmetric positive-definite.
+ */
+TripletMatrix stencil2d(Index nx, Index ny);
+
+/**
+ * 3D stencil on a g^3 grid. @p box selects the neighbourhood: false
+ * gives the 7-point von Neumann stencil, true the 27-point Moore
+ * stencil (denser, like electromagnetic/thermal meshes).
+ */
+TripletMatrix stencil3d(Index g, bool box = false);
+
+/**
+ * R-MAT power-law digraph adjacency matrix.
+ *
+ * @param n Number of vertices (rounded up to a power of two internally;
+ *        edges outside [0, n) are redrawn).
+ * @param edges Target edge count after deduplication (best effort).
+ * @param a,b,c Recursive quadrant probabilities (d = 1-a-b-c).
+ */
+TripletMatrix rmatGraph(Index n, std::size_t edges, Rng &rng,
+                        double a = 0.57, double b = 0.19,
+                        double c = 0.19);
+
+/**
+ * Road-network-like graph: a sqrt(n) x sqrt(n) grid with each lattice
+ * edge kept with probability @p keep, plus a sprinkling of long-range
+ * shortcuts. Symmetric, bounded degree, strong spatial locality.
+ */
+TripletMatrix roadGrid(Index side, Rng &rng, double keep = 0.75,
+                       double shortcutFraction = 0.005);
+
+/**
+ * Circuit-simulation-like matrix: full main diagonal, a tridiagonal
+ * coupling band kept with probability @p bandKeep, @p extraPerRow random
+ * couplings drawn near the diagonal, and a few dense rail rows/columns.
+ */
+TripletMatrix circuitMatrix(Index n, Rng &rng, double bandKeep = 0.6,
+                            double extraPerRow = 2.0,
+                            Index railCount = 2);
+
+/**
+ * Pruned neural-network weight layer (rows x cols, not necessarily
+ * square). @p density survives pruning; if @p blockStructured, pruning
+ * keeps/drops whole 4x4 blocks (structured pruning, Section 8).
+ */
+TripletMatrix prunedLayer(Index rows, Index cols, double density,
+                          Rng &rng, bool blockStructured = false);
+
+/**
+ * Recommendation-model embedding access pattern: @p batch one-hot-ish
+ * rows, each with @p lookups random hits into a @p tableSize -entry
+ * table (Section 3.1's "accesses are random and sparse").
+ */
+TripletMatrix embeddingAccess(Index batch, Index tableSize, Index lookups,
+                              Rng &rng);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_WORKLOADS_GENERATORS_HH

@@ -1,0 +1,159 @@
+#include "workloads/suite_catalog.hh"
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "common/status.hh"
+#include "workloads/generators.hh"
+
+namespace copernicus {
+
+namespace {
+
+/**
+ * Thin a generated structure to the paper's average degree by dropping
+ * off-diagonal entries uniformly (diagonal entries always survive, since
+ * the mesh/circuit families keep a full diagonal).
+ */
+TripletMatrix
+thinToDegree(const TripletMatrix &matrix, double target_deg, Rng &rng)
+{
+    const double deg = static_cast<double>(matrix.nnz()) / matrix.rows();
+    if (deg <= target_deg)
+        return matrix;
+    const double keep = (target_deg - 1.0) / (deg - 1.0);
+    TripletMatrix thinned(matrix.rows(), matrix.cols());
+    for (const auto &t : matrix.triplets())
+        if (t.row == t.col || rng.chance(keep))
+            thinned.add(t.row, t.col, t.value);
+    thinned.finalize();
+    return thinned;
+}
+
+/** Nearest cube root for 3D stencil grids. */
+Index
+cubeSide(Index n)
+{
+    auto side = static_cast<Index>(std::llround(std::cbrt(double(n))));
+    return std::max<Index>(side, 2);
+}
+
+/** Nearest square root for 2D grids. */
+Index
+squareSide(Index n)
+{
+    auto side = static_cast<Index>(std::llround(std::sqrt(double(n))));
+    return std::max<Index>(side, 2);
+}
+
+} // namespace
+
+TripletMatrix
+SuiteMatrixInfo::generate(std::uint64_t seed) const
+{
+    // Derive a per-matrix stream so catalogs are independent of order.
+    std::uint64_t mix = seed;
+    for (char ch : id)
+        mix = mix * 1099511628211ULL + static_cast<unsigned char>(ch);
+    Rng rng(mix);
+
+    const double deg = paperNnzPerRow();
+    switch (recipe) {
+      case SurrogateRecipe::Stencil3dBox: {
+        const Index g = cubeSide(surrogateDim);
+        return thinToDegree(stencil3d(g, true), deg, rng);
+      }
+      case SurrogateRecipe::Stencil3d: {
+        const Index g = cubeSide(surrogateDim);
+        return thinToDegree(stencil3d(g, false), deg, rng);
+      }
+      case SurrogateRecipe::Stencil2d: {
+        const Index side = squareSide(surrogateDim);
+        return thinToDegree(stencil2d(side, side), deg, rng);
+      }
+      case SurrogateRecipe::Circuit:
+        return circuitMatrix(surrogateDim, rng, 0.6,
+                             std::max(0.0, deg - 2.2));
+      case SurrogateRecipe::RmatDirected: {
+        const auto edges = static_cast<std::size_t>(
+            deg * static_cast<double>(surrogateDim));
+        return rmatGraph(surrogateDim, edges, rng);
+      }
+      case SurrogateRecipe::RmatSkewed: {
+        const auto edges = static_cast<std::size_t>(
+            deg * static_cast<double>(surrogateDim));
+        return rmatGraph(surrogateDim, edges, rng, 0.7, 0.15, 0.1);
+      }
+      case SurrogateRecipe::RoadGrid: {
+        const Index side = squareSide(surrogateDim);
+        // Lattice degree is ~4 x keep; solve keep for the target.
+        const double keep = std::min(1.0, std::max(0.1, deg / 4.0));
+        return roadGrid(side, rng, keep);
+      }
+      case SurrogateRecipe::RandomUniform: {
+        const double density = deg / static_cast<double>(surrogateDim);
+        return randomMatrix(surrogateDim, density, rng);
+      }
+    }
+    panic("SuiteMatrixInfo::generate: unknown recipe");
+}
+
+const std::vector<SuiteMatrixInfo> &
+suiteCatalog()
+{
+    using R = SurrogateRecipe;
+    static const std::vector<SuiteMatrixInfo> catalog = {
+        {"2C", "2cubes_sphere", "Electromagnetics Problem", 0.101, 1.647,
+         4096, R::Stencil3dBox},
+        {"FR", "Freescale2", "Circuit Sim. Matrix", 2.9, 14.3, 4096,
+         R::Circuit},
+        {"RE", "N_reactome", "Biochemical Network", 0.016, 0.043, 2048,
+         R::RandomUniform},
+        {"AM", "amazon0601", "Directed Graph", 0.4, 3.3, 4096,
+         R::RmatDirected},
+        {"DW", "dwt_918", "Structural Problem", 0.000918, 0.0073, 900,
+         R::Stencil2d},
+        {"EO", "europe_osm", "Undirected Graph", 50.9, 108, 4096,
+         R::RoadGrid},
+        {"FL", "flickr", "Directed Graph", 0.82, 9.8, 4096,
+         R::RmatDirected},
+        {"HC", "hcircuit", "Circuit Sim. Problem", 0.1, 0.51, 4096,
+         R::Circuit},
+        {"HU", "hugebubbles", "Undirected Graph", 18.3, 54.9, 4096,
+         R::RoadGrid},
+        {"KR", "kron_g500-logn21", "Undirected Multigraph", 2, 182, 2048,
+         R::RmatSkewed},
+        {"RL", "rail582", "Linear Prog. Problem", 0.056, 0.4, 2048,
+         R::RandomUniform},
+        {"RJ", "rajat31", "Circuit Sim. Problem", 4.6, 20.3, 4096,
+         R::Circuit},
+        {"RO", "roadNet-TX", "Undirected Graph", 1.3, 3.8, 4096,
+         R::RoadGrid},
+        {"RC", "road_central", "Undirected Graph", 14, 33.8, 4096,
+         R::RoadGrid},
+        {"LJ", "soc-LiveJournal1", "Directed Graph", 4.8, 68.9, 4096,
+         R::RmatDirected},
+        {"TH", "thermomech_dK", "Thermal Problem", 0.2, 2.8, 4096,
+         R::Stencil3dBox},
+        {"WE", "wb-edu", "Directed Graph", 9.8, 57.1, 4096,
+         R::RmatDirected},
+        {"WG", "web-Google", "Directed Graph", 0.91, 5.1, 4096,
+         R::RmatDirected},
+        {"WT", "wiki-Talk", "Directed Graph", 2.3, 5, 4096,
+         R::RmatDirected},
+        {"WI", "wikipedia", "Directed Graph", 3.5, 45, 4096,
+         R::RmatDirected},
+    };
+    return catalog;
+}
+
+const SuiteMatrixInfo &
+suiteMatrix(const std::string &id)
+{
+    for (const auto &info : suiteCatalog())
+        if (info.id == id)
+            return info;
+    fatal("unknown SuiteSparse surrogate id '" + id + "'");
+}
+
+} // namespace copernicus

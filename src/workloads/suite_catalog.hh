@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Surrogate catalog for the 20 SuiteSparse matrices of Table 1.
+ *
+ * The paper's matrices range up to 182M non-zeros; Copernicus cannot ship
+ * them, so each catalog entry pairs the paper's metadata (dimension, nnz,
+ * kind) with a laptop-scale generator that reproduces the *kind* of
+ * structure — power-law digraphs for the web/social graphs, lattice-like
+ * graphs for road networks, stencils for the PDE meshes, band-plus-fill
+ * for circuit matrices — at the paper's average non-zeros per row. The
+ * partition-level sparsity statistics that drive every figure (partition
+ * density, row density, non-zero-row fraction — Figure 3) are properties
+ * of this local structure, which is what the surrogates preserve.
+ *
+ * Real SuiteSparse .mtx files can be used instead via readMatrixMarket().
+ */
+
+#ifndef COPERNICUS_WORKLOADS_SUITE_CATALOG_HH
+#define COPERNICUS_WORKLOADS_SUITE_CATALOG_HH
+
+#include <string>
+#include <vector>
+
+#include "matrix/triplet_matrix.hh"
+
+namespace copernicus {
+
+/** Structural family a surrogate generator draws from. */
+enum class SurrogateRecipe
+{
+    Stencil3dBox,   ///< 27-point 3D mesh (EM / thermal problems)
+    Stencil3d,      ///< 7-point 3D mesh
+    Stencil2d,      ///< 5-point 2D mesh (structural problems)
+    Circuit,        ///< diagonal + coupling band + rails
+    RmatDirected,   ///< power-law digraph (web / social / wiki)
+    RmatSkewed,     ///< heavily skewed R-MAT (kron_g500)
+    RoadGrid,       ///< lattice-like bounded-degree graph
+    RandomUniform,  ///< unstructured sparse (LP, biochemical)
+};
+
+/** One Table-1 row plus its surrogate recipe. */
+struct SuiteMatrixInfo
+{
+    /** Two-letter id used in the paper's figures (2C, FR, ...). */
+    std::string id;
+
+    /** SuiteSparse matrix name. */
+    std::string name;
+
+    /** Kind column of Table 1. */
+    std::string kind;
+
+    /** Paper dimension, in millions of rows (square matrices). */
+    double paperDimM;
+
+    /** Paper non-zero count, in millions. */
+    double paperNnzM;
+
+    /** Surrogate dimension actually generated. */
+    Index surrogateDim;
+
+    SurrogateRecipe recipe;
+
+    /** Paper's average non-zeros per row, the matched statistic. */
+    double
+    paperNnzPerRow() const
+    {
+        return paperNnzM / paperDimM;
+    }
+
+    /**
+     * Generate the surrogate.
+     *
+     * @param seed Per-matrix seeds are derived from this study seed.
+     */
+    TripletMatrix generate(std::uint64_t seed) const;
+};
+
+/** All 20 Table-1 surrogates, in the table's order. */
+const std::vector<SuiteMatrixInfo> &suiteCatalog();
+
+/** Lookup by two-letter id; FatalError if unknown. */
+const SuiteMatrixInfo &suiteMatrix(const std::string &id);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_WORKLOADS_SUITE_CATALOG_HH

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Analysis-layer tests: table rendering/CSV escaping and the Figure-14
+ * min-max normalization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/energy.hh"
+#include "analysis/summary.hh"
+#include "analysis/table_writer.hh"
+#include "common/status.hh"
+
+namespace copernicus {
+namespace {
+
+TEST(TableWriterTest, AlignedOutput)
+{
+    TableWriter table({"format", "sigma"});
+    table.addRow({"CSR", "1.5"});
+    table.addRow({"DENSE", "1"});
+    std::ostringstream out;
+    table.print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("format"), std::string::npos);
+    EXPECT_NE(text.find("CSR"), std::string::npos);
+    EXPECT_NE(text.find("DENSE"), std::string::npos);
+    // Header separator line present.
+    EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TableWriterTest, RowWidthMismatchIsFatal)
+{
+    TableWriter table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only one"}), FatalError);
+}
+
+TEST(TableWriterTest, EmptyHeaderIsFatal)
+{
+    EXPECT_THROW(TableWriter({}), FatalError);
+}
+
+TEST(TableWriterTest, CsvEscapesSpecialCells)
+{
+    TableWriter table({"name", "note"});
+    table.addRow({"a,b", "say \"hi\""});
+    std::ostringstream out;
+    table.writeCsv(out);
+    EXPECT_EQ(out.str(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TableWriterTest, RowsCount)
+{
+    TableWriter table({"x"});
+    EXPECT_EQ(table.rows(), 0u);
+    table.addRow({"1"});
+    table.addRow({"2"});
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TableWriterTest, NumFormatsWithPrecision)
+{
+    EXPECT_EQ(TableWriter::num(1.23456, 3), "1.23");
+    EXPECT_EQ(TableWriter::num(1000000.0, 4), "1e+06");
+    EXPECT_EQ(TableWriter::num(0.5), "0.5");
+}
+
+TEST(BalanceClosenessTest, BestAtOne)
+{
+    EXPECT_DOUBLE_EQ(balanceCloseness(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(balanceCloseness(2.0), 0.5);
+    EXPECT_DOUBLE_EQ(balanceCloseness(0.5), 0.5);
+    EXPECT_DOUBLE_EQ(balanceCloseness(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(balanceCloseness(-1.0), 0.0);
+}
+
+FormatMetrics
+makeMetrics(FormatKind kind, double sigma, double seconds, double balance,
+            double throughput, double bw, double power)
+{
+    FormatMetrics m;
+    m.format = kind;
+    m.meanSigma = sigma;
+    m.totalSeconds = seconds;
+    m.balanceRatio = balance;
+    m.throughput = throughput;
+    m.bandwidthUtilization = bw;
+    m.dynamicPowerW = power;
+    return m;
+}
+
+TEST(NormalizeSummaryTest, BestGetsOneWorstGetsZero)
+{
+    const std::vector<FormatMetrics> metrics = {
+        makeMetrics(FormatKind::COO, 1.0, 1.0, 1.0, 100.0, 0.33, 0.02),
+        makeMetrics(FormatKind::CSC, 20.0, 10.0, 0.1, 10.0, 0.4, 0.05),
+    };
+    const auto scores = normalizeSummary(metrics);
+    ASSERT_EQ(scores.size(), 2u);
+    // COO: best sigma, latency, balance, power; worst bw-util.
+    EXPECT_DOUBLE_EQ(scores[0].sigma, 1.0);
+    EXPECT_DOUBLE_EQ(scores[1].sigma, 0.0);
+    EXPECT_DOUBLE_EQ(scores[0].latency, 1.0);
+    EXPECT_DOUBLE_EQ(scores[0].balance, 1.0);
+    EXPECT_DOUBLE_EQ(scores[1].balance, 0.0);
+    EXPECT_DOUBLE_EQ(scores[0].throughput, 1.0);
+    EXPECT_DOUBLE_EQ(scores[0].bandwidthUtilization, 0.0);
+    EXPECT_DOUBLE_EQ(scores[1].bandwidthUtilization, 1.0);
+    EXPECT_DOUBLE_EQ(scores[0].power, 1.0);
+    EXPECT_DOUBLE_EQ(scores[1].power, 0.0);
+}
+
+TEST(NormalizeSummaryTest, TiesGetFullScore)
+{
+    const std::vector<FormatMetrics> metrics = {
+        makeMetrics(FormatKind::CSR, 2.0, 1.0, 0.5, 10.0, 0.4, 0.05),
+        makeMetrics(FormatKind::COO, 2.0, 2.0, 0.5, 20.0, 0.4, 0.05),
+    };
+    const auto scores = normalizeSummary(metrics);
+    EXPECT_DOUBLE_EQ(scores[0].sigma, 1.0);
+    EXPECT_DOUBLE_EQ(scores[1].sigma, 1.0);
+    EXPECT_DOUBLE_EQ(scores[0].power, 1.0);
+    EXPECT_DOUBLE_EQ(scores[1].power, 1.0);
+}
+
+TEST(NormalizeSummaryTest, BalanceUsesDistanceFromOne)
+{
+    // Ratio 1 beats ratio 4 and ratio 0.2.
+    const std::vector<FormatMetrics> metrics = {
+        makeMetrics(FormatKind::Dense, 1, 1, 1.0, 1, 0.1, 0.01),
+        makeMetrics(FormatKind::CSR, 1, 1, 4.0, 1, 0.1, 0.01),
+        makeMetrics(FormatKind::CSC, 1, 1, 0.2, 1, 0.1, 0.01),
+    };
+    const auto scores = normalizeSummary(metrics);
+    EXPECT_DOUBLE_EQ(scores[0].balance, 1.0);
+    EXPECT_LT(scores[1].balance, 1.0);
+    EXPECT_LT(scores[2].balance, scores[1].balance);
+}
+
+TEST(NormalizeSummaryTest, ScoresStayInUnitInterval)
+{
+    const std::vector<FormatMetrics> metrics = {
+        makeMetrics(FormatKind::Dense, 1, 5, 1.2, 50, 0.2, 0.03),
+        makeMetrics(FormatKind::CSR, 3, 2, 0.4, 80, 0.45, 0.04),
+        makeMetrics(FormatKind::COO, 2, 3, 0.8, 60, 0.33, 0.02),
+    };
+    for (const auto &s : normalizeSummary(metrics)) {
+        for (double v : {s.sigma, s.latency, s.balance, s.throughput,
+                         s.bandwidthUtilization, s.power}) {
+            EXPECT_GE(v, 0.0);
+            EXPECT_LE(v, 1.0);
+        }
+    }
+}
+
+TEST(NormalizeSummaryTest, FormatLabelsPreserved)
+{
+    const std::vector<FormatMetrics> metrics = {
+        makeMetrics(FormatKind::LIL, 1, 1, 1, 1, 1, 1),
+        makeMetrics(FormatKind::ELL, 2, 2, 2, 2, 2, 2),
+    };
+    const auto scores = normalizeSummary(metrics);
+    EXPECT_EQ(scores[0].format, FormatKind::LIL);
+    EXPECT_EQ(scores[1].format, FormatKind::ELL);
+}
+
+TEST(NormalizeSummaryTest, EmptyInputGivesEmptyOutput)
+{
+    EXPECT_TRUE(normalizeSummary({}).empty());
+}
+
+TEST(EnergyTest, PowerTimesTime)
+{
+    PowerEstimate power;
+    power.logicW = 0.02;
+    power.bramW = 0.01;
+    power.signalsW = 0.03;
+    power.staticW = 0.1;
+    const auto energy = runEnergy(power, 2.0);
+    EXPECT_DOUBLE_EQ(energy.dynamicJ, 0.12);
+    EXPECT_DOUBLE_EQ(energy.staticJ, 0.2);
+    EXPECT_DOUBLE_EQ(energy.totalJ(), 0.32);
+    EXPECT_DOUBLE_EQ(energy.staticShare(), 0.2 / 0.32);
+}
+
+TEST(EnergyTest, ZeroDurationZeroEnergy)
+{
+    PowerEstimate power;
+    power.staticW = 0.1;
+    const auto energy = runEnergy(power, 0.0);
+    EXPECT_DOUBLE_EQ(energy.totalJ(), 0.0);
+    EXPECT_DOUBLE_EQ(energy.staticShare(), 0.0);
+}
+
+TEST(EnergyTest, NegativeDurationIsFatal)
+{
+    EXPECT_THROW(runEnergy(PowerEstimate{}, -1.0), FatalError);
+}
+
+TEST(EnergyTest, NanojoulesPerNonZero)
+{
+    PowerEstimate power;
+    power.signalsW = 1.0; // 1 W dynamic
+    const auto energy = runEnergy(power, 1e-6); // 1 us -> 1 uJ
+    EXPECT_DOUBLE_EQ(nanojoulesPerNonZero(energy, 1000), 1.0);
+    EXPECT_THROW(nanojoulesPerNonZero(energy, 0), FatalError);
+}
+
+TEST(EnergyTest, SlowLowPowerFormatCanLoseOnTotalEnergy)
+{
+    // Section 6.4's remark, in numbers: 0.03 W dynamic for 10x the
+    // time loses to 0.12 W dynamic at 1x once static power (0.1 W)
+    // multiplies the duration.
+    PowerEstimate frugal;
+    frugal.signalsW = 0.03;
+    frugal.staticW = 0.103;
+    PowerEstimate hungry;
+    hungry.signalsW = 0.12;
+    hungry.staticW = 0.121;
+    const auto slow = runEnergy(frugal, 10.0);
+    const auto fast = runEnergy(hungry, 1.0);
+    EXPECT_GT(slow.totalJ(), fast.totalJ());
+    EXPECT_LT(frugal.dynamicW(), hungry.dynamicW());
+}
+
+} // namespace
+} // namespace copernicus

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the ASCII scatter-plot renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/ascii_plot.hh"
+#include "common/status.hh"
+
+namespace copernicus {
+namespace {
+
+TEST(AsciiPlotTest, EmptyPlotSaysSo)
+{
+    AsciiPlot plot;
+    std::ostringstream out;
+    plot.render(out);
+    EXPECT_NE(out.str().find("(no points)"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, TinyCanvasIsFatal)
+{
+    PlotConfig cfg;
+    cfg.width = 4;
+    EXPECT_THROW(AsciiPlot{cfg}, FatalError);
+}
+
+TEST(AsciiPlotTest, GlyphsAppearOnCanvas)
+{
+    AsciiPlot plot;
+    plot.add(0.0, 0.0, 'a');
+    plot.add(10.0, 10.0, 'b');
+    std::ostringstream out;
+    plot.render(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find('a'), std::string::npos);
+    EXPECT_NE(text.find('b'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, CornersLandAtExtremes)
+{
+    PlotConfig cfg;
+    cfg.width = 10;
+    cfg.height = 5;
+    AsciiPlot plot(cfg);
+    plot.add(0.0, 0.0, 'l');  // bottom-left
+    plot.add(1.0, 1.0, 'h');  // top-right
+    std::ostringstream out;
+    plot.render(out);
+    std::istringstream lines(out.str());
+    std::string first, line, last;
+    std::getline(lines, first); // top canvas row
+    last = first;
+    std::vector<std::string> rows;
+    rows.push_back(first);
+    while (std::getline(lines, line) && line[0] == '|')
+        rows.push_back(line);
+    // Top row holds 'h' at the right edge; bottom canvas row holds
+    // 'l' at the left edge.
+    EXPECT_EQ(rows.front().back(), 'h');
+    EXPECT_EQ(rows[rows.size() - 1][1], 'l');
+}
+
+TEST(AsciiPlotTest, NonFiniteAndLogInvalidPointsSkipped)
+{
+    PlotConfig cfg;
+    cfg.logX = true;
+    cfg.logY = true;
+    AsciiPlot plot(cfg);
+    plot.add(0.0, 1.0, 'x');  // log of zero -> skipped
+    plot.add(-1.0, 1.0, 'x'); // negative on log -> skipped
+    plot.add(1.0 / 0.0, 1.0, 'x'); // inf -> skipped
+    EXPECT_EQ(plot.points(), 0u);
+    plot.add(10.0, 10.0, 'k');
+    EXPECT_EQ(plot.points(), 1u);
+}
+
+TEST(AsciiPlotTest, LegendAndLabelsRendered)
+{
+    PlotConfig cfg;
+    cfg.xLabel = "compute";
+    cfg.yLabel = "memory";
+    AsciiPlot plot(cfg);
+    plot.add(1, 1, 'z');
+    plot.legend('z', "series-z");
+    std::ostringstream out;
+    plot.render(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("compute"), std::string::npos);
+    EXPECT_NE(text.find("memory"), std::string::npos);
+    EXPECT_NE(text.find("z=series-z"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, RangesPrinted)
+{
+    AsciiPlot plot;
+    plot.add(2.0, 3.0, 'p');
+    plot.add(8.0, 9.0, 'p');
+    std::ostringstream out;
+    plot.render(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("x: [2"), std::string::npos);
+    EXPECT_NE(text.find("9]"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, DegenerateSingleValueRangeHandled)
+{
+    AsciiPlot plot;
+    plot.add(5.0, 5.0, 'q');
+    plot.add(5.0, 5.0, 'q');
+    std::ostringstream out;
+    EXPECT_NO_THROW(plot.render(out));
+    EXPECT_NE(out.str().find('q'), std::string::npos);
+}
+
+} // namespace
+} // namespace copernicus

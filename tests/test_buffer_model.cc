@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Worst-case buffer-model tests: Section 2's maximum-length formulas,
+ * and the safety property that no real encoding ever exceeds its
+ * allocated worst case.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/status.hh"
+#include "fpga/buffer_model.hh"
+#include "formats/registry.hh"
+
+namespace copernicus {
+namespace {
+
+Bytes
+elementsOf(FormatKind kind, Index p, const std::string &array)
+{
+    for (const auto &buffer : bufferRequirements(kind, p))
+        if (buffer.array == array)
+            return buffer.maxElements;
+    ADD_FAILURE() << "no buffer named " << array;
+    return 0;
+}
+
+TEST(BufferModelTest, Section2MaximumLengths)
+{
+    const Index n = 16;
+    // CSR: offsets length n, values/indices up to n^2.
+    EXPECT_EQ(elementsOf(FormatKind::CSR, n, "offsets"), 16u);
+    EXPECT_EQ(elementsOf(FormatKind::CSR, n, "values"), 256u);
+    EXPECT_EQ(elementsOf(FormatKind::CSR, n, "colInx"), 256u);
+    // COO: 3n^2 tuple words.
+    EXPECT_EQ(elementsOf(FormatKind::COO, n, "tuples"), 3u * 256u);
+    // BCSR (b=4): offsets n/b, block indices (n/b)^2.
+    EXPECT_EQ(elementsOf(FormatKind::BCSR, n, "offsets"), 4u);
+    EXPECT_EQ(elementsOf(FormatKind::BCSR, n, "colInx"), 16u);
+    // DIA: (2n-1) diagonals of n+1 words.
+    EXPECT_EQ(elementsOf(FormatKind::DIA, n, "diags"), 31u * 17u);
+}
+
+TEST(BufferModelTest, ZeroPartitionIsFatal)
+{
+    EXPECT_THROW(bufferRequirements(FormatKind::CSR, 0), FatalError);
+}
+
+TEST(BufferModelTest, TotalBitsSumBuffers)
+{
+    for (FormatKind kind : allFormats()) {
+        Bytes sum = 0;
+        for (const auto &buffer : bufferRequirements(kind, 16))
+            sum += buffer.bits();
+        EXPECT_EQ(totalBufferBits(kind, 16), sum) << formatName(kind);
+        EXPECT_GT(sum, 0u) << formatName(kind);
+    }
+}
+
+TEST(BufferModelTest, DenseIsTheSmallestAllocationAtFullDensity)
+{
+    // Dense allocates exactly n^2 values; every sparse format's worst
+    // case is at least that (the paper's point that the worst-case
+    // allocations, unlike the transfers, do not shrink).
+    const Bytes dense = totalBufferBits(FormatKind::Dense, 16);
+    for (FormatKind kind : sparseFormats()) {
+        EXPECT_GE(totalBufferBits(kind, 16), dense)
+            << formatName(kind);
+    }
+}
+
+/** No encoding of any tile may exceed its format's allocation. */
+class BufferBoundTest : public testing::TestWithParam<FormatKind>
+{
+};
+
+TEST_P(BufferBoundTest, EncodingsFitTheWorstCase)
+{
+    const FormatKind kind = GetParam();
+    for (Index p : {8u, 16u, 32u}) {
+        const Bytes budget_bits = totalBufferBits(kind, p);
+        for (double density : {0.05, 0.5, 1.0}) {
+            Rng rng(p + static_cast<std::uint64_t>(density * 100));
+            Tile tile(p);
+            for (Index r = 0; r < p; ++r)
+                for (Index c = 0; c < p; ++c)
+                    if (rng.chance(density))
+                        tile(r, c) =
+                            static_cast<Value>(rng.range(0.5, 1.5));
+            const auto encoded = defaultCodec(kind).encode(tile);
+            EXPECT_LE(encoded->totalBytes() * 8, budget_bits)
+                << formatName(kind) << " p=" << p << " d=" << density;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, BufferBoundTest,
+                         testing::ValuesIn(allFormats()),
+                         [](const testing::TestParamInfo<FormatKind> &i) {
+                             return std::string(formatName(i.param));
+                         });
+
+} // namespace
+} // namespace copernicus

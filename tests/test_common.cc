@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for src/common: math helpers, RNG, status, logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hh"
+#include "common/math.hh"
+#include "common/rng.hh"
+#include "common/status.hh"
+
+namespace copernicus {
+namespace {
+
+TEST(MathTest, CeilDivExactAndInexact)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0u);
+    EXPECT_EQ(ceilDiv(4, 4), 1u);
+    EXPECT_EQ(ceilDiv(5, 4), 2u);
+    EXPECT_EQ(ceilDiv(8, 4), 2u);
+    EXPECT_EQ(ceilDiv(9, 4), 3u);
+}
+
+TEST(MathTest, CeilDivLargeValues)
+{
+    EXPECT_EQ(ceilDiv(1ULL << 40, 3), ((1ULL << 40) + 2) / 3);
+}
+
+TEST(MathTest, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1024));
+    EXPECT_FALSE(isPow2(1023));
+}
+
+TEST(MathTest, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(8), 3u);
+    EXPECT_EQ(log2Ceil(9), 4u);
+    EXPECT_EQ(log2Ceil(16), 4u);
+    EXPECT_EQ(log2Ceil(17), 5u);
+    EXPECT_EQ(log2Ceil(32), 5u);
+}
+
+TEST(MathTest, RoundUp)
+{
+    EXPECT_EQ(roundUp(0, 8), 0u);
+    EXPECT_EQ(roundUp(1, 8), 8u);
+    EXPECT_EQ(roundUp(8, 8), 8u);
+    EXPECT_EQ(roundUp(9, 8), 16u);
+}
+
+TEST(StatusTest, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config"), FatalError);
+    try {
+        fatal("bad config");
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "bad config");
+    }
+}
+
+TEST(StatusTest, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("broken invariant"), PanicError);
+}
+
+TEST(StatusTest, FatalErrorsAreCopernicusErrors)
+{
+    EXPECT_THROW(fatal("x"), Error);
+    EXPECT_THROW(panic("x"), Error);
+}
+
+TEST(StatusTest, ConditionalHelpersFireOnlyWhenTrue)
+{
+    EXPECT_NO_THROW(fatalIf(false, "no"));
+    EXPECT_NO_THROW(panicIf(false, "no"));
+    EXPECT_THROW(fatalIf(true, "yes"), FatalError);
+    EXPECT_THROW(panicIf(true, "yes"), PanicError);
+}
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a() == b();
+    EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BelowStaysInRange)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.below(10);
+        ASSERT_LT(v, 10u);
+        seen.insert(v);
+    }
+    // All ten residues should appear in 2000 draws.
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, BelowOneIsAlwaysZero)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(RngTest, ChanceMatchesProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(RngTest, RangeBounds)
+{
+    Rng rng(19);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.range(2.0, 5.0);
+        ASSERT_GE(v, 2.0);
+        ASSERT_LT(v, 5.0);
+    }
+}
+
+TEST(RngTest, SplitMix64AdvancesState)
+{
+    std::uint64_t state = 0;
+    const auto a = splitMix64(state);
+    const auto b = splitMix64(state);
+    EXPECT_NE(a, b);
+    EXPECT_NE(state, 0u);
+}
+
+TEST(LoggingTest, LevelRoundTrip)
+{
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Warn);
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    setLogLevel(saved);
+}
+
+TEST(LoggingTest, EmittersDoNotThrow)
+{
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Warn); // silence output during the test run
+    EXPECT_NO_THROW(debug("debug message"));
+    EXPECT_NO_THROW(inform("info message"));
+    EXPECT_NO_THROW(warn("warn message"));
+    setLogLevel(saved);
+}
+
+} // namespace
+} // namespace copernicus

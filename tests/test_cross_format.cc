@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Cross-format equivalence fuzzing: every format must agree with every
+ * other about what matrix a tile holds — same decoded tile, same SpMV
+ * result, same non-zero payload — across many randomized structures.
+ * Also pins the codecs' documented size restrictions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "common/status.hh"
+#include "formats/registry.hh"
+#include "formats/sellcs_format.hh"
+#include "kernels/spmv.hh"
+
+namespace copernicus {
+namespace {
+
+/** Structured fuzz tiles: pattern varies with the seed. */
+Tile
+fuzzTile(Index p, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Tile t(p);
+    const int pattern = static_cast<int>(rng.below(5));
+    switch (pattern) {
+      case 0: // uniform random at a random density
+      {
+        const double density = rng.range(0.01, 0.9);
+        for (Index r = 0; r < p; ++r)
+            for (Index c = 0; c < p; ++c)
+                if (rng.chance(density))
+                    t(r, c) = static_cast<Value>(rng.range(-2.0, 2.0));
+        break;
+      }
+      case 1: // band of random half-width
+      {
+        const Index half = 1 + static_cast<Index>(rng.below(p / 2));
+        for (Index r = 0; r < p; ++r)
+            for (Index c = (r > half ? r - half : 0);
+                 c < std::min(p, r + half + 1); ++c)
+                t(r, c) = static_cast<Value>(rng.range(0.5, 1.5));
+        break;
+      }
+      case 2: // a few dense rows
+      {
+        const Index rows = 1 + static_cast<Index>(rng.below(3));
+        for (Index k = 0; k < rows; ++k) {
+            const Index r = static_cast<Index>(rng.below(p));
+            for (Index c = 0; c < p; ++c)
+                t(r, c) = static_cast<Value>(rng.range(0.5, 1.5));
+        }
+        break;
+      }
+      case 3: // a few dense columns
+      {
+        const Index cols = 1 + static_cast<Index>(rng.below(3));
+        for (Index k = 0; k < cols; ++k) {
+            const Index c = static_cast<Index>(rng.below(p));
+            for (Index r = 0; r < p; ++r)
+                t(r, c) = static_cast<Value>(rng.range(0.5, 1.5));
+        }
+        break;
+      }
+      default: // sparse scatter
+        for (Index k = 0; k < p; ++k) {
+            t(static_cast<Index>(rng.below(p)),
+              static_cast<Index>(rng.below(p))) =
+                static_cast<Value>(rng.range(-1.0, 1.0));
+        }
+    }
+    return t;
+}
+
+TEST(CrossFormatTest, AllFormatsDecodeToTheSameTile)
+{
+    for (Index p : {8u, 16u, 32u}) {
+        for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+            const Tile tile = fuzzTile(p, seed * 131 + p);
+            for (FormatKind kind : allFormats()) {
+                const FormatCodec &codec = defaultCodec(kind);
+                const Tile decoded = codec.decode(*codec.encode(tile));
+                ASSERT_TRUE(decoded == tile)
+                    << formatName(kind) << " p=" << p << " seed="
+                    << seed;
+            }
+        }
+    }
+}
+
+TEST(CrossFormatTest, AllFormatsComputeTheSameSpmv)
+{
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const Index p = 16;
+        const Tile tile = fuzzTile(p, seed * 257);
+        Rng rng(seed);
+        std::vector<Value> x(p);
+        for (auto &v : x)
+            v = static_cast<Value>(rng.range(-1.0, 1.0));
+        const auto reference = spmvDense(tile, x);
+        for (FormatKind kind : allFormats()) {
+            const auto encoded = defaultCodec(kind).encode(tile);
+            const auto y = spmvEncoded(*encoded, x);
+            for (Index i = 0; i < p; ++i) {
+                ASSERT_NEAR(y[i], reference[i],
+                            1e-3 * (std::fabs(reference[i]) + 1))
+                    << formatName(kind) << " seed=" << seed << " row="
+                    << i;
+            }
+        }
+    }
+}
+
+TEST(CrossFormatTest, AllFormatsAgreeOnNnz)
+{
+    const Tile tile = fuzzTile(16, 999);
+    const Index nnz = tile.nnz();
+    for (FormatKind kind : allFormats()) {
+        const auto encoded = defaultCodec(kind).encode(tile);
+        EXPECT_EQ(encoded->nnz(), nnz) << formatName(kind);
+        EXPECT_EQ(encoded->usefulBytes(), Bytes(nnz) * valueBytes)
+            << formatName(kind);
+    }
+}
+
+TEST(CrossFormatTest, DenseIsTheByteCeilingForSparseTiles)
+{
+    // At low density every sparse format must undercut dense bytes.
+    Rng rng(7);
+    Tile t(32);
+    for (int k = 0; k < 8; ++k)
+        t(static_cast<Index>(rng.below(32)),
+          static_cast<Index>(rng.below(32))) = 1.0f;
+    const Bytes dense =
+        defaultCodec(FormatKind::Dense).encode(t)->totalBytes();
+    for (FormatKind kind : sparseFormats()) {
+        EXPECT_LT(defaultCodec(kind).encode(t)->totalBytes(), dense)
+            << formatName(kind);
+    }
+}
+
+TEST(CrossFormatTest, DocumentedSizeRestrictions)
+{
+    // Codecs with divisibility requirements reject odd tile sizes
+    // loudly instead of mis-encoding.
+    Tile t12(12);
+    t12(0, 0) = 1.0f;
+    // 12 % 4 == 0: BCSR and SELL accept.
+    EXPECT_NO_THROW(defaultCodec(FormatKind::BCSR).encode(t12));
+    EXPECT_NO_THROW(defaultCodec(FormatKind::SELL).encode(t12));
+    // SELL-C-sigma's window of 8 does not divide 12.
+    EXPECT_THROW(defaultCodec(FormatKind::SELLCS).encode(t12),
+                 FatalError);
+
+    Tile t6(6);
+    t6(0, 0) = 1.0f;
+    EXPECT_THROW(defaultCodec(FormatKind::BCSR).encode(t6),
+                 FatalError);
+    // Formats without divisibility requirements accept any size.
+    for (FormatKind kind :
+         {FormatKind::Dense, FormatKind::CSR, FormatKind::CSC,
+          FormatKind::COO, FormatKind::DOK, FormatKind::LIL,
+          FormatKind::ELL, FormatKind::DIA, FormatKind::JDS,
+          FormatKind::ELLCOO, FormatKind::BITMAP}) {
+        const auto encoded = defaultCodec(kind).encode(t6);
+        EXPECT_TRUE(defaultCodec(kind).decode(*encoded) == t6)
+            << formatName(kind);
+    }
+}
+
+} // namespace
+} // namespace copernicus

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the full-matrix CSC class and CSR<->CSC conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/status.hh"
+#include "matrix/csc_matrix.hh"
+#include "workloads/generators.hh"
+
+namespace copernicus {
+namespace {
+
+TEST(CscMatrixTest, BuildsFromTriplets)
+{
+    TripletMatrix m(3, 4);
+    m.add(0, 0, 1.0f);
+    m.add(2, 0, 2.0f);
+    m.add(1, 3, 3.0f);
+    m.finalize();
+    const CscMatrix csc(m);
+    EXPECT_EQ(csc.nnz(), 3u);
+    ASSERT_EQ(csc.colPtr().size(), 5u);
+    EXPECT_EQ(csc.colPtr()[0], 0u);
+    EXPECT_EQ(csc.colPtr()[1], 2u); // column 0 has two entries
+    EXPECT_EQ(csc.colPtr()[4], 3u);
+    EXPECT_EQ(csc.rowIndices()[0], 0u);
+    EXPECT_EQ(csc.rowIndices()[1], 2u); // rows sorted within column
+}
+
+TEST(CscMatrixTest, MultiplyMatchesCsr)
+{
+    Rng rng(91);
+    const auto m = randomMatrix(40, 0.15, rng);
+    const CsrMatrix csr(m);
+    const CscMatrix csc(m);
+    std::vector<Value> x(40);
+    for (auto &v : x)
+        v = static_cast<Value>(rng.range(-1.0, 1.0));
+    const auto y1 = csr.multiply(x);
+    const auto y2 = csc.multiply(x);
+    for (std::size_t i = 0; i < y1.size(); ++i)
+        EXPECT_NEAR(y1[i], y2[i], 1e-4);
+}
+
+TEST(CscMatrixTest, MultiplyChecksDimensions)
+{
+    TripletMatrix m(2, 3);
+    m.finalize();
+    const CscMatrix csc(m);
+    EXPECT_THROW(csc.multiply({1.0f, 2.0f}), FatalError);
+}
+
+TEST(CscMatrixTest, DirectConversionFromCsr)
+{
+    Rng rng(92);
+    const auto m = randomMatrix(32, 0.2, rng);
+    const CscMatrix via_triplets(m);
+    const CscMatrix via_csr{CsrMatrix(m)};
+    EXPECT_EQ(via_triplets.colPtr(), via_csr.colPtr());
+    EXPECT_EQ(via_triplets.rowIndices(), via_csr.rowIndices());
+    EXPECT_EQ(via_triplets.values(), via_csr.values());
+}
+
+TEST(CscMatrixTest, ToTripletsRoundTrips)
+{
+    Rng rng(93);
+    const auto m = randomMatrix(24, 0.2, rng);
+    const CscMatrix csc(m);
+    EXPECT_TRUE(csc.toTriplets() == m);
+}
+
+TEST(CscMatrixTest, CscToCsrRoundTrips)
+{
+    Rng rng(94);
+    const auto m = randomMatrix(24, 0.2, rng);
+    const CsrMatrix back = toCsr(CscMatrix(m));
+    const CsrMatrix direct(m);
+    EXPECT_EQ(back.rowPtr(), direct.rowPtr());
+    EXPECT_EQ(back.colIndices(), direct.colIndices());
+    EXPECT_EQ(back.values(), direct.values());
+}
+
+TEST(CscMatrixTest, EmptyMatrix)
+{
+    TripletMatrix m(4, 4);
+    m.finalize();
+    const CscMatrix csc(m);
+    EXPECT_EQ(csc.nnz(), 0u);
+    const auto y = csc.multiply(std::vector<Value>(4, 1.0f));
+    for (Value v : y)
+        EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(CscMatrixTest, RectangularShapesPreserved)
+{
+    TripletMatrix m(2, 5);
+    m.add(1, 4, 7.0f);
+    m.finalize();
+    const CscMatrix csc(m);
+    EXPECT_EQ(csc.rows(), 2u);
+    EXPECT_EQ(csc.cols(), 5u);
+    EXPECT_TRUE(csc.toTriplets() == m);
+}
+
+} // namespace
+} // namespace copernicus

@@ -1,0 +1,445 @@
+/**
+ * @file
+ * Per-format layout tests: each codec's encoded arrays are checked
+ * against hand-computed expectations on small tiles (the Figure-1 style
+ * examples), plus the byte-accounting rules the metrics depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "formats/bcsr_format.hh"
+#include "formats/coo_format.hh"
+#include "formats/csc_format.hh"
+#include "formats/csr_format.hh"
+#include "formats/dense_format.hh"
+#include "formats/dia_format.hh"
+#include "formats/dok_format.hh"
+#include "formats/ell_format.hh"
+#include "formats/ellcoo_format.hh"
+#include "formats/jds_format.hh"
+#include "formats/lil_format.hh"
+#include "formats/bitmap_format.hh"
+#include "formats/registry.hh"
+#include "formats/sell_format.hh"
+#include "formats/sellcs_format.hh"
+
+namespace copernicus {
+namespace {
+
+/** 4x4 example tile:
+ *    [ 1 0 2 0 ]
+ *    [ 0 0 0 0 ]
+ *    [ 0 3 0 0 ]
+ *    [ 4 0 0 5 ]
+ */
+Tile
+exampleTile()
+{
+    Tile t(4);
+    t(0, 0) = 1;
+    t(0, 2) = 2;
+    t(2, 1) = 3;
+    t(3, 0) = 4;
+    t(3, 3) = 5;
+    return t;
+}
+
+TEST(FormatKindTest, NamesRoundTrip)
+{
+    for (FormatKind kind : allFormats())
+        EXPECT_EQ(parseFormatKind(formatName(kind)), kind);
+}
+
+TEST(FormatKindTest, UnknownNameIsFatal)
+{
+    EXPECT_THROW(parseFormatKind("NOPE"), FatalError);
+}
+
+TEST(FormatKindTest, ListSizes)
+{
+    EXPECT_EQ(paperFormats().size(), 8u);
+    EXPECT_EQ(sparseFormats().size(), 7u);
+    EXPECT_EQ(extensionFormats().size(), 6u);
+    EXPECT_EQ(allFormats().size(), 14u);
+}
+
+TEST(FormatKindTest, RegistryCoversAllKinds)
+{
+    for (FormatKind kind : allFormats())
+        EXPECT_EQ(defaultCodec(kind).kind(), kind);
+}
+
+TEST(CsrFormatTest, LayoutMatchesHandEncoding)
+{
+    const auto encoded = CsrCodec().encode(exampleTile());
+    const auto &csr = encodedAs<CsrEncoded>(*encoded, FormatKind::CSR);
+    // Cumulative-count offsets, length p.
+    EXPECT_EQ(csr.offsets, (std::vector<Index>{2, 2, 3, 5}));
+    EXPECT_EQ(csr.colInx, (std::vector<Index>{0, 2, 1, 0, 3}));
+    EXPECT_EQ(csr.values, (std::vector<Value>{1, 2, 3, 4, 5}));
+    EXPECT_EQ(csr.rowStart(0), 0u);
+    EXPECT_EQ(csr.rowEnd(0), 2u);
+    EXPECT_EQ(csr.rowStart(1), 2u);
+    EXPECT_EQ(csr.rowEnd(1), 2u); // empty row
+}
+
+TEST(CsrFormatTest, ByteAccounting)
+{
+    const auto encoded = CsrCodec().encode(exampleTile());
+    EXPECT_EQ(encoded->usefulBytes(), 5u * 4u);
+    // 5 col indices + 4 offsets.
+    EXPECT_EQ(encoded->metadataBytes(), (5u + 4u) * 4u);
+    EXPECT_EQ(encoded->streams().size(), 3u);
+}
+
+TEST(CscFormatTest, LayoutMatchesHandEncoding)
+{
+    const auto encoded = CscCodec().encode(exampleTile());
+    const auto &csc = encodedAs<CscEncoded>(*encoded, FormatKind::CSC);
+    EXPECT_EQ(csc.offsets, (std::vector<Index>{2, 3, 4, 5}));
+    EXPECT_EQ(csc.rowInx, (std::vector<Index>{0, 3, 2, 0, 3}));
+    EXPECT_EQ(csc.values, (std::vector<Value>{1, 4, 3, 2, 5}));
+}
+
+TEST(BcsrFormatTest, SingleBlockLayout)
+{
+    Tile t(8);
+    t(0, 0) = 1;
+    t(2, 3) = 2; // same top-left 4x4 block
+    const auto encoded = BcsrCodec(4).encode(t);
+    const auto &bcsr = encodedAs<BcsrEncoded>(*encoded, FormatKind::BCSR);
+    EXPECT_EQ(bcsr.offsets, (std::vector<Index>{1, 1}));
+    ASSERT_EQ(bcsr.values.size(), 1u);
+    EXPECT_EQ(bcsr.colInx[0], 0u);
+    // Flattened row-major block with in-block zeros kept.
+    EXPECT_FLOAT_EQ(bcsr.values[0][0], 1.0f);
+    EXPECT_FLOAT_EQ(bcsr.values[0][2 * 4 + 3], 2.0f);
+    EXPECT_EQ(bcsr.values[0].size(), 16u);
+}
+
+TEST(BcsrFormatTest, BlockColumnIndexIsFirstColumn)
+{
+    Tile t(8);
+    t(5, 6) = 9; // block row 1, block col 1
+    const auto encoded = BcsrCodec(4).encode(t);
+    const auto &bcsr = encodedAs<BcsrEncoded>(*encoded, FormatKind::BCSR);
+    EXPECT_EQ(bcsr.offsets, (std::vector<Index>{0, 1}));
+    EXPECT_EQ(bcsr.colInx[0], 4u);
+}
+
+TEST(BcsrFormatTest, BlockSizeMustDivideTile)
+{
+    Tile t(6);
+    EXPECT_THROW(BcsrCodec(4).encode(t), FatalError);
+}
+
+TEST(BcsrFormatTest, InBlockZerosAreOverheadBytes)
+{
+    Tile t(8);
+    t(0, 0) = 1;
+    const auto encoded = BcsrCodec(4).encode(t);
+    EXPECT_EQ(encoded->usefulBytes(), 4u);
+    // 15 in-block zeros + 1 column index + 2 offsets.
+    EXPECT_EQ(encoded->metadataBytes(), (15u + 1u + 2u) * 4u);
+}
+
+TEST(CooFormatTest, TuplesRowMajor)
+{
+    const auto encoded = CooCodec().encode(exampleTile());
+    const auto &coo = encodedAs<CooEncoded>(*encoded, FormatKind::COO);
+    EXPECT_EQ(coo.rowInx, (std::vector<Index>{0, 0, 2, 3, 3}));
+    EXPECT_EQ(coo.colInx, (std::vector<Index>{0, 2, 1, 0, 3}));
+    EXPECT_EQ(coo.values, (std::vector<Value>{1, 2, 3, 4, 5}));
+}
+
+TEST(CooFormatTest, BandwidthUtilizationIsOneThird)
+{
+    // The paper's Figures 10-12: COO always transmits two indices per
+    // value, pinning utilization at 1/3.
+    const auto encoded = CooCodec().encode(exampleTile());
+    EXPECT_DOUBLE_EQ(encoded->bandwidthUtilization(), 1.0 / 3.0);
+}
+
+TEST(DokFormatTest, SameWireBytesAsCoo)
+{
+    const Tile t = exampleTile();
+    const auto coo = CooCodec().encode(t);
+    const auto dok = DokCodec().encode(t);
+    EXPECT_EQ(coo->totalBytes(), dok->totalBytes());
+    EXPECT_DOUBLE_EQ(dok->bandwidthUtilization(), 1.0 / 3.0);
+}
+
+TEST(DokFormatTest, KeyPacking)
+{
+    const auto key = DokEncoded::key(3, 7);
+    EXPECT_EQ(key >> 32, 3u);
+    EXPECT_EQ(key & 0xffffffffULL, 7u);
+}
+
+TEST(LilFormatTest, ColumnsPushedToTop)
+{
+    const auto encoded = LilCodec().encode(exampleTile());
+    const auto &lil = encodedAs<LilEncoded>(*encoded, FormatKind::LIL);
+    // Longest column (col 0: rows 0, 3) + 1 sentinel row.
+    EXPECT_EQ(lil.height(), 3u);
+    EXPECT_EQ(lil.rowAt(0, 0), 0u);
+    EXPECT_FLOAT_EQ(lil.valueAt(0, 0), 1.0f);
+    EXPECT_EQ(lil.rowAt(1, 0), 3u);
+    EXPECT_FLOAT_EQ(lil.valueAt(1, 0), 4.0f);
+    EXPECT_EQ(lil.rowAt(2, 0), LilEncoded::endMarker);
+    EXPECT_EQ(lil.rowAt(0, 1), 2u); // col 1 holds only (2,1)=3
+    EXPECT_EQ(lil.rowAt(1, 1), LilEncoded::endMarker);
+}
+
+TEST(LilFormatTest, CompactListsCrossTheWire)
+{
+    // 5 non-zeros + one end marker per column, 8 bytes per entry.
+    const auto encoded = LilCodec().encode(exampleTile());
+    EXPECT_EQ(encoded->totalBytes(), (5u + 4u) * 8u);
+}
+
+TEST(EllFormatTest, WidthFloorsAtMinClampedToTile)
+{
+    EllCodec codec(6);
+    Tile small(4);
+    small(0, 0) = 1;
+    EXPECT_EQ(codec.widthFor(small), 4u); // min(6, p=4)
+    Tile wide(16);
+    wide(0, 0) = 1;
+    EXPECT_EQ(codec.widthFor(wide), 6u); // floor 6
+}
+
+TEST(EllFormatTest, WidthGrowsToLongestRow)
+{
+    EllCodec codec(6);
+    Tile t(16);
+    for (Index c = 0; c < 10; ++c)
+        t(3, c) = 1;
+    EXPECT_EQ(codec.widthFor(t), 10u);
+}
+
+TEST(EllFormatTest, RowsPushedLeftWithPadding)
+{
+    const auto encoded = EllCodec(3).encode(exampleTile());
+    const auto &ell = encodedAs<EllEncoded>(*encoded, FormatKind::ELL);
+    EXPECT_EQ(ell.width(), 3u);
+    EXPECT_EQ(ell.colAt(0, 0), 0u);
+    EXPECT_EQ(ell.colAt(0, 1), 2u);
+    EXPECT_EQ(ell.colAt(0, 2), EllEncoded::padMarker);
+    EXPECT_EQ(ell.colAt(1, 0), EllEncoded::padMarker); // empty row
+    EXPECT_FLOAT_EQ(ell.valueAt(3, 1), 5.0f);
+}
+
+TEST(SellFormatTest, PerSliceWidths)
+{
+    Tile t(8);
+    for (Index c = 0; c < 5; ++c)
+        t(0, c) = 1; // slice 0 width 5
+    t(6, 1) = 2;     // slice 1 width 1
+    const auto encoded = SellCodec(4).encode(t);
+    const auto &sell = encodedAs<SellEncoded>(*encoded, FormatKind::SELL);
+    ASSERT_EQ(sell.slices.size(), 2u);
+    EXPECT_EQ(sell.slices[0].width, 5u);
+    EXPECT_EQ(sell.slices[1].width, 1u);
+}
+
+TEST(SellFormatTest, SliceMustDivideTile)
+{
+    Tile t(6);
+    EXPECT_THROW(SellCodec(4).encode(t), FatalError);
+}
+
+TEST(SellFormatTest, SmallerThanEllForSkewedRows)
+{
+    // One long row forces plain ELL to a global width; SELL pays it in
+    // one slice only.
+    Tile t(16);
+    for (Index c = 0; c < 12; ++c)
+        t(0, c) = 1;
+    for (Index r = 1; r < 16; ++r)
+        t(r, 0) = 1;
+    const auto ell = EllCodec(6).encode(t);
+    const auto sell = SellCodec(4).encode(t);
+    EXPECT_LT(sell->totalBytes(), ell->totalBytes());
+}
+
+TEST(DiaFormatTest, DiagonalNumbersAndSlots)
+{
+    const auto encoded = DiaCodec().encode(exampleTile());
+    const auto &dia = encodedAs<DiaEncoded>(*encoded, FormatKind::DIA);
+    // Non-zero diagonals of the example: -3 (4), -1 (3), 0 (1,5), 2 (2).
+    ASSERT_EQ(dia.diagonals.size(), 4u);
+    EXPECT_EQ(dia.diagonals[0].number, -3);
+    EXPECT_EQ(dia.diagonals[1].number, -1);
+    EXPECT_EQ(dia.diagonals[2].number, 0);
+    EXPECT_EQ(dia.diagonals[3].number, 2);
+    // Main diagonal holds 1 at row 0 and 5 at row 3.
+    EXPECT_FLOAT_EQ(dia.diagonals[2].values[0], 1.0f);
+    EXPECT_FLOAT_EQ(dia.diagonals[2].values[3], 5.0f);
+    // d = -3: element (3,0) sits at slot 3 + (-3) = 0.
+    EXPECT_FLOAT_EQ(dia.diagonals[0].values[0], 4.0f);
+}
+
+TEST(DiaFormatTest, PureDiagonalUtilizationApproachesOne)
+{
+    // Section 6.3: DIA's utilization for a diagonal matrix is p/(p+1),
+    // approaching 1 as the partition grows.
+    for (Index p : {8u, 16u, 32u}) {
+        Tile t(p);
+        for (Index i = 0; i < p; ++i)
+            t(i, i) = 1;
+        const auto encoded = DiaCodec().encode(t);
+        EXPECT_DOUBLE_EQ(encoded->bandwidthUtilization(),
+                         double(p) / (p + 1));
+    }
+}
+
+TEST(DiaFormatTest, RowOnDiagonalPredicate)
+{
+    DiaEncoded dia(4, 0);
+    EXPECT_TRUE(dia.rowOnDiagonal(0, 0));
+    EXPECT_TRUE(dia.rowOnDiagonal(0, 3));
+    EXPECT_FALSE(dia.rowOnDiagonal(0, -1));
+    EXPECT_TRUE(dia.rowOnDiagonal(3, -3));
+    EXPECT_FALSE(dia.rowOnDiagonal(3, 1));
+}
+
+TEST(JdsFormatTest, PermutationSortsByRowLength)
+{
+    const auto encoded = JdsCodec().encode(exampleTile());
+    const auto &jds = encodedAs<JdsEncoded>(*encoded, FormatKind::JDS);
+    // Row lengths: r0=2, r1=0, r2=1, r3=2; stable sort: 0, 3, 2, 1.
+    EXPECT_EQ(jds.perm, (std::vector<Index>{0, 3, 2, 1}));
+    // Two jagged diagonals: first has 3 entries, second 2.
+    EXPECT_EQ(jds.jdPtr, (std::vector<Index>{0, 3, 5}));
+    EXPECT_EQ(jds.values.size(), 5u);
+}
+
+TEST(EllCooFormatTest, OverflowSpillsToCoo)
+{
+    Tile t(8);
+    for (Index c = 0; c < 5; ++c)
+        t(2, c) = Value(c + 1);
+    const auto encoded = EllCooCodec(2).encode(t);
+    const auto &hybrid =
+        encodedAs<EllCooEncoded>(*encoded, FormatKind::ELLCOO);
+    EXPECT_EQ(hybrid.width(), 2u);
+    EXPECT_EQ(hybrid.overflowValues.size(), 3u);
+    EXPECT_EQ(hybrid.overflowRows[0], 2u);
+    EXPECT_EQ(hybrid.overflowCols[0], 2u);
+}
+
+TEST(SellCsFormatTest, WindowedSortKeepsPermutationLocal)
+{
+    // One long row at the bottom: global JDS would move it to the top,
+    // SELL-C-sigma may only move it within its sigma-window.
+    Tile t(16);
+    for (Index c = 0; c < 10; ++c)
+        t(12, c) = 1;
+    t(2, 5) = 2;
+    const auto encoded = SellCsCodec(4, 8).encode(t);
+    const auto &scs = encodedAs<SellCsEncoded>(*encoded,
+                                               FormatKind::SELLCS);
+    ASSERT_EQ(scs.perm.size(), 16u);
+    // Row 12 lives in window [8, 16): its sorted position stays there.
+    Index position = 0;
+    for (Index k = 0; k < 16; ++k)
+        if (scs.perm[k] == 12)
+            position = k;
+    EXPECT_GE(position, 8u);
+    // Window [8,16) sorts row 12 first.
+    EXPECT_EQ(scs.perm[8], 12u);
+}
+
+TEST(SellCsFormatTest, NoWiderThanSell)
+{
+    // Windowed sorting can only shrink per-slice widths.
+    Tile t(16);
+    Rng rng(5);
+    for (Index r = 0; r < 16; ++r)
+        for (Index c = 0; c < 16; ++c)
+            if (rng.chance(0.2))
+                t(r, c) = 1;
+    const auto sell = SellCodec(4).encode(t);
+    const auto scs = SellCsCodec(4, 8).encode(t);
+    // Compare payload bytes minus the perm overhead scs carries.
+    EXPECT_LE(scs->totalBytes(),
+              sell->totalBytes() + 16u * indexBytes);
+}
+
+TEST(SellCsFormatTest, InvalidWindowIsFatal)
+{
+    EXPECT_THROW(SellCsCodec(4, 6), FatalError); // not a multiple
+    Tile t(12);
+    EXPECT_THROW(SellCsCodec(4, 8).encode(t), FatalError); // 8 !| 12
+}
+
+TEST(BitmapFormatTest, MaskAndValueLayout)
+{
+    const auto encoded = BitmapCodec().encode(exampleTile());
+    const auto &bitmap = encodedAs<BitmapEncoded>(*encoded,
+                                                  FormatKind::BITMAP);
+    EXPECT_TRUE(bitmap.test(0, 0));
+    EXPECT_TRUE(bitmap.test(3, 3));
+    EXPECT_FALSE(bitmap.test(1, 1));
+    // Values in row-major scan order.
+    EXPECT_EQ(bitmap.values, (std::vector<Value>{1, 2, 3, 4, 5}));
+}
+
+TEST(BitmapFormatTest, FixedMetadataBytes)
+{
+    // The mask costs p*p/8 bytes regardless of sparsity.
+    for (Index p : {8u, 16u, 32u}) {
+        Tile t(p);
+        t(0, 0) = 1;
+        const auto encoded = BitmapCodec().encode(t);
+        EXPECT_EQ(encoded->metadataBytes(), Bytes(p) * p / 8);
+    }
+}
+
+TEST(BitmapFormatTest, BeatsCooUtilizationOnModerateTiles)
+{
+    // The extension's selling point: above ~1 nnz per 16 cells the
+    // bitmap's fixed mask beats COO's two-indices-per-value.
+    Tile t(16);
+    Rng rng(6);
+    for (Index r = 0; r < 16; ++r)
+        for (Index c = 0; c < 16; ++c)
+            if (rng.chance(0.2))
+                t(r, c) = 1;
+    const auto bitmap = BitmapCodec().encode(t);
+    const auto coo = CooCodec().encode(t);
+    EXPECT_GT(bitmap->bandwidthUtilization(),
+              coo->bandwidthUtilization());
+}
+
+TEST(DenseFormatTest, AllCellsOnTheWire)
+{
+    const auto encoded = DenseCodec().encode(exampleTile());
+    EXPECT_EQ(encoded->totalBytes(), 16u * 4u);
+    EXPECT_EQ(encoded->usefulBytes(), 5u * 4u);
+    EXPECT_DOUBLE_EQ(encoded->bandwidthUtilization(), 5.0 / 16.0);
+}
+
+TEST(EncodedTileTest, KindMismatchPanics)
+{
+    const auto encoded = CooCodec().encode(exampleTile());
+    EXPECT_THROW(CsrCodec().decode(*encoded), PanicError);
+}
+
+TEST(RegistryTest, ParamsReachCodecs)
+{
+    FormatParams params;
+    params.ellMinWidth = 3;
+    const FormatRegistry registry(params);
+    const auto &ell =
+        static_cast<const EllCodec &>(registry.codec(FormatKind::ELL));
+    EXPECT_EQ(ell.minWidth(), 3u);
+    const auto &bcsr =
+        static_cast<const BcsrCodec &>(registry.codec(FormatKind::BCSR));
+    EXPECT_EQ(bcsr.blockSize(), 4u);
+}
+
+} // namespace
+} // namespace copernicus

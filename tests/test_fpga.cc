@@ -1,0 +1,216 @@
+/**
+ * @file
+ * FPGA resource/power model tests: Table-2 calibration points come back
+ * verbatim, structural extrapolation stays sane, and the power
+ * breakdown honors the calibrated totals.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/status.hh"
+#include "fpga/power_model.hh"
+#include "fpga/resource_model.hh"
+
+namespace copernicus {
+namespace {
+
+TEST(ResourceModelTest, CalibrationMatchesTable2Spots)
+{
+    // Spot-check rows of Table 2.
+    const auto dense16 = paperCalibration(FormatKind::Dense, 16);
+    ASSERT_TRUE(dense16.has_value());
+    EXPECT_DOUBLE_EQ(dense16->bram18k, 16);
+    EXPECT_DOUBLE_EQ(dense16->ffK, 1.9);
+    EXPECT_DOUBLE_EQ(dense16->lutK, 0.7);
+
+    const auto dia32 = paperCalibration(FormatKind::DIA, 32);
+    ASSERT_TRUE(dia32.has_value());
+    EXPECT_DOUBLE_EQ(dia32->bram18k, 11);
+    EXPECT_DOUBLE_EQ(dia32->ffK, 9.2);
+
+    const auto ell8 = paperCalibration(FormatKind::ELL, 8);
+    ASSERT_TRUE(ell8.has_value());
+    EXPECT_DOUBLE_EQ(ell8->bram18k, 1);
+}
+
+TEST(ResourceModelTest, NoCalibrationForExtensionsOrOddSizes)
+{
+    EXPECT_FALSE(paperCalibration(FormatKind::DOK, 16).has_value());
+    EXPECT_FALSE(paperCalibration(FormatKind::CSR, 12).has_value());
+}
+
+TEST(ResourceModelTest, EstimateReturnsCalibrationWhenAvailable)
+{
+    const auto est = estimateResources(FormatKind::CSR, 16);
+    EXPECT_TRUE(est.calibrated);
+    EXPECT_DOUBLE_EQ(est.bram18k, 2);
+    EXPECT_DOUBLE_EQ(est.ffK, 0.8);
+}
+
+TEST(ResourceModelTest, BcsrMatchesDenseBramUsage)
+{
+    // Section 6.4: "BCSR utilizes the same blocks as the dense
+    // implementation does."
+    for (Index p : {8u, 16u, 32u}) {
+        EXPECT_DOUBLE_EQ(estimateResources(FormatKind::BCSR, p).bram18k,
+                         estimateResources(FormatKind::Dense, p).bram18k);
+    }
+}
+
+TEST(ResourceModelTest, CsrCscUseFewestBrams)
+{
+    // Section 6.4: CSR and CSC utilized the lowest BRAM counts.
+    for (Index p : {8u, 16u}) {
+        const double csr = estimateResources(FormatKind::CSR, p).bram18k;
+        const double csc = estimateResources(FormatKind::CSC, p).bram18k;
+        for (FormatKind kind :
+             {FormatKind::Dense, FormatKind::BCSR, FormatKind::LIL,
+              FormatKind::DIA, FormatKind::COO}) {
+            const double other = estimateResources(kind, p).bram18k;
+            EXPECT_LE(std::min(csr, csc), other)
+                << formatName(kind) << " p=" << p;
+        }
+    }
+}
+
+TEST(ResourceModelTest, ExtensionEstimatesArePositive)
+{
+    for (FormatKind kind : extensionFormats()) {
+        for (Index p : {8u, 16u, 32u}) {
+            const auto est = estimateResources(kind, p);
+            EXPECT_FALSE(est.calibrated);
+            EXPECT_GT(est.bram18k, 0.0) << formatName(kind);
+            EXPECT_GT(est.ffK, 0.0) << formatName(kind);
+            EXPECT_GT(est.lutK, 0.0) << formatName(kind);
+        }
+    }
+}
+
+TEST(ResourceModelTest, UncalibratedPartitionSizeInterpolates)
+{
+    const auto est = estimateResources(FormatKind::Dense, 64);
+    EXPECT_FALSE(est.calibrated);
+    // Dense BRAM scales with p: extrapolating past 32 must exceed it.
+    EXPECT_GT(est.bram18k, 32.0);
+}
+
+TEST(ResourceModelTest, ZeroPartitionIsFatal)
+{
+    EXPECT_THROW(estimateResources(FormatKind::CSR, 0), FatalError);
+}
+
+TEST(ResourceModelTest, UtilizationPercentages)
+{
+    const ResourceEstimate est{14.0, 10.64, 5.32, true};
+    const auto util = utilization(est);
+    EXPECT_DOUBLE_EQ(util.bramPct, 10.0);
+    EXPECT_DOUBLE_EQ(util.ffPct, 10.0);
+    EXPECT_DOUBLE_EQ(util.lutPct, 10.0);
+}
+
+TEST(ResourceModelTest, AllPaperPointsFitTheDevice)
+{
+    const DeviceCapacity device;
+    for (FormatKind kind : paperFormats()) {
+        for (Index p : {8u, 16u, 32u}) {
+            const auto est = estimateResources(kind, p);
+            EXPECT_LT(est.bram18k, device.bram18k);
+            EXPECT_LT(est.ffK, device.ffK);
+            EXPECT_LT(est.lutK, device.lutK);
+        }
+    }
+}
+
+TEST(ResourceModelTest, EllFfPeaksAtMidPartition)
+{
+    // Section 6.4: smaller ELL partitions buffer in flip-flops rather
+    // than BRAM, so FF usage *drops* at p=32 (Table 2: 2.0/3.2/0.9).
+    const double ff8 = estimateResources(FormatKind::ELL, 8).ffK;
+    const double ff16 = estimateResources(FormatKind::ELL, 16).ffK;
+    const double ff32 = estimateResources(FormatKind::ELL, 32).ffK;
+    EXPECT_GT(ff16, ff8);
+    EXPECT_LT(ff32, ff8);
+}
+
+TEST(ResourceModelTest, LilAndDiaFfGrowSteeplyWithPartition)
+{
+    // Table 2's FF columns: LIL 2.9/5.8/9.1 and DIA 2.2/5.0/9.2 —
+    // the wide parallel merge structures scale with p.
+    for (FormatKind kind : {FormatKind::LIL, FormatKind::DIA}) {
+        const double ff8 = estimateResources(kind, 8).ffK;
+        const double ff32 = estimateResources(kind, 32).ffK;
+        EXPECT_GT(ff32, 3.0 * ff8) << formatName(kind);
+    }
+}
+
+TEST(PowerModelTest, CalibratedTotalsMatchTable2)
+{
+    EXPECT_DOUBLE_EQ(*paperDynamicPower(FormatKind::Dense, 16), 0.08);
+    EXPECT_DOUBLE_EQ(*paperDynamicPower(FormatKind::DIA, 16), 0.12);
+    EXPECT_DOUBLE_EQ(*paperDynamicPower(FormatKind::CSC, 8), 0.01);
+    EXPECT_FALSE(paperDynamicPower(FormatKind::DOK, 16).has_value());
+}
+
+TEST(PowerModelTest, BreakdownSumsToCalibratedTotal)
+{
+    for (FormatKind kind : paperFormats()) {
+        for (Index p : {8u, 16u, 32u}) {
+            const auto power = estimatePower(kind, p);
+            EXPECT_NEAR(power.dynamicW(), *paperDynamicPower(kind, p),
+                        1e-9)
+                << formatName(kind) << " p=" << p;
+            EXPECT_GT(power.logicW, 0.0);
+            EXPECT_GT(power.bramW, 0.0);
+            EXPECT_GT(power.signalsW, 0.0);
+        }
+    }
+}
+
+TEST(PowerModelTest, StaticPowerGroups)
+{
+    // Section 6.4's two static-power groups.
+    for (FormatKind kind : {FormatKind::Dense, FormatKind::CSR,
+                            FormatKind::BCSR, FormatKind::LIL,
+                            FormatKind::ELL}) {
+        EXPECT_DOUBLE_EQ(paperStaticPower(kind), 0.121);
+    }
+    for (FormatKind kind :
+         {FormatKind::CSC, FormatKind::COO, FormatKind::DIA}) {
+        EXPECT_DOUBLE_EQ(paperStaticPower(kind), 0.103);
+    }
+}
+
+TEST(PowerModelTest, EstimateIncludesStatic)
+{
+    const auto power = estimatePower(FormatKind::COO, 16);
+    EXPECT_DOUBLE_EQ(power.staticW, 0.103);
+    EXPECT_DOUBLE_EQ(power.totalW(), power.dynamicW() + power.staticW);
+}
+
+TEST(PowerModelTest, ExtensionPowerIsAnchoredAndPositive)
+{
+    for (FormatKind kind : extensionFormats()) {
+        const auto power = estimatePower(kind, 16);
+        EXPECT_GT(power.dynamicW(), 0.0) << formatName(kind);
+        EXPECT_LT(power.dynamicW(), 1.0) << formatName(kind);
+    }
+}
+
+TEST(PowerModelTest, SignalsDominateTheBreakdown)
+{
+    // Section 6.4: overall dynamic power "more generally follows the
+    // same trend as the power consumption of signals".
+    int signal_heavy = 0, total = 0;
+    for (FormatKind kind : paperFormats()) {
+        for (Index p : {8u, 16u, 32u}) {
+            const auto power = estimatePower(kind, p);
+            signal_heavy += power.signalsW >= power.bramW &&
+                            power.signalsW >= power.logicW;
+            ++total;
+        }
+    }
+    EXPECT_GT(signal_heavy * 2, total);
+}
+
+} // namespace
+} // namespace copernicus

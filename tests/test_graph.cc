@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the linear-algebra graph kernels (BFS, SSSP).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/status.hh"
+#include "solvers/graph.hh"
+#include "workloads/generators.hh"
+
+namespace copernicus {
+namespace {
+
+/** Directed path 0 -> 1 -> 2 -> 3 with unit weights. */
+TripletMatrix
+pathGraph(Index n = 4)
+{
+    TripletMatrix g(n, n);
+    for (Index i = 0; i + 1 < n; ++i)
+        g.add(i, i + 1, 1.0f);
+    g.finalize();
+    return g;
+}
+
+TEST(BfsTest, PathLevels)
+{
+    const auto result = bfs(pathGraph(), 0);
+    EXPECT_EQ(result.level, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+    EXPECT_EQ(result.reached, 4u);
+}
+
+TEST(BfsTest, UnreachableVerticesMarked)
+{
+    const auto result = bfs(pathGraph(), 2);
+    EXPECT_EQ(result.level[0], bfsUnreached);
+    EXPECT_EQ(result.level[1], bfsUnreached);
+    EXPECT_EQ(result.level[2], 0u);
+    EXPECT_EQ(result.level[3], 1u);
+    EXPECT_EQ(result.reached, 2u);
+}
+
+TEST(BfsTest, DirectionalityRespected)
+{
+    // Edge 0 -> 1 only: BFS from 1 must not reach 0.
+    TripletMatrix g(2, 2);
+    g.add(0, 1, 1.0f);
+    g.finalize();
+    const auto result = bfs(g, 1);
+    EXPECT_EQ(result.level[0], bfsUnreached);
+}
+
+TEST(BfsTest, CycleCovered)
+{
+    TripletMatrix ring(5, 5);
+    for (Index i = 0; i < 5; ++i)
+        ring.add(i, (i + 1) % 5, 1.0f);
+    ring.finalize();
+    const auto result = bfs(ring, 3);
+    EXPECT_EQ(result.reached, 5u);
+    EXPECT_EQ(result.level[3], 0u);
+    EXPECT_EQ(result.level[2], 4u);
+}
+
+TEST(BfsTest, RoundsEqualEccentricity)
+{
+    const auto result = bfs(pathGraph(6), 0);
+    // 5 frontier expansions: the last one discovers nothing.
+    EXPECT_EQ(result.rounds, 6u);
+}
+
+TEST(BfsTest, InvalidInputsAreFatal)
+{
+    TripletMatrix rect(2, 3);
+    rect.finalize();
+    EXPECT_THROW(bfs(rect, 0), FatalError);
+    EXPECT_THROW(bfs(pathGraph(), 4), FatalError);
+}
+
+TEST(BfsTest, AgreesWithLevelsOnRandomGraph)
+{
+    // Cross-check: every edge must connect levels differing by <= 1
+    // (in the forward direction), the BFS tree property.
+    Rng rng(31);
+    const auto g = rmatGraph(256, 1024, rng);
+    const auto result = bfs(g, 0);
+    for (const auto &t : g.triplets()) {
+        if (result.level[t.row] == bfsUnreached)
+            continue;
+        ASSERT_NE(result.level[t.col], bfsUnreached);
+        EXPECT_LE(result.level[t.col], result.level[t.row] + 1);
+    }
+}
+
+TEST(SsspTest, PathDistances)
+{
+    TripletMatrix g(4, 4);
+    g.add(0, 1, 2.0f);
+    g.add(1, 2, 3.0f);
+    g.add(2, 3, 4.0f);
+    g.finalize();
+    const auto result = sssp(g, 0);
+    ASSERT_TRUE(result.valid);
+    EXPECT_DOUBLE_EQ(result.distance[0], 0.0);
+    EXPECT_DOUBLE_EQ(result.distance[1], 2.0);
+    EXPECT_DOUBLE_EQ(result.distance[2], 5.0);
+    EXPECT_DOUBLE_EQ(result.distance[3], 9.0);
+}
+
+TEST(SsspTest, PicksShorterOfTwoRoutes)
+{
+    TripletMatrix g(3, 3);
+    g.add(0, 2, 10.0f); // direct
+    g.add(0, 1, 1.0f);  // detour, cheaper
+    g.add(1, 2, 2.0f);
+    g.finalize();
+    const auto result = sssp(g, 0);
+    EXPECT_DOUBLE_EQ(result.distance[2], 3.0);
+}
+
+TEST(SsspTest, UnreachableIsInfinite)
+{
+    const auto result = sssp(pathGraph(), 2);
+    EXPECT_EQ(result.distance[0], ssspUnreached());
+    EXPECT_DOUBLE_EQ(result.distance[3], 1.0);
+}
+
+TEST(SsspTest, NegativeEdgeHandled)
+{
+    TripletMatrix g(3, 3);
+    g.add(0, 1, 5.0f);
+    g.add(1, 2, -3.0f);
+    g.finalize();
+    const auto result = sssp(g, 0);
+    ASSERT_TRUE(result.valid);
+    EXPECT_DOUBLE_EQ(result.distance[2], 2.0);
+}
+
+TEST(SsspTest, NegativeCycleDetected)
+{
+    TripletMatrix g(3, 3);
+    g.add(0, 1, 1.0f);
+    g.add(1, 2, -2.0f);
+    g.add(2, 1, 1.0f); // cycle 1 -> 2 -> 1 of weight -1
+    g.finalize();
+    const auto result = sssp(g, 0);
+    EXPECT_FALSE(result.valid);
+}
+
+TEST(SsspTest, MatchesBfsOnUnitWeights)
+{
+    Rng rng(32);
+    const auto g = rmatGraph(128, 512, rng);
+    const auto levels = bfs(g, 0);
+    const auto dist = sssp(g, 0);
+    ASSERT_TRUE(dist.valid);
+    for (Index v = 0; v < 128; ++v) {
+        if (levels.level[v] == bfsUnreached) {
+            EXPECT_EQ(dist.distance[v], ssspUnreached());
+        } else {
+            EXPECT_DOUBLE_EQ(dist.distance[v],
+                             static_cast<double>(levels.level[v]));
+        }
+    }
+}
+
+TEST(SsspTest, InvalidInputsAreFatal)
+{
+    TripletMatrix rect(2, 3);
+    rect.finalize();
+    EXPECT_THROW(sssp(rect, 0), FatalError);
+    EXPECT_THROW(sssp(pathGraph(), 9), FatalError);
+}
+
+} // namespace
+} // namespace copernicus

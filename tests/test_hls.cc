@@ -1,0 +1,413 @@
+/**
+ * @file
+ * HLS model tests: schedule arithmetic, the AXI transfer model, and the
+ * per-format decompressor cycle walkers including the paper's headline
+ * ordering claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "formats/registry.hh"
+#include "hls/axi.hh"
+#include "hls/decompressor.hh"
+#include "hls/dram.hh"
+#include "hls/schedule.hh"
+#include "kernels/spmv.hh"
+
+namespace copernicus {
+namespace {
+
+Tile
+randomTile(Index p, double density, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Tile t(p);
+    for (Index r = 0; r < p; ++r)
+        for (Index c = 0; c < p; ++c)
+            if (rng.chance(density))
+                t(r, c) = static_cast<Value>(rng.range(0.5, 1.5));
+    return t;
+}
+
+DecompressResult
+simulate(FormatKind kind, const Tile &tile,
+         const HlsConfig &cfg = HlsConfig())
+{
+    const auto encoded = defaultCodec(kind).encode(tile);
+    return simulateDecompression(*encoded, cfg);
+}
+
+TEST(ScheduleTest, PipelinedLoop)
+{
+    EXPECT_EQ(pipelinedLoop(0, 4), 0u);
+    EXPECT_EQ(pipelinedLoop(1, 4), 4u);
+    EXPECT_EQ(pipelinedLoop(10, 4), 13u);
+    EXPECT_EQ(pipelinedLoop(10, 4, 2), 22u);
+}
+
+TEST(ScheduleTest, UnrolledLoop)
+{
+    EXPECT_EQ(unrolledLoop(0, 4), 0u);
+    EXPECT_EQ(unrolledLoop(16, 4), 4u);
+}
+
+TEST(AxiTest, SingleStream)
+{
+    HlsConfig cfg;
+    // 8 bytes/cycle, setup 8: 1024 bytes -> 128 + 8.
+    EXPECT_EQ(transferCycles({1024}, cfg), 136u);
+}
+
+TEST(AxiTest, PartialWordRoundsUp)
+{
+    HlsConfig cfg;
+    EXPECT_EQ(transferCycles({9}, cfg), 2u + cfg.burstSetupCycles);
+}
+
+TEST(AxiTest, NoBytesNoCycles)
+{
+    HlsConfig cfg;
+    EXPECT_EQ(transferCycles({}, cfg), 0u);
+    EXPECT_EQ(transferCycles({0, 0}, cfg), 0u);
+}
+
+TEST(AxiTest, TwoLanesOverlapStreams)
+{
+    HlsConfig cfg; // 2 streamlines
+    // Two equal streams ride different lanes: latency of one.
+    EXPECT_EQ(transferCycles({800, 800}, cfg),
+              100u + cfg.burstSetupCycles);
+    // The longer stream defines latency.
+    EXPECT_EQ(transferCycles({1600, 800}, cfg),
+              200u + cfg.burstSetupCycles);
+}
+
+TEST(AxiTest, LptPacksThreeStreamsOntoTwoLanes)
+{
+    HlsConfig cfg;
+    // {800, 480, 320}: LPT puts 800 alone, 480+320 together.
+    EXPECT_EQ(transferCycles({800, 480, 320}, cfg),
+              100u + cfg.burstSetupCycles);
+}
+
+TEST(AxiTest, SingleLaneSerializes)
+{
+    HlsConfig cfg;
+    cfg.streamlines = 1;
+    EXPECT_EQ(transferCycles({800, 800}, cfg),
+              200u + cfg.burstSetupCycles);
+}
+
+TEST(AxiTest, ZeroLanesIsFatal)
+{
+    HlsConfig cfg;
+    cfg.streamlines = 0;
+    EXPECT_THROW(transferCycles({8}, cfg), FatalError);
+}
+
+TEST(AxiTest, WritebackCycles)
+{
+    HlsConfig cfg;
+    EXPECT_EQ(writebackCycles(0, cfg), 0u);
+    EXPECT_EQ(writebackCycles(64, cfg), 8u + cfg.burstSetupCycles);
+}
+
+TEST(DramTest, ZeroBytesCostNothing)
+{
+    EXPECT_EQ(dramServiceCycles(0, DramConfig(), 250.0), 0u);
+}
+
+TEST(DramTest, SingleRowTransfer)
+{
+    DramConfig dram;
+    // 64 bytes: tRCD + tCL + 64/16 data cycles = 11+11+4 = 26 memory
+    // cycles at 800 MHz -> ceil(26 * 250/800) = ceil(8.125) = 9.
+    EXPECT_EQ(dramServiceCycles(64, dram, 250.0), 9u);
+}
+
+TEST(DramTest, RowCrossingAddsPrechargeActivate)
+{
+    DramConfig dram;
+    const Cycles one_row = dramServiceCycles(dram.rowBytes, dram,
+                                             800.0);
+    const Cycles two_rows = dramServiceCycles(2 * dram.rowBytes, dram,
+                                              800.0);
+    // Second row adds tRP + tRCD plus its data cycles.
+    EXPECT_EQ(two_rows - one_row,
+              dram.tRp + dram.tRcd + dram.rowBytes /
+                                         dram.bytesPerCycle());
+}
+
+TEST(DramTest, MonotoneInBytes)
+{
+    DramConfig dram;
+    Cycles prev = 0;
+    for (Bytes bytes : {64u, 512u, 4096u, 65536u}) {
+        const Cycles cycles = dramServiceCycles(bytes, dram, 250.0);
+        EXPECT_GE(cycles, prev);
+        prev = cycles;
+    }
+}
+
+TEST(DramTest, InvalidClocksAreFatal)
+{
+    EXPECT_THROW(dramServiceCycles(64, DramConfig(), 0.0), FatalError);
+    DramConfig bad;
+    bad.busClockMhz = 0.0;
+    EXPECT_THROW(dramServiceCycles(64, bad, 250.0), FatalError);
+}
+
+TEST(DramTest, AxiUsesDramModelWhenEnabled)
+{
+    HlsConfig cfg;
+    cfg.useDramModel = true;
+    const Cycles via_axi = transferCycles({1024, 512}, cfg);
+    EXPECT_EQ(via_axi,
+              dramServiceCycles(1536, cfg.dram, cfg.clockMhz));
+    EXPECT_EQ(writebackCycles(64, cfg),
+              dramServiceCycles(64, cfg.dram, cfg.clockMhz));
+}
+
+TEST(DramTest, SequentialStreamBeatsFlatModelForLargeTransfers)
+{
+    // DDR3 at 800 MHz delivers 16 B per memory cycle ~ 6.4 GB/s, more
+    // than two 64-bit AXI lanes at 250 MHz (4 GB/s): for long bursts
+    // the DRAM-modelled transfer is faster.
+    HlsConfig flat;
+    HlsConfig timed;
+    timed.useDramModel = true;
+    const std::vector<Bytes> big = {1 << 20};
+    EXPECT_LT(transferCycles(big, timed), transferCycles(big, flat));
+}
+
+TEST(HlsConfigTest, DotLatencyGrowsLogarithmically)
+{
+    HlsConfig cfg;
+    EXPECT_EQ(cfg.dotLatency(8), 1u + 3u + 1u);
+    EXPECT_EQ(cfg.dotLatency(16), 1u + 4u + 1u);
+    EXPECT_EQ(cfg.dotLatency(32), 1u + 5u + 1u);
+}
+
+TEST(DecompressorTest, DenseSigmaIsExactlyOne)
+{
+    // Eq. 1: the dense baseline defines sigma = 1 at any density.
+    HlsConfig cfg;
+    for (Index p : {8u, 16u, 32u}) {
+        for (double d : {0.1, 0.9}) {
+            const Tile tile = randomTile(p, d, p + 1);
+            const auto result = simulate(FormatKind::Dense, tile, cfg);
+            EXPECT_EQ(result.decompressCycles, 0u);
+            EXPECT_EQ(result.rowsProduced, p);
+            EXPECT_DOUBLE_EQ(sigmaOverhead(result, p, cfg), 1.0);
+        }
+    }
+}
+
+/** The walker must reconstruct the exact tile for every format. */
+class DecompressorFormatTest : public testing::TestWithParam<FormatKind>
+{
+};
+
+TEST_P(DecompressorFormatTest, DecodedTileMatchesSource)
+{
+    for (Index p : {8u, 16u, 32u}) {
+        for (double density : {0.02, 0.2, 0.8}) {
+            const Tile tile = randomTile(p, density, 100 * p + 3);
+            const auto result = simulate(GetParam(), tile);
+            EXPECT_TRUE(result.decoded == tile)
+                << formatName(GetParam()) << " p=" << p;
+        }
+    }
+}
+
+TEST_P(DecompressorFormatTest, EmptyTileCostsNothingMuch)
+{
+    const Tile tile(16);
+    const auto result = simulate(GetParam(), tile);
+    EXPECT_TRUE(result.decoded == tile);
+    // Formats that skip zero rows produce none; row-oblivious formats
+    // (dense/ELL-family) still push all 16 rows.
+    if (GetParam() == FormatKind::Dense ||
+        GetParam() == FormatKind::ELL ||
+        GetParam() == FormatKind::SELL ||
+        GetParam() == FormatKind::ELLCOO ||
+        GetParam() == FormatKind::SELLCS) {
+        EXPECT_EQ(result.rowsProduced, 16u);
+    } else {
+        EXPECT_EQ(result.rowsProduced, 0u);
+    }
+}
+
+TEST_P(DecompressorFormatTest, WalkerAndKernelAgreeOnSemantics)
+{
+    // The cycle walker's reconstructed tile and the compressed-domain
+    // SpMV kernel must describe the same matrix: y computed from the
+    // decoded tile equals y computed straight off the encoding.
+    const Tile tile = randomTile(16, 0.25, 41);
+    const auto encoded = defaultCodec(GetParam()).encode(tile);
+    const auto result = simulateDecompression(*encoded, HlsConfig());
+
+    Rng rng(42);
+    std::vector<Value> x(16);
+    for (auto &v : x)
+        v = static_cast<Value>(rng.range(-1.0, 1.0));
+    const auto from_decoded = spmvDense(result.decoded, x);
+    const auto from_encoded = spmvEncoded(*encoded, x);
+    for (Index i = 0; i < 16; ++i)
+        EXPECT_NEAR(from_decoded[i], from_encoded[i], 1e-4)
+            << formatName(GetParam());
+}
+
+TEST_P(DecompressorFormatTest, SigmaIsPositive)
+{
+    HlsConfig cfg;
+    const Tile tile = randomTile(16, 0.2, 5);
+    const auto result = simulate(GetParam(), tile, cfg);
+    EXPECT_GT(sigmaOverhead(result, 16, cfg), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, DecompressorFormatTest,
+                         testing::ValuesIn(allFormats()),
+                         [](const testing::TestParamInfo<FormatKind> &i) {
+                             return std::string(formatName(i.param));
+                         });
+
+TEST(DecompressorTest, CscIsWorstOnDenseTiles)
+{
+    // Section 6.1: the orientation mismatch makes CSC the worst case.
+    HlsConfig cfg;
+    const Tile tile = randomTile(16, 0.5, 21);
+    const double csc =
+        sigmaOverhead(simulate(FormatKind::CSC, tile, cfg), 16, cfg);
+    for (FormatKind kind : paperFormats()) {
+        if (kind == FormatKind::CSC)
+            continue;
+        const double other =
+            sigmaOverhead(simulate(kind, tile, cfg), 16, cfg);
+        EXPECT_GT(csc, other) << "vs " << formatName(kind);
+    }
+    // "Up to 21x-30x slower" at high density: order of magnitude check.
+    EXPECT_GT(csc, 10.0);
+    EXPECT_LT(csc, 60.0);
+}
+
+TEST(DecompressorTest, SigmaGrowsWithDensityForCooCsrCsc)
+{
+    // Fig. 5: sigma increases with density, dramatically for
+    // COO/CSR/CSC.
+    HlsConfig cfg;
+    for (FormatKind kind :
+         {FormatKind::COO, FormatKind::CSR, FormatKind::CSC}) {
+        double prev = 0;
+        for (double density : {0.05, 0.2, 0.5, 0.9}) {
+            const Tile tile = randomTile(16, density, 31);
+            const double sigma =
+                sigmaOverhead(simulate(kind, tile, cfg), 16, cfg);
+            EXPECT_GT(sigma, prev) << formatName(kind) << " at "
+                                   << density;
+            prev = sigma;
+        }
+    }
+}
+
+TEST(DecompressorTest, EllSigmaIndependentOfSparsityPattern)
+{
+    // Section 6.1: ELL processes the whole compressed square no matter
+    // where the non-zeros sit.
+    HlsConfig cfg;
+    Tile a(16), b(16);
+    a(0, 0) = 1;
+    a(5, 3) = 2;
+    b(15, 15) = 1;
+    b(8, 2) = 2;
+    const auto ra = simulate(FormatKind::ELL, a, cfg);
+    const auto rb = simulate(FormatKind::ELL, b, cfg);
+    EXPECT_EQ(ra.decompressCycles, rb.decompressCycles);
+    EXPECT_EQ(ra.rowsProduced, 16u);
+}
+
+TEST(DecompressorTest, EllSigmaDecreasesWithPartitionSize)
+{
+    // Fig. 7: ELL's relative overhead shrinks as p grows.
+    HlsConfig cfg;
+    double prev = 1e9;
+    for (Index p : {8u, 16u, 32u}) {
+        const Tile tile = randomTile(p, 0.05, p);
+        const double sigma =
+            sigmaOverhead(simulate(FormatKind::ELL, tile, cfg), p, cfg);
+        EXPECT_LT(sigma, prev);
+        prev = sigma;
+    }
+}
+
+TEST(DecompressorTest, CsrLatencyScalesWithRowPopulation)
+{
+    HlsConfig cfg;
+    Tile sparse(16), full(16);
+    sparse(3, 3) = 1;
+    for (Index r = 0; r < 16; ++r)
+        for (Index c = 0; c < 16; ++c)
+            full(r, c) = 1;
+    EXPECT_LT(simulate(FormatKind::CSR, sparse, cfg).decompressCycles,
+              simulate(FormatKind::CSR, full, cfg).decompressCycles);
+}
+
+TEST(DecompressorTest, BcsrProcessesWholeBlockRows)
+{
+    // One non-zero in one block still pushes 4 rows through the dot
+    // engine (Listing 2's "whether they are all zero or not").
+    Tile t(16);
+    t(5, 5) = 1;
+    const auto result = simulate(FormatKind::BCSR, t);
+    EXPECT_EQ(result.rowsProduced, 4u);
+}
+
+TEST(DecompressorTest, DiaCostScalesWithDiagonalCount)
+{
+    HlsConfig cfg;
+    Tile one_diag(16), many_diags(16);
+    for (Index i = 0; i < 16; ++i)
+        one_diag(i, i) = 1;
+    // Same nnz scattered over many diagonals (Listing 7 discussion).
+    for (Index i = 0; i < 16; ++i)
+        many_diags(i, (i * 7) % 16) = 1;
+    EXPECT_LT(simulate(FormatKind::DIA, one_diag, cfg).decompressCycles,
+              simulate(FormatKind::DIA, many_diags, cfg)
+                  .decompressCycles);
+}
+
+TEST(DecompressorTest, LilBoundByLongestColumn)
+{
+    HlsConfig cfg;
+    Tile spread(16), stacked(16);
+    // Same nnz: spread across columns vs stacked in one column.
+    for (Index i = 0; i < 8; ++i)
+        spread(i, i) = 1;
+    for (Index i = 0; i < 8; ++i)
+        stacked(i, 0) = 1;
+    const auto rs = simulate(FormatKind::LIL, spread, cfg);
+    const auto rt = simulate(FormatKind::LIL, stacked, cfg);
+    EXPECT_LE(rs.decompressCycles, rt.decompressCycles);
+}
+
+TEST(DecompressorTest, DokSlowerThanCoo)
+{
+    HlsConfig cfg;
+    const Tile tile = randomTile(16, 0.3, 77);
+    EXPECT_GT(simulate(FormatKind::DOK, tile, cfg).decompressCycles,
+              simulate(FormatKind::COO, tile, cfg).decompressCycles);
+}
+
+TEST(DecompressorTest, ComputeCyclesCombineDecompAndDots)
+{
+    HlsConfig cfg;
+    const Tile tile = randomTile(16, 0.2, 88);
+    const auto result = simulate(FormatKind::CSR, tile, cfg);
+    EXPECT_EQ(computeCycles(result, cfg),
+              result.decompressCycles +
+                  Cycles(result.rowsProduced) * cfg.dotLatency(16));
+}
+
+} // namespace
+} // namespace copernicus

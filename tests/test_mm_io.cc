@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the MatrixMarket reader/writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/status.hh"
+#include "matrix/mm_io.hh"
+
+namespace copernicus {
+namespace {
+
+TEST(MmIoTest, ReadGeneralReal)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment\n"
+        "3 4 2\n"
+        "1 1 2.5\n"
+        "3 4 -1\n");
+    const auto m = readMatrixMarket(in);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    EXPECT_EQ(m.nnz(), 2u);
+    EXPECT_FLOAT_EQ(m.at(0, 0), 2.5f);
+    EXPECT_FLOAT_EQ(m.at(2, 3), -1.0f);
+}
+
+TEST(MmIoTest, ReadPatternAssignsOnes)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 2\n"
+        "1 2\n"
+        "2 1\n");
+    const auto m = readMatrixMarket(in);
+    EXPECT_FLOAT_EQ(m.at(0, 1), 1.0f);
+    EXPECT_FLOAT_EQ(m.at(1, 0), 1.0f);
+}
+
+TEST(MmIoTest, ReadSymmetricExpands)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 2\n"
+        "2 1 4\n"
+        "3 3 5\n");
+    const auto m = readMatrixMarket(in);
+    EXPECT_EQ(m.nnz(), 3u); // off-diagonal mirrored, diagonal not
+    EXPECT_FLOAT_EQ(m.at(1, 0), 4.0f);
+    EXPECT_FLOAT_EQ(m.at(0, 1), 4.0f);
+    EXPECT_FLOAT_EQ(m.at(2, 2), 5.0f);
+}
+
+TEST(MmIoTest, ReadSkewSymmetricNegatesMirror)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+        "2 2 1\n"
+        "2 1 3\n");
+    const auto m = readMatrixMarket(in);
+    EXPECT_FLOAT_EQ(m.at(1, 0), 3.0f);
+    EXPECT_FLOAT_EQ(m.at(0, 1), -3.0f);
+}
+
+TEST(MmIoTest, ReadIntegerField)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate integer general\n"
+        "2 2 1\n"
+        "1 1 7\n");
+    const auto m = readMatrixMarket(in);
+    EXPECT_FLOAT_EQ(m.at(0, 0), 7.0f);
+}
+
+TEST(MmIoTest, RejectsMissingBanner)
+{
+    std::istringstream in("3 3 0\n");
+    EXPECT_THROW(readMatrixMarket(in), FatalError);
+}
+
+TEST(MmIoTest, RejectsArrayLayout)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n");
+    EXPECT_THROW(readMatrixMarket(in), FatalError);
+}
+
+TEST(MmIoTest, RejectsComplexField)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate complex general\n"
+        "1 1 1\n1 1 1 0\n");
+    EXPECT_THROW(readMatrixMarket(in), FatalError);
+}
+
+TEST(MmIoTest, RejectsTruncatedEntries)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "3 3 2\n"
+        "1 1 1.0\n");
+    EXPECT_THROW(readMatrixMarket(in), FatalError);
+}
+
+TEST(MmIoTest, RejectsOutOfRangeIndices)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "3 1 1.0\n");
+    EXPECT_THROW(readMatrixMarket(in), FatalError);
+}
+
+TEST(MmIoTest, RejectsZeroBasedIndices)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "0 1 1.0\n");
+    EXPECT_THROW(readMatrixMarket(in), FatalError);
+}
+
+TEST(MmIoTest, WriteThenReadRoundTrips)
+{
+    TripletMatrix m(4, 5);
+    m.add(0, 0, 1.5f);
+    m.add(3, 4, -2.25f);
+    m.add(1, 2, 0.125f);
+    m.finalize();
+
+    std::ostringstream out;
+    writeMatrixMarket(out, m);
+    std::istringstream in(out.str());
+    const auto back = readMatrixMarket(in);
+    EXPECT_TRUE(m == back);
+}
+
+TEST(MmIoTest, CaseInsensitiveHeaderTokens)
+{
+    std::istringstream in(
+        "%%MatrixMarket MATRIX Coordinate REAL General\n"
+        "1 1 1\n"
+        "1 1 9\n");
+    const auto m = readMatrixMarket(in);
+    EXPECT_FLOAT_EQ(m.at(0, 0), 9.0f);
+}
+
+TEST(MmIoTest, FileRoundTrip)
+{
+    TripletMatrix m(3, 3);
+    m.add(1, 1, 4.0f);
+    m.finalize();
+    const std::string path = testing::TempDir() + "/copernicus_mm.mtx";
+    writeMatrixMarketFile(path, m);
+    const auto back = readMatrixMarketFile(path);
+    EXPECT_TRUE(m == back);
+}
+
+TEST(MmIoTest, MissingFileIsFatal)
+{
+    EXPECT_THROW(readMatrixMarketFile("/nonexistent/file.mtx"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace copernicus

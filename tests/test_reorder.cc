@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the RCM reordering substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hh"
+#include "common/status.hh"
+#include "matrix/reorder.hh"
+#include "matrix/stats.hh"
+#include "workloads/generators.hh"
+
+namespace copernicus {
+namespace {
+
+bool
+isPermutation(const std::vector<Index> &perm, Index n)
+{
+    if (perm.size() != n)
+        return false;
+    std::vector<bool> seen(n, false);
+    for (Index v : perm) {
+        if (v >= n || seen[v])
+            return false;
+        seen[v] = true;
+    }
+    return true;
+}
+
+TEST(RcmTest, ReturnsAPermutation)
+{
+    Rng rng(1);
+    const auto m = randomMatrix(64, 0.05, rng);
+    const auto perm = reverseCuthillMcKee(m);
+    EXPECT_TRUE(isPermutation(perm, 64));
+}
+
+TEST(RcmTest, CoversDisconnectedComponents)
+{
+    // Two disjoint 3-cliques plus isolated vertices.
+    TripletMatrix m(10, 10);
+    for (Index a : {0u, 1u, 2u})
+        for (Index b : {0u, 1u, 2u})
+            if (a != b)
+                m.add(a, b, 1.0f);
+    for (Index a : {5u, 6u, 7u})
+        for (Index b : {5u, 6u, 7u})
+            if (a != b)
+                m.add(a, b, 1.0f);
+    m.finalize();
+    EXPECT_TRUE(isPermutation(reverseCuthillMcKee(m), 10));
+}
+
+TEST(RcmTest, NonSquareIsFatal)
+{
+    TripletMatrix m(3, 4);
+    m.finalize();
+    EXPECT_THROW(reverseCuthillMcKee(m), FatalError);
+}
+
+TEST(RcmTest, ReducesBandwidthOfScatteredBand)
+{
+    // Take a band matrix and scramble it with a random permutation;
+    // RCM must recover (most of) the band.
+    Rng rng(2);
+    const auto band = bandMatrix(128, 8, rng);
+
+    std::vector<Index> scramble(128);
+    for (Index i = 0; i < 128; ++i)
+        scramble[i] = i;
+    for (Index i = 127; i > 0; --i)
+        std::swap(scramble[i],
+                  scramble[static_cast<Index>(rng.below(i + 1))]);
+    const auto scrambled = permuteSymmetric(band, scramble);
+    const auto recovered = rcmReorder(scrambled);
+
+    const auto before = computeStats(scrambled).bandwidth;
+    const auto after = computeStats(recovered).bandwidth;
+    EXPECT_LT(after, before / 2);
+}
+
+TEST(RcmTest, ImprovesPartitionElision)
+{
+    // Fewer non-zero tiles after banding = less data to stream.
+    Rng rng(3);
+    const auto band = bandMatrix(256, 4, rng);
+    std::vector<Index> scramble(256);
+    for (Index i = 0; i < 256; ++i)
+        scramble[i] = i;
+    for (Index i = 255; i > 0; --i)
+        std::swap(scramble[i],
+                  scramble[static_cast<Index>(rng.below(i + 1))]);
+    const auto scrambled = permuteSymmetric(band, scramble);
+    const auto recovered = rcmReorder(scrambled);
+
+    EXPECT_LT(partition(recovered, 16).tiles.size(),
+              partition(scrambled, 16).tiles.size());
+}
+
+TEST(PermuteSymmetricTest, PermutedValuesLandCorrectly)
+{
+    TripletMatrix m(3, 3);
+    m.add(0, 1, 5.0f);
+    m.add(2, 2, 7.0f);
+    m.finalize();
+    // perm[new] = old: new0 <- old2, new1 <- old0, new2 <- old1.
+    const auto p = permuteSymmetric(m, {2, 0, 1});
+    EXPECT_FLOAT_EQ(p.at(0, 0), 7.0f); // old (2,2)
+    EXPECT_FLOAT_EQ(p.at(1, 2), 5.0f); // old (0,1)
+    EXPECT_EQ(p.nnz(), m.nnz());
+}
+
+TEST(PermuteSymmetricTest, IdentityPermutationIsNoOp)
+{
+    Rng rng(4);
+    const auto m = randomMatrix(32, 0.1, rng);
+    std::vector<Index> identity(32);
+    for (Index i = 0; i < 32; ++i)
+        identity[i] = i;
+    EXPECT_TRUE(permuteSymmetric(m, identity) == m);
+}
+
+TEST(PermuteSymmetricTest, InvalidPermutationIsFatal)
+{
+    TripletMatrix m(3, 3);
+    m.finalize();
+    EXPECT_THROW(permuteSymmetric(m, {0, 1}), FatalError);    // short
+    EXPECT_THROW(permuteSymmetric(m, {0, 1, 1}), FatalError); // dup
+    EXPECT_THROW(permuteSymmetric(m, {0, 1, 5}), FatalError); // range
+}
+
+TEST(RcmTest, PreservesSpectrumViaSymmetricPermutation)
+{
+    // A symmetric permutation preserves the diagonal multiset.
+    Rng rng(5);
+    const auto m = diagonalMatrix(16, rng);
+    const auto r = rcmReorder(m);
+    std::vector<Value> before, after;
+    for (Index i = 0; i < 16; ++i) {
+        before.push_back(m.at(i, i));
+        after.push_back(r.at(i, i));
+    }
+    std::sort(before.begin(), before.end());
+    std::sort(after.begin(), after.end());
+    EXPECT_EQ(before, after);
+}
+
+} // namespace
+} // namespace copernicus

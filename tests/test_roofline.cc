@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Roofline-analysis tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/roofline.hh"
+#include "common/rng.hh"
+#include "common/status.hh"
+#include "pipeline/stream_pipeline.hh"
+#include "workloads/generators.hh"
+
+namespace copernicus {
+namespace {
+
+TEST(RooflineTest, PeakComputeScalesWithEngineWidth)
+{
+    const HlsConfig cfg; // 250 MHz
+    EXPECT_DOUBLE_EQ(peakComputeGflops(8, cfg), 2.0 * 8 * 0.25);
+    EXPECT_DOUBLE_EQ(peakComputeGflops(16, cfg), 2.0 * 16 * 0.25);
+    EXPECT_DOUBLE_EQ(peakComputeGflops(32, cfg), 2.0 * 32 * 0.25);
+}
+
+TEST(RooflineTest, PeakBandwidthScalesWithLanes)
+{
+    HlsConfig cfg;
+    const double two_lanes = peakBandwidthGBs(cfg); // 2 x 8B x 250MHz
+    EXPECT_DOUBLE_EQ(two_lanes, 4.0);
+    cfg.streamlines = 1;
+    EXPECT_DOUBLE_EQ(peakBandwidthGBs(cfg), 2.0);
+}
+
+TEST(RooflineTest, BoundIsMinOfRoofs)
+{
+    const HlsConfig cfg;
+    // Very low intensity: bandwidth-limited.
+    const auto low = placeOnRoofline(1e6, 1e-3, 100000000, 16, cfg);
+    EXPECT_TRUE(low.memoryBoundRegion);
+    EXPECT_DOUBLE_EQ(low.boundGflops,
+                     low.intensity * peakBandwidthGBs(cfg));
+    // Very high intensity: compute-limited.
+    const auto high = placeOnRoofline(1e9, 1e-3, 1000, 16, cfg);
+    EXPECT_FALSE(high.memoryBoundRegion);
+    EXPECT_DOUBLE_EQ(high.boundGflops, peakComputeGflops(16, cfg));
+}
+
+TEST(RooflineTest, InvalidInputsAreFatal)
+{
+    const HlsConfig cfg;
+    EXPECT_THROW(placeOnRoofline(1.0, 0.0, 10, 16, cfg), FatalError);
+    EXPECT_THROW(placeOnRoofline(1.0, 1.0, 0, 16, cfg), FatalError);
+}
+
+TEST(RooflineTest, PipelineRunsNeverExceedTheirBound)
+{
+    // Physical sanity: no characterization run may beat the roofline.
+    const HlsConfig cfg;
+    Rng rng(61);
+    const auto matrix = randomMatrix(96, 0.08, rng);
+    for (Index p : {8u, 16u, 32u}) {
+        const auto parts = partition(matrix, p);
+        for (FormatKind kind : paperFormats()) {
+            const auto run = runPipeline(parts, kind, cfg);
+            const double flops =
+                2.0 * static_cast<double>(run.totalUsefulBytes) /
+                valueBytes;
+            const auto point = placeOnRoofline(flops, run.seconds,
+                                               run.totalBytes, p, cfg);
+            EXPECT_LE(point.attainedGflops, point.boundGflops * 1.0001)
+                << formatName(kind) << " p=" << p;
+            EXPECT_GT(point.efficiency, 0.0);
+            EXPECT_LE(point.efficiency, 1.0001);
+        }
+    }
+}
+
+TEST(RooflineTest, SparseSpmvIsMemoryBoundOnThisPlatform)
+{
+    // Classic result the model must reproduce: SpMV intensity is well
+    // under the platform's ridge point, so every format lands in the
+    // bandwidth-limited region.
+    const HlsConfig cfg;
+    Rng rng(62);
+    const auto matrix = randomMatrix(96, 0.05, rng);
+    const auto parts = partition(matrix, 16);
+    for (FormatKind kind : paperFormats()) {
+        const auto run = runPipeline(parts, kind, cfg);
+        const double flops =
+            2.0 * static_cast<double>(run.totalUsefulBytes) /
+            valueBytes;
+        const auto point = placeOnRoofline(flops, run.seconds,
+                                           run.totalBytes, 16, cfg);
+        EXPECT_TRUE(point.memoryBoundRegion) << formatName(kind);
+        EXPECT_LE(point.intensity, 0.5);
+    }
+}
+
+TEST(RooflineTest, CscEfficiencyCollapses)
+{
+    // CSC burns decompression cycles without flops: its attained
+    // Gflop/s must sit far under its roof compared to CSR.
+    const HlsConfig cfg;
+    Rng rng(63);
+    const auto matrix = randomMatrix(96, 0.2, rng);
+    const auto parts = partition(matrix, 16);
+
+    auto efficiency = [&](FormatKind kind) {
+        const auto run = runPipeline(parts, kind, cfg);
+        const double flops =
+            2.0 * static_cast<double>(run.totalUsefulBytes) /
+            valueBytes;
+        return placeOnRoofline(flops, run.seconds, run.totalBytes, 16,
+                               cfg).efficiency;
+    };
+    EXPECT_LT(efficiency(FormatKind::CSC),
+              0.25 * efficiency(FormatKind::CSR));
+}
+
+} // namespace
+} // namespace copernicus

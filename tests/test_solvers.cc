@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Solver tests: conjugate gradient, Jacobi and PageRank.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "common/status.hh"
+#include "solvers/accelerated.hh"
+#include "solvers/cg.hh"
+#include "solvers/pagerank.hh"
+#include "workloads/generators.hh"
+
+namespace copernicus {
+namespace {
+
+TEST(CgTest, SolvesSmallDiagonalSystem)
+{
+    TripletMatrix m(3, 3);
+    m.add(0, 0, 2.0f);
+    m.add(1, 1, 4.0f);
+    m.add(2, 2, 8.0f);
+    m.finalize();
+    const CsrMatrix a(m);
+    const auto result = conjugateGradient(a, {2.0f, 4.0f, 8.0f});
+    ASSERT_TRUE(result.converged);
+    for (Value x : result.x)
+        EXPECT_NEAR(x, 1.0f, 1e-4);
+}
+
+TEST(CgTest, SolvesPoisson2d)
+{
+    const auto m = stencil2d(12, 12);
+    const CsrMatrix a(m);
+    std::vector<Value> b(a.rows(), 1.0f);
+    const auto result = conjugateGradient(a, b, 1e-4, 2000);
+    EXPECT_TRUE(result.converged);
+    // Verify the residual independently: ||b - A x|| small.
+    const auto ax = a.multiply(result.x);
+    double err = 0;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        const double d = static_cast<double>(b[i]) - ax[i];
+        err += d * d;
+    }
+    EXPECT_LT(std::sqrt(err), 1e-3);
+}
+
+TEST(CgTest, ConvergesInAtMostNStepsOnSmallSpd)
+{
+    // CG converges in <= n iterations in exact arithmetic; float gets
+    // close for well-conditioned systems.
+    const auto m = stencil2d(4, 4);
+    const CsrMatrix a(m);
+    std::vector<Value> b(16, 1.0f);
+    const auto result = conjugateGradient(a, b, 1e-4, 64);
+    EXPECT_TRUE(result.converged);
+    EXPECT_LE(result.iterations, 32u);
+}
+
+TEST(CgTest, DimensionMismatchIsFatal)
+{
+    const auto m = stencil2d(3, 3);
+    const CsrMatrix a(m);
+    EXPECT_THROW(conjugateGradient(a, {1.0f}), FatalError);
+}
+
+TEST(CgTest, NonSquareIsFatal)
+{
+    TripletMatrix m(2, 3);
+    m.finalize();
+    const CsrMatrix a(m);
+    EXPECT_THROW(conjugateGradient(a, {1.0f, 1.0f}), FatalError);
+}
+
+TEST(CgTest, ZeroRhsConvergesImmediately)
+{
+    const auto m = stencil2d(4, 4);
+    const CsrMatrix a(m);
+    const auto result = conjugateGradient(a,
+                                          std::vector<Value>(16, 0.0f));
+    EXPECT_TRUE(result.converged);
+    EXPECT_EQ(result.iterations, 0u);
+}
+
+TEST(JacobiTest, SolvesDiagonallyDominantSystem)
+{
+    TripletMatrix m(4, 4);
+    for (Index i = 0; i < 4; ++i) {
+        m.add(i, i, 10.0f);
+        if (i + 1 < 4) {
+            m.add(i, i + 1, 1.0f);
+            m.add(i + 1, i, 1.0f);
+        }
+    }
+    m.finalize();
+    const CsrMatrix a(m);
+    std::vector<Value> x_true = {1.0f, -2.0f, 3.0f, 0.5f};
+    const auto b = a.multiply(x_true);
+    const auto result = jacobi(a, b, 1e-4, 500);
+    ASSERT_TRUE(result.converged);
+    for (Index i = 0; i < 4; ++i)
+        EXPECT_NEAR(result.x[i], x_true[i], 1e-3);
+}
+
+TEST(JacobiTest, ZeroDiagonalIsFatal)
+{
+    TripletMatrix m(2, 2);
+    m.add(0, 1, 1.0f);
+    m.add(1, 0, 1.0f);
+    m.finalize();
+    const CsrMatrix a(m);
+    EXPECT_THROW(jacobi(a, {1.0f, 1.0f}), FatalError);
+}
+
+TEST(JacobiTest, AgreesWithCgOnSpdSystem)
+{
+    const auto m = stencil2d(6, 6);
+    const CsrMatrix a(m);
+    std::vector<Value> b(36, 1.0f);
+    const auto cg = conjugateGradient(a, b, 1e-5, 2000);
+    const auto jac = jacobi(a, b, 1e-5, 5000);
+    ASSERT_TRUE(cg.converged);
+    ASSERT_TRUE(jac.converged);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        EXPECT_NEAR(cg.x[i], jac.x[i], 1e-2);
+}
+
+TEST(AcceleratedTest, EstimateScalesWithIterations)
+{
+    const auto m = stencil2d(8, 8);
+    const auto ten = estimateIterativeSolve(m, FormatKind::CSR, 16, 10);
+    const auto twenty = estimateIterativeSolve(m, FormatKind::CSR, 16,
+                                               20);
+    EXPECT_EQ(twenty.totalCycles, 2 * ten.totalCycles);
+    EXPECT_EQ(ten.iterations, 10u);
+    EXPECT_GT(ten.spmvCyclesPerIteration, 0u);
+    EXPECT_GT(ten.vectorCyclesPerIteration, 0u);
+}
+
+TEST(AcceleratedTest, NonSquareIsFatal)
+{
+    TripletMatrix m(2, 3);
+    m.finalize();
+    EXPECT_THROW(estimateIterativeSolve(m, FormatKind::CSR, 16, 1),
+                 FatalError);
+}
+
+TEST(AcceleratedTest, CgPairsSoftwareSolveWithEstimate)
+{
+    const auto m = stencil2d(10, 10);
+    std::vector<Value> b(m.rows(), 1.0f);
+    const auto result = acceleratedCg(m, b, FormatKind::CSR, 16, 1e-4,
+                                      2000);
+    EXPECT_TRUE(result.solve.converged);
+    EXPECT_EQ(result.estimate.iterations, result.solve.iterations);
+    EXPECT_GT(result.estimate.seconds, 0.0);
+}
+
+TEST(AcceleratedTest, FormatChoiceChangesSolveTime)
+{
+    // CSC's decompression penalty must show up in time-to-solution.
+    const auto m = stencil2d(10, 10);
+    const auto csr = estimateIterativeSolve(m, FormatKind::CSR, 16, 50);
+    const auto csc = estimateIterativeSolve(m, FormatKind::CSC, 16, 50);
+    EXPECT_GT(csc.totalCycles, csr.totalCycles);
+}
+
+TEST(PageRankTest, RanksSumToOne)
+{
+    Rng rng(1);
+    const auto g = rmatGraph(128, 512, rng);
+    const auto result = pageRank(g);
+    double sum = 0;
+    for (double r : result.ranks)
+        sum += r;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PageRankTest, RingGraphIsUniform)
+{
+    const Index n = 10;
+    TripletMatrix ring(n, n);
+    for (Index i = 0; i < n; ++i)
+        ring.add(i, (i + 1) % n, 1.0f);
+    ring.finalize();
+    const auto result = pageRank(ring);
+    EXPECT_TRUE(result.converged);
+    for (double r : result.ranks)
+        EXPECT_NEAR(r, 1.0 / n, 1e-6);
+}
+
+TEST(PageRankTest, StarGraphCenterRanksHighest)
+{
+    // Everyone links to vertex 0.
+    const Index n = 8;
+    TripletMatrix star(n, n);
+    for (Index i = 1; i < n; ++i)
+        star.add(i, 0, 1.0f);
+    star.finalize();
+    const auto result = pageRank(star);
+    for (Index i = 1; i < n; ++i)
+        EXPECT_GT(result.ranks[0], result.ranks[i]);
+}
+
+TEST(PageRankTest, HandlesDanglingNodes)
+{
+    // Vertex 1 has no out-edges; mass must still sum to 1.
+    TripletMatrix g(3, 3);
+    g.add(0, 1, 1.0f);
+    g.add(2, 1, 1.0f);
+    g.finalize();
+    const auto result = pageRank(g);
+    double sum = 0;
+    for (double r : result.ranks)
+        sum += r;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_GT(result.ranks[1], result.ranks[0]);
+}
+
+TEST(PageRankTest, InvalidDampingIsFatal)
+{
+    TripletMatrix g(2, 2);
+    g.add(0, 1, 1.0f);
+    g.finalize();
+    EXPECT_THROW(pageRank(g, 0.0), FatalError);
+    EXPECT_THROW(pageRank(g, 1.0), FatalError);
+}
+
+TEST(PageRankTest, NonSquareIsFatal)
+{
+    TripletMatrix g(2, 3);
+    g.finalize();
+    EXPECT_THROW(pageRank(g), FatalError);
+}
+
+TEST(PageRankTest, ConvergesOnRealGraphShape)
+{
+    Rng rng(2);
+    const auto g = rmatGraph(256, 2048, rng);
+    const auto result = pageRank(g, 0.85, 1e-5, 500);
+    EXPECT_TRUE(result.converged);
+    EXPECT_LT(result.iterations, 200u);
+}
+
+} // namespace
+} // namespace copernicus

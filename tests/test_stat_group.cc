@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the gem5-style stats package and the pipeline stats
+ * report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/stats_report.hh"
+#include "common/rng.hh"
+#include "common/stat_group.hh"
+#include "common/status.hh"
+#include "workloads/generators.hh"
+
+namespace copernicus {
+namespace {
+
+TEST(StatGroupTest, ScalarAccumulatesAndAssigns)
+{
+    StatGroup group("g");
+    ScalarStat counter(group, "counter", "a counter");
+    counter += 2;
+    counter += 3.5;
+    EXPECT_DOUBLE_EQ(counter.value(), 5.5);
+    counter = 1.0;
+    EXPECT_DOUBLE_EQ(counter.value(), 1.0);
+}
+
+TEST(StatGroupTest, AverageComputesMean)
+{
+    StatGroup group("g");
+    AverageStat avg(group, "avg", "an average");
+    EXPECT_DOUBLE_EQ(avg.mean(), 0.0);
+    avg.sample(1.0);
+    avg.sample(2.0);
+    avg.sample(6.0);
+    EXPECT_DOUBLE_EQ(avg.mean(), 3.0);
+    EXPECT_EQ(avg.samples(), 3u);
+}
+
+TEST(StatGroupTest, DistributionBucketsSamples)
+{
+    StatGroup group("g");
+    DistributionStat dist(group, "dist", "a distribution", 0.0, 10.0,
+                          5);
+    dist.sample(-1.0); // underflow
+    dist.sample(0.0);  // bucket 0
+    dist.sample(3.9);  // bucket 1
+    dist.sample(9.9);  // bucket 4
+    dist.sample(10.0); // overflow
+    EXPECT_EQ(dist.samples(), 5u);
+    EXPECT_DOUBLE_EQ(dist.minSample(), -1.0);
+    EXPECT_DOUBLE_EQ(dist.maxSample(), 10.0);
+    EXPECT_EQ(dist.buckets()[0], 1u);
+    EXPECT_EQ(dist.buckets()[1], 1u);
+    EXPECT_EQ(dist.buckets()[4], 1u);
+}
+
+TEST(StatGroupTest, InvalidDistributionIsFatal)
+{
+    StatGroup group("g");
+    EXPECT_THROW(DistributionStat(group, "d", "x", 0.0, 10.0, 0),
+                 FatalError);
+    EXPECT_THROW(DistributionStat(group, "d2", "x", 5.0, 5.0, 4),
+                 FatalError);
+}
+
+TEST(StatGroupTest, DuplicateNamesAreFatal)
+{
+    StatGroup group("g");
+    ScalarStat a(group, "same", "first");
+    EXPECT_THROW(ScalarStat(group, "same", "second"), FatalError);
+}
+
+TEST(StatGroupTest, FindByName)
+{
+    StatGroup group("g");
+    ScalarStat a(group, "alpha", "first");
+    EXPECT_EQ(group.find("alpha"), &a);
+    EXPECT_EQ(group.find("missing"), nullptr);
+}
+
+TEST(StatGroupTest, DumpFormat)
+{
+    StatGroup group("demo");
+    ScalarStat counter(group, "hits", "cache hits");
+    counter = 42;
+    std::ostringstream out;
+    group.dump(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("demo"), std::string::npos);
+    EXPECT_NE(text.find("hits"), std::string::npos);
+    EXPECT_NE(text.find("42"), std::string::npos);
+    EXPECT_NE(text.find("# cache hits"), std::string::npos);
+}
+
+TEST(PipelineStatsTest, MatchesResultTotals)
+{
+    Rng rng(71);
+    const auto m = randomMatrix(64, 0.1, rng);
+    const auto result = runPipeline(partition(m, 16), FormatKind::CSR);
+    const PipelineStats stats(result);
+
+    const auto *partitions = dynamic_cast<const ScalarStat *>(
+        stats.group().find("partitions"));
+    ASSERT_NE(partitions, nullptr);
+    EXPECT_DOUBLE_EQ(partitions->value(),
+                     static_cast<double>(result.partitions.size()));
+
+    const auto *cycles = dynamic_cast<const ScalarStat *>(
+        stats.group().find("total_cycles"));
+    ASSERT_NE(cycles, nullptr);
+    EXPECT_DOUBLE_EQ(cycles->value(),
+                     static_cast<double>(result.totalCycles));
+
+    const auto *sigma = dynamic_cast<const AverageStat *>(
+        stats.group().find("sigma"));
+    ASSERT_NE(sigma, nullptr);
+    EXPECT_NEAR(sigma->mean(), result.meanSigma, 1e-12);
+}
+
+TEST(PipelineStatsTest, DumpContainsEveryStat)
+{
+    Rng rng(72);
+    const auto m = randomMatrix(48, 0.1, rng);
+    const auto result = runPipeline(partition(m, 16),
+                                    FormatKind::DIA);
+    const PipelineStats stats(result);
+    std::ostringstream out;
+    stats.dump(out);
+    const std::string text = out.str();
+    for (const char *needle :
+         {"partitions", "total_cycles", "memory_cycles",
+          "compute_cycles", "bytes_in", "useful_bytes", "sigma",
+          "balance_ratio", "sigma_dist.samples"}) {
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+    }
+    EXPECT_NE(text.find("pipeline.DIA.p16"), std::string::npos);
+}
+
+} // namespace
+} // namespace copernicus

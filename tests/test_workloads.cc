@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Workload-generator tests: structural guarantees of every synthetic
+ * family and the Table-1 surrogate catalog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/status.hh"
+#include "matrix/stats.hh"
+#include "workloads/generators.hh"
+#include "workloads/suite_catalog.hh"
+
+namespace copernicus {
+namespace {
+
+TEST(RandomMatrixTest, DensityWithinTolerance)
+{
+    Rng rng(1);
+    for (double density : {0.001, 0.01, 0.1, 0.5}) {
+        const auto m = randomMatrix(256, density, rng);
+        EXPECT_NEAR(m.density(), density, density * 0.25 + 0.001)
+            << "target density " << density;
+    }
+}
+
+TEST(RandomMatrixTest, SparsePathDrawsDistinctCells)
+{
+    Rng rng(2);
+    const auto m = randomMatrix(512, 0.001, rng);
+    // finalize() would have merged duplicates; the generator must have
+    // hit the target count exactly via distinct draws.
+    EXPECT_EQ(m.nnz(),
+              static_cast<std::size_t>(
+                  std::llround(512.0 * 512.0 * 0.001)));
+}
+
+TEST(RandomMatrixTest, InvalidDensityIsFatal)
+{
+    Rng rng(3);
+    EXPECT_THROW(randomMatrix(16, -0.1, rng), FatalError);
+    EXPECT_THROW(randomMatrix(16, 1.5, rng), FatalError);
+}
+
+TEST(RandomMatrixTest, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    const auto m1 = randomMatrix(64, 0.05, a);
+    const auto m2 = randomMatrix(64, 0.05, b);
+    EXPECT_TRUE(m1 == m2);
+}
+
+TEST(BandMatrixTest, EntriesConfinedToBand)
+{
+    Rng rng(4);
+    for (Index k : {1u, 2u, 4u, 16u, 64u}) {
+        const auto m = bandMatrix(128, k, rng);
+        const auto stats = computeStats(m);
+        EXPECT_LE(stats.bandwidth, k / 2) << "width " << k;
+        EXPECT_EQ(m.nnz() > 0, true);
+    }
+}
+
+TEST(BandMatrixTest, WidthOneIsDiagonal)
+{
+    Rng rng(5);
+    const auto m = bandMatrix(64, 1, rng);
+    EXPECT_EQ(m.nnz(), 64u);
+    EXPECT_TRUE(computeStats(m).isDiagonal());
+}
+
+TEST(BandMatrixTest, FullBandIsCompletelyFilled)
+{
+    Rng rng(6);
+    const auto m = bandMatrix(32, 4, rng, 1.0);
+    // Every cell with |i-j| <= 2 must be non-zero.
+    for (Index r = 0; r < 32; ++r)
+        for (Index c = (r > 2 ? r - 2 : 0);
+             c < std::min<Index>(32, r + 3); ++c)
+            EXPECT_NE(m.at(r, c), 0.0f);
+}
+
+TEST(BandMatrixTest, PartialFillReducesNnz)
+{
+    Rng rng(7);
+    const auto full = bandMatrix(128, 16, rng, 1.0);
+    const auto half = bandMatrix(128, 16, rng, 0.5);
+    EXPECT_LT(half.nnz(), full.nnz());
+    EXPECT_GT(half.nnz(), full.nnz() / 4);
+}
+
+TEST(BandMatrixTest, ZeroWidthIsFatal)
+{
+    Rng rng(8);
+    EXPECT_THROW(bandMatrix(16, 0, rng), FatalError);
+}
+
+TEST(DiagonalMatrixTest, ExactlyTheDiagonal)
+{
+    Rng rng(9);
+    const auto m = diagonalMatrix(50, rng);
+    EXPECT_EQ(m.nnz(), 50u);
+    for (Index i = 0; i < 50; ++i)
+        EXPECT_NE(m.at(i, i), 0.0f);
+}
+
+TEST(Stencil2dTest, StructureAndSymmetry)
+{
+    const auto m = stencil2d(8, 8);
+    EXPECT_EQ(m.rows(), 64u);
+    // Interior points have 5 entries; nnz = 5n - 2*(nx + ny) boundary
+    // corrections.
+    EXPECT_EQ(m.nnz(), 5u * 64u - 2u * (8u + 8u));
+    EXPECT_TRUE(m == m.transposed());
+    // Diagonally dominant rows sum to >= 0 (Poisson).
+    const auto stats = computeStats(m);
+    EXPECT_EQ(stats.nonZeroRows, 64u);
+}
+
+TEST(Stencil2dTest, RectangularGrid)
+{
+    const auto m = stencil2d(4, 6);
+    EXPECT_EQ(m.rows(), 24u);
+    EXPECT_TRUE(m == m.transposed());
+}
+
+TEST(Stencil3dTest, SevenPointDegree)
+{
+    const auto m = stencil3d(5, false);
+    EXPECT_EQ(m.rows(), 125u);
+    const auto stats = computeStats(m);
+    // Interior degree 7; boundaries trim it.
+    EXPECT_LE(stats.maxRowNnz, 7u);
+    EXPECT_GT(stats.meanRowNnz, 5.0);
+    EXPECT_TRUE(m == m.transposed());
+}
+
+TEST(Stencil3dTest, BoxStencilDenserThanCross)
+{
+    const auto cross = stencil3d(4, false);
+    const auto box = stencil3d(4, true);
+    EXPECT_GT(box.nnz(), cross.nnz());
+    EXPECT_LE(computeStats(box).maxRowNnz, 27u);
+}
+
+TEST(RmatGraphTest, EdgeCountAndRange)
+{
+    Rng rng(10);
+    const auto m = rmatGraph(1000, 5000, rng);
+    EXPECT_EQ(m.rows(), 1000u);
+    EXPECT_LE(m.nnz(), 5000u);
+    EXPECT_GT(m.nnz(), 4000u); // best effort, small duplicate loss
+}
+
+TEST(RmatGraphTest, SkewProducesHubs)
+{
+    Rng rng(11);
+    const auto m = rmatGraph(512, 4096, rng, 0.7, 0.15, 0.1);
+    const auto stats = computeStats(m);
+    // A heavily skewed R-MAT has rows far above the mean degree.
+    EXPECT_GT(static_cast<double>(stats.maxRowNnz),
+              4.0 * stats.meanRowNnz);
+}
+
+TEST(RmatGraphTest, InvalidProbabilitiesAreFatal)
+{
+    Rng rng(12);
+    EXPECT_THROW(rmatGraph(64, 100, rng, 0.6, 0.3, 0.2), FatalError);
+}
+
+TEST(RoadGridTest, SymmetricBoundedDegree)
+{
+    Rng rng(13);
+    const auto m = roadGrid(24, rng);
+    EXPECT_TRUE(m == m.transposed());
+    const auto stats = computeStats(m);
+    EXPECT_LE(stats.maxRowNnz, 8u); // 4 lattice + rare shortcuts
+}
+
+TEST(RoadGridTest, KeepProbabilityScalesEdges)
+{
+    Rng a(14), b(14);
+    const auto dense_grid = roadGrid(24, a, 0.9, 0.0);
+    const auto sparse_grid = roadGrid(24, b, 0.3, 0.0);
+    EXPECT_GT(dense_grid.nnz(), 2 * sparse_grid.nnz());
+}
+
+TEST(CircuitMatrixTest, FullDiagonalAndLocality)
+{
+    Rng rng(15);
+    const auto m = circuitMatrix(256, rng);
+    for (Index i = 0; i < 256; ++i)
+        EXPECT_NE(m.at(i, i), 0.0f);
+    const auto stats = computeStats(m);
+    EXPECT_GT(stats.meanRowNnz, 1.5);
+}
+
+TEST(PrunedLayerTest, UnstructuredDensity)
+{
+    Rng rng(16);
+    const auto m = prunedLayer(128, 128, 0.2, rng, false);
+    EXPECT_NEAR(m.density(), 0.2, 0.05);
+}
+
+TEST(PrunedLayerTest, BlockStructuredKeepsWholeBlocks)
+{
+    Rng rng(17);
+    const auto m = prunedLayer(64, 64, 0.3, rng, true);
+    // Every 4x4 block is either fully present or fully absent.
+    for (Index br = 0; br < 64; br += 4) {
+        for (Index bc = 0; bc < 64; bc += 4) {
+            int present = 0;
+            for (Index r = br; r < br + 4; ++r)
+                for (Index c = bc; c < bc + 4; ++c)
+                    present += m.at(r, c) != 0.0f;
+            EXPECT_TRUE(present == 0 || present == 16)
+                << "block (" << br << "," << bc << ") has " << present;
+        }
+    }
+}
+
+TEST(PrunedLayerTest, RectangularShape)
+{
+    Rng rng(18);
+    const auto m = prunedLayer(32, 96, 0.1, rng);
+    EXPECT_EQ(m.rows(), 32u);
+    EXPECT_EQ(m.cols(), 96u);
+}
+
+TEST(EmbeddingAccessTest, ExactLookupsPerRow)
+{
+    Rng rng(19);
+    const auto m = embeddingAccess(16, 1000, 8, rng);
+    EXPECT_EQ(m.rows(), 16u);
+    EXPECT_EQ(m.cols(), 1000u);
+    EXPECT_EQ(m.nnz(), 16u * 8u);
+    for (Index r = 0; r < 16; ++r) {
+        const auto [b, e] = m.rowRange(r);
+        EXPECT_EQ(e - b, 8u);
+    }
+}
+
+TEST(EmbeddingAccessTest, TooManyLookupsIsFatal)
+{
+    Rng rng(20);
+    EXPECT_THROW(embeddingAccess(4, 4, 5, rng), FatalError);
+}
+
+TEST(SuiteCatalogTest, TwentyUniqueEntries)
+{
+    const auto &catalog = suiteCatalog();
+    EXPECT_EQ(catalog.size(), 20u);
+    std::set<std::string> ids;
+    for (const auto &info : catalog)
+        ids.insert(info.id);
+    EXPECT_EQ(ids.size(), 20u);
+}
+
+TEST(SuiteCatalogTest, LookupByIdWorks)
+{
+    EXPECT_EQ(suiteMatrix("2C").name, "2cubes_sphere");
+    EXPECT_EQ(suiteMatrix("KR").name, "kron_g500-logn21");
+    EXPECT_THROW(suiteMatrix("XX"), FatalError);
+}
+
+TEST(SuiteCatalogTest, PaperDegreesMatchTable1)
+{
+    EXPECT_NEAR(suiteMatrix("KR").paperNnzPerRow(), 91.0, 1.0);
+    EXPECT_NEAR(suiteMatrix("EO").paperNnzPerRow(), 2.12, 0.05);
+}
+
+TEST(SuiteCatalogTest, SurrogatesGenerateWithRoughDegreeMatch)
+{
+    // Spot-check one surrogate per recipe family.
+    for (const char *id : {"2C", "FR", "RE", "AM", "EO", "DW"}) {
+        const auto &info = suiteMatrix(id);
+        const auto m = info.generate(1234);
+        ASSERT_GT(m.nnz(), 0u) << id;
+        const double deg = static_cast<double>(m.nnz()) / m.rows();
+        const double target = info.paperNnzPerRow();
+        EXPECT_GT(deg, target * 0.4) << id;
+        EXPECT_LT(deg, target * 2.5) << id;
+    }
+}
+
+TEST(SuiteCatalogTest, GenerationIsDeterministicPerSeed)
+{
+    const auto &info = suiteMatrix("AM");
+    EXPECT_TRUE(info.generate(5) == info.generate(5));
+    EXPECT_FALSE(info.generate(5) == info.generate(6));
+}
+
+TEST(SuiteCatalogTest, RoadSurrogatesKeepSpatialLocality)
+{
+    // Partitioned road networks should skip most tiles (Fig. 3's
+    // motivation for partitioning): strong locality means few non-zero
+    // tiles relative to the grid.
+    const auto m = suiteMatrix("RO").generate(99);
+    const auto parts = partition(m, 16);
+    EXPECT_LT(parts.nonZeroTileFraction(), 0.2);
+}
+
+} // namespace
+} // namespace copernicus
