@@ -53,11 +53,11 @@ runClass(const char *label, const TripletMatrix &matrix,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     benchutil::banner("Ablation: adaptive format choice",
                       "per-partition argmin-bottleneck selection vs "
-                      "the best single format, 16x16 partitions");
+                      "the best single format, 16x16 partitions", argc, argv);
 
     Rng rng(benchutil::benchSeed + 23);
     const Index n = benchutil::syntheticDim() / 2;

@@ -150,11 +150,11 @@ extensionFormatsSweep()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     benchutil::banner("Ablations",
                       "model-parameter sweeps on a density-0.05 random "
-                      "matrix at 16x16 partitions");
+                      "matrix at 16x16 partitions", argc, argv);
     ellWidthSweep();
     streamlineSweep();
     bramLatencySweep();

@@ -16,11 +16,11 @@
 using namespace copernicus;
 
 int
-main()
+main(int argc, char **argv)
 {
     benchutil::banner("Ablation: PEs",
                       "multi-PE aggregation on a density-0.05 random "
-                      "matrix, 16x16 partitions, LPT scheduling");
+                      "matrix, 16x16 partitions, LPT scheduling", argc, argv);
 
     Rng rng(benchutil::benchSeed + 13);
     const auto matrix = randomMatrix(benchutil::syntheticDim() / 2,

@@ -37,11 +37,11 @@ characterize(const char *label, const TripletMatrix &matrix,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     benchutil::banner("Ablation: RCM reorder",
                       "a band matrix scrambled by a random symmetric "
-                      "permutation, before and after RCM recovery");
+                      "permutation, before and after RCM recovery", argc, argv);
 
     // Build a band matrix, scramble it, then let RCM recover it.
     Rng rng(benchutil::benchSeed + 17);

@@ -17,12 +17,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/status.hh"
 #include "matrix/triplet_matrix.hh"
+#include "trace/profile.hh"
+#include "trace/trace_writer.hh"
 #include "workloads/generators.hh"
 #include "workloads/suite_catalog.hh"
 
@@ -104,13 +108,104 @@ bandWorkloads()
     return set;
 }
 
-/** Print the standard bench banner. */
+/** Observability flags shared by every bench binary. */
+struct BenchFlags
+{
+    std::string tracePath;
+    std::string statsJsonPath;
+    bool profile = false;
+};
+
+inline BenchFlags &
+benchFlags()
+{
+    static BenchFlags flags;
+    return flags;
+}
+
+/** The writer installed as the process-wide sink under --trace. */
+inline TraceWriter &
+benchTraceWriter()
+{
+    static TraceWriter writer;
+    return writer;
+}
+
+/** atexit hook: write the artifacts the flags asked for. */
+inline void
+writeBenchArtifacts()
+{
+    const BenchFlags &flags = benchFlags();
+    if (!flags.tracePath.empty()) {
+        setActiveTraceSink(nullptr);
+        benchTraceWriter().writeFile(flags.tracePath);
+        std::fprintf(stderr, "wrote Chrome trace (%zu events) to %s\n",
+                     benchTraceWriter().eventCount(),
+                     flags.tracePath.c_str());
+    }
+    if (flags.profile || !flags.statsJsonPath.empty()) {
+        const ProfileStats stats;
+        if (flags.profile)
+            stats.dump(std::cerr);
+        if (!flags.statsJsonPath.empty()) {
+            std::ofstream out(flags.statsJsonPath);
+            fatalIf(!out, "cannot open '" + flags.statsJsonPath + "'");
+            dumpGroupsJson(out, {&stats.group()});
+            std::fprintf(stderr, "wrote stats JSON to %s\n",
+                         flags.statsJsonPath.c_str());
+        }
+    }
+}
+
+/**
+ * Parse `--trace <path>`, `--stats-json <path>` and `--profile`;
+ * unknown arguments are ignored so benches can add their own. Installs
+ * the global trace sink / enables the profile registry and registers
+ * an atexit hook that writes the artifacts, so a bench body needs no
+ * further code.
+ */
+inline void
+parseBenchFlags(int argc, char **argv)
+{
+    BenchFlags &flags = benchFlags();
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--profile") {
+            flags.profile = true;
+        } else if ((arg == "--trace" || arg == "--stats-json") &&
+                   i + 1 < argc) {
+            (arg == "--trace" ? flags.tracePath
+                              : flags.statsJsonPath) = argv[++i];
+        }
+    }
+    if (flags.profile || !flags.statsJsonPath.empty())
+        ProfileRegistry::global().setEnabled(true);
+    if (!flags.tracePath.empty())
+        setActiveTraceSink(&benchTraceWriter());
+    if (flags.profile || !flags.statsJsonPath.empty() ||
+        !flags.tracePath.empty()) {
+        std::atexit(writeBenchArtifacts);
+    }
+}
+
+/**
+ * Print the standard bench banner; the argc/argv form also wires up
+ * the shared observability flags via parseBenchFlags().
+ */
 inline void
 banner(const char *experiment, const char *description)
 {
     std::printf("== %s ==\n%s\n", experiment, description);
     std::printf("scale: %s (set COPERNICUS_FULL=1 for paper scale)\n\n",
                 fullScale() ? "paper" : "reduced");
+}
+
+inline void
+banner(const char *experiment, const char *description, int argc,
+       char **argv)
+{
+    parseBenchFlags(argc, argv);
+    banner(experiment, description);
 }
 
 } // namespace copernicus::benchutil

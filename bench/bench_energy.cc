@@ -43,11 +43,11 @@ runClass(const char *label, const TripletMatrix &matrix,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     benchutil::banner("Energy",
                       "dynamic + static energy per format at 16x16 "
-                      "partitions (uJ; nJ per non-zero)");
+                      "partitions (uJ; nJ per non-zero)", argc, argv);
 
     Rng rng(benchutil::benchSeed + 31);
     const Index n = benchutil::syntheticDim() / 2;

@@ -14,11 +14,11 @@
 using namespace copernicus;
 
 int
-main()
+main(int argc, char **argv)
 {
     benchutil::banner("Figure 10",
                       "memory bandwidth utilization vs density, "
-                      "partition 16x16 (higher is better)");
+                      "partition 16x16 (higher is better)", argc, argv);
 
     StudyConfig cfg;
     cfg.partitionSizes = {16};

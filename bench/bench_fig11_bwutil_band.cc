@@ -13,11 +13,11 @@
 using namespace copernicus;
 
 int
-main()
+main(int argc, char **argv)
 {
     benchutil::banner("Figure 11",
                       "memory bandwidth utilization vs band width, "
-                      "partition 16x16 (higher is better)");
+                      "partition 16x16 (higher is better)", argc, argv);
 
     StudyConfig cfg;
     cfg.partitionSizes = {16};

@@ -43,11 +43,11 @@ runClass(const char *label, benchutil::WorkloadSet workloads,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     benchutil::banner("Figure 12",
                       "mean memory bandwidth utilization per class and "
-                      "partition size (higher is better)");
+                      "partition size (higher is better)", argc, argv);
 
     std::vector<std::string> header = {"class", "p"};
     for (FormatKind kind : paperFormats())

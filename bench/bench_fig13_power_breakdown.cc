@@ -13,11 +13,11 @@
 using namespace copernicus;
 
 int
-main()
+main(int argc, char **argv)
 {
     benchutil::banner("Figure 13",
                       "Dynamic power breakdown (watts) per format and "
-                      "partition size");
+                      "partition size", argc, argv);
 
     TableWriter table({"format", "p", "logic (W)", "BRAM (W)",
                        "signals (W)", "total (W)"});

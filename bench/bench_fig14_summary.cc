@@ -39,11 +39,11 @@ runClass(const char *label, benchutil::WorkloadSet workloads,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     benchutil::banner("Figure 14",
                       "normalized six-metric comparison per class "
-                      "(1 = best format for that metric, 0 = worst)");
+                      "(1 = best format for that metric, 0 = worst)", argc, argv);
 
     TableWriter table({"class", "format", "sigma", "latency", "balance",
                        "throughput", "bw util", "power"});

@@ -15,11 +15,11 @@
 using namespace copernicus;
 
 int
-main()
+main(int argc, char **argv)
 {
     benchutil::banner("Figure 3",
                       "Partition-level sparsity statistics (percent) "
-                      "per SuiteSparse surrogate and partition size");
+                      "per SuiteSparse surrogate and partition size", argc, argv);
 
     TableWriter table({"ID", "p", "partition density %", "row density %",
                        "non-zero rows %"});

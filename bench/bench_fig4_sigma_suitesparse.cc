@@ -14,11 +14,11 @@
 using namespace copernicus;
 
 int
-main()
+main(int argc, char **argv)
 {
     benchutil::banner("Figure 4",
                       "sigma per format on SuiteSparse surrogates, "
-                      "partition 16x16 (lower is better; DENSE = 1)");
+                      "partition 16x16 (lower is better; DENSE = 1)", argc, argv);
 
     StudyConfig cfg;
     cfg.partitionSizes = {16};

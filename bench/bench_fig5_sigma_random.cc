@@ -13,11 +13,11 @@
 using namespace copernicus;
 
 int
-main()
+main(int argc, char **argv)
 {
     benchutil::banner("Figure 5",
                       "sigma vs density on random matrices, partition "
-                      "16x16 (lower is better)");
+                      "16x16 (lower is better)", argc, argv);
 
     StudyConfig cfg;
     cfg.partitionSizes = {16};

@@ -13,11 +13,11 @@
 using namespace copernicus;
 
 int
-main()
+main(int argc, char **argv)
 {
     benchutil::banner("Figure 6",
                       "sigma vs band width, partition 16x16 (lower is "
-                      "better; width 1 = diagonal)");
+                      "better; width 1 = diagonal)", argc, argv);
 
     StudyConfig cfg;
     cfg.partitionSizes = {16};

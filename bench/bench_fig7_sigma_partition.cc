@@ -43,11 +43,11 @@ runClass(const char *label, benchutil::WorkloadSet workloads,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     benchutil::banner("Figure 7",
                       "mean sigma per workload class and partition "
-                      "size (lower is better)");
+                      "size (lower is better)", argc, argv);
 
     std::vector<std::string> header = {"class", "p"};
     for (FormatKind kind : paperFormats())

@@ -69,12 +69,12 @@ runClass(const char *label, benchutil::WorkloadSet workloads,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     benchutil::banner("Figure 8",
                       "memory vs compute latency and mean balance "
                       "ratio (memory/compute; 1 = perfectly balanced "
-                      "streaming)");
+                      "streaming)", argc, argv);
 
     PlotConfig plot_cfg;
     plot_cfg.logX = true;

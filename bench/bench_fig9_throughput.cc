@@ -36,11 +36,11 @@ glyphFor(FormatKind kind)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     benchutil::banner("Figure 9",
                       "throughput vs total SpMV latency per format and "
-                      "partition size across the density sweep");
+                      "partition size across the density sweep", argc, argv);
 
     Study study{StudyConfig{}};
     std::vector<std::string> names;

@@ -18,11 +18,11 @@
 using namespace copernicus;
 
 int
-main()
+main(int argc, char **argv)
 {
     benchutil::banner("Listing schedules",
                       "derived pipeline depth and II per decompressor "
-                      "inner loop (Listings 1-7)");
+                      "inner loop (Listings 1-7)", argc, argv);
 
     struct Entry
     {

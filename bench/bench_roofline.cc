@@ -17,11 +17,11 @@
 using namespace copernicus;
 
 int
-main()
+main(int argc, char **argv)
 {
     benchutil::banner("Roofline",
                       "format placement on the platform roofline, "
-                      "density-0.05 random matrix");
+                      "density-0.05 random matrix", argc, argv);
 
     const HlsConfig config;
     Rng rng(benchutil::benchSeed + 29);

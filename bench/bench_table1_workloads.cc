@@ -13,12 +13,12 @@
 using namespace copernicus;
 
 int
-main()
+main(int argc, char **argv)
 {
     benchutil::banner("Table 1",
                       "SuiteSparse matrices and their generated "
                       "surrogates (dim/nnz in millions for the paper "
-                      "columns)");
+                      "columns)", argc, argv);
 
     TableWriter table({"ID", "Name", "Kind", "paper Dim(M)",
                        "paper NNZ(M)", "surr dim", "surr nnz",

@@ -17,13 +17,13 @@
 using namespace copernicus;
 
 int
-main()
+main(int argc, char **argv)
 {
     benchutil::banner("Table 2",
                       "Resource utilization and dynamic power per "
                       "format x partition size ([cal] = Vivado "
                       "calibration from the paper, [est] = anchored "
-                      "structural estimate)");
+                      "structural estimate)", argc, argv);
 
     TableWriter table({"format", "p", "BRAM_18K", "FF (K)", "LUT (K)",
                        "BRAM %", "worst-case Kbit", "dyn power (W)",

@@ -7,15 +7,31 @@
  *   copernicus_cli matrix.mtx 8,16,32    # choose partition sizes
  *   copernicus_cli matrix.mtx 16 out.csv # also write CSV rows
  *
+ * Observability flags (combinable with the positionals above):
+ *
+ *   --trace out.json       Chrome trace_event timeline of the
+ *                          event-driven pipeline simulation, one trace
+ *                          process per format (open in Perfetto or
+ *                          chrome://tracing)
+ *   --stats-json out.json  the per-format pipeline StatGroups (and the
+ *                          profile group with --profile) as JSON, on
+ *                          top of the text dump
+ *   --profile              time the host-side hot paths (encoders,
+ *                          Study::run, scheduler) and dump the profile
+ *                          StatGroup
+ *
  * Prints the full format x partition metric table, the Figure-3
  * partition statistics, the adaptive per-tile plan, and the advisor's
  * per-goal recommendations.
  */
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
+#include "analysis/stats_report.hh"
 #include "analysis/table_writer.hh"
 #include "common/rng.hh"
 #include "core/advisor.hh"
@@ -23,6 +39,9 @@
 #include "core/study.hh"
 #include "matrix/mm_io.hh"
 #include "matrix/stats.hh"
+#include "pipeline/event_sim.hh"
+#include "trace/profile.hh"
+#include "trace/trace_writer.hh"
 #include "workloads/generators.hh"
 
 using namespace copernicus;
@@ -42,6 +61,34 @@ parsePartitionSizes(const std::string &arg)
     return sizes;
 }
 
+/** Flags plus the surviving positional arguments, in order. */
+struct CliOptions
+{
+    std::string tracePath;
+    std::string statsJsonPath;
+    bool profile = false;
+    std::vector<std::string> positional;
+};
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--profile") {
+            opts.profile = true;
+        } else if (arg == "--trace" || arg == "--stats-json") {
+            fatalIf(i + 1 >= argc, arg + " needs a file argument");
+            (arg == "--trace" ? opts.tracePath
+                              : opts.statsJsonPath) = argv[++i];
+        } else {
+            opts.positional.push_back(arg);
+        }
+    }
+    return opts;
+}
+
 } // namespace
 
 int
@@ -49,9 +96,13 @@ main(int argc, char **argv)
 {
     std::printf("copernicus_cli — sparse-format characterizer\n\n");
 
+    const CliOptions opts = parseArgs(argc, argv);
+    if (opts.profile || !opts.statsJsonPath.empty())
+        ProfileRegistry::global().setEnabled(true);
+
     TripletMatrix matrix = [&] {
-        if (argc > 1)
-            return readMatrixMarketFile(argv[1]);
+        if (!opts.positional.empty())
+            return readMatrixMarketFile(opts.positional[0]);
         std::printf("(no file given; using a demo 512x512 random "
                     "matrix at density 0.03)\n\n");
         Rng rng(123);
@@ -59,8 +110,9 @@ main(int argc, char **argv)
     }();
 
     const std::vector<Index> sizes =
-        argc > 2 ? parsePartitionSizes(argv[2])
-                 : std::vector<Index>{8, 16, 32};
+        opts.positional.size() > 1
+            ? parsePartitionSizes(opts.positional[1])
+            : std::vector<Index>{8, 16, 32};
 
     const auto stats = computeStats(matrix);
     std::printf("matrix: %u x %u, %zu nnz, density %.5g, bandwidth %u, "
@@ -107,9 +159,10 @@ main(int argc, char **argv)
                         TableWriter::num(row.power.dynamicW(), 2)});
     }
     metrics.print(std::cout);
-    if (argc > 3) {
-        metrics.writeCsvFile(argv[3]);
-        std::printf("\nwrote CSV to %s\n", argv[3]);
+    if (opts.positional.size() > 2) {
+        metrics.writeCsvFile(opts.positional[2]);
+        std::printf("\nwrote CSV to %s\n",
+                    opts.positional[2].c_str());
     }
 
     // Adaptive plan at the first partition size.
@@ -133,6 +186,50 @@ main(int argc, char **argv)
                     std::string(goalName(goal)).c_str(),
                     std::string(formatName(rec.format)).c_str(),
                     rec.partitionSize, rec.partitionSize);
+    }
+
+    // Chrome trace of the exact (event-driven) pipeline timeline at
+    // the first partition size, one trace process per format.
+    if (!opts.tracePath.empty()) {
+        TraceWriter writer;
+        for (FormatKind kind : cfg.formats)
+            runEventSim(parts, kind, cfg.hls, defaultRegistry(), 2,
+                        &writer);
+        writer.writeFile(opts.tracePath);
+        std::printf("\nwrote Chrome trace (%zu events) to %s — open "
+                    "in Perfetto or chrome://tracing\n",
+                    writer.eventCount(), opts.tracePath.c_str());
+    }
+
+    // Machine-readable stats: the per-format pipeline groups at the
+    // first partition size (text dump + JSON), plus the profile group.
+    if (!opts.statsJsonPath.empty()) {
+        std::vector<std::unique_ptr<PipelineStats>> all;
+        std::vector<const StatGroup *> groups;
+        for (FormatKind kind : cfg.formats) {
+            all.push_back(std::make_unique<PipelineStats>(
+                runPipeline(parts, kind, cfg.hls)));
+            groups.push_back(&all.back()->group());
+        }
+        std::printf("\n");
+        for (const auto &stats_group : all)
+            stats_group->dump(std::cout);
+
+        // Built last so it sees every timed scope of this run.
+        std::unique_ptr<ProfileStats> prof;
+        if (opts.profile) {
+            prof = std::make_unique<ProfileStats>();
+            prof->dump(std::cout);
+            groups.push_back(&prof->group());
+        }
+        std::ofstream out(opts.statsJsonPath);
+        fatalIf(!out, "cannot open '" + opts.statsJsonPath + "'");
+        dumpGroupsJson(out, groups);
+        std::printf("\nwrote stats JSON (%zu groups) to %s\n",
+                    groups.size(), opts.statsJsonPath.c_str());
+    } else if (opts.profile) {
+        std::printf("\n");
+        ProfileStats().dump(std::cout);
     }
     return 0;
 }

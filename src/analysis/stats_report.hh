@@ -28,6 +28,9 @@ class PipelineStats
     /** Dump in `name value # desc` format. */
     void dump(std::ostream &out) const { grp.dump(out); }
 
+    /** Dump as JSON (the shape of StatGroup::dumpJson). */
+    void dumpJson(std::ostream &out) const { grp.dumpJson(out); }
+
   private:
     StatGroup grp;
     ScalarStat partitions;

@@ -1,0 +1,231 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace copernicus {
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (unsigned char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeJsonString(std::ostream &out, std::string_view text)
+{
+    out << '"' << jsonEscape(text) << '"';
+}
+
+void
+writeJsonNumber(std::ostream &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out << '0';
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out << buf;
+}
+
+namespace {
+
+/** Cursor over the text being validated. */
+struct Parser
+{
+    std::string_view s;
+    std::size_t i = 0;
+
+    bool atEnd() const { return i >= s.size(); }
+    char peek() const { return s[i]; }
+
+    void
+    skipWs()
+    {
+        while (!atEnd() && (s[i] == ' ' || s[i] == '\t' ||
+                            s[i] == '\n' || s[i] == '\r')) {
+            ++i;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (atEnd() || s[i] != c)
+            return false;
+        ++i;
+        return true;
+    }
+
+    bool
+    consumeLiteral(std::string_view lit)
+    {
+        if (s.substr(i, lit.size()) != lit)
+            return false;
+        i += lit.size();
+        return true;
+    }
+
+    bool parseValue(int depth);
+
+    bool
+    parseString()
+    {
+        if (!consume('"'))
+            return false;
+        while (!atEnd()) {
+            const char c = s[i];
+            if (c == '"') {
+                ++i;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false; // raw control character
+            if (c == '\\') {
+                ++i;
+                if (atEnd())
+                    return false;
+                const char esc = s[i];
+                if (esc == 'u') {
+                    for (int h = 0; h < 4; ++h) {
+                        ++i;
+                        if (atEnd() || !std::isxdigit(
+                                           static_cast<unsigned char>(
+                                               s[i]))) {
+                            return false;
+                        }
+                    }
+                } else if (esc != '"' && esc != '\\' && esc != '/' &&
+                           esc != 'b' && esc != 'f' && esc != 'n' &&
+                           esc != 'r' && esc != 't') {
+                    return false;
+                }
+            }
+            ++i;
+        }
+        return false; // unterminated
+    }
+
+    bool
+    parseDigits()
+    {
+        if (atEnd() || !std::isdigit(static_cast<unsigned char>(s[i])))
+            return false;
+        while (!atEnd() && std::isdigit(static_cast<unsigned char>(s[i])))
+            ++i;
+        return true;
+    }
+
+    bool
+    parseNumber()
+    {
+        consume('-');
+        if (consume('0')) {
+            // no leading zeros
+        } else if (!parseDigits()) {
+            return false;
+        }
+        if (consume('.') && !parseDigits())
+            return false;
+        if (!atEnd() && (s[i] == 'e' || s[i] == 'E')) {
+            ++i;
+            if (!atEnd() && (s[i] == '+' || s[i] == '-'))
+                ++i;
+            if (!parseDigits())
+                return false;
+        }
+        return true;
+    }
+};
+
+bool
+Parser::parseValue(int depth)
+{
+    if (depth > 256)
+        return false;
+    skipWs();
+    if (atEnd())
+        return false;
+    const char c = peek();
+    if (c == '{') {
+        ++i;
+        skipWs();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipWs();
+            if (!parseString())
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return false;
+            if (!parseValue(depth + 1))
+                return false;
+            skipWs();
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
+    if (c == '[') {
+        ++i;
+        skipWs();
+        if (consume(']'))
+            return true;
+        while (true) {
+            if (!parseValue(depth + 1))
+                return false;
+            skipWs();
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
+    if (c == '"')
+        return parseString();
+    if (c == 't')
+        return consumeLiteral("true");
+    if (c == 'f')
+        return consumeLiteral("false");
+    if (c == 'n')
+        return consumeLiteral("null");
+    return parseNumber();
+}
+
+} // namespace
+
+bool
+jsonValid(std::string_view text)
+{
+    Parser parser{text};
+    if (!parser.parseValue(0))
+        return false;
+    parser.skipWs();
+    return parser.atEnd();
+}
+
+} // namespace copernicus

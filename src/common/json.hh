@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal JSON helpers shared by the stats and trace exporters.
+ *
+ * Copernicus emits machine-readable artifacts (Chrome trace_event
+ * files, stats dumps) without taking a serialisation dependency: the
+ * writers assemble JSON by hand and use these helpers for the only two
+ * hard parts, string escaping and number formatting. jsonValid() is a
+ * deliberately small recursive-descent checker used by tests and the
+ * CLI smoke test to prove an emitted artifact parses.
+ */
+
+#ifndef COPERNICUS_COMMON_JSON_HH
+#define COPERNICUS_COMMON_JSON_HH
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace copernicus {
+
+/** Escape @p text for inclusion inside a JSON string literal. */
+std::string jsonEscape(std::string_view text);
+
+/** Write @p text as a quoted, escaped JSON string. */
+void writeJsonString(std::ostream &out, std::string_view text);
+
+/**
+ * Write @p v as a JSON number.
+ *
+ * JSON has no NaN/Infinity literals; non-finite values are emitted as
+ * 0 so the artifact always parses.
+ */
+void writeJsonNumber(std::ostream &out, double v);
+
+/**
+ * True when @p text is exactly one well-formed JSON value (with
+ * optional surrounding whitespace).
+ *
+ * Checks syntax only — no object-key uniqueness, no number range. The
+ * nesting depth is capped at 256 to keep the checker iterative-stack
+ * safe on hostile input.
+ */
+bool jsonValid(std::string_view text);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_COMMON_JSON_HH

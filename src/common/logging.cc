@@ -1,19 +1,65 @@
 #include "common/logging.hh"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 namespace copernicus {
 
 namespace {
 
-LogLevel minLevel = LogLevel::Info;
+LogLevel
+initialLevel()
+{
+    const char *env = std::getenv("COPERNICUS_LOG_LEVEL");
+    if (env == nullptr)
+        return LogLevel::Info;
+    const std::string value(env);
+    if (value == "debug")
+        return LogLevel::Debug;
+    if (value == "info")
+        return LogLevel::Info;
+    if (value == "warn")
+        return LogLevel::Warn;
+    if (value == "error")
+        return LogLevel::Error;
+    std::fprintf(stderr,
+                 "warn: unknown COPERNICUS_LOG_LEVEL '%s' "
+                 "(expected debug|info|warn|error)\n",
+                 env);
+    return LogLevel::Info;
+}
+
+bool
+initialTimestamps()
+{
+    const char *env = std::getenv("COPERNICUS_LOG_TIMESTAMPS");
+    return env != nullptr && env[0] == '1';
+}
+
+LogLevel minLevel = initialLevel();
+bool timestamps = initialTimestamps();
+
+/** Seconds since the first emitted message. */
+double
+elapsedSeconds()
+{
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point start = Clock::now();
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
 
 void
 emit(LogLevel level, const char *tag, const std::string &msg)
 {
     if (level < minLevel)
         return;
-    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    if (timestamps) {
+        std::fprintf(stderr, "[%10.3f] %s: %s\n", elapsedSeconds(), tag,
+                     msg.c_str());
+    } else {
+        std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    }
 }
 
 } // namespace
@@ -28,6 +74,18 @@ LogLevel
 logLevel()
 {
     return minLevel;
+}
+
+void
+setLogTimestamps(bool enabled)
+{
+    timestamps = enabled;
+}
+
+bool
+logTimestamps()
+{
+    return timestamps;
 }
 
 void
@@ -46,6 +104,12 @@ void
 warn(const std::string &msg)
 {
     emit(LogLevel::Warn, "warn", msg);
+}
+
+void
+error(const std::string &msg)
+{
+    emit(LogLevel::Error, "error", msg);
 }
 
 } // namespace copernicus

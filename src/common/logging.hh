@@ -3,9 +3,15 @@
  * Minimal leveled logging for status messages.
  *
  * Mirrors gem5's inform()/warn() distinction: inform() is normal operating
- * status, warn() flags behaviour that might work but deserves attention.
- * Output goes to stderr so that bench binaries can keep stdout clean for
- * table data.
+ * status, warn() flags behaviour that might work but deserves attention,
+ * error() reports a definite problem the program survives. Output goes to
+ * stderr so that bench binaries can keep stdout clean for table data.
+ *
+ * The initial minimum level can be set from the environment:
+ * COPERNICUS_LOG_LEVEL=debug|info|warn|error. Timestamps (seconds since
+ * the first message, for correlating with --profile dumps) are off by
+ * default and enabled with setLogTimestamps() or
+ * COPERNICUS_LOG_TIMESTAMPS=1.
  */
 
 #ifndef COPERNICUS_COMMON_LOGGING_HH
@@ -16,7 +22,7 @@
 namespace copernicus {
 
 /** Severity levels, in increasing order of importance. */
-enum class LogLevel { Debug, Info, Warn };
+enum class LogLevel { Debug, Info, Warn, Error };
 
 /**
  * Set the minimum level that is actually printed.
@@ -28,6 +34,12 @@ void setLogLevel(LogLevel level);
 /** Current minimum printed level. */
 LogLevel logLevel();
 
+/** Prefix every message with elapsed seconds since the first message. */
+void setLogTimestamps(bool enabled);
+
+/** True when timestamp prefixes are enabled. */
+bool logTimestamps();
+
 /** Print a debug-level message (dropped unless level is Debug). */
 void debug(const std::string &msg);
 
@@ -36,6 +48,9 @@ void inform(const std::string &msg);
 
 /** Print a warning about suspicious but non-fatal behaviour. */
 void warn(const std::string &msg);
+
+/** Print an error the program recovers from (highest level). */
+void error(const std::string &msg);
 
 } // namespace copernicus
 

@@ -1,9 +1,11 @@
 #include "common/stat_group.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <iomanip>
 #include <ostream>
 
+#include "common/json.hh"
 #include "common/status.hh"
 
 namespace copernicus {
@@ -24,12 +26,37 @@ printLine(std::ostream &out, const std::string &name, double value,
         << std::setw(16) << value << "  # " << desc << '\n';
 }
 
+/** Common `"name": ..., "kind": ..., "desc": ...` prefix. */
+void
+jsonHead(std::ostream &out, const StatBase &stat, const char *kind)
+{
+    out << "{\"name\": ";
+    writeJsonString(out, stat.name());
+    out << ", \"kind\": \"" << kind << "\", \"desc\": ";
+    writeJsonString(out, stat.description());
+}
+
+void
+jsonField(std::ostream &out, const char *key, double value)
+{
+    out << ", \"" << key << "\": ";
+    writeJsonNumber(out, value);
+}
+
 } // namespace
 
 void
 ScalarStat::print(std::ostream &out) const
 {
     printLine(out, name(), total, description());
+}
+
+void
+ScalarStat::writeJson(std::ostream &out) const
+{
+    jsonHead(out, *this, "scalar");
+    jsonField(out, "value", total);
+    out << '}';
 }
 
 void
@@ -40,6 +67,15 @@ AverageStat::print(std::ostream &out) const
                   " samples)");
 }
 
+void
+AverageStat::writeJson(std::ostream &out) const
+{
+    jsonHead(out, *this, "average");
+    jsonField(out, "mean", mean());
+    jsonField(out, "samples", static_cast<double>(count));
+    out << '}';
+}
+
 DistributionStat::DistributionStat(StatGroup &group, std::string name,
                                    std::string desc, double lo,
                                    double hi, std::size_t bucketCount)
@@ -48,7 +84,13 @@ DistributionStat::DistributionStat(StatGroup &group, std::string name,
 {
     fatalIf(bucketCount == 0,
             "DistributionStat needs at least one bucket");
-    fatalIf(hi <= lo, "DistributionStat range must be non-empty");
+    // The degenerate lo == hi range would make the bucket width zero
+    // and turn every sample() into a division by zero.
+    fatalIf(hi == lo,
+            "DistributionStat range [" + std::to_string(lo) + ", " +
+                std::to_string(hi) +
+                ") is empty: lo == hi gives zero-width buckets");
+    fatalIf(hi < lo, "DistributionStat range must satisfy lo < hi");
 }
 
 void
@@ -70,6 +112,46 @@ DistributionStat::sample(double v)
     }
 }
 
+double
+DistributionStat::percentile(double p) const
+{
+    fatalIf(p < 0.0 || p > 100.0,
+            "percentile(" + std::to_string(p) +
+                ") is outside [0, 100]");
+    fatalIf(count == 0, "percentile of an empty distribution");
+
+    const double target = p / 100.0 * static_cast<double>(count);
+    double cum = 0;
+
+    // Underflow mass sits in [min_seen, lo).
+    if (underflow > 0) {
+        if (target <= cum + static_cast<double>(underflow)) {
+            const double frac = (target - cum) / underflow;
+            return min_seen + frac * (lo - min_seen);
+        }
+        cum += static_cast<double>(underflow);
+    }
+
+    const double width = (hi - lo) / static_cast<double>(bins.size());
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+        if (bins[b] == 0)
+            continue;
+        if (target <= cum + static_cast<double>(bins[b])) {
+            const double frac = (target - cum) / bins[b];
+            return lo + (static_cast<double>(b) + frac) * width;
+        }
+        cum += static_cast<double>(bins[b]);
+    }
+
+    // Overflow mass sits in [hi, max_seen].
+    if (overflow > 0) {
+        const double frac =
+            std::min(1.0, (target - cum) / overflow);
+        return hi + frac * (max_seen - hi);
+    }
+    return max_seen;
+}
+
 void
 DistributionStat::print(std::ostream &out) const
 {
@@ -79,6 +161,12 @@ DistributionStat::print(std::ostream &out) const
         return;
     printLine(out, name() + ".min", min_seen, "minimum sample");
     printLine(out, name() + ".max", max_seen, "maximum sample");
+    printLine(out, name() + ".p50", percentile(50),
+              "50th percentile (interpolated)");
+    printLine(out, name() + ".p95", percentile(95),
+              "95th percentile (interpolated)");
+    printLine(out, name() + ".p99", percentile(99),
+              "99th percentile (interpolated)");
     const double width = (hi - lo) / static_cast<double>(bins.size());
     if (underflow > 0) {
         printLine(out, name() + ".underflow",
@@ -96,6 +184,32 @@ DistributionStat::print(std::ostream &out) const
         printLine(out, name() + ".overflow",
                   static_cast<double>(overflow), "samples above range");
     }
+}
+
+void
+DistributionStat::writeJson(std::ostream &out) const
+{
+    jsonHead(out, *this, "distribution");
+    jsonField(out, "samples", static_cast<double>(count));
+    jsonField(out, "lo", lo);
+    jsonField(out, "hi", hi);
+    jsonField(out, "underflow", static_cast<double>(underflow));
+    jsonField(out, "overflow", static_cast<double>(overflow));
+    out << ", \"buckets\": [";
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+        if (b > 0)
+            out << ", ";
+        out << bins[b];
+    }
+    out << ']';
+    if (count > 0) {
+        jsonField(out, "min", min_seen);
+        jsonField(out, "max", max_seen);
+        jsonField(out, "p50", percentile(50));
+        jsonField(out, "p95", percentile(95));
+        jsonField(out, "p99", percentile(99));
+    }
+    out << '}';
 }
 
 void
@@ -124,6 +238,33 @@ StatGroup::dump(std::ostream &out) const
     out << "---------- " << _name << " ----------\n";
     for (const StatBase *stat : members)
         stat->print(out);
+}
+
+void
+StatGroup::dumpJson(std::ostream &out) const
+{
+    out << "{\"group\": ";
+    writeJsonString(out, _name);
+    out << ", \"stats\": [";
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i > 0)
+            out << ", ";
+        members[i]->writeJson(out);
+    }
+    out << "]}";
+}
+
+void
+dumpGroupsJson(std::ostream &out,
+               const std::vector<const StatGroup *> &groups)
+{
+    out << "{\"groups\": [";
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+        if (i > 0)
+            out << ", ";
+        groups[i]->dumpJson(out);
+    }
+    out << "]}\n";
 }
 
 } // namespace copernicus

@@ -44,6 +44,12 @@ class StatBase
     /** Print one or more dump lines for this stat. */
     virtual void print(std::ostream &out) const = 0;
 
+    /**
+     * Write this stat as one JSON object, e.g.
+     * `{"name": "hits", "kind": "scalar", "desc": "...", "value": 42}`.
+     */
+    virtual void writeJson(std::ostream &out) const = 0;
+
   private:
     std::string _name;
     std::string _desc;
@@ -72,6 +78,7 @@ class ScalarStat : public StatBase
     double value() const { return total; }
 
     void print(std::ostream &out) const override;
+    void writeJson(std::ostream &out) const override;
 
   private:
     double total = 0;
@@ -99,6 +106,7 @@ class AverageStat : public StatBase
     }
 
     void print(std::ostream &out) const override;
+    void writeJson(std::ostream &out) const override;
 
   private:
     double sum = 0;
@@ -125,7 +133,19 @@ class DistributionStat : public StatBase
     double maxSample() const { return max_seen; }
     const std::vector<std::uint64_t> &buckets() const { return bins; }
 
+    /**
+     * The p-th percentile with linear interpolation inside buckets.
+     *
+     * Underflow mass is spread over [minSample, lo) and overflow mass
+     * over [hi, maxSample], so tail percentiles stay meaningful.
+     *
+     * @param p Percentile in [0, 100]; outside that range, or with no
+     *        samples recorded, this is a FatalError.
+     */
+    double percentile(double p) const;
+
     void print(std::ostream &out) const override;
+    void writeJson(std::ostream &out) const override;
 
   private:
     double lo;
@@ -158,10 +178,25 @@ class StatGroup
     /** Dump every stat in registration order. */
     void dump(std::ostream &out) const;
 
+    /**
+     * Dump as one JSON object:
+     * `{"group": "<name>", "stats": [ ... ]}` with one entry per stat
+     * in registration order.
+     */
+    void dumpJson(std::ostream &out) const;
+
   private:
     std::string _name;
     std::vector<StatBase *> members;
 };
+
+/**
+ * Write several groups as one JSON document:
+ * `{"groups": [ {...}, {...} ]}`. This is the shape behind the
+ * `--stats-json` flag of copernicus_cli and the bench binaries.
+ */
+void dumpGroupsJson(std::ostream &out,
+                    const std::vector<const StatGroup *> &groups);
 
 } // namespace copernicus
 

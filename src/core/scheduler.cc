@@ -5,6 +5,7 @@
 #include "common/status.hh"
 #include "hls/axi.hh"
 #include "hls/decompressor.hh"
+#include "trace/profile.hh"
 
 namespace copernicus {
 
@@ -17,6 +18,7 @@ planFormats(const Partitioning &parts,
     fatalIf(candidates.empty(),
             "planFormats needs at least one candidate format");
 
+    const ScopedTimer timer("scheduler.plan");
     FormatPlan plan;
     plan.perTile.reserve(parts.tiles.size());
     const Bytes out_bytes = Bytes(parts.partitionSize) * valueBytes;

@@ -4,6 +4,7 @@
 
 #include "analysis/table_writer.hh"
 #include "common/status.hh"
+#include "trace/profile.hh"
 
 namespace copernicus {
 
@@ -124,6 +125,7 @@ StudyRow
 Study::makeRow(const std::string &workload, const Partitioning &parts,
                FormatKind kind) const
 {
+    const ScopedTimer timer("study.run.pipeline");
     const PipelineResult pipe = runPipeline(parts, kind, cfg.hls,
                                             registry);
     StudyRow row;
@@ -148,12 +150,14 @@ Study::makeRow(const std::string &workload, const Partitioning &parts,
 StudyResult
 Study::run() const
 {
+    const ScopedTimer timer("study.run");
     StudyResult result;
     for (std::size_t w = 0; w < matrices.size(); ++w) {
         for (Index p : cfg.partitionSizes) {
             auto key = std::make_pair(w, p);
             auto it = cache.find(key);
             if (it == cache.end()) {
+                const ScopedTimer part_timer("study.run.partition");
                 it = cache.emplace(key,
                                    partition(matrices[w].second, p))
                          .first;

@@ -1,10 +1,13 @@
 #include "formats/bitmap_format.hh"
 
+#include "trace/profile.hh"
+
 namespace copernicus {
 
 std::unique_ptr<EncodedTile>
 BitmapCodec::encode(const Tile &tile) const
 {
+    const ScopedTimer timer("encode.Bitmap");
     const Index p = tile.size();
     auto encoded = std::make_unique<BitmapEncoded>(p, tile.nnz());
     for (Index r = 0; r < p; ++r) {

@@ -1,10 +1,13 @@
 #include "formats/coo_format.hh"
 
+#include "trace/profile.hh"
+
 namespace copernicus {
 
 std::unique_ptr<EncodedTile>
 CooCodec::encode(const Tile &tile) const
 {
+    const ScopedTimer timer("encode.COO");
     const Index p = tile.size();
     auto encoded = std::make_unique<CooEncoded>(p, tile.nnz());
     for (Index r = 0; r < p; ++r) {

@@ -1,10 +1,13 @@
 #include "formats/csr_format.hh"
 
+#include "trace/profile.hh"
+
 namespace copernicus {
 
 std::unique_ptr<EncodedTile>
 CsrCodec::encode(const Tile &tile) const
 {
+    const ScopedTimer timer("encode.CSR");
     const Index p = tile.size();
     auto encoded = std::make_unique<CsrEncoded>(p, tile.nnz());
     encoded->offsets.reserve(p);

@@ -1,10 +1,13 @@
 #include "formats/dia_format.hh"
 
+#include "trace/profile.hh"
+
 namespace copernicus {
 
 std::unique_ptr<EncodedTile>
 DiaCodec::encode(const Tile &tile) const
 {
+    const ScopedTimer timer("encode.DIA");
     const Index p = tile.size();
     auto encoded = std::make_unique<DiaEncoded>(p, tile.nnz());
     const auto size = static_cast<std::int32_t>(p);

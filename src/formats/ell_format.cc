@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/status.hh"
+#include "trace/profile.hh"
 
 namespace copernicus {
 
@@ -20,6 +21,7 @@ EllCodec::widthFor(const Tile &tile) const
 std::unique_ptr<EncodedTile>
 EllCodec::encode(const Tile &tile) const
 {
+    const ScopedTimer timer("encode.ELL");
     const Index p = tile.size();
     const Index width = widthFor(tile);
     auto encoded = std::make_unique<EllEncoded>(p, tile.nnz(), width);

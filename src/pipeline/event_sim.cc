@@ -10,13 +10,20 @@ namespace copernicus {
 EventSimResult
 runEventSim(const Partitioning &parts, FormatKind kind,
             const HlsConfig &config, const FormatRegistry &registry,
-            Index inputBuffers)
+            Index inputBuffers, TraceSink *sink)
 {
     fatalIf(inputBuffers == 0,
             "runEventSim needs at least one input buffer");
     EventSimResult result;
     result.format = kind;
     result.partitionSize = parts.partitionSize;
+
+    TraceSink *trace = sink != nullptr ? sink : activeTraceSink();
+    if (trace != nullptr) {
+        trace->beginScope("event_sim." +
+                          std::string(formatName(kind)) + ".p" +
+                          std::to_string(parts.partitionSize));
+    }
 
     const FormatCodec &codec = registry.codec(kind);
     const Bytes out_bytes = Bytes(parts.partitionSize) * valueBytes;
@@ -61,6 +68,23 @@ runEventSim(const Partitioning &parts, FormatKind kind,
         prev_read_end = slot.readEnd;
         prev_compute_end = slot.computeEnd;
         prev_write_end = slot.writeEnd;
+
+        if (trace != nullptr) {
+            const std::string name =
+                "p" + std::to_string(result.schedule.size());
+            trace->durationEvent("read", name, slot.readStart,
+                                 slot.readEnd);
+            trace->durationEvent("compute", name, slot.computeStart,
+                                 slot.computeEnd);
+            trace->durationEvent("write", name, slot.writeStart,
+                                 slot.writeEnd);
+            trace->counterEvent("bw_util", slot.readEnd,
+                                encoded->bandwidthUtilization());
+            trace->counterEvent(
+                "sigma", slot.computeEnd,
+                sigmaOverhead(decomp, parts.partitionSize, config));
+        }
+
         result.schedule.push_back(slot);
     }
 

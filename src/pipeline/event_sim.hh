@@ -19,6 +19,7 @@
 #define COPERNICUS_PIPELINE_EVENT_SIM_HH
 
 #include "pipeline/stream_pipeline.hh"
+#include "trace/trace_sink.hh"
 
 namespace copernicus {
 
@@ -68,12 +69,17 @@ struct EventSimResult
  *        stages: the read of partition i waits for the compute of
  *        partition i - inputBuffers to release its slot (2 = the
  *        classic ping-pong double buffer).
+ * @param sink Timeline sink; null falls back to activeTraceSink()
+ *        (null again = tracing off). Emits read/compute/write duration
+ *        events per partition plus bw_util and sigma counters; never
+ *        affects the returned cycles.
  */
 EventSimResult runEventSim(const Partitioning &parts, FormatKind kind,
                            const HlsConfig &config = HlsConfig(),
                            const FormatRegistry &registry =
                                defaultRegistry(),
-                           Index inputBuffers = 2);
+                           Index inputBuffers = 2,
+                           TraceSink *sink = nullptr);
 
 } // namespace copernicus
 

@@ -27,14 +27,25 @@ struct TileCost
     }
 };
 
-} // namespace
-
+/**
+ * Body of runParallel with the sink fully resolved; the recursive
+ * single-PE baseline call passes null so speedup bookkeeping never
+ * emits a second timeline.
+ */
 ParallelResult
-runParallel(const Partitioning &parts, FormatKind kind, Index peCount,
-            ScheduleKind schedule, const HlsConfig &config,
-            const FormatRegistry &registry)
+runParallelImpl(const Partitioning &parts, FormatKind kind,
+                Index peCount, ScheduleKind schedule,
+                const HlsConfig &config, const FormatRegistry &registry,
+                TraceSink *trace)
 {
     fatalIf(peCount == 0, "runParallel needs at least one PE");
+
+    if (trace != nullptr) {
+        trace->beginScope("parallel." +
+                          std::string(formatName(kind)) + ".p" +
+                          std::to_string(parts.partitionSize) + ".pe" +
+                          std::to_string(peCount));
+    }
 
     ParallelResult result;
     result.format = kind;
@@ -72,6 +83,14 @@ runParallel(const Partitioning &parts, FormatKind kind, Index peCount,
         if (!pe_used[pe]) {
             pe_used[pe] = true;
             pe_first_mem[pe] = cost.memory;
+        }
+        if (trace != nullptr) {
+            // One lane per PE: each assigned tile occupies its
+            // steady-state slot on that lane.
+            trace->durationEvent(
+                "pe" + std::to_string(pe),
+                "p" + std::to_string(tile_index), pe_steady[pe],
+                pe_steady[pe] + cost.bottleneck());
         }
         pe_steady[pe] += cost.bottleneck();
         pe_last_write[pe] = cost.write;
@@ -124,12 +143,24 @@ runParallel(const Partitioning &parts, FormatKind kind, Index peCount,
     if (peCount == 1 || costs.empty()) {
         result.speedup = 1.0;
     } else {
-        const ParallelResult single = runParallel(
-            parts, kind, 1, schedule, config, registry);
+        const ParallelResult single = runParallelImpl(
+            parts, kind, 1, schedule, config, registry, nullptr);
         result.speedup = static_cast<double>(single.totalCycles) /
                          static_cast<double>(result.totalCycles);
     }
     return result;
+}
+
+} // namespace
+
+ParallelResult
+runParallel(const Partitioning &parts, FormatKind kind, Index peCount,
+            ScheduleKind schedule, const HlsConfig &config,
+            const FormatRegistry &registry, TraceSink *sink)
+{
+    return runParallelImpl(parts, kind, peCount, schedule, config,
+                           registry,
+                           sink != nullptr ? sink : activeTraceSink());
 }
 
 } // namespace copernicus

@@ -15,7 +15,7 @@ namespace {
 PipelineResult
 runImpl(const Partitioning &parts,
         const std::vector<FormatKind> &perTile, const HlsConfig &config,
-        const FormatRegistry &registry)
+        const FormatRegistry &registry, TraceSink *trace)
 {
     PipelineResult result;
     result.partitionSize = parts.partitionSize;
@@ -28,6 +28,9 @@ runImpl(const Partitioning &parts,
     double sigma_sum = 0;
     Cycles fill_first = 0;
     Cycles drain_last = 0;
+    // Steady-state clock for the emitted timeline: the first read is
+    // exposed, then each partition's slot advances by its bottleneck.
+    Cycles trace_clock = 0;
     for (std::size_t i = 0; i < parts.tiles.size(); ++i) {
         const Tile &tile = parts.tiles[i];
         const FormatCodec &codec = registry.codec(perTile[i]);
@@ -63,6 +66,29 @@ runImpl(const Partitioning &parts,
         if (result.partitions.empty())
             fill_first = timing.memoryCycles;
         drain_last = timing.writeCycles;
+
+        if (trace != nullptr) {
+            if (result.partitions.empty())
+                trace_clock = fill_first;
+            const std::string name =
+                "p" + std::to_string(result.partitions.size());
+            trace->durationEvent(
+                "read", name, trace_clock,
+                trace_clock + timing.memoryCycles);
+            trace->durationEvent(
+                "compute", name, trace_clock,
+                trace_clock + timing.computeCycles);
+            trace->durationEvent(
+                "write", name, trace_clock,
+                trace_clock + timing.writeCycles);
+            const Cycles slot_end =
+                trace_clock + timing.bottleneckCycles();
+            trace->counterEvent("sigma", slot_end, timing.sigma);
+            trace->counterEvent("bw_util", slot_end,
+                                encoded->bandwidthUtilization());
+            trace_clock = slot_end;
+        }
+
         result.partitions.push_back(timing);
     }
 
@@ -93,10 +119,18 @@ runImpl(const Partitioning &parts,
 
 PipelineResult
 runPipeline(const Partitioning &parts, FormatKind kind,
-            const HlsConfig &config, const FormatRegistry &registry)
+            const HlsConfig &config, const FormatRegistry &registry,
+            TraceSink *sink)
 {
+    TraceSink *trace = sink != nullptr ? sink : activeTraceSink();
+    if (trace != nullptr) {
+        trace->beginScope("pipeline." +
+                          std::string(formatName(kind)) + ".p" +
+                          std::to_string(parts.partitionSize));
+    }
     const std::vector<FormatKind> per_tile(parts.tiles.size(), kind);
-    PipelineResult result = runImpl(parts, per_tile, config, registry);
+    PipelineResult result = runImpl(parts, per_tile, config, registry,
+                                    trace);
     result.format = kind;
     return result;
 }
@@ -104,11 +138,18 @@ runPipeline(const Partitioning &parts, FormatKind kind,
 PipelineResult
 runPipelineMixed(const Partitioning &parts,
                  const std::vector<FormatKind> &perTile,
-                 const HlsConfig &config, const FormatRegistry &registry)
+                 const HlsConfig &config, const FormatRegistry &registry,
+                 TraceSink *sink)
 {
     fatalIf(perTile.size() != parts.tiles.size(),
             "runPipelineMixed: one format per non-zero tile required");
-    PipelineResult result = runImpl(parts, perTile, config, registry);
+    TraceSink *trace = sink != nullptr ? sink : activeTraceSink();
+    if (trace != nullptr) {
+        trace->beginScope("pipeline.mixed.p" +
+                          std::to_string(parts.partitionSize));
+    }
+    PipelineResult result = runImpl(parts, perTile, config, registry,
+                                    trace);
 
     // Report the majority format for summary displays.
     std::map<FormatKind, std::size_t> counts;

@@ -20,6 +20,7 @@
 #include "formats/registry.hh"
 #include "hls/hls_config.hh"
 #include "matrix/partitioner.hh"
+#include "trace/trace_sink.hh"
 
 namespace copernicus {
 
@@ -110,12 +111,19 @@ struct PipelineResult
  * @param kind Compression format under study.
  * @param config Platform parameters.
  * @param registry Codec source (paper defaults).
+ * @param sink Timeline sink; null falls back to activeTraceSink()
+ *        (null again = tracing off). The analytic model has no exact
+ *        event times, so partitions are laid out on a steady-state
+ *        clock — each slot advances by its bottleneck stage — with
+ *        sigma and bw_util counters per partition. Never affects the
+ *        returned metrics.
  * @return Aggregate and per-partition metrics.
  */
 PipelineResult runPipeline(const Partitioning &parts, FormatKind kind,
                            const HlsConfig &config = HlsConfig(),
                            const FormatRegistry &registry =
-                               defaultRegistry());
+                               defaultRegistry(),
+                           TraceSink *sink = nullptr);
 
 /**
  * Stream with a per-partition format choice (one entry per non-zero
@@ -130,7 +138,8 @@ PipelineResult runPipelineMixed(const Partitioning &parts,
                                 const std::vector<FormatKind> &perTile,
                                 const HlsConfig &config = HlsConfig(),
                                 const FormatRegistry &registry =
-                                    defaultRegistry());
+                                    defaultRegistry(),
+                                TraceSink *sink = nullptr);
 
 } // namespace copernicus
 

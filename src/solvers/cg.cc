@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/status.hh"
+#include "trace/profile.hh"
 
 namespace copernicus {
 
@@ -34,6 +35,8 @@ conjugateGradient(const CsrMatrix &a, const std::vector<Value> &b,
 {
     fatalIf(a.rows() != a.cols(), "CG requires a square matrix");
     fatalIf(b.size() != a.rows(), "CG right-hand-side length mismatch");
+
+    const ScopedTimer timer("solver.cg");
 
     const std::size_t n = b.size();
     SolveResult result;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/status.hh"
+#include "trace/profile.hh"
 
 namespace copernicus {
 
@@ -14,6 +15,8 @@ pageRank(const TripletMatrix &adjacency, double damping, double tolerance,
             "pageRank requires a square adjacency matrix");
     fatalIf(damping <= 0.0 || damping >= 1.0,
             "pageRank damping must be in (0, 1)");
+
+    const ScopedTimer timer("solver.pagerank");
     const Index n = adjacency.rows();
 
     // Out-degree (weighted) per vertex.

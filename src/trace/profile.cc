@@ -1,0 +1,67 @@
+#include "trace/profile.hh"
+
+#include <algorithm>
+
+namespace copernicus {
+
+ProfileRegistry &
+ProfileRegistry::global()
+{
+    static ProfileRegistry registry;
+    return registry;
+}
+
+void
+ProfileRegistry::record(std::string_view name, double seconds)
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+    auto it = table.find(name);
+    if (it == table.end()) {
+        Entry entry;
+        entry.name = std::string(name);
+        it = table.emplace(entry.name, std::move(entry)).first;
+    }
+    Entry &entry = it->second;
+    ++entry.calls;
+    entry.seconds += seconds;
+    entry.maxSeconds = std::max(entry.maxSeconds, seconds);
+}
+
+void
+ProfileRegistry::clear()
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+    table.clear();
+}
+
+std::vector<ProfileRegistry::Entry>
+ProfileRegistry::entries() const
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+    std::vector<Entry> out;
+    out.reserve(table.size());
+    for (const auto &[name, entry] : table)
+        out.push_back(entry);
+    return out;
+}
+
+ProfileStats::ProfileStats(const ProfileRegistry &registry)
+    : grp("profile")
+{
+    auto add = [this](const std::string &name, const char *desc,
+                      double value) {
+        auto stat = std::make_unique<ScalarStat>(grp, name, desc);
+        *stat = value;
+        owned.push_back(std::move(stat));
+    };
+    for (const ProfileRegistry::Entry &entry : registry.entries()) {
+        add(entry.name + ".calls", "times the scope was entered",
+            static_cast<double>(entry.calls));
+        add(entry.name + ".seconds", "total wall-clock seconds inside",
+            entry.seconds);
+        add(entry.name + ".max_seconds", "longest single entry",
+            entry.maxSeconds);
+    }
+}
+
+} // namespace copernicus

@@ -1,0 +1,25 @@
+#include "trace/trace_sink.hh"
+
+namespace copernicus {
+
+TraceSink::~TraceSink() = default;
+
+namespace {
+
+TraceSink *globalSink = nullptr;
+
+} // namespace
+
+TraceSink *
+activeTraceSink()
+{
+    return globalSink;
+}
+
+void
+setActiveTraceSink(TraceSink *sink)
+{
+    globalSink = sink;
+}
+
+} // namespace copernicus

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * End-to-end smoke test: runs copernicus_cli with every observability
+ * flag and validates the JSON artifacts it writes with the bundled
+ * checker — no external JSON dependency. Registered with ctest as
+ * `smoke_cli_artifacts <path-to-copernicus_cli>`.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.hh"
+
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "FAIL: cannot read %s\n", path.c_str());
+        std::exit(1);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+void
+checkArtifact(const std::string &path, const char *needle)
+{
+    const std::string doc = slurp(path);
+    if (!copernicus::jsonValid(doc)) {
+        std::fprintf(stderr, "FAIL: %s is not valid JSON\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    if (doc.find(needle) == std::string::npos) {
+        std::fprintf(stderr, "FAIL: %s lacks %s\n", path.c_str(),
+                     needle);
+        std::exit(1);
+    }
+    std::printf("ok: %s (%zu bytes)\n", path.c_str(), doc.size());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: smoke_cli_artifacts <copernicus_cli>\n");
+        return 2;
+    }
+
+    const std::string trace = "smoke_trace.json";
+    const std::string stats = "smoke_stats.json";
+    const std::string cmd = std::string(argv[1]) + " --trace " + trace +
+                            " --stats-json " + stats +
+                            " --profile > smoke_cli.out 2>&1";
+    std::printf("running: %s\n", cmd.c_str());
+    const int rc = std::system(cmd.c_str());
+    if (rc != 0) {
+        std::fprintf(stderr, "FAIL: CLI exited with %d; output:\n%s\n",
+                     rc, slurp("smoke_cli.out").c_str());
+        return 1;
+    }
+
+    checkArtifact(trace, "\"traceEvents\"");
+    checkArtifact(stats, "\"groups\"");
+
+    // The profile flag must surface at least one timed scope.
+    const std::string stats_doc = slurp(stats);
+    if (stats_doc.find("\"profile\"") == std::string::npos ||
+        stats_doc.find("study.run") == std::string::npos) {
+        std::fprintf(stderr,
+                     "FAIL: stats JSON lacks the profile group\n");
+        return 1;
+    }
+    std::printf("smoke_cli_artifacts: all checks passed\n");
+    return 0;
+}

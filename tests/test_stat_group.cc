@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "analysis/stats_report.hh"
+#include "common/json.hh"
 #include "common/rng.hh"
 #include "common/stat_group.hh"
 #include "common/status.hh"
@@ -56,6 +57,61 @@ TEST(StatGroupTest, DistributionBucketsSamples)
     EXPECT_EQ(dist.buckets()[0], 1u);
     EXPECT_EQ(dist.buckets()[1], 1u);
     EXPECT_EQ(dist.buckets()[4], 1u);
+}
+
+TEST(StatGroupTest, PercentileInterpolatesWithinBuckets)
+{
+    StatGroup group("g");
+    DistributionStat dist(group, "d", "x", 0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        dist.sample(i + 0.5); // one sample per unit-width bucket
+    EXPECT_DOUBLE_EQ(dist.percentile(50), 5.0);
+    EXPECT_DOUBLE_EQ(dist.percentile(95), 9.5);
+    EXPECT_DOUBLE_EQ(dist.percentile(99), 9.9);
+    EXPECT_DOUBLE_EQ(dist.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(dist.percentile(100), 10.0);
+    EXPECT_DOUBLE_EQ(dist.percentile(10), 1.0);
+}
+
+TEST(StatGroupTest, PercentileHandlesTails)
+{
+    StatGroup group("g");
+    DistributionStat dist(group, "d", "x", 10.0, 20.0, 5);
+    dist.sample(2.0);  // underflow: spread over [min_seen, lo)
+    dist.sample(12.0); // bucket 1
+    dist.sample(14.0); // bucket 2
+    dist.sample(30.0); // overflow: spread over [hi, max_seen]
+    // Ranks 0..4 map to 2, 12 (bucket [12,14) left edge), 14, 30.
+    EXPECT_LT(dist.percentile(1), 10.0);   // inside the underflow tail
+    EXPECT_GT(dist.percentile(99), 20.0);  // inside the overflow tail
+    EXPECT_LE(dist.percentile(99), 30.0);
+    const double p50 = dist.percentile(50);
+    EXPECT_GE(p50, 10.0);
+    EXPECT_LE(p50, 20.0);
+}
+
+TEST(StatGroupTest, PercentileRejectsBadInput)
+{
+    StatGroup group("g");
+    DistributionStat dist(group, "d", "x", 0.0, 1.0, 2);
+    EXPECT_THROW(dist.percentile(50), FatalError); // no samples yet
+    dist.sample(0.5);
+    EXPECT_THROW(dist.percentile(-1), FatalError);
+    EXPECT_THROW(dist.percentile(101), FatalError);
+}
+
+TEST(StatGroupTest, DistributionPrintIncludesPercentiles)
+{
+    StatGroup group("g");
+    DistributionStat dist(group, "d", "x", 0.0, 10.0, 5);
+    for (int i = 0; i < 10; ++i)
+        dist.sample(i);
+    std::ostringstream out;
+    dist.print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("d.p50"), std::string::npos);
+    EXPECT_NE(text.find("d.p95"), std::string::npos);
+    EXPECT_NE(text.find("d.p99"), std::string::npos);
 }
 
 TEST(StatGroupTest, InvalidDistributionIsFatal)
@@ -138,6 +194,72 @@ TEST(PipelineStatsTest, DumpContainsEveryStat)
         EXPECT_NE(text.find(needle), std::string::npos) << needle;
     }
     EXPECT_NE(text.find("pipeline.DIA.p16"), std::string::npos);
+}
+
+TEST(StatGroupTest, JsonDumpIsValidAndComplete)
+{
+    StatGroup group("demo");
+    ScalarStat counter(group, "hits", "cache hits");
+    counter = 42;
+    AverageStat avg(group, "latency", "mean latency");
+    avg.sample(3.0);
+    DistributionStat dist(group, "sizes", "tile sizes", 0.0, 8.0, 4);
+    dist.sample(1.0);
+    dist.sample(9.0); // overflow
+
+    std::ostringstream out;
+    group.dumpJson(out);
+    const std::string json = out.str();
+    EXPECT_TRUE(jsonValid(json)) << json;
+    for (const char *needle :
+         {"\"group\": \"demo\"", "\"hits\"", "\"scalar\"",
+          "\"latency\"", "\"average\"", "\"sizes\"",
+          "\"distribution\"", "\"buckets\"", "\"overflow\""}) {
+        EXPECT_NE(json.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(StatGroupTest, JsonEscapesAndNonFiniteValues)
+{
+    StatGroup group("g\"quoted\"");
+    ScalarStat weird(group, "inf", "an infinity");
+    weird = std::numeric_limits<double>::infinity();
+    std::ostringstream out;
+    group.dumpJson(out);
+    EXPECT_TRUE(jsonValid(out.str())) << out.str();
+}
+
+TEST(StatGroupTest, DumpGroupsJsonWrapsGroups)
+{
+    StatGroup a("a"), b("b");
+    ScalarStat sa(a, "x", "x");
+    ScalarStat sb(b, "y", "y");
+    std::ostringstream out;
+    dumpGroupsJson(out, {&a, &b});
+    const std::string json = out.str();
+    EXPECT_TRUE(jsonValid(json)) << json;
+    EXPECT_NE(json.find("\"groups\""), std::string::npos);
+    EXPECT_NE(json.find("\"group\": \"a\""), std::string::npos);
+    EXPECT_NE(json.find("\"group\": \"b\""), std::string::npos);
+}
+
+TEST(PipelineStatsTest, JsonContainsEveryRegisteredStat)
+{
+    Rng rng(73);
+    const auto m = randomMatrix(48, 0.1, rng);
+    const auto result = runPipeline(partition(m, 16), FormatKind::CSR);
+    const PipelineStats stats(result);
+
+    std::ostringstream out;
+    stats.dumpJson(out);
+    const std::string json = out.str();
+    EXPECT_TRUE(jsonValid(json));
+    // Every stat of the text dump appears by name in the JSON.
+    for (const StatBase *stat : stats.group().stats()) {
+        EXPECT_NE(json.find("\"" + stat->name() + "\""),
+                  std::string::npos)
+            << stat->name();
+    }
 }
 
 } // namespace
