@@ -24,6 +24,8 @@
 
 #include "common/rng.hh"
 #include "common/status.hh"
+#include "common/thread_pool.hh"
+#include "formats/encode_cache.hh"
 #include "matrix/triplet_matrix.hh"
 #include "trace/profile.hh"
 #include "trace/trace_writer.hh"
@@ -67,18 +69,35 @@ bandWidths()
 /** Named workload list. */
 using WorkloadSet = std::vector<std::pair<std::string, TripletMatrix>>;
 
+/**
+ * Fill a pre-sized workload set in parallel over the process-wide
+ * pool. Each generator draws from its own per-index seed, so the
+ * matrices are identical at any jobs setting.
+ */
+inline void
+generateWorkloads(WorkloadSet &set,
+                  const std::function<TripletMatrix(std::size_t)> &make)
+{
+    ThreadPool::global().parallelFor(set.size(), [&](std::size_t i) {
+        set[i].second = make(i);
+    });
+}
+
 /** The 20 Table-1 surrogates at bench scale. */
 inline WorkloadSet
 suiteWorkloads()
 {
+    const auto &catalog = suiteCatalog();
     WorkloadSet set;
-    for (const auto &info : suiteCatalog()) {
-        SuiteMatrixInfo scaled = info;
+    for (const auto &info : catalog)
+        set.emplace_back(info.id, TripletMatrix(1, 1));
+    generateWorkloads(set, [&](std::size_t i) {
+        SuiteMatrixInfo scaled = catalog[i];
         if (!fullScale())
-            scaled.surrogateDim = std::max<Index>(512,
-                                                  info.surrogateDim / 2);
-        set.emplace_back(info.id, scaled.generate(benchSeed));
-    }
+            scaled.surrogateDim =
+                std::max<Index>(512, catalog[i].surrogateDim / 2);
+        return scaled.generate(benchSeed);
+    });
     return set;
 }
 
@@ -86,12 +105,16 @@ suiteWorkloads()
 inline WorkloadSet
 randomWorkloads()
 {
+    const auto densities = densitySweep();
     WorkloadSet set;
-    Rng rng(benchSeed);
-    for (double density : densitySweep()) {
+    for (double density : densities)
         set.emplace_back("d=" + std::to_string(density),
-                         randomMatrix(syntheticDim(), density, rng));
-    }
+                         TripletMatrix(1, 1));
+    generateWorkloads(set, [&](std::size_t i) {
+        std::uint64_t sm = benchSeed + i;
+        Rng rng(splitMix64(sm));
+        return randomMatrix(syntheticDim(), densities[i], rng);
+    });
     return set;
 }
 
@@ -99,12 +122,15 @@ randomWorkloads()
 inline WorkloadSet
 bandWorkloads()
 {
+    const auto widths = bandWidths();
     WorkloadSet set;
-    Rng rng(benchSeed + 1);
-    for (Index width : bandWidths()) {
-        set.emplace_back("w=" + std::to_string(width),
-                         bandMatrix(syntheticDim(), width, rng));
-    }
+    for (Index width : widths)
+        set.emplace_back("w=" + std::to_string(width), TripletMatrix(1, 1));
+    generateWorkloads(set, [&](std::size_t i) {
+        std::uint64_t sm = benchSeed + 0x100 + i;
+        Rng rng(splitMix64(sm));
+        return bandMatrix(syntheticDim(), widths[i], rng);
+    });
     return set;
 }
 
@@ -138,6 +164,10 @@ writeBenchArtifacts()
     const BenchFlags &flags = benchFlags();
     if (!flags.tracePath.empty()) {
         setActiveTraceSink(nullptr);
+        // Pool workers never emit into the writer directly (it is
+        // single-threaded); their activity is recorded as lane spans
+        // and serialised here, after all parallel work is done.
+        emitWorkerLanes(benchTraceWriter(), ThreadPool::drainLaneSpans());
         benchTraceWriter().writeFile(flags.tracePath);
         std::fprintf(stderr, "wrote Chrome trace (%zu events) to %s\n",
                      benchTraceWriter().eventCount(),
@@ -145,12 +175,15 @@ writeBenchArtifacts()
     }
     if (flags.profile || !flags.statsJsonPath.empty()) {
         const ProfileStats stats;
+        const ThreadPoolStats poolStats;
+        const EncodeCacheStats cacheStats;
         if (flags.profile)
             stats.dump(std::cerr);
         if (!flags.statsJsonPath.empty()) {
             std::ofstream out(flags.statsJsonPath);
             fatalIf(!out, "cannot open '" + flags.statsJsonPath + "'");
-            dumpGroupsJson(out, {&stats.group()});
+            dumpGroupsJson(out, {&stats.group(), &poolStats.group(),
+                                 &cacheStats.group()});
             std::fprintf(stderr, "wrote stats JSON to %s\n",
                          flags.statsJsonPath.c_str());
         }
@@ -158,11 +191,12 @@ writeBenchArtifacts()
 }
 
 /**
- * Parse `--trace <path>`, `--stats-json <path>` and `--profile`;
- * unknown arguments are ignored so benches can add their own. Installs
- * the global trace sink / enables the profile registry and registers
- * an atexit hook that writes the artifacts, so a bench body needs no
- * further code.
+ * Parse `--trace <path>`, `--stats-json <path>`, `--profile` and
+ * `--jobs N`; unknown arguments are ignored so benches can add their
+ * own. Installs the global trace sink / enables the profile registry
+ * and registers an atexit hook that writes the artifacts, so a bench
+ * body needs no further code. `--jobs N` caps every pool in the
+ * process (equivalent to COPERNICUS_JOBS=N in the environment).
  */
 inline void
 parseBenchFlags(int argc, char **argv)
@@ -176,12 +210,18 @@ parseBenchFlags(int argc, char **argv)
                    i + 1 < argc) {
             (arg == "--trace" ? flags.tracePath
                               : flags.statsJsonPath) = argv[++i];
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            const long n = std::strtol(argv[++i], nullptr, 10);
+            fatalIf(n < 1, "--jobs wants a positive integer");
+            setJobsOverride(static_cast<unsigned>(n));
         }
     }
     if (flags.profile || !flags.statsJsonPath.empty())
         ProfileRegistry::global().setEnabled(true);
-    if (!flags.tracePath.empty())
+    if (!flags.tracePath.empty()) {
         setActiveTraceSink(&benchTraceWriter());
+        ThreadPool::setLaneRecording(true);
+    }
     if (flags.profile || !flags.statsJsonPath.empty() ||
         !flags.tracePath.empty()) {
         std::atexit(writeBenchArtifacts);

@@ -19,6 +19,11 @@
  *   --profile              time the host-side hot paths (encoders,
  *                          Study::run, scheduler) and dump the profile
  *                          StatGroup
+ *   --jobs N               worker lanes for the parallel sweep paths
+ *                          (Study::run, planFormats); equivalent to
+ *                          COPERNICUS_JOBS=N, default = hardware
+ *                          concurrency. Results are bit-identical at
+ *                          any setting.
  *
  * Prints the full format x partition metric table, the Figure-3
  * partition statistics, the adaptive per-tile plan, and the advisor's
@@ -26,6 +31,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -34,6 +40,8 @@
 #include "analysis/stats_report.hh"
 #include "analysis/table_writer.hh"
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "formats/encode_cache.hh"
 #include "core/advisor.hh"
 #include "core/scheduler.hh"
 #include "core/study.hh"
@@ -67,6 +75,7 @@ struct CliOptions
     std::string tracePath;
     std::string statsJsonPath;
     bool profile = false;
+    unsigned jobs = 0;
     std::vector<std::string> positional;
 };
 
@@ -82,6 +91,11 @@ parseArgs(int argc, char **argv)
             fatalIf(i + 1 >= argc, arg + " needs a file argument");
             (arg == "--trace" ? opts.tracePath
                               : opts.statsJsonPath) = argv[++i];
+        } else if (arg == "--jobs") {
+            fatalIf(i + 1 >= argc, "--jobs needs a count argument");
+            const long n = std::strtol(argv[++i], nullptr, 10);
+            fatalIf(n < 1, "--jobs wants a positive integer");
+            opts.jobs = static_cast<unsigned>(n);
         } else {
             opts.positional.push_back(arg);
         }
@@ -99,6 +113,10 @@ main(int argc, char **argv)
     const CliOptions opts = parseArgs(argc, argv);
     if (opts.profile || !opts.statsJsonPath.empty())
         ProfileRegistry::global().setEnabled(true);
+    if (opts.jobs != 0)
+        setJobsOverride(opts.jobs);
+    if (!opts.tracePath.empty())
+        ThreadPool::setLaneRecording(true);
 
     TripletMatrix matrix = [&] {
         if (!opts.positional.empty())
@@ -141,6 +159,7 @@ main(int argc, char **argv)
     // Full characterization.
     StudyConfig cfg;
     cfg.partitionSizes = sizes;
+    cfg.jobs = opts.jobs;
     Study study(cfg);
     study.addWorkload("input", matrix);
     const auto result = study.run();
@@ -195,6 +214,9 @@ main(int argc, char **argv)
         for (FormatKind kind : cfg.formats)
             runEventSim(parts, kind, cfg.hls, defaultRegistry(), 2,
                         &writer);
+        // Pool workers never write into a TraceWriter directly; their
+        // activity was recorded as lane spans and is serialised here.
+        emitWorkerLanes(writer, ThreadPool::drainLaneSpans());
         writer.writeFile(opts.tracePath);
         std::printf("\nwrote Chrome trace (%zu events) to %s — open "
                     "in Perfetto or chrome://tracing\n",
@@ -222,6 +244,10 @@ main(int argc, char **argv)
             prof->dump(std::cout);
             groups.push_back(&prof->group());
         }
+        const ThreadPoolStats poolStats;
+        const EncodeCacheStats cacheStats;
+        groups.push_back(&poolStats.group());
+        groups.push_back(&cacheStats.group());
         std::ofstream out(opts.statsJsonPath);
         fatalIf(!out, "cannot open '" + opts.statsJsonPath + "'");
         dumpGroupsJson(out, groups);

@@ -48,14 +48,14 @@ jsonField(std::ostream &out, const char *key, double value)
 void
 ScalarStat::print(std::ostream &out) const
 {
-    printLine(out, name(), total, description());
+    printLine(out, name(), value(), description());
 }
 
 void
 ScalarStat::writeJson(std::ostream &out) const
 {
     jsonHead(out, *this, "scalar");
-    jsonField(out, "value", total);
+    jsonField(out, "value", value());
     out << '}';
 }
 
@@ -63,7 +63,7 @@ void
 AverageStat::print(std::ostream &out) const
 {
     printLine(out, name(), mean(),
-              description() + " (mean of " + std::to_string(count) +
+              description() + " (mean of " + std::to_string(samples()) +
                   " samples)");
 }
 
@@ -72,7 +72,7 @@ AverageStat::writeJson(std::ostream &out) const
 {
     jsonHead(out, *this, "average");
     jsonField(out, "mean", mean());
-    jsonField(out, "samples", static_cast<double>(count));
+    jsonField(out, "samples", static_cast<double>(samples()));
     out << '}';
 }
 
@@ -96,6 +96,7 @@ DistributionStat::DistributionStat(StatGroup &group, std::string name,
 void
 DistributionStat::sample(double v)
 {
+    const std::lock_guard<std::mutex> lock(mutex);
     ++count;
     min_seen = std::min(min_seen, v);
     max_seen = std::max(max_seen, v);
@@ -114,6 +115,13 @@ DistributionStat::sample(double v)
 
 double
 DistributionStat::percentile(double p) const
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+    return percentileLocked(p);
+}
+
+double
+DistributionStat::percentileLocked(double p) const
 {
     fatalIf(p < 0.0 || p > 100.0,
             "percentile(" + std::to_string(p) +
@@ -155,17 +163,18 @@ DistributionStat::percentile(double p) const
 void
 DistributionStat::print(std::ostream &out) const
 {
+    const std::lock_guard<std::mutex> lock(mutex);
     printLine(out, name() + ".samples", static_cast<double>(count),
               description());
     if (count == 0)
         return;
     printLine(out, name() + ".min", min_seen, "minimum sample");
     printLine(out, name() + ".max", max_seen, "maximum sample");
-    printLine(out, name() + ".p50", percentile(50),
+    printLine(out, name() + ".p50", percentileLocked(50),
               "50th percentile (interpolated)");
-    printLine(out, name() + ".p95", percentile(95),
+    printLine(out, name() + ".p95", percentileLocked(95),
               "95th percentile (interpolated)");
-    printLine(out, name() + ".p99", percentile(99),
+    printLine(out, name() + ".p99", percentileLocked(99),
               "99th percentile (interpolated)");
     const double width = (hi - lo) / static_cast<double>(bins.size());
     if (underflow > 0) {
@@ -189,6 +198,7 @@ DistributionStat::print(std::ostream &out) const
 void
 DistributionStat::writeJson(std::ostream &out) const
 {
+    const std::lock_guard<std::mutex> lock(mutex);
     jsonHead(out, *this, "distribution");
     jsonField(out, "samples", static_cast<double>(count));
     jsonField(out, "lo", lo);
@@ -205,9 +215,9 @@ DistributionStat::writeJson(std::ostream &out) const
     if (count > 0) {
         jsonField(out, "min", min_seen);
         jsonField(out, "max", max_seen);
-        jsonField(out, "p50", percentile(50));
-        jsonField(out, "p95", percentile(95));
-        jsonField(out, "p99", percentile(99));
+        jsonField(out, "p50", percentileLocked(50));
+        jsonField(out, "p95", percentileLocked(95));
+        jsonField(out, "p99", percentileLocked(99));
     }
     out << '}';
 }

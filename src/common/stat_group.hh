@@ -13,9 +13,11 @@
 #ifndef COPERNICUS_COMMON_STAT_GROUP_HH
 #define COPERNICUS_COMMON_STAT_GROUP_HH
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -55,7 +57,24 @@ class StatBase
     std::string _desc;
 };
 
-/** A plain scalar counter/value. */
+/**
+ * Lock-free add for atomic doubles (CAS loop): works on any libstdc++
+ * without relying on C++20's std::atomic<double>::fetch_add.
+ */
+inline void
+atomicAdd(std::atomic<double> &target, double delta)
+{
+    double seen = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(seen, seen + delta,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+/**
+ * A plain scalar counter/value. Accumulation (+=, =) is atomic so
+ * thread-pool workers can bump shared counters directly; reads during
+ * concurrent writes see a consistent double.
+ */
 class ScalarStat : public StatBase
 {
   public:
@@ -64,27 +83,27 @@ class ScalarStat : public StatBase
     ScalarStat &
     operator+=(double delta)
     {
-        total += delta;
+        atomicAdd(total, delta);
         return *this;
     }
 
     ScalarStat &
     operator=(double v)
     {
-        total = v;
+        total.store(v, std::memory_order_relaxed);
         return *this;
     }
 
-    double value() const { return total; }
+    double value() const { return total.load(std::memory_order_relaxed); }
 
     void print(std::ostream &out) const override;
     void writeJson(std::ostream &out) const override;
 
   private:
-    double total = 0;
+    std::atomic<double> total{0};
 };
 
-/** Mean over sampled values. */
+/** Mean over sampled values. sample() is atomic (see ScalarStat). */
 class AverageStat : public StatBase
 {
   public:
@@ -93,27 +112,41 @@ class AverageStat : public StatBase
     void
     sample(double v)
     {
-        sum += v;
-        ++count;
+        atomicAdd(sum, v);
+        count.fetch_add(1, std::memory_order_relaxed);
     }
 
-    std::uint64_t samples() const { return count; }
+    std::uint64_t
+    samples() const
+    {
+        return count.load(std::memory_order_relaxed);
+    }
 
     double
     mean() const
     {
-        return count == 0 ? 0.0 : sum / static_cast<double>(count);
+        const std::uint64_t n = samples();
+        return n == 0 ? 0.0
+                      : sum.load(std::memory_order_relaxed) /
+                            static_cast<double>(n);
     }
 
     void print(std::ostream &out) const override;
     void writeJson(std::ostream &out) const override;
 
   private:
-    double sum = 0;
-    std::uint64_t count = 0;
+    std::atomic<double> sum{0};
+    std::atomic<std::uint64_t> count{0};
 };
 
-/** Fixed-bucket distribution with underflow/overflow tracking. */
+/**
+ * Fixed-bucket distribution with underflow/overflow tracking.
+ *
+ * sample(), percentile() and the dump methods are mutex-guarded so
+ * pool workers can sample concurrently; the raw accessors (buckets(),
+ * minSample(), maxSample(), samples()) are snapshot reads intended for
+ * after the workers have joined.
+ */
 class DistributionStat : public StatBase
 {
   public:
@@ -148,6 +181,8 @@ class DistributionStat : public StatBase
     void writeJson(std::ostream &out) const override;
 
   private:
+    double percentileLocked(double p) const;
+
     double lo;
     double hi;
     std::vector<std::uint64_t> bins;
@@ -156,6 +191,7 @@ class DistributionStat : public StatBase
     std::uint64_t count = 0;
     double min_seen = std::numeric_limits<double>::infinity();
     double max_seen = -std::numeric_limits<double>::infinity();
+    mutable std::mutex mutex;
 };
 
 /** A named collection of statistics, dumped together. */

@@ -1,0 +1,343 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+namespace copernicus {
+
+namespace {
+
+/** Set while a thread executes a pool task; gates nested fan-out. */
+thread_local bool tl_in_pool_task = false;
+
+struct TaskScope
+{
+    TaskScope() { tl_in_pool_task = true; }
+    ~TaskScope() { tl_in_pool_task = false; }
+};
+
+std::atomic<unsigned> jobs_override{0};
+
+/** Process-wide counters; pools are short-lived, the totals are not. */
+std::atomic<std::uint64_t> ctr_tasks{0};
+std::atomic<std::uint64_t> ctr_steals{0};
+std::atomic<std::uint64_t> ctr_parallel_fors{0};
+std::atomic<std::uint64_t> ctr_serial_loops{0};
+
+/** Lane-span collection (off by default; enabled under --trace). */
+std::atomic<bool> lanes_enabled{false};
+std::mutex lane_mutex;
+std::vector<ThreadPool::LaneSpan> lane_spans;
+
+std::chrono::steady_clock::time_point
+laneEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+std::uint64_t
+laneNowUs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - laneEpoch())
+            .count());
+}
+
+/** State of one in-flight parallelFor, on the caller's stack. */
+struct ForJob
+{
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t pending = 0; ///< chunks not yet finished, under mutex
+    std::exception_ptr error;
+    std::atomic<bool> failed{false};
+};
+
+} // namespace
+
+unsigned
+hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+setJobsOverride(unsigned jobs)
+{
+    jobs_override.store(jobs, std::memory_order_relaxed);
+}
+
+unsigned
+effectiveJobs(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned override_jobs =
+        jobs_override.load(std::memory_order_relaxed);
+    if (override_jobs > 0)
+        return override_jobs;
+    static const unsigned env_jobs = [] {
+        const char *env = std::getenv("COPERNICUS_JOBS");
+        if (env == nullptr)
+            return 0U;
+        const long parsed = std::strtol(env, nullptr, 10);
+        return parsed > 0 ? static_cast<unsigned>(parsed) : 0U;
+    }();
+    if (env_jobs > 0)
+        return env_jobs;
+    return hardwareJobs();
+}
+
+ThreadPool::ThreadPool(unsigned jobs) : njobs(effectiveJobs(jobs))
+{
+    laneEpoch(); // pin the lane clock before any worker starts
+    if (njobs <= 1)
+        return;
+    lanes.reserve(njobs);
+    for (unsigned slot = 0; slot < njobs; ++slot)
+        lanes.push_back(std::make_unique<Lane>());
+    workers.reserve(njobs - 1);
+    for (unsigned slot = 1; slot < njobs; ++slot)
+        workers.emplace_back([this, slot] { workerLoop(slot); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    if (njobs <= 1)
+        return;
+    // Drain submit() tasks nobody is waiting on, then stop.
+    while (runOneTask(0)) {
+    }
+    {
+        const std::lock_guard<std::mutex> lock(sleepMutex);
+        stopping.store(true, std::memory_order_release);
+    }
+    sleepCv.notify_all();
+    for (std::thread &worker : workers)
+        worker.join();
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(0);
+    return pool;
+}
+
+bool
+ThreadPool::inPoolTask()
+{
+    return tl_in_pool_task;
+}
+
+ThreadPool::Counters
+ThreadPool::globalCounters()
+{
+    Counters counters;
+    counters.tasksRun = ctr_tasks.load(std::memory_order_relaxed);
+    counters.steals = ctr_steals.load(std::memory_order_relaxed);
+    counters.parallelFors =
+        ctr_parallel_fors.load(std::memory_order_relaxed);
+    counters.serialLoops =
+        ctr_serial_loops.load(std::memory_order_relaxed);
+    return counters;
+}
+
+void
+ThreadPool::setLaneRecording(bool enabled)
+{
+    lanes_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+ThreadPool::laneRecording()
+{
+    return lanes_enabled.load(std::memory_order_relaxed);
+}
+
+std::vector<ThreadPool::LaneSpan>
+ThreadPool::drainLaneSpans()
+{
+    const std::lock_guard<std::mutex> lock(lane_mutex);
+    std::vector<LaneSpan> drained;
+    drained.swap(lane_spans);
+    return drained;
+}
+
+void
+ThreadPool::pushTask(unsigned slot, std::function<void()> task)
+{
+    Lane &lane = *lanes[slot % lanes.size()];
+    {
+        const std::lock_guard<std::mutex> lock(lane.mutex);
+        lane.queue.push_back(std::move(task));
+    }
+    queued.fetch_add(1, std::memory_order_release);
+}
+
+unsigned
+ThreadPool::nextSubmitSlot()
+{
+    return submitSlot.fetch_add(1, std::memory_order_relaxed) % njobs;
+}
+
+void
+ThreadPool::wake()
+{
+    // Lock so a worker between its predicate check and its block
+    // cannot miss the notification (queued is read outside the mutex).
+    const std::lock_guard<std::mutex> lock(sleepMutex);
+    sleepCv.notify_all();
+}
+
+bool
+ThreadPool::runOneTask(unsigned slot)
+{
+    std::function<void()> task;
+    // Own deque first (front = newest, cache-warm)...
+    {
+        Lane &own = *lanes[slot];
+        const std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.queue.empty()) {
+            task = std::move(own.queue.front());
+            own.queue.pop_front();
+        }
+    }
+    // ...then steal the oldest task from the next busy lane.
+    if (!task) {
+        for (unsigned i = 1; i < njobs && !task; ++i) {
+            Lane &victim = *lanes[(slot + i) % njobs];
+            const std::lock_guard<std::mutex> lock(victim.mutex);
+            if (!victim.queue.empty()) {
+                task = std::move(victim.queue.back());
+                victim.queue.pop_back();
+                ctr_steals.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+    }
+    if (!task)
+        return false;
+    queued.fetch_sub(1, std::memory_order_acquire);
+
+    const bool record = laneRecording();
+    const std::uint64_t start = record ? laneNowUs() : 0;
+    {
+        const TaskScope scope;
+        task();
+    }
+    if (record) {
+        const LaneSpan span{slot, start, laneNowUs()};
+        const std::lock_guard<std::mutex> lock(lane_mutex);
+        lane_spans.push_back(span);
+    }
+    ctr_tasks.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+ThreadPool::workerLoop(unsigned slot)
+{
+    for (;;) {
+        if (runOneTask(slot))
+            continue;
+        std::unique_lock<std::mutex> lock(sleepMutex);
+        sleepCv.wait(lock, [this] {
+            return stopping.load(std::memory_order_acquire) ||
+                   queued.load(std::memory_order_acquire) > 0;
+        });
+        if (stopping.load(std::memory_order_acquire) &&
+            queued.load(std::memory_order_acquire) == 0) {
+            return;
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (njobs <= 1 || n == 1 || tl_in_pool_task) {
+        ctr_serial_loops.fetch_add(1, std::memory_order_relaxed);
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    ctr_parallel_fors.fetch_add(1, std::memory_order_relaxed);
+
+    // Chunk so each lane sees a few tasks (steal granularity) without
+    // per-index scheduling overhead.
+    const std::size_t chunk =
+        std::max<std::size_t>(1, n / (std::size_t(njobs) * 4));
+    const std::size_t chunks = (n + chunk - 1) / chunk;
+
+    ForJob job;
+    job.pending = chunks;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t begin = c * chunk;
+        const std::size_t end = std::min(n, begin + chunk);
+        pushTask(static_cast<unsigned>(c % njobs),
+                 [&job, &body, begin, end] {
+                     if (!job.failed.load(std::memory_order_relaxed)) {
+                         try {
+                             for (std::size_t i = begin; i < end; ++i)
+                                 body(i);
+                         } catch (...) {
+                             const std::lock_guard<std::mutex> lock(
+                                 job.mutex);
+                             if (!job.error)
+                                 job.error = std::current_exception();
+                             job.failed.store(
+                                 true, std::memory_order_relaxed);
+                         }
+                     }
+                     const std::lock_guard<std::mutex> lock(job.mutex);
+                     if (--job.pending == 0)
+                         job.done.notify_all();
+                 });
+    }
+    wake();
+
+    // The caller is the last lane: help until the loop drains.
+    for (;;) {
+        {
+            const std::lock_guard<std::mutex> lock(job.mutex);
+            if (job.pending == 0)
+                break;
+        }
+        if (!runOneTask(0)) {
+            std::unique_lock<std::mutex> lock(job.mutex);
+            job.done.wait_for(lock, std::chrono::milliseconds(2),
+                              [&job] { return job.pending == 0; });
+        }
+    }
+    if (job.error)
+        std::rethrow_exception(job.error);
+}
+
+ThreadPoolStats::ThreadPoolStats() : grp("thread_pool")
+{
+    const ThreadPool::Counters counters = ThreadPool::globalCounters();
+    auto add = [this](const std::string &name, const char *desc,
+                      double value) {
+        auto stat = std::make_unique<ScalarStat>(grp, name, desc);
+        *stat = value;
+        owned.push_back(std::move(stat));
+    };
+    add("tasks_run", "pool tasks executed on any lane",
+        static_cast<double>(counters.tasksRun));
+    add("steals", "tasks taken from another lane's deque",
+        static_cast<double>(counters.steals));
+    add("parallel_fors", "parallelFor calls that fanned out",
+        static_cast<double>(counters.parallelFors));
+    add("serial_loops",
+        "parallelFor calls that ran serially (jobs<=1 or nested)",
+        static_cast<double>(counters.serialLoops));
+}
+
+} // namespace copernicus

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Work-stealing thread pool for the host-side sweep hot paths.
+ *
+ * The characterization is a large Cartesian sweep (workloads x formats
+ * x partition sizes) of *pure* evaluations: every design point reads
+ * shared immutable inputs and writes one indexed output slot. That
+ * shape makes parallelism deterministic by construction — results are
+ * ordered by index, never by completion — and it is the only shape
+ * this pool is designed for.
+ *
+ * Topology: `jobs` execution lanes total. A ThreadPool(jobs) spawns
+ * `jobs - 1` worker threads; the thread that calls parallelFor() is
+ * the jobs-th lane and executes tasks itself while it waits. Each lane
+ * owns a deque: owners pop from the front (LIFO for cache locality),
+ * idle lanes steal from the back of a victim's deque (FIFO, oldest
+ * work first). With jobs <= 1 no threads are ever spawned and every
+ * entry point degrades to a plain serial loop — the graceful
+ * single-thread fallback.
+ *
+ * Nesting: a parallelFor() issued from inside a pool task (any pool)
+ * runs serially inline on the calling lane. This keeps nested sweeps
+ * (Study::run -> planFormats) deadlock-free without a scheduler.
+ *
+ * Exceptions: the first exception thrown by a parallelFor body is
+ * captured and rethrown on the calling thread after the loop drains;
+ * submit() propagates through the returned future.
+ *
+ * The `jobs` knob resolves through effectiveJobs(): explicit value >
+ * process-wide override (--jobs) > COPERNICUS_JOBS > hardware
+ * concurrency.
+ */
+
+#ifndef COPERNICUS_COMMON_THREAD_POOL_HH
+#define COPERNICUS_COMMON_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/stat_group.hh"
+
+namespace copernicus {
+
+/** Hardware concurrency, never less than 1. */
+unsigned hardwareJobs();
+
+/**
+ * Process-wide jobs override (the --jobs flag); 0 clears it. Takes
+ * effect on the next effectiveJobs() resolution — pools already
+ * constructed keep their size.
+ */
+void setJobsOverride(unsigned jobs);
+
+/**
+ * Resolve a jobs request: @p requested if positive, else the override,
+ * else COPERNICUS_JOBS from the environment, else hardwareJobs().
+ */
+unsigned effectiveJobs(unsigned requested = 0);
+
+/** Work-stealing pool of `jobs` execution lanes. */
+class ThreadPool
+{
+  public:
+    /** @param jobs Lane count request, resolved via effectiveJobs(). */
+    explicit ThreadPool(unsigned jobs = 0);
+
+    /** Joins all workers; queued submit() tasks are drained first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Execution lanes (worker threads + the calling thread). */
+    unsigned jobs() const { return njobs; }
+
+    /**
+     * Run body(0) .. body(n-1), each exactly once. Indices are chunked
+     * and distributed over the lanes; the caller participates until
+     * the loop drains. Determinism contract: the body must write only
+     * to state indexed by its argument. Serial inline when jobs <= 1,
+     * n <= 1, or when called from inside any pool task.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * Schedule one task; the future carries its result or exception.
+     * Runs inline immediately when jobs <= 1 or when called from
+     * inside a pool task.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        auto future = task->get_future();
+        if (njobs <= 1 || inPoolTask()) {
+            (*task)();
+            return future;
+        }
+        pushTask(nextSubmitSlot(), [task] { (*task)(); });
+        wake();
+        return future;
+    }
+
+    /** Process-wide pool sized by effectiveJobs(0) at first use. */
+    static ThreadPool &global();
+
+    /** True while the calling thread is executing a pool task. */
+    static bool inPoolTask();
+
+    /**
+     * Process-wide pool/steal counters, aggregated over every pool
+     * instance (Study::run builds short-lived pools per sweep).
+     */
+    struct Counters
+    {
+        std::uint64_t tasksRun = 0;      ///< tasks executed on any lane
+        std::uint64_t steals = 0;        ///< tasks taken from another lane
+        std::uint64_t parallelFors = 0;  ///< parallelFor calls that fanned out
+        std::uint64_t serialLoops = 0;   ///< parallelFor calls run serially
+    };
+    static Counters globalCounters();
+
+    /**
+     * One executed task on one lane, wall-clock microseconds since the
+     * first pool was constructed. Collected process-wide (across pool
+     * instances) when lane recording is on, so the Chrome trace can
+     * show per-worker activity lanes.
+     */
+    struct LaneSpan
+    {
+        unsigned worker = 0;
+        std::uint64_t startUs = 0;
+        std::uint64_t endUs = 0;
+    };
+
+    /** Enable/disable lane-span collection (default off). */
+    static void setLaneRecording(bool enabled);
+    static bool laneRecording();
+
+    /** Take (and clear) every collected lane span. */
+    static std::vector<LaneSpan> drainLaneSpans();
+
+  private:
+    /** One lane's deque; the owner locks briefly, thieves likewise. */
+    struct Lane
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> queue;
+    };
+
+    void workerLoop(unsigned slot);
+    bool runOneTask(unsigned slot);
+    void pushTask(unsigned slot, std::function<void()> task);
+    void wake();
+    unsigned nextSubmitSlot();
+
+    unsigned njobs = 1;
+    std::vector<std::unique_ptr<Lane>> lanes; ///< slot 0 = caller lane
+    std::vector<std::thread> workers;         ///< own slots 1..njobs-1
+    std::atomic<std::size_t> queued{0};       ///< tasks sitting in deques
+    std::atomic<unsigned> submitSlot{0};
+    std::atomic<bool> stopping{false};
+    std::mutex sleepMutex;
+    std::condition_variable sleepCv;
+};
+
+/**
+ * ThreadPool::globalCounters() exported as a StatGroup named
+ * "thread_pool", for --stats-json alongside the profile group.
+ */
+class ThreadPoolStats
+{
+  public:
+    ThreadPoolStats();
+
+    const StatGroup &group() const { return grp; }
+
+  private:
+    StatGroup grp;
+    std::vector<std::unique_ptr<ScalarStat>> owned;
+};
+
+} // namespace copernicus
+
+#endif // COPERNICUS_COMMON_THREAD_POOL_HH

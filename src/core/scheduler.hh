@@ -46,11 +46,18 @@ struct FormatPlan
 /**
  * Choose the best format per tile.
  *
+ * Tiles are scored independently (via the shared encode cache) and the
+ * per-tile argmin is written to an indexed slot, so the plan is
+ * bit-identical at any jobs setting.
+ *
  * @param parts Partitioning of the operand matrix.
  * @param candidates Formats the hardware implements decoders for.
  * @param objective What to minimize.
  * @param config Platform parameters.
  * @param registry Codec source.
+ * @param jobs Execution lanes: 0 = auto (COPERNICUS_JOBS / --jobs /
+ *        hardware), 1 = serial; > 1 fans out over the process-wide
+ *        ThreadPool::global() (whose size caps actual parallelism).
  */
 FormatPlan planFormats(const Partitioning &parts,
                        const std::vector<FormatKind> &candidates,
@@ -58,7 +65,8 @@ FormatPlan planFormats(const Partitioning &parts,
                            SchedulerObjective::Bottleneck,
                        const HlsConfig &config = HlsConfig(),
                        const FormatRegistry &registry =
-                           defaultRegistry());
+                           defaultRegistry(),
+                       unsigned jobs = 0);
 
 /**
  * Plan then stream: the adaptive counterpart of runPipeline.
@@ -69,7 +77,8 @@ PipelineResult runAdaptive(const Partitioning &parts,
                                SchedulerObjective::Bottleneck,
                            const HlsConfig &config = HlsConfig(),
                            const FormatRegistry &registry =
-                               defaultRegistry());
+                               defaultRegistry(),
+                           unsigned jobs = 0);
 
 } // namespace copernicus
 

@@ -4,6 +4,7 @@
 
 #include "analysis/table_writer.hh"
 #include "common/status.hh"
+#include "common/thread_pool.hh"
 #include "trace/profile.hh"
 
 namespace copernicus {
@@ -123,11 +124,11 @@ Study::addWorkload(const std::string &name, TripletMatrix matrix)
 
 StudyRow
 Study::makeRow(const std::string &workload, const Partitioning &parts,
-               FormatKind kind) const
+               FormatKind kind, TraceSink *sink) const
 {
     const ScopedTimer timer("study.run.pipeline");
     const PipelineResult pipe = runPipeline(parts, kind, cfg.hls,
-                                            registry);
+                                            registry, sink);
     StudyRow row;
     row.workload = workload;
     row.format = kind;
@@ -147,24 +148,64 @@ Study::makeRow(const std::string &workload, const Partitioning &parts,
     return row;
 }
 
+const Partitioning &
+Study::partitionsFor(std::size_t w, Index p) const
+{
+    const std::lock_guard<std::mutex> lock(*cacheMutex);
+    const auto key = std::make_pair(w, p);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        const ScopedTimer part_timer("study.run.partition");
+        it = cache.emplace(key, partition(matrices[w].second, p)).first;
+    }
+    // std::map iterators are stable and entries are never erased, so
+    // the reference outlives the lock.
+    return it->second;
+}
+
 StudyResult
 Study::run() const
 {
     const ScopedTimer timer("study.run");
-    StudyResult result;
+
+    // Enumerate the sweep up front: partitionings are built (and
+    // cached) before the fan-out so workers only read shared state.
+    struct Point
+    {
+        std::size_t w;
+        const Partitioning *parts;
+        FormatKind kind;
+    };
+    std::vector<Point> points;
+    points.reserve(matrices.size() * cfg.partitionSizes.size() *
+                   cfg.formats.size());
     for (std::size_t w = 0; w < matrices.size(); ++w) {
         for (Index p : cfg.partitionSizes) {
-            auto key = std::make_pair(w, p);
-            auto it = cache.find(key);
-            if (it == cache.end()) {
-                const ScopedTimer part_timer("study.run.partition");
-                it = cache.emplace(key,
-                                   partition(matrices[w].second, p))
-                         .first;
-            }
+            const Partitioning &parts = partitionsFor(w, p);
             for (FormatKind kind : cfg.formats)
-                result.rows.push_back(
-                    makeRow(matrices[w].first, it->second, kind));
+                points.push_back({w, &parts, kind});
+        }
+    }
+
+    StudyResult result;
+    result.rows.resize(points.size());
+    const unsigned jobs = effectiveJobs(cfg.jobs);
+    if (jobs > 1 && points.size() > 1) {
+        // Each design point is pure and writes only its own row, so
+        // completion order cannot change the result; tracing is forced
+        // off because interleaved per-partition timelines would be
+        // meaningless (worker lanes cover the parallel case).
+        ThreadPool pool(jobs);
+        pool.parallelFor(points.size(), [&](std::size_t i) {
+            const Point &pt = points[i];
+            result.rows[i] = makeRow(matrices[pt.w].first, *pt.parts,
+                                     pt.kind, &noTraceSink());
+        });
+    } else {
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const Point &pt = points[i];
+            result.rows[i] = makeRow(matrices[pt.w].first, *pt.parts,
+                                     pt.kind, nullptr);
         }
     }
     return result;
@@ -177,14 +218,8 @@ Study::evaluate(const std::string &workload, FormatKind kind,
     for (std::size_t w = 0; w < matrices.size(); ++w) {
         if (matrices[w].first != workload)
             continue;
-        auto key = std::make_pair(w, partitionSize);
-        auto it = cache.find(key);
-        if (it == cache.end()) {
-            it = cache.emplace(key, partition(matrices[w].second,
-                                              partitionSize))
-                     .first;
-        }
-        return makeRow(workload, it->second, kind);
+        return makeRow(workload, partitionsFor(w, partitionSize), kind,
+                       nullptr);
     }
     fatal("Study: unknown workload '" + workload + "'");
 }

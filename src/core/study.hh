@@ -15,6 +15,8 @@
 
 #include <iosfwd>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,6 +43,17 @@ struct StudyConfig
 
     /** Codec hyperparameters. */
     FormatParams formatParams;
+
+    /**
+     * Execution lanes for run(): 0 = auto (COPERNICUS_JOBS / --jobs
+     * override / hardware concurrency), 1 = serial, N = a pool of N
+     * lanes for this sweep. Design points are pure and land in indexed
+     * row slots, so the rows are bit-identical at any setting
+     * (asserted by tests/test_parallel_study.cc). Per-partition
+     * pipeline *traces* are only emitted on serial runs; parallel runs
+     * report worker lanes instead.
+     */
+    unsigned jobs = 0;
 };
 
 /** One evaluated design point over one workload. */
@@ -131,13 +144,24 @@ class Study
 
   private:
     StudyRow makeRow(const std::string &workload,
-                     const Partitioning &parts, FormatKind kind) const;
+                     const Partitioning &parts, FormatKind kind,
+                     TraceSink *sink) const;
+
+    /**
+     * The partitioning of workload @p w at size @p p, built on first
+     * use. Thread-safe; the returned reference stays valid for the
+     * Study's lifetime (entries are never dropped).
+     */
+    const Partitioning &partitionsFor(std::size_t w, Index p) const;
 
     StudyConfig cfg;
     FormatRegistry registry;
     std::vector<std::pair<std::string, TripletMatrix>> matrices;
     /** Partitioning cache keyed by (workload index, partition size). */
     mutable std::map<std::pair<std::size_t, Index>, Partitioning> cache;
+    /** Behind a pointer so Study stays movable (benches move Studies). */
+    mutable std::unique_ptr<std::mutex> cacheMutex =
+        std::make_unique<std::mutex>();
 };
 
 } // namespace copernicus

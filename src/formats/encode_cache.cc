@@ -1,0 +1,215 @@
+#include "formats/encode_cache.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace copernicus {
+
+namespace {
+
+/** FNV-1a over raw bytes; the tile fingerprint. */
+std::uint64_t
+fnv1a(const void *data, std::size_t size, std::uint64_t hash)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+std::uint64_t
+mixIndex(std::uint64_t hash, Index v)
+{
+    return fnv1a(&v, sizeof(v), hash);
+}
+
+std::uint64_t
+keyHash(FormatKind kind, const FormatParams &params, const Tile &tile)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    const auto kind_id = static_cast<std::uint32_t>(kind);
+    hash = fnv1a(&kind_id, sizeof(kind_id), hash);
+    hash = mixIndex(hash, params.bcsrBlock);
+    hash = mixIndex(hash, params.ellMinWidth);
+    hash = mixIndex(hash, params.sellSlice);
+    hash = mixIndex(hash, params.ellCooWidth);
+    hash = mixIndex(hash, params.sellCsWindow);
+    hash = mixIndex(hash, tile.size());
+    const std::vector<Value> &store = tile.data();
+    return fnv1a(store.data(), store.size() * sizeof(Value), hash);
+}
+
+bool
+sameParams(const FormatParams &a, const FormatParams &b)
+{
+    return a.bcsrBlock == b.bcsrBlock &&
+           a.ellMinWidth == b.ellMinWidth &&
+           a.sellSlice == b.sellSlice &&
+           a.ellCooWidth == b.ellCooWidth &&
+           a.sellCsWindow == b.sellCsWindow;
+}
+
+std::uint64_t
+entryBytes(const Tile &tile, const EncodedTile &encoded)
+{
+    // Key copy + encoding payload + container overhead, approximate.
+    return std::uint64_t(tile.data().size()) * sizeof(Value) +
+           encoded.totalBytes() + 128;
+}
+
+} // namespace
+
+EncodeCache::EncodeCache() : budget(256ULL << 20)
+{
+    shards.reserve(shardCount);
+    for (std::size_t i = 0; i < shardCount; ++i)
+        shards.push_back(std::make_unique<Shard>());
+    const char *env = std::getenv("COPERNICUS_ENCODE_CACHE");
+    if (env != nullptr && env[0] == '0')
+        on.store(false, std::memory_order_relaxed);
+}
+
+EncodeCache &
+EncodeCache::global()
+{
+    static EncodeCache cache;
+    return cache;
+}
+
+void
+EncodeCache::setEnabled(bool enabled)
+{
+    on.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+EncodeCache::enabled() const
+{
+    return on.load(std::memory_order_relaxed);
+}
+
+void
+EncodeCache::setMaxBytes(std::uint64_t bytes)
+{
+    budget.store(bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t
+EncodeCache::maxBytes() const
+{
+    return budget.load(std::memory_order_relaxed);
+}
+
+void
+EncodeCache::clear()
+{
+    for (const auto &shard : shards) {
+        const std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->table.clear();
+        shard->bytes = 0;
+        shard->entries = 0;
+    }
+}
+
+std::shared_ptr<const EncodedTile>
+EncodeCache::encode(const FormatRegistry &registry, FormatKind kind,
+                    const Tile &tile)
+{
+    if (!enabled())
+        return registry.codec(kind).encode(tile);
+
+    const FormatParams &params = registry.params();
+    const std::uint64_t hash = keyHash(kind, params, tile);
+    Shard &shard = *shards[hash % shardCount];
+
+    {
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.table.find(hash);
+        if (it != shard.table.end()) {
+            for (const Entry &entry : it->second) {
+                if (entry.kind == kind &&
+                    sameParams(entry.params, params) &&
+                    entry.tile == tile) {
+                    hits.fetch_add(1, std::memory_order_relaxed);
+                    return entry.encoded;
+                }
+            }
+        }
+    }
+
+    // Miss: encode outside the shard lock (the expensive part).
+    misses.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<const EncodedTile> encoded =
+        registry.codec(kind).encode(tile);
+    const std::uint64_t cost = entryBytes(tile, *encoded);
+
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.bytes + cost >
+        budget.load(std::memory_order_relaxed) / shardCount) {
+        shard.table.clear();
+        shard.bytes = 0;
+        shard.entries = 0;
+        evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::vector<Entry> &bucket = shard.table[hash];
+    // A racing worker may have inserted the same key meanwhile; its
+    // encoding is bit-identical (encode is pure), so keep the first.
+    for (const Entry &entry : bucket) {
+        if (entry.kind == kind && sameParams(entry.params, params) &&
+            entry.tile == tile) {
+            return entry.encoded;
+        }
+    }
+    bucket.push_back(Entry{kind, params, tile, encoded, cost});
+    shard.bytes += cost;
+    ++shard.entries;
+    return encoded;
+}
+
+EncodeCache::Stats
+EncodeCache::stats() const
+{
+    Stats out;
+    out.hits = hits.load(std::memory_order_relaxed);
+    out.misses = misses.load(std::memory_order_relaxed);
+    out.evictions = evictions.load(std::memory_order_relaxed);
+    for (const auto &shard : shards) {
+        const std::lock_guard<std::mutex> lock(shard->mutex);
+        out.entries += shard->entries;
+        out.bytes += shard->bytes;
+    }
+    return out;
+}
+
+std::shared_ptr<const EncodedTile>
+encodeCached(const FormatRegistry &registry, FormatKind kind,
+             const Tile &tile)
+{
+    return EncodeCache::global().encode(registry, kind, tile);
+}
+
+EncodeCacheStats::EncodeCacheStats() : grp("encode_cache")
+{
+    const EncodeCache::Stats stats = EncodeCache::global().stats();
+    auto add = [this](const std::string &name, const char *desc,
+                      double value) {
+        auto stat = std::make_unique<ScalarStat>(grp, name, desc);
+        *stat = value;
+        owned.push_back(std::move(stat));
+    };
+    add("hits", "encode calls served from the cache",
+        static_cast<double>(stats.hits));
+    add("misses", "encode calls that ran the codec",
+        static_cast<double>(stats.misses));
+    add("hit_rate", "hits / (hits + misses)", stats.hitRate());
+    add("evictions", "whole-shard drops under the byte budget",
+        static_cast<double>(stats.evictions));
+    add("entries", "encodings currently resident",
+        static_cast<double>(stats.entries));
+    add("bytes", "approximate resident bytes",
+        static_cast<double>(stats.bytes));
+}
+
+} // namespace copernicus

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/status.hh"
+#include "formats/encode_cache.hh"
 #include "hls/axi.hh"
 #include "hls/decompressor.hh"
 
@@ -33,8 +34,7 @@ runImpl(const Partitioning &parts,
     Cycles trace_clock = 0;
     for (std::size_t i = 0; i < parts.tiles.size(); ++i) {
         const Tile &tile = parts.tiles[i];
-        const FormatCodec &codec = registry.codec(perTile[i]);
-        const auto encoded = codec.encode(tile);
+        const auto encoded = encodeCached(registry, perTile[i], tile);
         const auto decomp = simulateDecompression(*encoded, config);
         panicIf(!(decomp.decoded == tile),
                 "pipeline: decompressor model corrupted a tile");
@@ -123,6 +123,8 @@ runPipeline(const Partitioning &parts, FormatKind kind,
             TraceSink *sink)
 {
     TraceSink *trace = sink != nullptr ? sink : activeTraceSink();
+    if (trace == &noTraceSink())
+        trace = nullptr;
     if (trace != nullptr) {
         trace->beginScope("pipeline." +
                           std::string(formatName(kind)) + ".p" +
@@ -144,6 +146,8 @@ runPipelineMixed(const Partitioning &parts,
     fatalIf(perTile.size() != parts.tiles.size(),
             "runPipelineMixed: one format per non-zero tile required");
     TraceSink *trace = sink != nullptr ? sink : activeTraceSink();
+    if (trace == &noTraceSink())
+        trace = nullptr;
     if (trace != nullptr) {
         trace->beginScope("pipeline.mixed.p" +
                           std::to_string(parts.partitionSize));

@@ -112,7 +112,10 @@ struct PipelineResult
  * @param config Platform parameters.
  * @param registry Codec source (paper defaults).
  * @param sink Timeline sink; null falls back to activeTraceSink()
- *        (null again = tracing off). The analytic model has no exact
+ *        (null again = tracing off), and `&noTraceSink()` forces
+ *        tracing off — the parallel sweep paths pass it so workers
+ *        never touch the single-threaded writer. The analytic model
+ *        has no exact
  *        event times, so partitions are laid out on a steady-state
  *        clock — each slot advances by its bottleneck stage — with
  *        sigma and bw_util counters per partition. Never affects the

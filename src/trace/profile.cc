@@ -64,4 +64,18 @@ ProfileStats::ProfileStats(const ProfileRegistry &registry)
     }
 }
 
+void
+emitWorkerLanes(TraceSink &sink,
+                const std::vector<ThreadPool::LaneSpan> &spans)
+{
+    if (spans.empty())
+        return;
+    sink.beginScope("thread_pool");
+    for (const ThreadPool::LaneSpan &span : spans) {
+        sink.durationEvent("worker" + std::to_string(span.worker),
+                           "task", span.startUs, span.endUs);
+    }
+}
+
+
 } // namespace copernicus

@@ -29,6 +29,8 @@
 #include <vector>
 
 #include "common/stat_group.hh"
+#include "common/thread_pool.hh"
+#include "trace/trace_sink.hh"
 
 namespace copernicus {
 
@@ -141,6 +143,17 @@ class ProfileStats
     StatGroup grp;
     std::vector<std::unique_ptr<ScalarStat>> owned;
 };
+
+/**
+ * Emit collected thread-pool lane spans into @p sink as one trace
+ * scope ("thread_pool") with one track per worker lane — the Chrome
+ * trace then shows what each pool lane executed over wall-clock time
+ * (microseconds in the viewer's "us" field). Spans are collected when
+ * ThreadPool::setLaneRecording(true) is on; the CLI and benches enable
+ * it under --trace and call this just before serialising.
+ */
+void emitWorkerLanes(TraceSink &sink,
+                     const std::vector<ThreadPool::LaneSpan> &spans);
 
 } // namespace copernicus
 

@@ -8,6 +8,19 @@ namespace {
 
 TraceSink *globalSink = nullptr;
 
+/** Discards everything; only its address matters (see noTraceSink). */
+class NoTraceSink final : public TraceSink
+{
+  public:
+    void
+    durationEvent(std::string_view, std::string_view, Cycles,
+                  Cycles) override
+    {
+    }
+
+    void counterEvent(std::string_view, Cycles, double) override {}
+};
+
 } // namespace
 
 TraceSink *
@@ -20,6 +33,13 @@ void
 setActiveTraceSink(TraceSink *sink)
 {
     globalSink = sink;
+}
+
+TraceSink &
+noTraceSink()
+{
+    static NoTraceSink sink;
+    return sink;
 }
 
 } // namespace copernicus

@@ -67,6 +67,17 @@ TraceSink *activeTraceSink();
 /** Install (or with nullptr remove) the process-wide sink. */
 void setActiveTraceSink(TraceSink *sink);
 
+/**
+ * Sentinel sink meaning "force tracing off for this call". Passing
+ * `&noTraceSink()` as an explicit sink argument suppresses the
+ * activeTraceSink() fallback; the simulators recognise the address and
+ * skip emission entirely. The parallel sweep paths use this: the
+ * per-partition timeline of interleaved workers is meaningless, and
+ * TraceWriter is single-threaded by design (worker activity is instead
+ * reported as pool lanes, see ThreadPool::setLaneRecording).
+ */
+TraceSink &noTraceSink();
+
 } // namespace copernicus
 
 #endif // COPERNICUS_TRACE_TRACE_SINK_HH

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Determinism contract of the parallel sweep engine: Study::run() and
+ * planFormats() must produce bit-identical results at any jobs setting
+ * and with the encode cache on or off, and the cache is genuinely
+ * shared between the study and the scheduler.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/scheduler.hh"
+#include "core/study.hh"
+#include "formats/encode_cache.hh"
+#include "matrix/partitioner.hh"
+#include "workloads/generators.hh"
+
+using namespace copernicus;
+
+namespace {
+
+void
+expectRowsIdentical(const std::vector<StudyRow> &a,
+                    const std::vector<StudyRow> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const StudyRow &x = a[i];
+        const StudyRow &y = b[i];
+        SCOPED_TRACE("row " + std::to_string(i) + " (" + x.workload +
+                     ", " + std::string(formatName(x.format)) + ", p=" +
+                     std::to_string(x.partitionSize) + ")");
+        EXPECT_EQ(x.workload, y.workload);
+        EXPECT_EQ(x.format, y.format);
+        EXPECT_EQ(x.partitionSize, y.partitionSize);
+        // Exact equality on purpose, doubles included: the contract is
+        // bit-identical rows, not approximately-equal rows.
+        EXPECT_EQ(x.meanSigma, y.meanSigma);
+        EXPECT_EQ(x.totalCycles, y.totalCycles);
+        EXPECT_EQ(x.seconds, y.seconds);
+        EXPECT_EQ(x.memoryCycles, y.memoryCycles);
+        EXPECT_EQ(x.computeCycles, y.computeCycles);
+        EXPECT_EQ(x.balanceRatio, y.balanceRatio);
+        EXPECT_EQ(x.throughput, y.throughput);
+        EXPECT_EQ(x.bandwidthUtilization, y.bandwidthUtilization);
+        EXPECT_EQ(x.totalBytes, y.totalBytes);
+        EXPECT_EQ(x.partitions, y.partitions);
+        EXPECT_EQ(x.resources.bram18k, y.resources.bram18k);
+        EXPECT_EQ(x.resources.ffK, y.resources.ffK);
+        EXPECT_EQ(x.resources.lutK, y.resources.lutK);
+        EXPECT_EQ(x.resources.calibrated, y.resources.calibrated);
+        EXPECT_EQ(x.power.logicW, y.power.logicW);
+        EXPECT_EQ(x.power.bramW, y.power.bramW);
+        EXPECT_EQ(x.power.signalsW, y.power.signalsW);
+        EXPECT_EQ(x.power.staticW, y.power.staticW);
+    }
+}
+
+StudyResult
+runStudy(unsigned jobs)
+{
+    Rng rngRandom(11);
+    Rng rngBand(12);
+    StudyConfig cfg;
+    cfg.partitionSizes = {8, 16};
+    cfg.jobs = jobs;
+    Study study(cfg);
+    study.addWorkload("random", randomMatrix(96, 0.05, rngRandom));
+    study.addWorkload("band", bandMatrix(96, 4, rngBand));
+    return study.run();
+}
+
+class ParallelStudyTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        EncodeCache::global().setEnabled(true);
+        EncodeCache::global().clear();
+    }
+
+    void
+    TearDown() override
+    {
+        EncodeCache::global().setEnabled(true);
+        EncodeCache::global().clear();
+    }
+};
+
+} // namespace
+
+TEST_F(ParallelStudyTest, RunIsBitIdenticalAcrossJobsSettings)
+{
+    const StudyResult serial = runStudy(1);
+    const StudyResult parallel = runStudy(4);
+    expectRowsIdentical(serial.rows, parallel.rows);
+}
+
+TEST_F(ParallelStudyTest, RunIsBitIdenticalWithCacheOnAndOff)
+{
+    const StudyResult cached = runStudy(1);
+    // Every (tile, format) is distinct within one sweep, so the run
+    // populates the cache without hitting it; hits across components
+    // are asserted by CacheIsSharedBetweenStudyAndScheduler.
+    EXPECT_GT(EncodeCache::global().stats().misses, 0u);
+    EXPECT_GT(EncodeCache::global().stats().entries, 0u);
+
+    EncodeCache::global().setEnabled(false);
+    EncodeCache::global().clear();
+    const StudyResult uncached = runStudy(1);
+    expectRowsIdentical(cached.rows, uncached.rows);
+}
+
+TEST_F(ParallelStudyTest, PlanFormatsIsBitIdenticalAcrossJobsSettings)
+{
+    Rng rng(21);
+    const TripletMatrix matrix = randomMatrix(128, 0.08, rng);
+    const Partitioning parts = partition(matrix, 16);
+
+    const FormatPlan serial =
+        planFormats(parts, paperFormats(), SchedulerObjective::Bottleneck,
+                    HlsConfig(), defaultRegistry(), 1);
+    const FormatPlan parallel =
+        planFormats(parts, paperFormats(), SchedulerObjective::Bottleneck,
+                    HlsConfig(), defaultRegistry(), 4);
+    EXPECT_EQ(serial.perTile, parallel.perTile);
+    EXPECT_EQ(serial.histogram, parallel.histogram);
+}
+
+TEST_F(ParallelStudyTest, CacheIsSharedBetweenStudyAndScheduler)
+{
+    Rng rng(31);
+    const TripletMatrix matrix = randomMatrix(96, 0.05, rng);
+    const Partitioning parts = partition(matrix, 16);
+
+    // The study's run warms the cache...
+    StudyConfig cfg;
+    cfg.partitionSizes = {16};
+    cfg.jobs = 1;
+    Study study(cfg);
+    study.addWorkload("m", matrix);
+    study.run();
+
+    // ...and the scheduler's scoring of the same tiles hits it.
+    const auto before = EncodeCache::global().stats();
+    planFormats(parts, paperFormats());
+    const auto after = EncodeCache::global().stats();
+    EXPECT_GT(after.hits, before.hits);
+}
