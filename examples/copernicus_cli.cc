@@ -24,6 +24,10 @@
  *                          COPERNICUS_JOBS=N, default = hardware
  *                          concurrency. Results are bit-identical at
  *                          any setting.
+ *   --lint                 run the static schedule/grammar lint passes
+ *                          (same as copernicus_lint) at the selected
+ *                          partition sizes and exit with its status
+ *                          instead of characterizing anything
  *
  * Prints the full format x partition metric table, the Figure-3
  * partition statistics, the adaptive per-tile plan, and the advisor's
@@ -37,6 +41,7 @@
 #include <memory>
 #include <sstream>
 
+#include "analysis/schedule_check.hh"
 #include "analysis/stats_report.hh"
 #include "analysis/table_writer.hh"
 #include "common/rng.hh"
@@ -75,6 +80,7 @@ struct CliOptions
     std::string tracePath;
     std::string statsJsonPath;
     bool profile = false;
+    bool lint = false;
     unsigned jobs = 0;
     std::vector<std::string> positional;
 };
@@ -87,6 +93,8 @@ parseArgs(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--profile") {
             opts.profile = true;
+        } else if (arg == "--lint") {
+            opts.lint = true;
         } else if (arg == "--trace" || arg == "--stats-json") {
             fatalIf(i + 1 >= argc, arg + " needs a file argument");
             (arg == "--trace" ? opts.tracePath
@@ -111,6 +119,18 @@ main(int argc, char **argv)
     std::printf("copernicus_cli — sparse-format characterizer\n\n");
 
     const CliOptions opts = parseArgs(argc, argv);
+    if (opts.lint) {
+        LintOptions lint_options;
+        if (opts.positional.size() > 1)
+            lint_options.partitionSizes =
+                parsePartitionSizes(opts.positional[1]);
+        const LintReport report = runLint(lint_options);
+        if (!report.diagnostics.empty())
+            std::fputs(report.toString().c_str(), stdout);
+        std::printf("lint: %zu error(s), %zu warning(s)\n",
+                    report.errorCount(), report.warningCount());
+        return report.ok() ? 0 : 1;
+    }
     if (opts.profile || !opts.statsJsonPath.empty())
         ProfileRegistry::global().setEnabled(true);
     if (opts.jobs != 0)

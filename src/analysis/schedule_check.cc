@@ -1,0 +1,387 @@
+#include "analysis/schedule_check.hh"
+
+#include <algorithm>
+
+#include "common/math.hh"
+#include "common/rng.hh"
+#include "formats/validate.hh"
+#include "hls/decompressor.hh"
+#include "hls/schedule_ir.hh"
+#include "hlsc/decoder_bodies.hh"
+#include "hlsc/schedule.hh"
+#include "matrix/partitioner.hh"
+#include "workloads/generators.hh"
+
+namespace copernicus {
+
+std::string
+LintDiagnostic::toString() const
+{
+    std::string out =
+        severity == LintSeverity::Error ? "error[" : "warning[";
+    out += pass;
+    out += "] ";
+    if (!format.empty()) {
+        out += format;
+        out += ": ";
+    }
+    out += message;
+    return out;
+}
+
+std::size_t
+LintReport::errorCount() const
+{
+    std::size_t count = 0;
+    for (const LintDiagnostic &d : diagnostics)
+        count += d.severity == LintSeverity::Error;
+    return count;
+}
+
+std::size_t
+LintReport::warningCount() const
+{
+    return diagnostics.size() - errorCount();
+}
+
+std::string
+LintReport::toString() const
+{
+    std::string out;
+    for (const LintDiagnostic &d : diagnostics) {
+        out += d.toString();
+        out += '\n';
+    }
+    return out;
+}
+
+namespace {
+
+/** The hlsc resource model matching the analytic platform knobs. */
+HlscConstraints
+constraintsFrom(const HlsConfig &config)
+{
+    HlscConstraints cons;
+    cons.bramLoadLatency = config.bramReadLatency;
+    cons.hashProbeLatency = config.hashCycles;
+    cons.bramPortsPerBank = config.bramPorts;
+    return cons;
+}
+
+/**
+ * Longest dependency chain of Compare ops through @p body — the
+ * comparator-tree depth. A balanced tree over p lanes has log2(p)
+ * levels; a compare chain longer than that is an unbalanced tree.
+ */
+Cycles
+compareChainDepth(const LoopBody &body)
+{
+    std::vector<Cycles> chain(body.ops.size(), 0);
+    Cycles deepest = 0;
+    for (std::size_t i = 0; i < body.ops.size(); ++i) {
+        Cycles best = 0;
+        for (std::size_t dep : body.ops[i].deps)
+            best = std::max(best, chain[dep]);
+        chain[i] = best + (body.ops[i].kind == OpKind::Compare ? 1 : 0);
+        deepest = std::max(deepest, chain[i]);
+    }
+    return deepest;
+}
+
+} // namespace
+
+LoopBody
+decoderBodyFor(FormatKind kind, const FormatParams &params,
+               Index partitionSize)
+{
+    switch (kind) {
+      case FormatKind::CSR: return csrInnerLoopBody();
+      case FormatKind::JDS: // same entry loop, no per-row offsets
+        return csrInnerLoopBody();
+      case FormatKind::BCSR: return bcsrBlockBody(params.bcsrBlock);
+      case FormatKind::CSC: return cscScanLoopBody();
+      case FormatKind::COO: return cooLoopBody();
+      case FormatKind::DOK: return dokLoopBody();
+      case FormatKind::LIL: return lilMergeBody(partitionSize);
+      case FormatKind::ELL:
+        return ellRowBody(std::min(params.ellMinWidth, partitionSize));
+      case FormatKind::SELL: // the per-slice sweep is the same body
+      case FormatKind::SELLCS:
+        return ellRowBody(std::min(params.ellMinWidth, partitionSize));
+      case FormatKind::ELLCOO:
+        return ellRowBody(std::min(params.ellCooWidth, partitionSize));
+      case FormatKind::DIA: return diaRowScanBody();
+      case FormatKind::Dense:
+      case FormatKind::BITMAP:
+        break;
+    }
+    panic("no decoder body for format " +
+          std::string(formatName(kind)));
+}
+
+void
+checkSpecStructure(const ScheduleSpec &spec, const HlsConfig &config,
+                   LintReport &report)
+{
+    const std::string name(formatName(spec.format));
+    if (spec.format != FormatKind::Dense && spec.segments.empty())
+        report.error("spec", name,
+                     "decode schedule declares no segments");
+    for (const SegmentSpec &segment : spec.segments) {
+        if (segment.name == nullptr || segment.name[0] == '\0')
+            report.error("spec", name, "segment without a name");
+        if (segment.bankAccessesPerII == 0) {
+            report.error("spec", name,
+                         std::string("segment '") + segment.name +
+                             "' declares zero bank accesses per II");
+            continue;
+        }
+        // > bramPorts accesses per II against one dual-port bank can
+        // never be scheduled at the declared II.
+        if (segment.bankAccessesPerII > config.bramPorts)
+            report.error(
+                "spec", name,
+                std::string("BRAM port over-subscription: segment '") +
+                    segment.name + "' needs " +
+                    std::to_string(segment.bankAccessesPerII) +
+                    " accesses per II on one bank, but banks expose " +
+                    std::to_string(config.bramPorts) + " ports");
+    }
+}
+
+void
+checkDecoderBody(const ScheduleSpec &spec, const LoopBody &body,
+                 Index partitionSize, const HlsConfig &config,
+                 LintReport &report)
+{
+    const std::string name(formatName(spec.format));
+    const HlscConstraints cons = constraintsFrom(config);
+    const BodySchedule schedule = scheduleBody(body, cons);
+
+    const TileFeatures none; // claims never use tile-dependent knobs
+    const Cycles claimedIi = knobCycles(spec.claims.ii, config, none);
+    if (schedule.ii != claimedIi) {
+        // Classify: if unlimited ports restore the claimed II the
+        // violation is resource pressure; otherwise it is a recurrence
+        // (loop-carried dependence) no amount of ports can hide.
+        HlscConstraints unlimited = cons;
+        unlimited.bramPortsPerBank = 1u << 20;
+        const Cycles relaxed = scheduleBody(body, unlimited).ii;
+        const char *cause =
+            relaxed <= claimedIi
+                ? "BRAM port over-subscription"
+                : "a loop-carried dependence";
+        report.error("body", name,
+                     "II violation from " + std::string(cause) +
+                         ": body '" + body.name + "' schedules at II " +
+                         std::to_string(schedule.ii) +
+                         ", model charges II " +
+                         std::to_string(claimedIi));
+    }
+
+    if (spec.claims.checkDepth) {
+        const Cycles claimedDepth =
+            knobCycles(spec.claims.depth, config, none);
+        if (schedule.depth != claimedDepth)
+            report.error("body", name,
+                         "pipeline depth mismatch: body '" + body.name +
+                             "' schedules at depth " +
+                             std::to_string(schedule.depth) +
+                             ", model charges " +
+                             std::to_string(claimedDepth));
+    }
+
+    if (spec.claims.balancedTreeOverLanes) {
+        const Cycles levels = compareChainDepth(body);
+        const Cycles balanced = log2Ceil(partitionSize);
+        if (levels > balanced)
+            report.error("body", name,
+                         "unbalanced comparator tree: compare chain of " +
+                             std::to_string(levels) + " levels over " +
+                             std::to_string(partitionSize) +
+                             " lanes; a balanced tree needs " +
+                             std::to_string(balanced));
+        else if (levels < balanced)
+            report.warning("body", name,
+                           "comparator tree shallower than log2(p) — "
+                           "body covers " +
+                               std::to_string(levels) +
+                               " levels for p = " +
+                               std::to_string(partitionSize));
+    }
+}
+
+void
+checkContracts(const FormatParams &params, const HlsConfig &config,
+               const std::vector<Index> &partitionSizes,
+               LintReport &report)
+{
+    if (config.bramPorts == 0)
+        report.error("contract", "", "bramPorts must be positive");
+    if (config.loopDepth == 0)
+        report.error("contract", "",
+                     "loopDepth must be positive (pipelines have at "
+                     "least one stage)");
+    if (config.bramReadLatency == 0)
+        report.error("contract", "",
+                     "bramReadLatency must be positive (block RAM is "
+                     "registered)");
+    if (params.bcsrBlock == 0)
+        report.error("contract", "BCSR", "block size must be positive");
+    if (params.sellSlice == 0)
+        report.error("contract", "SELL",
+                     "slice height must be positive");
+    if (params.sellSlice != 0 &&
+        params.sellCsWindow % params.sellSlice != 0)
+        report.error("contract", "SELLCS",
+                     "sorting window " +
+                         std::to_string(params.sellCsWindow) +
+                         " is not a multiple of the slice height " +
+                         std::to_string(params.sellSlice));
+
+    for (Index p : partitionSizes) {
+        if (p == 0) {
+            report.error("contract", "",
+                         "partition size must be positive");
+            continue;
+        }
+        if (params.bcsrBlock != 0 && p % params.bcsrBlock != 0)
+            report.error("contract", "BCSR",
+                         "block size " +
+                             std::to_string(params.bcsrBlock) +
+                             " does not divide partition size " +
+                             std::to_string(p));
+        if (params.sellSlice != 0 && p % params.sellSlice != 0)
+            report.error("contract", "SELL",
+                         "slice height " +
+                             std::to_string(params.sellSlice) +
+                             " does not divide partition size " +
+                             std::to_string(p));
+        if (params.sellCsWindow != 0 && p % params.sellCsWindow != 0)
+            report.error("contract", "SELLCS",
+                         "sorting window " +
+                             std::to_string(params.sellCsWindow) +
+                             " does not divide partition size " +
+                             std::to_string(p));
+        if (params.ellMinWidth > p)
+            report.warning("contract", "ELL",
+                           "minimum width " +
+                               std::to_string(params.ellMinWidth) +
+                               " exceeds partition size " +
+                               std::to_string(p) +
+                               " (codec clamps it)");
+        if (params.ellCooWidth > p)
+            report.warning("contract", "ELLCOO",
+                           "ELL-part width " +
+                               std::to_string(params.ellCooWidth) +
+                               " exceeds partition size " +
+                               std::to_string(p) +
+                               " (codec clamps it)");
+        if (!isPow2(p))
+            report.warning("contract", "",
+                           "partition size " + std::to_string(p) +
+                               " is not a power of two; the dot "
+                               "engine's adder tree rounds up");
+    }
+}
+
+void
+checkTile(const FormatRegistry &registry, FormatKind kind,
+          const Tile &tile, const HlsConfig &config, bool grammar,
+          bool oracle, LintReport &report)
+{
+    const std::string name(formatName(kind));
+    const auto encoded = registry.codec(kind).encode(tile);
+
+    if (grammar) {
+        const GrammarReport check = validateEncodedTile(*encoded);
+        for (const GrammarViolation &violation : check.violations)
+            report.error("grammar", name,
+                         violation.invariant + ": " + violation.detail);
+    }
+
+    if (oracle) {
+        const DecompressResult walked =
+            simulateDecompression(*encoded, config);
+        const ScheduleSpec &spec = registry.schedule(kind);
+        const TileFeatures features =
+            extractScheduleFeatures(*encoded, walked.decoded);
+        const Cycles closed =
+            closedFormCycles(spec, config, features);
+        if (closed != walked.decompressCycles)
+            report.error("oracle", name,
+                         "closed-form bound " + std::to_string(closed) +
+                             " != dynamic walker " +
+                             std::to_string(walked.decompressCycles) +
+                             " on a p=" + std::to_string(tile.size()) +
+                             " tile with " +
+                             std::to_string(tile.nnz()) + " non-zeros");
+        if (features.producedRows != walked.rowsProduced)
+            report.error("oracle", name,
+                         "IR produced-rows " +
+                             std::to_string(features.producedRows) +
+                             " != walker rows " +
+                             std::to_string(walked.rowsProduced) +
+                             " on a p=" + std::to_string(tile.size()) +
+                             " tile");
+    }
+}
+
+LintReport
+runLint(const LintOptions &options)
+{
+    LintReport report;
+    const FormatRegistry registry(options.params);
+
+    for (FormatKind kind : allFormats()) {
+        const ScheduleSpec &spec = registry.schedule(kind);
+        checkSpecStructure(spec, options.hls, report);
+        if (!spec.hasInnerBody)
+            continue;
+        for (Index p : options.partitionSizes)
+            checkDecoderBody(spec,
+                             decoderBodyFor(kind, options.params, p), p,
+                             options.hls, report);
+    }
+
+    checkContracts(options.params, options.hls, options.partitionSizes,
+                   report);
+
+    if (!options.runGrammar && !options.runOracle)
+        return report;
+
+    // Grammar + oracle over the synthetic workload set: random, band,
+    // diagonal and stencil structure exercise every format's encoder
+    // shapes (dense rows, empty rows, diagonals, uneven slices).
+    for (Index p : options.partitionSizes) {
+        if (p == 0)
+            continue;
+        const Index n = p * 4;
+        Rng rng(2024);
+        std::vector<TripletMatrix> workloads;
+        workloads.push_back(randomMatrix(n, 0.05, rng));
+        workloads.push_back(bandMatrix(n, 3, rng));
+        workloads.push_back(diagonalMatrix(n, rng));
+        workloads.push_back(stencil2d(p, n / p > 0 ? n / p : 1));
+        for (const TripletMatrix &matrix : workloads) {
+            const Partitioning parts = partition(matrix, p);
+            std::size_t checked = 0;
+            for (const Tile &tile : parts.tiles) {
+                if (++checked > 12)
+                    break; // bounded per workload; shapes repeat
+                for (FormatKind kind : allFormats())
+                    checkTile(registry, kind, tile, options.hls,
+                              options.runGrammar, options.runOracle,
+                              report);
+            }
+        }
+        // The all-zero tile exercises every guard path.
+        const Tile empty(p);
+        for (FormatKind kind : allFormats())
+            checkTile(registry, kind, empty, options.hls,
+                      options.runGrammar, options.runOracle, report);
+    }
+    return report;
+}
+
+} // namespace copernicus

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Static schedule analyzer and lint driver.
+ *
+ * Four families of passes, all static — nothing here runs the
+ * pipeline:
+ *
+ *  - Spec structure: every format's ScheduleSpec is well-formed and
+ *    none of its segments over-subscribes a dual-port BRAM bank
+ *    (> bramPorts accesses per initiation interval on one bank).
+ *  - Decoder-body cross-check: the depth/II each spec claims for its
+ *    inner loop must equal what the hlsc list scheduler derives from
+ *    the Listing 1-7 loop bodies; a violated II is classified as port
+ *    over-subscription (rescheduling with unlimited ports fixes it) or
+ *    a loop-carried dependence (it does not). LIL's comparator tree is
+ *    additionally checked for balance: its compare-chain depth must be
+ *    log2(p).
+ *  - Contracts: codec hyperparameters against hls_config.hh and the
+ *    requested partition sizes (BCSR block / SELL slice /
+ *    SELL-C-sigma window divisibility, ELL width clamps, knob sanity).
+ *  - Grammar + oracle over synthetic workloads: every encoded tile
+ *    must satisfy its format grammar (formats/validate), and the
+ *    closed-form cycle bound from the schedule IR must equal the
+ *    dynamic walker exactly (the model-vs-walker oracle).
+ *
+ * copernicus_lint and `copernicus_cli --lint` run runLint() over the
+ * full registry and exit nonzero on any error diagnostic.
+ */
+
+#ifndef COPERNICUS_ANALYSIS_SCHEDULE_CHECK_HH
+#define COPERNICUS_ANALYSIS_SCHEDULE_CHECK_HH
+
+#include <string>
+#include <vector>
+
+#include "formats/registry.hh"
+#include "hls/hls_config.hh"
+#include "hlsc/ir.hh"
+#include "matrix/tile.hh"
+
+namespace copernicus {
+
+/** How bad one lint finding is. */
+enum class LintSeverity
+{
+    Warning, ///< suspicious but does not invalidate the model
+    Error,   ///< the model or an encoding is wrong; lint exits nonzero
+};
+
+/** One format-qualified diagnostic. */
+struct LintDiagnostic
+{
+    LintSeverity severity = LintSeverity::Error;
+
+    /** Pass that produced it: "spec", "body", "contract", ... */
+    std::string pass;
+
+    /** Format the finding concerns ("" for global contract findings). */
+    std::string format;
+
+    std::string message;
+
+    /** "error[body] CSR: ..." */
+    std::string toString() const;
+};
+
+/** Everything one lint run found. */
+struct LintReport
+{
+    std::vector<LintDiagnostic> diagnostics;
+
+    std::size_t errorCount() const;
+    std::size_t warningCount() const;
+
+    /** True when no error-severity diagnostics were produced. */
+    bool ok() const { return errorCount() == 0; }
+
+    /** One line per diagnostic. */
+    std::string toString() const;
+
+    void
+    error(const std::string &pass, const std::string &format,
+          const std::string &message)
+    {
+        diagnostics.push_back(
+            {LintSeverity::Error, pass, format, message});
+    }
+
+    void
+    warning(const std::string &pass, const std::string &format,
+            const std::string &message)
+    {
+        diagnostics.push_back(
+            {LintSeverity::Warning, pass, format, message});
+    }
+};
+
+/** What to lint and against which platform. */
+struct LintOptions
+{
+    /** Partition sizes the contracts and oracle sweep. */
+    std::vector<Index> partitionSizes = {8, 16, 32};
+
+    /** Platform the schedules are checked against. */
+    HlsConfig hls;
+
+    /** Codec hyperparameters (the registry the passes build). */
+    FormatParams params;
+
+    /** Run the encoded-tile grammar pass over synthetic tiles. */
+    bool runGrammar = true;
+
+    /** Run the model-vs-walker oracle over synthetic tiles. */
+    bool runOracle = true;
+};
+
+/**
+ * The hlsc loop body modelling @p kind's pipelined inner loop (JDS
+ * reuses CSR's entry body, the ELL family reuses the row sweep).
+ * Only valid for formats whose spec has hasInnerBody set.
+ */
+LoopBody decoderBodyFor(FormatKind kind, const FormatParams &params,
+                        Index partitionSize);
+
+/** Pass 1: structural sanity + BRAM port budget of one spec. */
+void checkSpecStructure(const ScheduleSpec &spec, const HlsConfig &config,
+                        LintReport &report);
+
+/**
+ * Pass 2: schedule @p body with hlsc and compare against @p spec's
+ * claims; II violations are classified as port over-subscription or
+ * loop-carried dependence. @p partitionSize sizes the comparator-tree
+ * balance check for specs that claim one.
+ */
+void checkDecoderBody(const ScheduleSpec &spec, const LoopBody &body,
+                      Index partitionSize, const HlsConfig &config,
+                      LintReport &report);
+
+/** Pass 3: hyperparameter/partition/knob contracts. */
+void checkContracts(const FormatParams &params, const HlsConfig &config,
+                    const std::vector<Index> &partitionSizes,
+                    LintReport &report);
+
+/**
+ * Pass 4 (per tile): grammar-validate @p tile encoded as @p kind and
+ * check the closed-form bound against the dynamic walker.
+ */
+void checkTile(const FormatRegistry &registry, FormatKind kind,
+               const Tile &tile, const HlsConfig &config, bool grammar,
+               bool oracle, LintReport &report);
+
+/** Run every pass over the full registry. */
+LintReport runLint(const LintOptions &options = LintOptions());
+
+} // namespace copernicus
+
+#endif // COPERNICUS_ANALYSIS_SCHEDULE_CHECK_HH

@@ -5,6 +5,7 @@
 #include "common/status.hh"
 #include "common/thread_pool.hh"
 #include "formats/encode_cache.hh"
+#include "formats/validate.hh"
 #include "hls/axi.hh"
 #include "hls/decompressor.hh"
 #include "trace/profile.hh"
@@ -23,6 +24,13 @@ chooseFormat(const Tile &tile, const std::vector<FormatKind> &candidates,
     auto best_score = std::numeric_limits<double>::infinity();
     for (FormatKind kind : candidates) {
         const auto encoded = encodeCached(registry, kind, tile);
+        if (grammarValidationEnabled()) {
+            const GrammarReport report = validateEncodedTile(*encoded);
+            panicIf(!report.ok(),
+                    "scheduler: encoded tile violates its format "
+                    "grammar:\n" +
+                        report.toString());
+        }
         double score = 0;
         switch (objective) {
           case SchedulerObjective::Bottleneck: {

@@ -3,6 +3,9 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/logging.hh"
+#include "formats/validate.hh"
+
 namespace copernicus {
 
 namespace {
@@ -124,6 +127,7 @@ EncodeCache::encode(const FormatRegistry &registry, FormatKind kind,
     const std::uint64_t hash = keyHash(kind, params, tile);
     Shard &shard = *shards[hash % shardCount];
 
+    std::shared_ptr<const EncodedTile> cached;
     {
         const std::lock_guard<std::mutex> lock(shard.mutex);
         auto it = shard.table.find(hash);
@@ -132,11 +136,31 @@ EncodeCache::encode(const FormatRegistry &registry, FormatKind kind,
                 if (entry.kind == kind &&
                     sameParams(entry.params, params) &&
                     entry.tile == tile) {
-                    hits.fetch_add(1, std::memory_order_relaxed);
-                    return entry.encoded;
+                    cached = entry.encoded;
+                    break;
                 }
             }
         }
+    }
+    if (cached != nullptr) {
+        // A verified hit is still only trusted as far as its grammar:
+        // a corrupted resident encoding is bypassed with a warning, not
+        // handed back (debug builds / COPERNICUS_VALIDATE=1).
+        if (grammarValidationEnabled()) {
+            const GrammarReport report = validateEncodedTile(*cached);
+            if (!report.ok()) {
+                validationBypasses.fetch_add(1,
+                                             std::memory_order_relaxed);
+                warn("EncodeCache: cached " +
+                     std::string(formatName(kind)) +
+                     " encoding failed grammar validation; bypassing "
+                     "the cache: " +
+                     report.violations.front().toString());
+                return registry.codec(kind).encode(tile);
+            }
+        }
+        hits.fetch_add(1, std::memory_order_relaxed);
+        return cached;
     }
 
     // Miss: encode outside the shard lock (the expensive part).
@@ -175,6 +199,8 @@ EncodeCache::stats() const
     out.hits = hits.load(std::memory_order_relaxed);
     out.misses = misses.load(std::memory_order_relaxed);
     out.evictions = evictions.load(std::memory_order_relaxed);
+    out.validationBypasses =
+        validationBypasses.load(std::memory_order_relaxed);
     for (const auto &shard : shards) {
         const std::lock_guard<std::mutex> lock(shard->mutex);
         out.entries += shard->entries;
@@ -206,6 +232,9 @@ EncodeCacheStats::EncodeCacheStats() : grp("encode_cache")
     add("hit_rate", "hits / (hits + misses)", stats.hitRate());
     add("evictions", "whole-shard drops under the byte budget",
         static_cast<double>(stats.evictions));
+    add("validation_bypasses",
+        "verified hits rejected by the grammar validator",
+        static_cast<double>(stats.validationBypasses));
     add("entries", "encodings currently resident",
         static_cast<double>(stats.entries));
     add("bytes", "approximate resident bytes",

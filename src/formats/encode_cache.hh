@@ -87,6 +87,9 @@ class EncodeCache
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
         std::uint64_t evictions = 0; ///< shard drops
+
+        /** Verified hits rejected by the grammar validator. */
+        std::uint64_t validationBypasses = 0;
         std::uint64_t entries = 0;   ///< currently resident
         std::uint64_t bytes = 0;     ///< approximate resident bytes
         double
@@ -127,6 +130,7 @@ class EncodeCache
     mutable std::atomic<std::uint64_t> hits{0};
     mutable std::atomic<std::uint64_t> misses{0};
     mutable std::atomic<std::uint64_t> evictions{0};
+    mutable std::atomic<std::uint64_t> validationBypasses{0};
 };
 
 /**

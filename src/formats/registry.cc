@@ -48,6 +48,12 @@ FormatRegistry::codec(FormatKind kind) const
     panic("FormatRegistry: no codec registered for kind");
 }
 
+const ScheduleSpec &
+FormatRegistry::schedule(FormatKind kind) const
+{
+    return scheduleSpec(kind);
+}
+
 const FormatRegistry &
 defaultRegistry()
 {

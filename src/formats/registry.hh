@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "formats/codec.hh"
+#include "formats/schedule_spec.hh"
 
 namespace copernicus {
 
@@ -46,6 +47,14 @@ class FormatRegistry
 
     /** The codec for @p kind; every FormatKind is registered. */
     const FormatCodec &codec(FormatKind kind) const;
+
+    /**
+     * The declarative decode schedule of @p kind (the loop nest the
+     * cycle walker and the static analyzer both price). Specs are
+     * hyperparameter-independent, so all registries expose the same
+     * table.
+     */
+    const ScheduleSpec &schedule(FormatKind kind) const;
 
     /** Hyperparameters this registry was built with. */
     const FormatParams &params() const { return _params; }

@@ -1,0 +1,471 @@
+#include "formats/schedule_spec.hh"
+
+#include <algorithm>
+
+#include "common/math.hh"
+#include "common/status.hh"
+#include "formats/bcsr_format.hh"
+#include "formats/bitmap_format.hh"
+#include "formats/coo_format.hh"
+#include "formats/csc_format.hh"
+#include "formats/csr_format.hh"
+#include "formats/dia_format.hh"
+#include "formats/dok_format.hh"
+#include "formats/ell_format.hh"
+#include "formats/ellcoo_format.hh"
+#include "formats/jds_format.hh"
+#include "formats/lil_format.hh"
+#include "formats/sell_format.hh"
+#include "formats/sellcs_format.hh"
+
+namespace copernicus {
+
+std::string_view
+scheduleFeatureName(ScheduleFeature feature)
+{
+    switch (feature) {
+      case ScheduleFeature::One: return "one";
+      case ScheduleFeature::TileSize: return "tile_size";
+      case ScheduleFeature::Log2TileSize: return "log2_tile_size";
+      case ScheduleFeature::Entries: return "entries";
+      case ScheduleFeature::EntriesAtLeastOne: return "entries_or_one";
+      case ScheduleFeature::OverflowEntries: return "overflow_entries";
+      case ScheduleFeature::NonEmptyGroups: return "non_empty_groups";
+      case ScheduleFeature::GroupHeaders: return "group_headers";
+      case ScheduleFeature::LongestGroup: return "longest_group";
+      case ScheduleFeature::MaskWords: return "mask_words";
+    }
+    return "unknown";
+}
+
+std::string_view
+cycleKnobName(CycleKnob knob)
+{
+    switch (knob) {
+      case CycleKnob::UnitCycle: return "unit";
+      case CycleKnob::TwoCycles: return "two";
+      case CycleKnob::BramReadLatency: return "bram_read_latency";
+      case CycleKnob::LoopDepth: return "loop_depth";
+      case CycleKnob::HashedLoopDepth: return "hashed_loop_depth";
+      case CycleKnob::HashCycles: return "hash_cycles";
+      case CycleKnob::DiagonalScan: return "diagonal_scan";
+    }
+    return "unknown";
+}
+
+Cycles
+TileFeatures::value(ScheduleFeature feature) const
+{
+    switch (feature) {
+      case ScheduleFeature::One: return 1;
+      case ScheduleFeature::TileSize: return tileSize;
+      case ScheduleFeature::Log2TileSize: return log2Ceil(tileSize);
+      case ScheduleFeature::Entries: return entries;
+      case ScheduleFeature::EntriesAtLeastOne:
+        return std::max<Cycles>(entries, 1);
+      case ScheduleFeature::OverflowEntries: return overflowEntries;
+      case ScheduleFeature::NonEmptyGroups: return nonEmptyGroups;
+      case ScheduleFeature::GroupHeaders: return groupHeaders;
+      case ScheduleFeature::LongestGroup: return longestGroup;
+      case ScheduleFeature::MaskWords: return maskWords;
+    }
+    panic("unknown schedule feature");
+}
+
+namespace {
+
+using SF = ScheduleFeature;
+using CK = CycleKnob;
+
+SegmentSpec
+fixed(const char *name, SF count, CK scale)
+{
+    SegmentSpec seg;
+    seg.kind = SegmentKind::Fixed;
+    seg.name = name;
+    seg.trips = count;
+    seg.depth = scale;
+    return seg;
+}
+
+SegmentSpec
+pipelined(const char *name, SF trips, CK depth, CK ii = CK::UnitCycle,
+          Index unroll = 1, Index bankAccessesPerII = 1)
+{
+    SegmentSpec seg;
+    seg.kind = SegmentKind::Pipelined;
+    seg.name = name;
+    seg.trips = trips;
+    seg.depth = depth;
+    seg.ii = ii;
+    seg.unroll = unroll;
+    seg.bankAccessesPerII = bankAccessesPerII;
+    return seg;
+}
+
+SegmentSpec
+serial(const char *name, SF outerTrips, SF innerTrips, CK depth)
+{
+    SegmentSpec seg;
+    seg.kind = SegmentKind::Serial;
+    seg.name = name;
+    seg.trips = outerTrips;
+    seg.innerTrips = innerTrips;
+    seg.depth = depth;
+    return seg;
+}
+
+SegmentSpec
+rateMax(const char *name, SF tripsA, CK rateA, SF tripsB, CK rateB)
+{
+    SegmentSpec seg;
+    seg.kind = SegmentKind::RateMax;
+    seg.name = name;
+    seg.trips = tripsA;
+    seg.depth = rateA;
+    seg.innerTrips = tripsB;
+    seg.rateB = rateB;
+    return seg;
+}
+
+/**
+ * The spec table. Every formula of the old per-format cycle walkers
+ * lives here as structure; see the per-format comments for the
+ * listing each nest reproduces.
+ */
+std::vector<ScheduleSpec>
+buildSpecs()
+{
+    std::vector<ScheduleSpec> specs;
+    auto add = [&specs](FormatKind kind, const char *listing,
+                        SF guard) -> ScheduleSpec & {
+        specs.emplace_back();
+        specs.back().format = kind;
+        specs.back().listing = listing;
+        specs.back().guard = guard;
+        return specs.back();
+    };
+
+    // Dense: no decompression stage at all.
+    add(FormatKind::Dense, "", SF::One).hasInnerBody = false;
+
+    // CSR, Listing 1: offsets header, then the entry loop pipelined at
+    // II = 1 across rows with one turnaround cycle per non-zero row.
+    {
+        auto &s = add(FormatKind::CSR, "Listing 1", SF::NonEmptyGroups);
+        s.segments = {
+            fixed("offsets header", SF::One, CK::BramReadLatency),
+            pipelined("entry loop", SF::Entries, CK::LoopDepth),
+            fixed("row turnaround", SF::NonEmptyGroups, CK::UnitCycle),
+        };
+        s.hasInnerBody = true;
+    }
+
+    // BCSR, Listing 2: same shape over non-zero blocks; the b*b block
+    // copy is fully unrolled over partitioned banks so one block costs
+    // one initiation interval.
+    {
+        auto &s = add(FormatKind::BCSR, "Listing 2", SF::NonEmptyGroups);
+        s.segments = {
+            fixed("offsets header", SF::One, CK::BramReadLatency),
+            pipelined("block loop", SF::Entries, CK::LoopDepth,
+                      CK::UnitCycle, /*unroll=*/0),
+            fixed("block-row turnaround", SF::NonEmptyGroups,
+                  CK::UnitCycle),
+        };
+        s.claims.checkDepth = false; // unrolled body depth != loopDepth
+        s.hasInnerBody = true;
+    }
+
+    // CSC, Listing 3: the orientation mismatch re-scans the whole
+    // entry list once per output row; each scan is pipelined at II = 1
+    // and runs even for an empty list (the exit test still issues).
+    {
+        auto &s = add(FormatKind::CSC, "Listing 3", SF::One);
+        s.segments = {
+            fixed("offsets header", SF::One, CK::BramReadLatency),
+            serial("per-row scans", SF::TileSize, SF::EntriesAtLeastOne,
+                   CK::LoopDepth),
+        };
+        s.hasInnerBody = true;
+    }
+
+    // COO, Listing 6: one pipelined loop over the tuples; scattered
+    // destinations keep everything on a single bank at II = 1.
+    {
+        auto &s = add(FormatKind::COO, "Listing 6", SF::One);
+        s.segments = {pipelined("tuple loop", SF::Entries,
+                                CK::LoopDepth)};
+        s.hasInnerBody = true;
+    }
+
+    // DOK: COO's walk plus a hash probe per tuple; the collision-chain
+    // cursor is a loop-carried dependence that bounds the II.
+    {
+        auto &s = add(FormatKind::DOK, "Listing 6 (hashed)", SF::One);
+        s.segments = {pipelined("hashed tuple loop", SF::Entries,
+                                CK::HashedLoopDepth, CK::HashCycles)};
+        s.claims.ii = CK::HashCycles;
+        s.claims.checkDepth = false; // fill priced as depth + probe
+        s.hasInnerBody = true;
+    }
+
+    // LIL, Listing 4: comparator-tree fill, then production rate-bound
+    // by the slower of the II=2 producer and the longest column list's
+    // serialized pops, plus one end-detection access.
+    {
+        auto &s = add(FormatKind::LIL, "Listing 4", SF::NonEmptyGroups);
+        s.segments = {
+            fixed("merge fill", SF::One, CK::BramReadLatency),
+            fixed("comparator tree", SF::Log2TileSize, CK::UnitCycle),
+            rateMax("production", SF::NonEmptyGroups, CK::TwoCycles,
+                    SF::LongestGroup, CK::BramReadLatency),
+            fixed("end detection", SF::One, CK::BramReadLatency),
+        };
+        s.claims.ii = CK::TwoCycles;
+        s.claims.checkDepth = false; // fill priced separately
+        s.claims.balancedTreeOverLanes = true;
+        s.hasInnerBody = true;
+    }
+
+    // ELL, Listing 5: the width-wide copy is fully unrolled over
+    // partitioned banks, so every row costs one cycle, zero or not.
+    {
+        auto &s = add(FormatKind::ELL, "Listing 5", SF::One);
+        s.segments = {pipelined("row sweep", SF::TileSize,
+                                CK::LoopDepth, CK::UnitCycle,
+                                /*unroll=*/0)};
+        s.claims.checkDepth = false; // unrolled body depth != loopDepth
+        s.hasInnerBody = true;
+    }
+
+    // SELL: ELL's sweep plus one width-header read per slice.
+    {
+        auto &s = add(FormatKind::SELL, "Listing 5 (sliced)", SF::One);
+        s.segments = {
+            pipelined("row sweep", SF::TileSize, CK::LoopDepth,
+                      CK::UnitCycle, /*unroll=*/0),
+            fixed("width headers", SF::GroupHeaders,
+                  CK::BramReadLatency),
+        };
+        s.claims.checkDepth = false; // unrolled body depth != loopDepth
+        s.hasInnerBody = true;
+    }
+
+    // SELL-C-sigma: SELL plus a permutation look-up per row.
+    {
+        auto &s = add(FormatKind::SELLCS, "Listing 5 (sliced+sorted)",
+                      SF::One);
+        s.segments = {
+            pipelined("row sweep", SF::TileSize, CK::LoopDepth,
+                      CK::UnitCycle, /*unroll=*/0),
+            fixed("width headers", SF::GroupHeaders,
+                  CK::BramReadLatency),
+            fixed("perm look-ups", SF::TileSize, CK::UnitCycle),
+        };
+        s.claims.checkDepth = false; // unrolled body depth != loopDepth
+        s.hasInnerBody = true;
+    }
+
+    // DIA, Listing 7: every output row scans the stored diagonals;
+    // the dual-ported buffer checks bramPorts diagonals per cycle.
+    {
+        auto &s = add(FormatKind::DIA, "Listing 7", SF::GroupHeaders);
+        s.segments = {
+            fixed("scan fill", SF::One, CK::LoopDepth),
+            fixed("row scans", SF::TileSize, CK::DiagonalScan),
+        };
+        s.claims.checkDepth = false; // scan fill priced flat
+        s.hasInnerBody = true;
+        s.segments[1].bankAccessesPerII = 2; // header pair per cycle
+    }
+
+    // JDS: CSR's entry loop without per-row offsets, plus one jdPtr
+    // read per jagged diagonal and a permutation look-up per row.
+    {
+        auto &s = add(FormatKind::JDS, "Listing 1 (jagged)",
+                      SF::NonEmptyGroups);
+        s.segments = {
+            fixed("first jdPtr read", SF::One, CK::BramReadLatency),
+            pipelined("entry loop", SF::Entries, CK::LoopDepth),
+            fixed("loop exit", SF::One, CK::UnitCycle),
+            fixed("jdPtr reads", SF::GroupHeaders, CK::BramReadLatency),
+            fixed("perm look-ups", SF::NonEmptyGroups, CK::UnitCycle),
+        };
+        s.hasInnerBody = true;
+    }
+
+    // ELL+COO hybrid: the ELL sweep plus a COO-style overflow loop.
+    {
+        auto &s = add(FormatKind::ELLCOO, "Listing 5 + Listing 6",
+                      SF::One);
+        s.segments = {
+            pipelined("row sweep", SF::TileSize, CK::LoopDepth,
+                      CK::UnitCycle, /*unroll=*/0),
+            pipelined("overflow loop", SF::OverflowEntries,
+                      CK::LoopDepth),
+        };
+        s.claims.checkDepth = false; // unrolled body depth != loopDepth
+        s.hasInnerBody = true;
+    }
+
+    // Bitmap: a pipelined scan over the packed mask words racing the
+    // one-value-per-cycle dense value stream.
+    {
+        auto &s = add(FormatKind::BITMAP, "bitmap scan", SF::Entries);
+        s.segments = {
+            fixed("scan fill", SF::One, CK::LoopDepth),
+            rateMax("mask/value race", SF::MaskWords, CK::UnitCycle,
+                    SF::Entries, CK::UnitCycle),
+        };
+        s.claims.checkDepth = false;
+        s.hasInnerBody = false;
+    }
+
+    return specs;
+}
+
+} // namespace
+
+const ScheduleSpec &
+scheduleSpec(FormatKind kind)
+{
+    static const std::vector<ScheduleSpec> specs = buildSpecs();
+    for (const ScheduleSpec &spec : specs) {
+        if (spec.format == kind)
+            return spec;
+    }
+    panic("no schedule spec registered for format " +
+          std::string(formatName(kind)));
+}
+
+TileFeatures
+extractScheduleFeatures(const EncodedTile &encoded, const Tile &decoded)
+{
+    TileFeatures feat;
+    const Index p = encoded.tileSize();
+    feat.tileSize = p;
+    const Index nnz_rows = decoded.nnzRows();
+
+    switch (encoded.kind()) {
+      case FormatKind::Dense:
+        feat.producedRows = p;
+        break;
+      case FormatKind::CSR: {
+        const auto &csr = encodedAs<CsrEncoded>(encoded,
+                                                FormatKind::CSR);
+        feat.entries = csr.values.size();
+        for (Index r = 0; r < p; ++r)
+            feat.nonEmptyGroups += csr.rowEnd(r) != csr.rowStart(r);
+        feat.producedRows = nnz_rows;
+        break;
+      }
+      case FormatKind::BCSR: {
+        const auto &bcsr = encodedAs<BcsrEncoded>(encoded,
+                                                  FormatKind::BCSR);
+        feat.entries = bcsr.values.size();
+        const Index grid = p / bcsr.blockSize();
+        for (Index br = 0; br < grid; ++br) {
+            feat.nonEmptyGroups +=
+                bcsr.blockRowEnd(br) != bcsr.blockRowStart(br);
+        }
+        // Every row of a non-zero block-row reaches the dot engine,
+        // zero or not (Listing 2 discussion).
+        feat.producedRows =
+            static_cast<Index>(feat.nonEmptyGroups) * bcsr.blockSize();
+        break;
+      }
+      case FormatKind::CSC: {
+        const auto &csc = encodedAs<CscEncoded>(encoded,
+                                                FormatKind::CSC);
+        feat.entries = csc.values.size();
+        for (Index c = 0; c < p; ++c)
+            feat.nonEmptyGroups += csc.colEnd(c) != csc.colStart(c);
+        feat.producedRows = nnz_rows;
+        break;
+      }
+      case FormatKind::COO: {
+        const auto &coo = encodedAs<CooEncoded>(encoded,
+                                                FormatKind::COO);
+        feat.entries = coo.values.size();
+        feat.producedRows = nnz_rows;
+        break;
+      }
+      case FormatKind::DOK: {
+        const auto &dok = encodedAs<DokEncoded>(encoded,
+                                                FormatKind::DOK);
+        feat.entries = dok.table.size();
+        feat.producedRows = nnz_rows;
+        break;
+      }
+      case FormatKind::LIL: {
+        const auto &lil = encodedAs<LilEncoded>(encoded,
+                                                FormatKind::LIL);
+        feat.nonEmptyGroups = nnz_rows;
+        feat.longestGroup = lil.height() - 1; // minus the sentinel row
+        feat.entries = encoded.nnz();
+        feat.producedRows = nnz_rows;
+        break;
+      }
+      case FormatKind::ELL: {
+        const auto &ell = encodedAs<EllEncoded>(encoded,
+                                                FormatKind::ELL);
+        feat.entries = encoded.nnz();
+        feat.groupHeaders = ell.width();
+        feat.producedRows = p;
+        break;
+      }
+      case FormatKind::SELL: {
+        const auto &sell = encodedAs<SellEncoded>(encoded,
+                                                  FormatKind::SELL);
+        feat.entries = encoded.nnz();
+        feat.groupHeaders = sell.slices.size();
+        feat.producedRows = p;
+        break;
+      }
+      case FormatKind::SELLCS: {
+        const auto &scs = encodedAs<SellCsEncoded>(encoded,
+                                                   FormatKind::SELLCS);
+        feat.entries = encoded.nnz();
+        feat.groupHeaders = scs.slices.size();
+        feat.producedRows = p;
+        break;
+      }
+      case FormatKind::DIA: {
+        const auto &dia = encodedAs<DiaEncoded>(encoded,
+                                                FormatKind::DIA);
+        feat.entries = encoded.nnz();
+        feat.groupHeaders = dia.diagonals.size();
+        feat.producedRows = nnz_rows;
+        break;
+      }
+      case FormatKind::JDS: {
+        const auto &jds = encodedAs<JdsEncoded>(encoded,
+                                                FormatKind::JDS);
+        feat.entries = jds.values.size();
+        feat.groupHeaders = jds.jdPtr.size() - 1; // jagged width
+        feat.nonEmptyGroups = nnz_rows;
+        feat.producedRows = nnz_rows;
+        break;
+      }
+      case FormatKind::ELLCOO: {
+        const auto &hybrid = encodedAs<EllCooEncoded>(
+            encoded, FormatKind::ELLCOO);
+        feat.entries = encoded.nnz();
+        feat.overflowEntries = hybrid.overflowValues.size();
+        feat.producedRows = p;
+        break;
+      }
+      case FormatKind::BITMAP: {
+        const auto &bitmap = encodedAs<BitmapEncoded>(
+            encoded, FormatKind::BITMAP);
+        feat.entries = bitmap.values.size();
+        feat.maskWords = bitmap.mask.size();
+        feat.producedRows = nnz_rows;
+        break;
+      }
+    }
+    return feat;
+}
+
+} // namespace copernicus

@@ -1,0 +1,722 @@
+#include "formats/validate.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "formats/bcsr_format.hh"
+#include "formats/bitmap_format.hh"
+#include "formats/coo_format.hh"
+#include "formats/csc_format.hh"
+#include "formats/csr_format.hh"
+#include "formats/dense_format.hh"
+#include "formats/dia_format.hh"
+#include "formats/dok_format.hh"
+#include "formats/ell_format.hh"
+#include "formats/ellcoo_format.hh"
+#include "formats/jds_format.hh"
+#include "formats/lil_format.hh"
+#include "formats/sell_format.hh"
+#include "formats/sellcs_format.hh"
+
+namespace copernicus {
+
+std::string
+GrammarViolation::toString() const
+{
+    return "[" + std::string(formatName(format)) + "] " + invariant +
+           ": " + detail;
+}
+
+std::string
+GrammarReport::toString() const
+{
+    std::string out;
+    for (const GrammarViolation &v : violations) {
+        out += v.toString();
+        out += '\n';
+    }
+    return out;
+}
+
+namespace {
+
+/** Collects violations for one tile; all checkers append through it. */
+class Checker
+{
+  public:
+    explicit Checker(FormatKind kind) : kind(kind) {}
+
+    void
+    fail(const std::string &invariant, const std::string &detail)
+    {
+        report.violations.push_back({kind, invariant, detail});
+    }
+
+    /** Record a violation unless @p condition holds. */
+    void
+    require(bool condition, const std::string &invariant,
+            const std::string &detail)
+    {
+        if (!condition)
+            fail(invariant, detail);
+    }
+
+    GrammarReport report;
+
+  private:
+    FormatKind kind;
+};
+
+std::string
+at(std::size_t i)
+{
+    return "at position " + std::to_string(i);
+}
+
+/** offsets must be non-decreasing cumulative counts ending at total. */
+void
+checkOffsets(Checker &chk, const std::vector<Index> &offsets,
+             std::size_t expectedLen, std::size_t total,
+             const std::string &prefix)
+{
+    chk.require(offsets.size() == expectedLen, prefix + ".length",
+                "expected " + std::to_string(expectedLen) +
+                    " offsets, found " + std::to_string(offsets.size()));
+    if (offsets.size() != expectedLen)
+        return;
+    Index prev = 0;
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+        if (offsets[i] < prev) {
+            chk.fail(prefix + ".monotone",
+                     "offset decreases from " + std::to_string(prev) +
+                         " to " + std::to_string(offsets[i]) + " " +
+                         at(i));
+            return;
+        }
+        prev = offsets[i];
+    }
+    chk.require(!offsets.empty() && offsets.back() == total,
+                prefix + ".total",
+                "final offset " +
+                    std::to_string(offsets.empty() ? 0 : offsets.back()) +
+                    " does not cover the " + std::to_string(total) +
+                    " stored entries");
+}
+
+void
+checkCsr(Checker &chk, const CsrEncoded &csr)
+{
+    const Index p = csr.tileSize();
+    chk.require(csr.colInx.size() == csr.values.size(),
+                "csr.arrays.length",
+                "colInx/values length mismatch");
+    chk.require(csr.values.size() == csr.nnz(), "csr.nnz",
+                "stored " + std::to_string(csr.values.size()) +
+                    " values for nnz " + std::to_string(csr.nnz()));
+    checkOffsets(chk, csr.offsets, p, csr.values.size(), "csr.offsets");
+    if (!chk.report.ok())
+        return;
+    for (Index r = 0; r < p; ++r) {
+        Index prevCol = 0;
+        bool first = true;
+        for (Index i = csr.rowStart(r); i < csr.rowEnd(r); ++i) {
+            const Index col = csr.colInx[i];
+            chk.require(col < p, "csr.col.range",
+                        "column " + std::to_string(col) + " in row " +
+                            std::to_string(r) + " exceeds p");
+            chk.require(first || col > prevCol, "csr.col.sorted",
+                        "row " + std::to_string(r) +
+                            " columns not strictly ascending " + at(i));
+            prevCol = col;
+            first = false;
+        }
+    }
+}
+
+void
+checkCsc(Checker &chk, const CscEncoded &csc)
+{
+    const Index p = csc.tileSize();
+    chk.require(csc.rowInx.size() == csc.values.size(),
+                "csc.arrays.length",
+                "rowInx/values length mismatch");
+    chk.require(csc.values.size() == csc.nnz(), "csc.nnz",
+                "stored " + std::to_string(csc.values.size()) +
+                    " values for nnz " + std::to_string(csc.nnz()));
+    checkOffsets(chk, csc.offsets, p, csc.values.size(), "csc.offsets");
+    if (!chk.report.ok())
+        return;
+    for (Index c = 0; c < p; ++c) {
+        Index prevRow = 0;
+        bool first = true;
+        for (Index i = csc.colStart(c); i < csc.colEnd(c); ++i) {
+            const Index row = csc.rowInx[i];
+            chk.require(row < p, "csc.row.range",
+                        "row " + std::to_string(row) + " in column " +
+                            std::to_string(c) + " exceeds p");
+            chk.require(first || row > prevRow, "csc.row.sorted",
+                        "column " + std::to_string(c) +
+                            " rows not strictly ascending " + at(i));
+            prevRow = row;
+            first = false;
+        }
+    }
+}
+
+void
+checkCoo(Checker &chk, const CooEncoded &coo)
+{
+    const Index p = coo.tileSize();
+    chk.require(coo.rowInx.size() == coo.values.size() &&
+                    coo.colInx.size() == coo.values.size(),
+                "coo.arrays.length",
+                "row/col/value arrays differ in length");
+    chk.require(coo.values.size() == coo.nnz(), "coo.nnz",
+                "stored " + std::to_string(coo.values.size()) +
+                    " tuples for nnz " + std::to_string(coo.nnz()));
+    if (!chk.report.ok())
+        return;
+    for (std::size_t i = 0; i < coo.values.size(); ++i) {
+        chk.require(coo.rowInx[i] < p && coo.colInx[i] < p, "coo.range",
+                    "tuple (" + std::to_string(coo.rowInx[i]) + ", " +
+                        std::to_string(coo.colInx[i]) + ") exceeds p " +
+                        at(i));
+        if (i == 0)
+            continue;
+        const bool ascending =
+            coo.rowInx[i] > coo.rowInx[i - 1] ||
+            (coo.rowInx[i] == coo.rowInx[i - 1] &&
+             coo.colInx[i] > coo.colInx[i - 1]);
+        chk.require(ascending, "coo.order",
+                    "tuples not sorted row-major (or duplicated) " +
+                        at(i));
+    }
+}
+
+void
+checkBcsr(Checker &chk, const BcsrEncoded &bcsr)
+{
+    const Index p = bcsr.tileSize();
+    const Index b = bcsr.blockSize();
+    chk.require(b > 0 && p % b == 0, "bcsr.block.divides",
+                "block size " + std::to_string(b) +
+                    " does not divide tile size " + std::to_string(p));
+    if (b == 0 || p % b != 0)
+        return;
+    chk.require(bcsr.colInx.size() == bcsr.values.size(),
+                "bcsr.arrays.length",
+                "colInx/values block-count mismatch");
+    checkOffsets(chk, bcsr.offsets, p / b, bcsr.values.size(),
+                 "bcsr.offsets");
+    for (std::size_t i = 0; i < bcsr.values.size(); ++i)
+        chk.require(bcsr.values[i].size() ==
+                        static_cast<std::size_t>(b) * b,
+                    "bcsr.block.shape",
+                    "block " + at(i) + " holds " +
+                        std::to_string(bcsr.values[i].size()) +
+                        " values, expected " + std::to_string(b * b));
+    if (!chk.report.ok())
+        return;
+    for (Index br = 0; br < p / b; ++br) {
+        Index prevCol = 0;
+        bool first = true;
+        for (Index i = bcsr.blockRowStart(br); i < bcsr.blockRowEnd(br);
+             ++i) {
+            const Index col = bcsr.colInx[i];
+            chk.require(col < p && col % b == 0, "bcsr.block.alignment",
+                        "block column " + std::to_string(col) +
+                            " is not a multiple of " + std::to_string(b) +
+                            " inside the tile");
+            chk.require(first || col > prevCol, "bcsr.block.sorted",
+                        "block-row " + std::to_string(br) +
+                            " blocks not strictly ascending " + at(i));
+            prevCol = col;
+            first = false;
+        }
+    }
+}
+
+/**
+ * One ELL-shaped plane: rows left-pushed, clean padding, in-range and
+ * ascending columns. Shared by ELL, SELL slices, SELL-C-sigma slices
+ * and the ELL part of the hybrid. Returns the non-pad entry count.
+ */
+std::size_t
+checkEllPlane(Checker &chk, const std::vector<Value> &values,
+              const std::vector<Index> &colInx, Index rows, Index width,
+              Index p, const std::string &prefix, const std::string &where)
+{
+    const std::size_t cells = static_cast<std::size_t>(rows) * width;
+    chk.require(values.size() == cells && colInx.size() == cells,
+                prefix + ".shape",
+                where + " stores " + std::to_string(values.size()) +
+                    " values / " + std::to_string(colInx.size()) +
+                    " columns, expected " + std::to_string(cells));
+    if (values.size() != cells || colInx.size() != cells)
+        return 0;
+    std::size_t entries = 0;
+    for (Index r = 0; r < rows; ++r) {
+        bool padded = false;
+        Index prevCol = 0;
+        bool first = true;
+        for (Index s = 0; s < width; ++s) {
+            const std::size_t cell =
+                static_cast<std::size_t>(r) * width + s;
+            const Index col = colInx[cell];
+            if (col == EllEncoded::padMarker) {
+                padded = true;
+                chk.require(values[cell] == Value(0), prefix + ".padding",
+                            where + " row " + std::to_string(r) +
+                                " carries a non-zero value in padding "
+                                "slot " +
+                                std::to_string(s));
+                continue;
+            }
+            ++entries;
+            chk.require(!padded, prefix + ".padding",
+                        where + " row " + std::to_string(r) +
+                            " has an entry after padding at slot " +
+                            std::to_string(s) + " (not left-pushed)");
+            chk.require(col < p, prefix + ".col.range",
+                        where + " row " + std::to_string(r) +
+                            " column " + std::to_string(col) +
+                            " exceeds p");
+            chk.require(first || col > prevCol, prefix + ".col.sorted",
+                        where + " row " + std::to_string(r) +
+                            " columns not strictly ascending at slot " +
+                            std::to_string(s));
+            prevCol = col;
+            first = false;
+        }
+    }
+    return entries;
+}
+
+void
+checkEll(Checker &chk, const EllEncoded &ell)
+{
+    const std::size_t entries =
+        checkEllPlane(chk, ell.values, ell.colInx, ell.tileSize(),
+                      ell.width(), ell.tileSize(), "ell", "tile");
+    if (chk.report.ok())
+        chk.require(entries == ell.nnz(), "ell.nnz",
+                    std::to_string(entries) +
+                        " stored entries for nnz " +
+                        std::to_string(ell.nnz()));
+}
+
+/** Slice checks shared by SELL and SELL-C-sigma. */
+void
+checkSlices(Checker &chk, const std::vector<SellSlice> &slices, Index p,
+            Index sliceHeight, Index nnz, const std::string &prefix)
+{
+    chk.require(sliceHeight > 0 && p % sliceHeight == 0,
+                prefix + ".slice.divides",
+                "slice height " + std::to_string(sliceHeight) +
+                    " does not divide tile size " + std::to_string(p));
+    if (sliceHeight == 0 || p % sliceHeight != 0)
+        return;
+    chk.require(slices.size() == p / sliceHeight,
+                prefix + ".slices.count",
+                "expected " + std::to_string(p / sliceHeight) +
+                    " slices, found " + std::to_string(slices.size()));
+    std::size_t entries = 0;
+    for (std::size_t s = 0; s < slices.size(); ++s)
+        entries += checkEllPlane(chk, slices[s].values, slices[s].colInx,
+                                 sliceHeight, slices[s].width, p, prefix,
+                                 "slice " + std::to_string(s));
+    if (chk.report.ok())
+        chk.require(entries == nnz, prefix + ".nnz",
+                    std::to_string(entries) + " stored entries for nnz " +
+                        std::to_string(nnz));
+}
+
+/** @p perm must be a permutation of 0..p-1. */
+void
+checkPermutation(Checker &chk, const std::vector<Index> &perm, Index p,
+                 const std::string &invariant)
+{
+    chk.require(perm.size() == p, invariant,
+                "permutation has " + std::to_string(perm.size()) +
+                    " entries for tile size " + std::to_string(p));
+    if (perm.size() != p)
+        return;
+    std::vector<bool> seen(p, false);
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+        if (perm[i] >= p || seen[perm[i]]) {
+            chk.fail(invariant, "entry " + std::to_string(perm[i]) +
+                                    " " + at(i) +
+                                    " is out of range or repeated");
+            return;
+        }
+        seen[perm[i]] = true;
+    }
+}
+
+void
+checkDia(Checker &chk, const DiaEncoded &dia)
+{
+    const Index p = dia.tileSize();
+    const auto bound = static_cast<std::int32_t>(p) - 1;
+    bool first = true;
+    std::int32_t prev = 0;
+    std::size_t entries = 0;
+    for (std::size_t i = 0; i < dia.diagonals.size(); ++i) {
+        const DiaDiagonal &diag = dia.diagonals[i];
+        chk.require(diag.number >= -bound && diag.number <= bound,
+                    "dia.offset.range",
+                    "diagonal number " + std::to_string(diag.number) +
+                        " outside [-" + std::to_string(bound) + ", " +
+                        std::to_string(bound) + "]");
+        chk.require(first || diag.number > prev, "dia.order",
+                    "diagonals not strictly ascending " + at(i));
+        prev = diag.number;
+        first = false;
+        chk.require(diag.values.size() == p, "dia.shape",
+                    "diagonal " + std::to_string(diag.number) +
+                        " stores " + std::to_string(diag.values.size()) +
+                        " slots, expected p = " + std::to_string(p));
+        if (diag.values.size() != p)
+            continue;
+        // An out-of-range offset has no valid slots at all; the range
+        // failure is already reported and p - |d| would wrap.
+        const auto magnitude = static_cast<Index>(
+            diag.number < 0 ? -diag.number : diag.number);
+        if (magnitude >= p)
+            continue;
+        // Valid slots run 0..p-|d|-1; the tail is Listing 7's padding.
+        const Index len = p - magnitude;
+        bool any = false;
+        for (Index s = 0; s < p; ++s) {
+            if (s >= len)
+                chk.require(diag.values[s] == Value(0), "dia.padding",
+                            "diagonal " + std::to_string(diag.number) +
+                                " has a value in padding slot " +
+                                std::to_string(s));
+            else if (diag.values[s] != Value(0))
+                any = true;
+        }
+        for (Index s = 0; s < len; ++s)
+            entries += diag.values[s] != Value(0);
+        chk.require(any, "dia.nonempty",
+                    "diagonal " + std::to_string(diag.number) +
+                        " stores no non-zero");
+    }
+    if (chk.report.ok())
+        chk.require(entries == dia.nnz(), "dia.nnz",
+                    std::to_string(entries) + " stored non-zeros for "
+                        "nnz " + std::to_string(dia.nnz()));
+}
+
+void
+checkJds(Checker &chk, const JdsEncoded &jds)
+{
+    const Index p = jds.tileSize();
+    checkPermutation(chk, jds.perm, p, "jds.perm");
+    chk.require(jds.colInx.size() == jds.values.size(),
+                "jds.arrays.length", "colInx/values length mismatch");
+    chk.require(jds.values.size() == jds.nnz(), "jds.nnz",
+                "stored " + std::to_string(jds.values.size()) +
+                    " values for nnz " + std::to_string(jds.nnz()));
+    chk.require(!jds.jdPtr.empty() && jds.jdPtr.front() == 0,
+                "jds.jdptr.start", "jdPtr must start at 0");
+    if (jds.jdPtr.empty())
+        return;
+    for (std::size_t i = 1; i < jds.jdPtr.size(); ++i)
+        chk.require(jds.jdPtr[i] >= jds.jdPtr[i - 1],
+                    "jds.jdptr.monotone",
+                    "jdPtr decreases " + at(i));
+    chk.require(jds.jdPtr.back() == jds.values.size(),
+                "jds.jdptr.total",
+                "final jdPtr " + std::to_string(jds.jdPtr.back()) +
+                    " does not cover the " +
+                    std::to_string(jds.values.size()) +
+                    " stored entries");
+    // Jagged diagonals shrink (rows are sorted by descending length).
+    for (std::size_t d = 2; d < jds.jdPtr.size(); ++d) {
+        const Index lenPrev = jds.jdPtr[d - 1] - jds.jdPtr[d - 2];
+        const Index len = jds.jdPtr[d] - jds.jdPtr[d - 1];
+        chk.require(len <= lenPrev, "jds.jagged.nonincreasing",
+                    "jagged diagonal " + std::to_string(d - 1) +
+                        " is longer than its predecessor");
+    }
+    for (std::size_t i = 0; i < jds.colInx.size(); ++i)
+        chk.require(jds.colInx[i] < p, "jds.col.range",
+                    "column " + std::to_string(jds.colInx[i]) +
+                        " exceeds p " + at(i));
+}
+
+void
+checkLil(Checker &chk, const LilEncoded &lil)
+{
+    const Index p = lil.tileSize();
+    const Index h = lil.height();
+    const std::size_t cells = static_cast<std::size_t>(h) * p;
+    chk.require(lil.values.size() == cells &&
+                    lil.rowInx.size() == cells,
+                "lil.shape",
+                "stores " + std::to_string(lil.values.size()) +
+                    " values / " + std::to_string(lil.rowInx.size()) +
+                    " rows, expected " + std::to_string(cells));
+    if (lil.values.size() != cells || lil.rowInx.size() != cells)
+        return;
+    chk.require(h >= 1, "lil.sentinel", "height must include the "
+                                        "sentinel row");
+    std::size_t entries = 0;
+    for (Index c = 0; c < p; ++c) {
+        bool ended = false;
+        Index prevRow = 0;
+        bool first = true;
+        for (Index level = 0; level < h; ++level) {
+            const Index row = lil.rowAt(level, c);
+            if (row == LilEncoded::endMarker) {
+                ended = true;
+                chk.require(lil.valueAt(level, c) == Value(0),
+                            "lil.padding",
+                            "column " + std::to_string(c) +
+                                " carries a value in terminated slot " +
+                                std::to_string(level));
+                continue;
+            }
+            ++entries;
+            chk.require(!ended, "lil.pushed",
+                        "column " + std::to_string(c) +
+                            " has an entry below its end marker at "
+                            "level " +
+                            std::to_string(level));
+            chk.require(row < p, "lil.row.range",
+                        "row " + std::to_string(row) + " in column " +
+                            std::to_string(c) + " exceeds p");
+            chk.require(first || row > prevRow, "lil.rows.sorted",
+                        "column " + std::to_string(c) +
+                            " rows not strictly ascending at level " +
+                            std::to_string(level));
+            prevRow = row;
+            first = false;
+        }
+        // The sentinel row exists so every list terminates on-stream.
+        if (h >= 1)
+            chk.require(lil.rowAt(h - 1, c) == LilEncoded::endMarker,
+                        "lil.sentinel",
+                        "column " + std::to_string(c) +
+                            " is not terminated by the sentinel row");
+    }
+    if (chk.report.ok())
+        chk.require(entries == lil.nnz(), "lil.nnz",
+                    std::to_string(entries) + " stored entries for "
+                        "nnz " + std::to_string(lil.nnz()));
+}
+
+void
+checkDok(Checker &chk, const DokEncoded &dok)
+{
+    const Index p = dok.tileSize();
+    chk.require(dok.table.size() == dok.nnz(), "dok.nnz",
+                "table holds " + std::to_string(dok.table.size()) +
+                    " entries for nnz " + std::to_string(dok.nnz()));
+    for (const auto &[key, value] : dok.table) {
+        const auto row = static_cast<Index>(key >> 32);
+        const auto col = static_cast<Index>(key & 0xffffffffu);
+        chk.require(row < p && col < p, "dok.key.range",
+                    "key (" + std::to_string(row) + ", " +
+                        std::to_string(col) + ") exceeds p");
+        (void)value;
+    }
+}
+
+void
+checkBitmap(Checker &chk, const BitmapEncoded &bitmap)
+{
+    const Index p = bitmap.tileSize();
+    const std::size_t bits = static_cast<std::size_t>(p) * p;
+    const std::size_t words = (bits + 63) / 64;
+    chk.require(bitmap.mask.size() == words, "bitmap.shape",
+                "mask holds " + std::to_string(bitmap.mask.size()) +
+                    " words, expected " + std::to_string(words));
+    chk.require(bitmap.values.size() == bitmap.nnz(), "bitmap.nnz",
+                "stored " + std::to_string(bitmap.values.size()) +
+                    " values for nnz " + std::to_string(bitmap.nnz()));
+    if (bitmap.mask.size() != words)
+        return;
+    std::size_t popcount = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t word = bitmap.mask[w];
+        // Bits beyond p*p must stay clear: the decoder trusts them.
+        if (w == words - 1 && bits % 64 != 0) {
+            const std::uint64_t valid =
+                (std::uint64_t(1) << (bits % 64)) - 1;
+            chk.require((word & ~valid) == 0, "bitmap.trailing",
+                        "mask sets bits beyond the p*p grid");
+            word &= valid;
+        }
+        for (; word != 0; word &= word - 1)
+            ++popcount;
+    }
+    chk.require(popcount == bitmap.values.size(), "bitmap.popcount",
+                "mask sets " + std::to_string(popcount) +
+                    " bits for " + std::to_string(bitmap.values.size()) +
+                    " stored values");
+}
+
+void
+checkEllCoo(Checker &chk, const EllCooEncoded &hybrid)
+{
+    const Index p = hybrid.tileSize();
+    const Index w = hybrid.width();
+    const std::size_t entries =
+        checkEllPlane(chk, hybrid.values, hybrid.colInx, p, w, p,
+                      "ellcoo", "ELL part");
+    chk.require(hybrid.overflowRows.size() ==
+                        hybrid.overflowValues.size() &&
+                    hybrid.overflowCols.size() ==
+                        hybrid.overflowValues.size(),
+                "ellcoo.overflow.shape",
+                "overflow row/col/value arrays differ in length");
+    if (!chk.report.ok())
+        return;
+    for (std::size_t i = 0; i < hybrid.overflowValues.size(); ++i) {
+        const Index row = hybrid.overflowRows[i];
+        const Index col = hybrid.overflowCols[i];
+        chk.require(row < p && col < p, "ellcoo.overflow.range",
+                    "overflow tuple (" + std::to_string(row) + ", " +
+                        std::to_string(col) + ") exceeds p " + at(i));
+        if (i > 0) {
+            const bool ascending =
+                row > hybrid.overflowRows[i - 1] ||
+                (row == hybrid.overflowRows[i - 1] &&
+                 col > hybrid.overflowCols[i - 1]);
+            chk.require(ascending, "ellcoo.overflow.order",
+                        "overflow tuples not sorted row-major (or "
+                        "duplicated) " +
+                            at(i));
+        }
+        // A row only spills once its fixed-width ELL part is full.
+        if (row < p && w > 0)
+            chk.require(hybrid.colAt(row, w - 1) !=
+                            EllCooEncoded::padMarker,
+                        "ellcoo.overflow.discipline",
+                        "row " + std::to_string(row) +
+                            " spills to COO while its ELL part still "
+                            "has padding");
+    }
+    if (chk.report.ok())
+        chk.require(entries + hybrid.overflowValues.size() ==
+                        hybrid.nnz(),
+                    "ellcoo.nnz",
+                    std::to_string(entries + hybrid.overflowValues
+                                                 .size()) +
+                        " stored entries for nnz " +
+                        std::to_string(hybrid.nnz()));
+}
+
+void
+checkDense(Checker &chk, const DenseEncoded &dense)
+{
+    const Index p = dense.tileSize();
+    const std::size_t cells = static_cast<std::size_t>(p) * p;
+    chk.require(dense.values.size() == cells, "dense.shape",
+                "stores " + std::to_string(dense.values.size()) +
+                    " values, expected " + std::to_string(cells));
+    std::size_t nonzeros = 0;
+    for (Value v : dense.values)
+        nonzeros += v != Value(0);
+    chk.require(nonzeros == dense.nnz(), "dense.nnz",
+                std::to_string(nonzeros) + " non-zeros for nnz " +
+                    std::to_string(dense.nnz()));
+}
+
+} // namespace
+
+GrammarReport
+validateEncodedTile(const EncodedTile &encoded)
+{
+    Checker chk(encoded.kind());
+    switch (encoded.kind()) {
+      case FormatKind::Dense:
+        checkDense(chk, encodedAs<DenseEncoded>(encoded,
+                                                FormatKind::Dense));
+        break;
+      case FormatKind::CSR:
+        checkCsr(chk, encodedAs<CsrEncoded>(encoded, FormatKind::CSR));
+        break;
+      case FormatKind::BCSR:
+        checkBcsr(chk,
+                  encodedAs<BcsrEncoded>(encoded, FormatKind::BCSR));
+        break;
+      case FormatKind::CSC:
+        checkCsc(chk, encodedAs<CscEncoded>(encoded, FormatKind::CSC));
+        break;
+      case FormatKind::COO:
+        checkCoo(chk, encodedAs<CooEncoded>(encoded, FormatKind::COO));
+        break;
+      case FormatKind::DOK:
+        checkDok(chk, encodedAs<DokEncoded>(encoded, FormatKind::DOK));
+        break;
+      case FormatKind::LIL:
+        checkLil(chk, encodedAs<LilEncoded>(encoded, FormatKind::LIL));
+        break;
+      case FormatKind::ELL:
+        checkEll(chk, encodedAs<EllEncoded>(encoded, FormatKind::ELL));
+        break;
+      case FormatKind::SELL: {
+        const auto &sell =
+            encodedAs<SellEncoded>(encoded, FormatKind::SELL);
+        checkSlices(chk, sell.slices, sell.tileSize(),
+                    sell.sliceHeight(), sell.nnz(), "sell");
+        break;
+      }
+      case FormatKind::DIA:
+        checkDia(chk, encodedAs<DiaEncoded>(encoded, FormatKind::DIA));
+        break;
+      case FormatKind::JDS:
+        checkJds(chk, encodedAs<JdsEncoded>(encoded, FormatKind::JDS));
+        break;
+      case FormatKind::ELLCOO:
+        checkEllCoo(chk, encodedAs<EllCooEncoded>(encoded,
+                                                  FormatKind::ELLCOO));
+        break;
+      case FormatKind::SELLCS: {
+        const auto &scs =
+            encodedAs<SellCsEncoded>(encoded, FormatKind::SELLCS);
+        checkPermutation(chk, scs.perm, scs.tileSize(), "sellcs.perm");
+        checkSlices(chk, scs.slices, scs.tileSize(), scs.sliceHeight(),
+                    scs.nnz(), "sellcs");
+        break;
+      }
+      case FormatKind::BITMAP:
+        checkBitmap(chk, encodedAs<BitmapEncoded>(encoded,
+                                                  FormatKind::BITMAP));
+        break;
+    }
+    return chk.report;
+}
+
+namespace {
+
+/** -1 = defer to the environment; 0/1 = explicit override. */
+std::atomic<int> validationOverride{-1};
+
+} // namespace
+
+bool
+grammarValidationEnabled()
+{
+    const int forced = validationOverride.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return forced != 0;
+    static const bool fromEnv = [] {
+        const char *env = std::getenv("COPERNICUS_VALIDATE");
+        return env != nullptr && env[0] != '\0' &&
+               std::string(env) != "0";
+    }();
+    return fromEnv;
+}
+
+void
+setGrammarValidationEnabled(bool enabled)
+{
+    validationOverride.store(enabled ? 1 : 0,
+                             std::memory_order_relaxed);
+}
+
+} // namespace copernicus

@@ -1,325 +1,25 @@
 #include "hls/decompressor.hh"
 
-#include <algorithm>
-
-#include "common/status.hh"
-#include "formats/bcsr_format.hh"
-#include "formats/bitmap_format.hh"
-#include "formats/coo_format.hh"
-#include "formats/csc_format.hh"
-#include "formats/csr_format.hh"
-#include "formats/dia_format.hh"
-#include "formats/dok_format.hh"
-#include "formats/ell_format.hh"
-#include "formats/ellcoo_format.hh"
-#include "formats/jds_format.hh"
-#include "formats/lil_format.hh"
 #include "formats/registry.hh"
-#include "formats/sell_format.hh"
-#include "formats/sellcs_format.hh"
-#include "hls/schedule.hh"
+#include "formats/schedule_spec.hh"
+#include "hls/schedule_ir.hh"
 
 namespace copernicus {
-
-namespace {
-
-/**
- * CSR, Listing 1: one offsets access starts the row, then a pipelined
- * loop writes numVal entries. Row creation is itself pipelined across
- * non-zero rows, so successive rows overlap at II = 1 beyond their
- * entry loops.
- */
-Cycles
-csrCycles(const CsrEncoded &csr, const HlsConfig &cfg)
-{
-    const Index p = csr.tileSize();
-    Cycles total = 0;
-    Index nnz_rows = 0;
-    Cycles total_entries = 0;
-    for (Index r = 0; r < p; ++r) {
-        const Index count = csr.rowEnd(r) - csr.rowStart(r);
-        if (count == 0)
-            continue;
-        ++nnz_rows;
-        total_entries += count;
-    }
-    if (nnz_rows == 0)
-        return 0;
-    total = cfg.bramReadLatency           // first offsets access
-            + cfg.loopDepth               // entry-loop fill
-            + total_entries               // II=1 over all entries
-            + (nnz_rows - 1);             // per-row turnaround
-    return total;
-}
-
-/**
- * BCSR, Listing 2: offsets access per block-row, then a block loop whose
- * 16-element inner copy is fully unrolled over partitioned banks, so
- * each block costs one initiation interval.
- */
-Cycles
-bcsrCycles(const BcsrEncoded &bcsr, const HlsConfig &cfg)
-{
-    const Index p = bcsr.tileSize();
-    const Index b = bcsr.blockSize();
-    const Index grid = p / b;
-    Index nnz_block_rows = 0;
-    Cycles total_blocks = 0;
-    for (Index br = 0; br < grid; ++br) {
-        const Index count = bcsr.blockRowEnd(br) - bcsr.blockRowStart(br);
-        if (count == 0)
-            continue;
-        ++nnz_block_rows;
-        total_blocks += count;
-    }
-    if (nnz_block_rows == 0)
-        return 0;
-    return cfg.bramReadLatency + cfg.loopDepth + total_blocks +
-           (nnz_block_rows - 1);
-}
-
-/**
- * CSC, Listing 3: the orientation mismatch forces a scan of the whole
- * entry list once per output row; each scan is a pipelined loop at
- * II = 1 over every stored entry.
- */
-Cycles
-cscCycles(const CscEncoded &csc, const HlsConfig &cfg)
-{
-    const Index p = csc.tileSize();
-    const Cycles entries = csc.values.size();
-    Cycles total = cfg.bramReadLatency;
-    for (Index r = 0; r < p; ++r)
-        total += pipelinedLoop(std::max<Cycles>(entries, 1),
-                               cfg.loopDepth);
-    return total;
-}
-
-/**
- * LIL, Listing 4: per produced row, a comparator tree (depth log2 p)
- * finds the minimum pending row index across the partitioned column
- * lists, then an unrolled select emits the row: II = 2 between rows.
- * Production can never outrun the longest column list, whose pops are
- * serialized by the BRAM read latency, and one extra access detects the
- * end of the lists.
- */
-Cycles
-lilCycles(const LilEncoded &lil, const Tile &decoded, const HlsConfig &cfg)
-{
-    const Index nnz_rows = decoded.nnzRows();
-    if (nnz_rows == 0)
-        return 0;
-    const Index longest = lil.height() - 1; // minus the sentinel row
-    const Cycles fill = cfg.bramReadLatency +
-                        Cycles(log2Ceil(lil.tileSize()));
-    const Cycles production =
-        std::max<Cycles>(Cycles(nnz_rows) * 2,
-                         Cycles(longest) * cfg.bramReadLatency);
-    return fill + production + cfg.bramReadLatency; // end detection
-}
-
-/**
- * ELL, Listing 5: the width-wide copy is fully unrolled over
- * partitioned banks, so every row — zero or not — costs one cycle; the
- * compressed width only affects resources, not cycles (Section 5.2).
- */
-Cycles
-ellCycles(const EllEncoded &ell, const HlsConfig &cfg)
-{
-    return pipelinedLoop(ell.tileSize(), cfg.loopDepth);
-}
-
-/** SELL prices like ELL plus one width-header read per slice. */
-Cycles
-sellCycles(const SellEncoded &sell, const HlsConfig &cfg)
-{
-    return pipelinedLoop(sell.tileSize(), cfg.loopDepth) +
-           Cycles(sell.slices.size()) * cfg.bramReadLatency;
-}
-
-/**
- * COO, Listing 6: one pipelined loop over the tuples; the scattered
- * destinations prevent bank partitioning, so II = 1 on a single bank.
- */
-Cycles
-cooCycles(const CooEncoded &coo, const HlsConfig &cfg)
-{
-    return pipelinedLoop(coo.values.size(), cfg.loopDepth);
-}
-
-/** DOK: COO's walk plus a hash probe per tuple (II = hashCycles). */
-Cycles
-dokCycles(const DokEncoded &dok, const HlsConfig &cfg)
-{
-    return pipelinedLoop(dok.table.size(),
-                         cfg.loopDepth + cfg.hashCycles, cfg.hashCycles);
-}
-
-/**
- * DIA, Listing 7: every output row scans the stored diagonals; the
- * dual-ported diagonal buffer lets the scan check bramPorts diagonals
- * per cycle.
- */
-Cycles
-diaCycles(const DiaEncoded &dia, const HlsConfig &cfg)
-{
-    const Index p = dia.tileSize();
-    const auto ndiags = static_cast<Cycles>(dia.diagonals.size());
-    if (ndiags == 0)
-        return 0;
-    const Cycles per_row = ceilDiv(ndiags, cfg.bramPorts);
-    return cfg.loopDepth + Cycles(p) * per_row;
-}
-
-/**
- * JDS: like CSR without the per-row offsets access (jdPtr is read once
- * per jagged diagonal), plus a permutation look-up per produced row.
- */
-Cycles
-jdsCycles(const JdsEncoded &jds, const Tile &decoded, const HlsConfig &cfg)
-{
-    const Index nnz_rows = decoded.nnzRows();
-    if (nnz_rows == 0)
-        return 0;
-    const auto width = static_cast<Cycles>(jds.jdPtr.size()) - 1;
-    return cfg.bramReadLatency + cfg.loopDepth +
-           Cycles(jds.values.size())        // II=1 over the entries
-           + width * cfg.bramReadLatency    // jdPtr access per diagonal
-           + nnz_rows;                      // permutation look-ups
-}
-
-/**
- * SELL-C-sigma prices like SELL plus one permutation look-up per row
- * (the perm array rides in its own BRAM bank).
- */
-Cycles
-sellCsCycles(const SellCsEncoded &scs, const HlsConfig &cfg)
-{
-    return pipelinedLoop(scs.tileSize(), cfg.loopDepth) +
-           Cycles(scs.slices.size()) * cfg.bramReadLatency +
-           Cycles(scs.tileSize());
-}
-
-/**
- * Bitmap: a pipelined scan over the packed mask words expands
- * positions with popcount logic while the dense value stream is
- * consumed at one value per cycle — whichever is longer bounds the
- * loop.
- */
-Cycles
-bitmapCycles(const BitmapEncoded &bitmap, const HlsConfig &cfg)
-{
-    const Cycles words = bitmap.mask.size();
-    const Cycles nnz = bitmap.values.size();
-    if (nnz == 0)
-        return 0;
-    return cfg.loopDepth + std::max(words, nnz);
-}
-
-/** ELL+COO: the ELL sweep plus a COO-style pipelined overflow loop. */
-Cycles
-ellCooCycles(const EllCooEncoded &hybrid, const HlsConfig &cfg)
-{
-    return pipelinedLoop(hybrid.tileSize(), cfg.loopDepth) +
-           pipelinedLoop(hybrid.overflowValues.size(), cfg.loopDepth);
-}
-
-} // namespace
 
 DecompressResult
 simulateDecompression(const EncodedTile &encoded, const HlsConfig &config)
 {
     DecompressResult result{0, 0,
                             defaultCodec(encoded.kind()).decode(encoded)};
-    const Index p = encoded.tileSize();
-    const Index nnz_rows = result.decoded.nnzRows();
 
-    switch (encoded.kind()) {
-      case FormatKind::Dense:
-        // No decompression stage; the dot engine sees all p rows.
-        result.decompressCycles = 0;
-        result.rowsProduced = p;
-        break;
-      case FormatKind::CSR:
-        result.decompressCycles = csrCycles(
-            encodedAs<CsrEncoded>(encoded, FormatKind::CSR), config);
-        result.rowsProduced = nnz_rows;
-        break;
-      case FormatKind::BCSR: {
-        const auto &bcsr = encodedAs<BcsrEncoded>(encoded,
-                                                  FormatKind::BCSR);
-        result.decompressCycles = bcsrCycles(bcsr, config);
-        // Every row of a non-zero block-row reaches the dot engine,
-        // zero or not (Listing 2 discussion).
-        Index block_rows = 0;
-        const Index grid = p / bcsr.blockSize();
-        for (Index br = 0; br < grid; ++br)
-            block_rows += bcsr.blockRowEnd(br) != bcsr.blockRowStart(br);
-        result.rowsProduced = block_rows * bcsr.blockSize();
-        break;
-      }
-      case FormatKind::CSC:
-        result.decompressCycles = cscCycles(
-            encodedAs<CscEncoded>(encoded, FormatKind::CSC), config);
-        result.rowsProduced = nnz_rows;
-        break;
-      case FormatKind::COO:
-        result.decompressCycles = cooCycles(
-            encodedAs<CooEncoded>(encoded, FormatKind::COO), config);
-        result.rowsProduced = nnz_rows;
-        break;
-      case FormatKind::DOK:
-        result.decompressCycles = dokCycles(
-            encodedAs<DokEncoded>(encoded, FormatKind::DOK), config);
-        result.rowsProduced = nnz_rows;
-        break;
-      case FormatKind::LIL:
-        result.decompressCycles = lilCycles(
-            encodedAs<LilEncoded>(encoded, FormatKind::LIL),
-            result.decoded, config);
-        result.rowsProduced = nnz_rows;
-        break;
-      case FormatKind::ELL:
-        result.decompressCycles = ellCycles(
-            encodedAs<EllEncoded>(encoded, FormatKind::ELL), config);
-        // ELL cannot skip all-zero rows (Listing 5 discussion).
-        result.rowsProduced = p;
-        break;
-      case FormatKind::SELL:
-        result.decompressCycles = sellCycles(
-            encodedAs<SellEncoded>(encoded, FormatKind::SELL), config);
-        result.rowsProduced = p;
-        break;
-      case FormatKind::DIA:
-        result.decompressCycles = diaCycles(
-            encodedAs<DiaEncoded>(encoded, FormatKind::DIA), config);
-        result.rowsProduced = nnz_rows;
-        break;
-      case FormatKind::JDS:
-        result.decompressCycles = jdsCycles(
-            encodedAs<JdsEncoded>(encoded, FormatKind::JDS),
-            result.decoded, config);
-        result.rowsProduced = nnz_rows;
-        break;
-      case FormatKind::ELLCOO:
-        result.decompressCycles = ellCooCycles(
-            encodedAs<EllCooEncoded>(encoded, FormatKind::ELLCOO),
-            config);
-        result.rowsProduced = p;
-        break;
-      case FormatKind::SELLCS:
-        result.decompressCycles = sellCsCycles(
-            encodedAs<SellCsEncoded>(encoded, FormatKind::SELLCS),
-            config);
-        result.rowsProduced = p;
-        break;
-      case FormatKind::BITMAP:
-        result.decompressCycles = bitmapCycles(
-            encodedAs<BitmapEncoded>(encoded, FormatKind::BITMAP),
-            config);
-        result.rowsProduced = nnz_rows;
-        break;
-    }
+    // Every per-format formula of Listings 1-7 now lives in the
+    // declarative schedule IR; here we only resolve the format's spec
+    // against this tile's real trip counts and advance it.
+    const ScheduleSpec &spec = scheduleSpec(encoded.kind());
+    const TileFeatures features =
+        extractScheduleFeatures(encoded, result.decoded);
+    result.decompressCycles = walkScheduleCycles(spec, config, features);
+    result.rowsProduced = features.producedRows;
     return result;
 }
 

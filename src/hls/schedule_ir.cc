@@ -1,0 +1,119 @@
+#include "hls/schedule_ir.hh"
+
+#include <algorithm>
+
+#include "common/status.hh"
+#include "hls/schedule.hh"
+
+namespace copernicus {
+
+Cycles
+knobCycles(CycleKnob knob, const HlsConfig &config,
+           const TileFeatures &features)
+{
+    switch (knob) {
+      case CycleKnob::UnitCycle: return 1;
+      case CycleKnob::TwoCycles: return 2;
+      case CycleKnob::BramReadLatency: return config.bramReadLatency;
+      case CycleKnob::LoopDepth: return config.loopDepth;
+      case CycleKnob::HashedLoopDepth:
+        return config.loopDepth + config.hashCycles;
+      case CycleKnob::HashCycles: return config.hashCycles;
+      case CycleKnob::DiagonalScan:
+        return ceilDiv(features.groupHeaders, Cycles(config.bramPorts));
+    }
+    panic("unknown cycle knob");
+}
+
+Cycles
+segmentClosedFormCycles(const SegmentSpec &segment, const HlsConfig &config,
+                        const TileFeatures &features)
+{
+    const Cycles trips = features.value(segment.trips);
+    const Cycles depth = knobCycles(segment.depth, config, features);
+    switch (segment.kind) {
+      case SegmentKind::Fixed:
+        return trips * depth;
+      case SegmentKind::Pipelined:
+        return pipelinedLoop(trips, depth,
+                             knobCycles(segment.ii, config, features));
+      case SegmentKind::Serial:
+        return trips * pipelinedLoop(features.value(segment.innerTrips),
+                                     depth,
+                                     knobCycles(segment.ii, config,
+                                                features));
+      case SegmentKind::RateMax:
+        return std::max(trips * depth,
+                        features.value(segment.innerTrips) *
+                            knobCycles(segment.rateB, config, features));
+    }
+    panic("unknown segment kind");
+}
+
+Cycles
+closedFormCycles(const ScheduleSpec &spec, const HlsConfig &config,
+                 const TileFeatures &features)
+{
+    if (features.value(spec.guard) == 0)
+        return 0;
+    Cycles total = 0;
+    for (const SegmentSpec &segment : spec.segments)
+        total += segmentClosedFormCycles(segment, config, features);
+    return total;
+}
+
+Cycles
+walkScheduleCycles(const ScheduleSpec &spec, const HlsConfig &config,
+                   const TileFeatures &features)
+{
+    if (features.value(spec.guard) == 0)
+        return 0;
+
+    Cycles total = 0;
+    for (const SegmentSpec &segment : spec.segments) {
+        const Cycles trips = features.value(segment.trips);
+        const Cycles depth = knobCycles(segment.depth, config, features);
+        switch (segment.kind) {
+          case SegmentKind::Fixed:
+            // Serialized accesses: each trip pays the full scale.
+            for (Cycles t = 0; t < trips; ++t)
+                total += depth;
+            break;
+          case SegmentKind::Pipelined: {
+            // The first iteration drains the pipeline; every later one
+            // issues an initiation interval after its predecessor.
+            const Cycles ii = knobCycles(segment.ii, config, features);
+            for (Cycles t = 0; t < trips; ++t)
+                total += t == 0 ? depth : ii;
+            break;
+          }
+          case SegmentKind::Serial: {
+            // The inner pipeline drains completely each outer trip.
+            const Cycles inner = features.value(segment.innerTrips);
+            const Cycles ii = knobCycles(segment.ii, config, features);
+            for (Cycles outer = 0; outer < trips; ++outer)
+                for (Cycles t = 0; t < inner; ++t)
+                    total += t == 0 ? depth : ii;
+            break;
+          }
+          case SegmentKind::RateMax: {
+            // Two concurrent streams; the region ends when the slower
+            // one drains.
+            const Cycles rateB =
+                knobCycles(segment.rateB, config, features);
+            Cycles streamA = 0;
+            Cycles streamB = 0;
+            for (Cycles t = 0; t < trips; ++t)
+                streamA += depth;
+            for (Cycles t = 0; t < features.value(segment.innerTrips);
+                 ++t)
+                streamB += rateB;
+            total += std::max(streamA, streamB);
+            break;
+          }
+        }
+    }
+    return total;
+}
+
+} // namespace copernicus

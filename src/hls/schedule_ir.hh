@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Evaluators over the declarative schedule IR (formats/schedule_spec).
+ *
+ * Two deliberately independent computations of the same spec:
+ *
+ *  - closedFormCycles() folds each segment with the algebraic HLS
+ *    scheduling rules (pipelined loop = depth + II*(trips-1), and so
+ *    on). The static analyzer uses it to bound cycles without running
+ *    anything.
+ *  - walkScheduleCycles() advances the schedule trip by trip, the way
+ *    the dynamic cycle walkers used to. simulateDecompression() uses
+ *    it.
+ *
+ * The model-vs-walker oracle (analysis/schedule_check) demands the two
+ * agree exactly on every encoded tile, so a spec that the closed form
+ * mis-folds — or a scheduling rule that drifts — fails loudly instead
+ * of skewing a sweep.
+ */
+
+#ifndef COPERNICUS_HLS_SCHEDULE_IR_HH
+#define COPERNICUS_HLS_SCHEDULE_IR_HH
+
+#include "formats/schedule_spec.hh"
+#include "hls/hls_config.hh"
+
+namespace copernicus {
+
+/**
+ * Resolve a cycle knob against the platform. DiagonalScan also needs
+ * the tile (the per-row scan rate is ceil(storedDiagonals/bramPorts)).
+ */
+Cycles knobCycles(CycleKnob knob, const HlsConfig &config,
+                  const TileFeatures &features);
+
+/** Closed-form cycles of one segment, by the HLS scheduling rules. */
+Cycles segmentClosedFormCycles(const SegmentSpec &segment,
+                               const HlsConfig &config,
+                               const TileFeatures &features);
+
+/** Closed-form decode cycles of the whole nest (0 if guarded off). */
+Cycles closedFormCycles(const ScheduleSpec &spec, const HlsConfig &config,
+                        const TileFeatures &features);
+
+/**
+ * Iterative decode cycles: advance every segment trip by trip and
+ * stream by stream. Must match closedFormCycles() exactly; the oracle
+ * enforces that.
+ */
+Cycles walkScheduleCycles(const ScheduleSpec &spec,
+                          const HlsConfig &config,
+                          const TileFeatures &features);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_HLS_SCHEDULE_IR_HH

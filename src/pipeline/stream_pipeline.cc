@@ -5,6 +5,7 @@
 
 #include "common/status.hh"
 #include "formats/encode_cache.hh"
+#include "formats/validate.hh"
 #include "hls/axi.hh"
 #include "hls/decompressor.hh"
 
@@ -35,6 +36,13 @@ runImpl(const Partitioning &parts,
     for (std::size_t i = 0; i < parts.tiles.size(); ++i) {
         const Tile &tile = parts.tiles[i];
         const auto encoded = encodeCached(registry, perTile[i], tile);
+        if (grammarValidationEnabled()) {
+            const GrammarReport report = validateEncodedTile(*encoded);
+            panicIf(!report.ok(),
+                    "pipeline: encoded tile violates its format "
+                    "grammar:\n" +
+                        report.toString());
+        }
         const auto decomp = simulateDecompression(*encoded, config);
         panicIf(!(decomp.decoded == tile),
                 "pipeline: decompressor model corrupted a tile");

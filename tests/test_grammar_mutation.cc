@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Mutation tests for the encoded-tile grammar validator: corrupt every
+ * format's encoding in a format-specific way (swapped row pointers,
+ * unsorted COO tuples, dirty ELL padding, misaligned BCSR blocks,
+ * out-of-range DIA offsets, broken permutations, ...) and assert the
+ * validator reports the exact format and offending invariant id. Also
+ * covers the EncodeCache verified-hit path: a cached encoding that
+ * fails validation is bypassed with a fresh encode, never trusted.
+ */
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "formats/bcsr_format.hh"
+#include "formats/bitmap_format.hh"
+#include "formats/coo_format.hh"
+#include "formats/csc_format.hh"
+#include "formats/csr_format.hh"
+#include "formats/dia_format.hh"
+#include "formats/dok_format.hh"
+#include "formats/ell_format.hh"
+#include "formats/ellcoo_format.hh"
+#include "formats/encode_cache.hh"
+#include "formats/jds_format.hh"
+#include "formats/lil_format.hh"
+#include "formats/registry.hh"
+#include "formats/sell_format.hh"
+#include "formats/sellcs_format.hh"
+#include "formats/validate.hh"
+
+namespace copernicus {
+namespace {
+
+/**
+ * p=8 band tile plus two strays, dense enough that every format stores
+ * something non-trivial (multi-entry rows/columns, two ELL+COO
+ * overflow tuples, four stored diagonals).
+ */
+Tile
+mutationTile()
+{
+    Tile t(8);
+    for (Index r = 0; r < 8; ++r) {
+        t(r, r) = Value(1) + Value(r);
+        if (r + 1 < 8)
+            t(r, r + 1) = 2;
+    }
+    t(5, 1) = 7;
+    t(3, 0) = 5;
+    return t;
+}
+
+/** Encode mutationTile() as @p kind and hand back the concrete type. */
+template <typename Encoded>
+std::unique_ptr<EncodedTile>
+encodeTile(FormatKind kind)
+{
+    auto encoded = defaultCodec(kind).encode(mutationTile());
+    EXPECT_NE(dynamic_cast<Encoded *>(encoded.get()), nullptr);
+    return encoded;
+}
+
+/** The pristine encoding must validate; the reference for mutations. */
+void
+expectClean(const EncodedTile &encoded)
+{
+    const GrammarReport report = validateEncodedTile(encoded);
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+/** Assert @p invariant is reported against @p kind, format-qualified. */
+void
+expectViolation(const EncodedTile &encoded, FormatKind kind,
+                const std::string &invariant)
+{
+    const GrammarReport report = validateEncodedTile(encoded);
+    ASSERT_FALSE(report.ok())
+        << invariant << " expected but the tile validated clean";
+    const bool found = std::any_of(
+        report.violations.begin(), report.violations.end(),
+        [&](const GrammarViolation &v) {
+            return v.format == kind && v.invariant == invariant;
+        });
+    EXPECT_TRUE(found) << "expected " << invariant << ", got:\n"
+                       << report.toString();
+    // Every diagnostic names the mutated format, nothing else.
+    for (const GrammarViolation &v : report.violations)
+        EXPECT_EQ(v.format, kind) << v.toString();
+}
+
+TEST(GrammarMutationTest, AllFormatsEncodeClean)
+{
+    for (FormatKind kind : allFormats())
+        expectClean(*defaultCodec(kind).encode(mutationTile()));
+}
+
+TEST(GrammarMutationTest, CsrSwappedRowPointers)
+{
+    auto encoded = encodeTile<CsrEncoded>(FormatKind::CSR);
+    auto &csr = static_cast<CsrEncoded &>(*encoded);
+    std::swap(csr.offsets[0], csr.offsets[1]);
+    expectViolation(*encoded, FormatKind::CSR, "csr.offsets.monotone");
+}
+
+TEST(GrammarMutationTest, CsrUnsortedColumns)
+{
+    auto encoded = encodeTile<CsrEncoded>(FormatKind::CSR);
+    auto &csr = static_cast<CsrEncoded &>(*encoded);
+    std::swap(csr.colInx[0], csr.colInx[1]);
+    expectViolation(*encoded, FormatKind::CSR, "csr.col.sorted");
+}
+
+TEST(GrammarMutationTest, CscUnsortedRowsWithinColumn)
+{
+    auto encoded = encodeTile<CscEncoded>(FormatKind::CSC);
+    auto &csc = static_cast<CscEncoded &>(*encoded);
+    std::swap(csc.rowInx[0], csc.rowInx[1]);
+    expectViolation(*encoded, FormatKind::CSC, "csc.row.sorted");
+}
+
+TEST(GrammarMutationTest, CooUnsortedTuples)
+{
+    auto encoded = encodeTile<CooEncoded>(FormatKind::COO);
+    auto &coo = static_cast<CooEncoded &>(*encoded);
+    std::swap(coo.rowInx[0], coo.rowInx[1]);
+    std::swap(coo.colInx[0], coo.colInx[1]);
+    std::swap(coo.values[0], coo.values[1]);
+    expectViolation(*encoded, FormatKind::COO, "coo.order");
+}
+
+TEST(GrammarMutationTest, BcsrMisalignedBlock)
+{
+    auto encoded = encodeTile<BcsrEncoded>(FormatKind::BCSR);
+    auto &bcsr = static_cast<BcsrEncoded &>(*encoded);
+    bcsr.colInx[0] += 1;
+    expectViolation(*encoded, FormatKind::BCSR,
+                    "bcsr.block.alignment");
+}
+
+TEST(GrammarMutationTest, EllDirtyPadding)
+{
+    auto encoded = encodeTile<EllEncoded>(FormatKind::ELL);
+    auto &ell = static_cast<EllEncoded &>(*encoded);
+    // Row 0 holds 2 entries against width >= 6: slot 3 is padding.
+    ASSERT_EQ(ell.colAt(0, 3), EllEncoded::padMarker);
+    ell.valueAt(0, 3) = 9;
+    expectViolation(*encoded, FormatKind::ELL, "ell.padding");
+}
+
+TEST(GrammarMutationTest, EllNotLeftPushed)
+{
+    auto encoded = encodeTile<EllEncoded>(FormatKind::ELL);
+    auto &ell = static_cast<EllEncoded &>(*encoded);
+    ell.valueAt(0, 0) = 0;
+    ell.colAt(0, 0) = EllEncoded::padMarker;
+    expectViolation(*encoded, FormatKind::ELL, "ell.padding");
+}
+
+TEST(GrammarMutationTest, SellTruncatedSlice)
+{
+    auto encoded = encodeTile<SellEncoded>(FormatKind::SELL);
+    auto &sell = static_cast<SellEncoded &>(*encoded);
+    sell.slices[0].width += 1;
+    expectViolation(*encoded, FormatKind::SELL, "sell.shape");
+}
+
+TEST(GrammarMutationTest, SellCsBrokenPermutation)
+{
+    auto encoded = encodeTile<SellCsEncoded>(FormatKind::SELLCS);
+    auto &scs = static_cast<SellCsEncoded &>(*encoded);
+    scs.perm[0] = scs.perm[1];
+    expectViolation(*encoded, FormatKind::SELLCS, "sellcs.perm");
+}
+
+TEST(GrammarMutationTest, DiaOffsetOutOfRange)
+{
+    auto encoded = encodeTile<DiaEncoded>(FormatKind::DIA);
+    auto &dia = static_cast<DiaEncoded &>(*encoded);
+    dia.diagonals.back().number = 9; // valid range is [-7, 7]
+    expectViolation(*encoded, FormatKind::DIA, "dia.offset.range");
+}
+
+TEST(GrammarMutationTest, DiaUnsortedDiagonals)
+{
+    auto encoded = encodeTile<DiaEncoded>(FormatKind::DIA);
+    auto &dia = static_cast<DiaEncoded &>(*encoded);
+    ASSERT_GE(dia.diagonals.size(), 2u);
+    std::swap(dia.diagonals[0], dia.diagonals[1]);
+    expectViolation(*encoded, FormatKind::DIA, "dia.order");
+}
+
+TEST(GrammarMutationTest, JdsBrokenPermutation)
+{
+    auto encoded = encodeTile<JdsEncoded>(FormatKind::JDS);
+    auto &jds = static_cast<JdsEncoded &>(*encoded);
+    jds.perm[0] = jds.perm[1];
+    expectViolation(*encoded, FormatKind::JDS, "jds.perm");
+}
+
+TEST(GrammarMutationTest, JdsNonMonotonePointers)
+{
+    auto encoded = encodeTile<JdsEncoded>(FormatKind::JDS);
+    auto &jds = static_cast<JdsEncoded &>(*encoded);
+    ASSERT_GE(jds.jdPtr.size(), 3u);
+    std::swap(jds.jdPtr[1], jds.jdPtr[2]);
+    expectViolation(*encoded, FormatKind::JDS, "jds.jdptr.monotone");
+}
+
+TEST(GrammarMutationTest, LilUnsortedColumnList)
+{
+    auto encoded = encodeTile<LilEncoded>(FormatKind::LIL);
+    auto &lil = static_cast<LilEncoded &>(*encoded);
+    // Column 1 holds rows 0, 1, 5; swapping the first two levels
+    // breaks the ascending row order the merge network relies on.
+    ASSERT_EQ(lil.rowAt(0, 1), 0u);
+    ASSERT_EQ(lil.rowAt(1, 1), 1u);
+    std::swap(lil.rowAt(0, 1), lil.rowAt(1, 1));
+    std::swap(lil.valueAt(0, 1), lil.valueAt(1, 1));
+    expectViolation(*encoded, FormatKind::LIL, "lil.rows.sorted");
+}
+
+TEST(GrammarMutationTest, DokKeyOutOfRange)
+{
+    auto encoded = encodeTile<DokEncoded>(FormatKind::DOK);
+    auto &dok = static_cast<DokEncoded &>(*encoded);
+    auto stray = dok.table.begin();
+    const Value v = stray->second;
+    dok.table.erase(stray);
+    dok.table[DokEncoded::key(0, 9)] = v; // col 9 exceeds p = 8
+    expectViolation(*encoded, FormatKind::DOK, "dok.key.range");
+}
+
+TEST(GrammarMutationTest, BitmapPopcountMismatch)
+{
+    auto encoded = encodeTile<BitmapEncoded>(FormatKind::BITMAP);
+    auto &bitmap = static_cast<BitmapEncoded &>(*encoded);
+    ASSERT_FALSE(bitmap.test(7, 0));
+    bitmap.set(7, 0); // occupancy bit without a backing value
+    expectViolation(*encoded, FormatKind::BITMAP, "bitmap.popcount");
+}
+
+TEST(GrammarMutationTest, EllCooUnsortedOverflow)
+{
+    auto encoded = encodeTile<EllCooEncoded>(FormatKind::ELLCOO);
+    auto &hybrid = static_cast<EllCooEncoded &>(*encoded);
+    ASSERT_GE(hybrid.overflowRows.size(), 2u);
+    std::swap(hybrid.overflowRows[0], hybrid.overflowRows[1]);
+    std::swap(hybrid.overflowCols[0], hybrid.overflowCols[1]);
+    std::swap(hybrid.overflowValues[0], hybrid.overflowValues[1]);
+    expectViolation(*encoded, FormatKind::ELLCOO,
+                    "ellcoo.overflow.order");
+}
+
+/** Restores the validation toggle even if an assertion bails out. */
+class ValidationGuard
+{
+  public:
+    ValidationGuard() { setGrammarValidationEnabled(true); }
+    ~ValidationGuard() { setGrammarValidationEnabled(false); }
+};
+
+TEST(EncodeCacheValidationTest, CorruptedCachedTileIsBypassed)
+{
+    const ValidationGuard guard;
+    EncodeCache cache;
+    const FormatRegistry registry;
+    const Tile tile = mutationTile();
+
+    // Miss: the cache stores (and returns a pointer aliasing) the
+    // fresh encoding. Corrupt the resident copy through that alias,
+    // the way a buggy codec or stray write would.
+    const auto first = cache.encode(registry, FormatKind::COO, tile);
+    auto &coo = const_cast<CooEncoded &>(
+        static_cast<const CooEncoded &>(*first));
+    // The first two tuples are (0,0) and (0,1): swapping the columns
+    // breaks the row-major order invariant.
+    std::swap(coo.colInx[0], coo.colInx[1]);
+    ASSERT_FALSE(validateEncodedTile(*first).ok());
+
+    // Verified hit: the validator rejects the cached encoding, the
+    // cache re-encodes instead of trusting it, and counts the bypass.
+    const auto second = cache.encode(registry, FormatKind::COO, tile);
+    EXPECT_EQ(cache.stats().validationBypasses, 1u);
+    EXPECT_TRUE(validateEncodedTile(*second).ok());
+    EXPECT_EQ(registry.codec(FormatKind::COO).decode(*second), tile);
+}
+
+TEST(EncodeCacheValidationTest, CleanHitsAreNotBypassed)
+{
+    const ValidationGuard guard;
+    EncodeCache cache;
+    const FormatRegistry registry;
+    const Tile tile = mutationTile();
+    cache.encode(registry, FormatKind::CSR, tile);
+    cache.encode(registry, FormatKind::CSR, tile);
+    const EncodeCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.validationBypasses, 0u);
+}
+
+} // namespace
+} // namespace copernicus

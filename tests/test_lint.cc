@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the static schedule analyzer (analysis/schedule_check):
+ * the clean tree lints clean, and each seeded hazard class — BRAM port
+ * over-subscription, loop-carried II violations, unbalanced comparator
+ * trees, hyperparameter contract breaks, malformed specs — produces an
+ * error diagnostic naming the offending format.
+ */
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "analysis/schedule_check.hh"
+#include "hlsc/decoder_bodies.hh"
+
+namespace copernicus {
+namespace {
+
+bool
+hasError(const LintReport &report, const std::string &pass,
+         const std::string &needle)
+{
+    return std::any_of(
+        report.diagnostics.begin(), report.diagnostics.end(),
+        [&](const LintDiagnostic &d) {
+            return d.severity == LintSeverity::Error && d.pass == pass &&
+                   d.message.find(needle) != std::string::npos;
+        });
+}
+
+TEST(LintTest, CleanTreeLintsClean)
+{
+    const LintReport report = runLint();
+    EXPECT_TRUE(report.ok()) << report.toString();
+    EXPECT_EQ(report.errorCount(), 0u) << report.toString();
+    EXPECT_EQ(report.warningCount(), 0u) << report.toString();
+}
+
+TEST(LintTest, FastPassesAloneLintClean)
+{
+    LintOptions options;
+    options.runGrammar = false;
+    options.runOracle = false;
+    const LintReport report = runLint(options);
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+TEST(LintTest, DiagnosticFormatting)
+{
+    LintReport report;
+    report.error("body", "CSR", "something broke");
+    report.warning("contract", "ELL", "looks odd");
+    EXPECT_EQ(report.diagnostics[0].toString(),
+              "error[body] CSR: something broke");
+    EXPECT_EQ(report.errorCount(), 1u);
+    EXPECT_EQ(report.warningCount(), 1u);
+    EXPECT_FALSE(report.ok());
+}
+
+TEST(LintTest, SpecPassFlagsPortOverSubscription)
+{
+    // A segment demanding 3 accesses per II on one dual-port bank.
+    ScheduleSpec spec = scheduleSpec(FormatKind::CSR);
+    spec.segments[1].bankAccessesPerII = 3;
+    LintReport report;
+    checkSpecStructure(spec, HlsConfig(), report);
+    EXPECT_TRUE(hasError(report, "spec", "over-subscription"))
+        << report.toString();
+}
+
+TEST(LintTest, SpecPassFlagsMalformedSegments)
+{
+    ScheduleSpec spec = scheduleSpec(FormatKind::COO);
+    spec.segments[0].name = "";
+    spec.segments[0].bankAccessesPerII = 0;
+    LintReport report;
+    checkSpecStructure(spec, HlsConfig(), report);
+    EXPECT_GE(report.errorCount(), 2u) << report.toString();
+}
+
+TEST(LintTest, BodyPassClassifiesCarriedDependenceIiViolation)
+{
+    // Seed a loop-carried dependence of 2 cycles at distance 1 into
+    // COO's body: the achievable II becomes 2 against a claimed II of
+    // 1, and no amount of BRAM ports can hide it.
+    LoopBody body = cooLoopBody();
+    body.carried.push_back({2, 1});
+    LintReport report;
+    checkDecoderBody(scheduleSpec(FormatKind::COO), body, 8,
+                     HlsConfig(), report);
+    EXPECT_TRUE(hasError(report, "body", "loop-carried dependence"))
+        << report.toString();
+}
+
+TEST(LintTest, BodyPassClassifiesPortOverSubscriptionIiViolation)
+{
+    // Three loads on one bank of a dual-port BRAM: resource MII 2.
+    // Rescheduling with unlimited ports recovers II 1, so the analyzer
+    // must blame the port budget, not a dependence.
+    LoopBody body = cooLoopBody();
+    body.add(OpKind::BramLoad, {}, 0);
+    body.add(OpKind::BramLoad, {}, 0);
+    body.add(OpKind::BramLoad, {}, 0);
+    LintReport report;
+    checkDecoderBody(scheduleSpec(FormatKind::COO), body, 8,
+                     HlsConfig(), report);
+    EXPECT_TRUE(hasError(report, "body", "over-subscription"))
+        << report.toString();
+    EXPECT_FALSE(hasError(report, "body", "loop-carried dependence"))
+        << report.toString();
+}
+
+TEST(LintTest, BodyPassFlagsUnbalancedComparatorTree)
+{
+    // LIL claims a balanced log2(p) comparator tree. Chain four extra
+    // compares onto the body's last compare: the critical compare
+    // chain now exceeds log2(16) = 4.
+    LoopBody body = lilMergeBody(16);
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < body.ops.size(); ++i)
+        if (body.ops[i].kind == OpKind::Compare)
+            last = i;
+    for (int i = 0; i < 4; ++i)
+        last = body.add(OpKind::Compare, {last});
+    LintReport report;
+    checkDecoderBody(scheduleSpec(FormatKind::LIL), body, 16,
+                     HlsConfig(), report);
+    EXPECT_TRUE(hasError(report, "body", "unbalanced"))
+        << report.toString();
+}
+
+TEST(LintTest, BodyPassAcceptsTheRealBodies)
+{
+    const FormatParams params;
+    LintReport report;
+    for (FormatKind kind : allFormats()) {
+        const ScheduleSpec &spec = scheduleSpec(kind);
+        if (!spec.hasInnerBody)
+            continue;
+        checkDecoderBody(spec, decoderBodyFor(kind, params, 16), 16,
+                         HlsConfig(), report);
+    }
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+TEST(LintTest, ContractPassFlagsIndivisibleBlockAndSlice)
+{
+    FormatParams params;
+    params.bcsrBlock = 3;
+    LintReport report;
+    checkContracts(params, HlsConfig(), {8}, report);
+    EXPECT_TRUE(hasError(report, "contract", "divide"))
+        << report.toString();
+}
+
+TEST(LintTest, ContractPassFlagsWindowSliceMismatch)
+{
+    FormatParams params;
+    params.sellCsWindow = 6; // not a multiple of sellSlice = 4
+    LintReport report;
+    checkContracts(params, HlsConfig(), {8}, report);
+    EXPECT_FALSE(report.ok()) << report.toString();
+}
+
+TEST(LintTest, ContractPassFlagsBadKnobs)
+{
+    HlsConfig cfg;
+    cfg.bramPorts = 0;
+    LintReport report;
+    checkContracts(FormatParams(), cfg, {8}, report);
+    EXPECT_TRUE(hasError(report, "contract", "bramPorts"))
+        << report.toString();
+}
+
+TEST(LintTest, ContractPassWarnsOnNonPowerOfTwoPartition)
+{
+    LintReport report;
+    checkContracts(FormatParams(), HlsConfig(), {12}, report);
+    EXPECT_GE(report.warningCount(), 1u) << report.toString();
+}
+
+TEST(LintTest, TilePassAcceptsRealEncodings)
+{
+    const FormatRegistry registry;
+    Tile tile(8);
+    tile(0, 0) = 1;
+    tile(2, 5) = 2;
+    tile(7, 7) = 3;
+    LintReport report;
+    for (FormatKind kind : allFormats())
+        checkTile(registry, kind, tile, HlsConfig(), true, true,
+                  report);
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+} // namespace
+} // namespace copernicus
