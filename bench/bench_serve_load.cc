@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Closed-loop load generator for the characterization daemon.
+ *
+ * Starts an in-process Server on a private Unix socket, then drives it
+ * at three offered-load levels (client thread counts below, at, and
+ * above the admission queue capacity). Each client thread runs a
+ * closed loop — issue a request from the fixed mix, wait for its
+ * response, repeat — so offered load is bounded by thread count, the
+ * classic closed-system model.
+ *
+ * The accounting is the point: every request must receive exactly one
+ * response (accepted requests a result, shed requests an explicit
+ * queue_full), so the bench fails loudly if overload ever turns into a
+ * lost or hung response. Emits BENCH_serve_load.json with per-level
+ * completed/rejected counts, reject rate, throughput, and the
+ * p50/p95/p99 latency of accepted requests.
+ *
+ * Request mix (closed loop, per iteration): 70% ping (queue-dynamics
+ * probe), 20% advise (small real work), 10% plan_formats (heavier
+ * work, exercises the shared encode cache across clients).
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/json.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+
+using namespace copernicus;
+
+namespace {
+
+struct LevelResult
+{
+    unsigned clients = 0;
+    std::size_t completed = 0;
+    std::size_t rejected = 0;
+    std::size_t errors = 0;
+    double seconds = 0;
+    double p50Us = 0;
+    double p95Us = 0;
+    double p99Us = 0;
+
+    double
+    rejectRate() const
+    {
+        const std::size_t total = completed + rejected + errors;
+        return total == 0 ? 0.0
+                          : static_cast<double>(rejected) /
+                                static_cast<double>(total);
+    }
+
+    double
+    throughputRps() const
+    {
+        return seconds > 0
+                   ? static_cast<double>(completed) / seconds
+                   : 0.0;
+    }
+};
+
+double
+percentileOf(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p / 100.0 *
+                        static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/** One client thread's closed loop. */
+void
+clientLoop(const std::string &socketPath, unsigned seedIndex,
+           std::size_t iterations, LevelResult &result,
+           std::vector<double> &latenciesUs, std::mutex &resultMutex)
+{
+    ServeClient client = ServeClient::connectUnix(socketPath);
+    client.setReceiveTimeoutMs(30000);
+
+    // The advise/plan requests reuse a small pool of specs so the
+    // shared encode cache sees repeats across clients (its hit rate
+    // is part of the serve stats this bench reports).
+    const std::string adviseParams =
+        "{\"matrix\": {\"kind\": \"band\", \"n\": 192, \"width\": " +
+        std::to_string(4 + (seedIndex % 3) * 4) +
+        ", \"seed\": 7}, \"goal\": \"latency\"}";
+    const std::string planParams =
+        "{\"matrix\": {\"kind\": \"random\", \"n\": 96, \"density\": "
+        "0.08, \"seed\": " +
+        std::to_string(1 + seedIndex % 2) +
+        "}, \"partition_size\": 16, \"formats\": [\"CSR\", \"COO\", "
+        "\"ELL\"]}";
+
+    std::size_t completed = 0;
+    std::size_t rejected = 0;
+    std::size_t errors = 0;
+    std::vector<double> latencies;
+    latencies.reserve(iterations);
+
+    for (std::size_t i = 0; i < iterations; ++i) {
+        const unsigned draw = (seedIndex * 131 + i * 17) % 10;
+        const std::string op =
+            draw < 7 ? "ping" : draw < 9 ? "advise" : "plan_formats";
+        const std::string &params =
+            op == "advise" ? adviseParams
+            : op == "plan_formats" ? planParams
+                                   : std::string();
+
+        const auto start = std::chrono::steady_clock::now();
+        const JsonValue response = client.call(op, params);
+        const double us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+
+        if (response.boolOr("ok", false)) {
+            ++completed;
+            latencies.push_back(us);
+        } else if (response.stringOr("error", "") == "queue_full") {
+            ++rejected;
+        } else {
+            ++errors;
+        }
+    }
+
+    const std::lock_guard<std::mutex> lock(resultMutex);
+    result.completed += completed;
+    result.rejected += rejected;
+    result.errors += errors;
+    latenciesUs.insert(latenciesUs.end(), latencies.begin(),
+                       latencies.end());
+}
+
+LevelResult
+runLevel(const std::string &socketPath, unsigned clients,
+         std::size_t iterationsPerClient)
+{
+    LevelResult result;
+    result.clients = clients;
+    std::vector<double> latenciesUs;
+    std::mutex resultMutex;
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (unsigned c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            clientLoop(socketPath, c, iterationsPerClient, result,
+                       latenciesUs, resultMutex);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    result.seconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    result.p50Us = percentileOf(latenciesUs, 50);
+    result.p95Us = percentileOf(latenciesUs, 95);
+    result.p99Us = percentileOf(latenciesUs, 99);
+
+    // The closed-loop invariant: every issued request was answered.
+    const std::size_t answered =
+        result.completed + result.rejected + result.errors;
+    fatalIf(answered != clients * iterationsPerClient,
+            "serve_load: lost responses (" + std::to_string(answered) +
+                " answered of " +
+                std::to_string(clients * iterationsPerClient) +
+                " issued)");
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchutil::banner(
+        "serve_load",
+        "closed-loop load generator against the characterization "
+        "daemon: offered load below/at/above the admission queue",
+        argc, argv);
+
+    const std::string socketPath = "/tmp/copernicus_bench_serve.sock";
+    const std::size_t queueCapacity = 4;
+    const std::size_t iterations = benchutil::fullScale() ? 400 : 120;
+
+    ServeOptions options;
+    options.socketPath = socketPath;
+    options.queueCapacity = queueCapacity;
+    // The registry was already linted by the daemon's own tests; a
+    // bench run cares about queue dynamics, not the gate.
+    options.checkRegistry = false;
+    Server server(std::move(options));
+    server.start();
+
+    // Offered loads: under capacity (no shedding expected), at
+    // capacity, and 3x over capacity (explicit queue_full shedding).
+    const std::vector<unsigned> levels = {
+        2, static_cast<unsigned>(queueCapacity),
+        static_cast<unsigned>(queueCapacity) * 3};
+    std::vector<LevelResult> results;
+    for (unsigned clients : levels) {
+        std::printf("level: %u clients x %zu iterations...\n", clients,
+                    iterations);
+        results.push_back(runLevel(socketPath, clients, iterations));
+    }
+
+    server.beginShutdown();
+    server.waitDrained();
+
+    std::printf("\n%-8s %10s %10s %8s %12s %10s %10s %10s\n", "clients",
+                "completed", "rejected", "rej %", "rps", "p50 us",
+                "p95 us", "p99 us");
+    for (const LevelResult &r : results) {
+        std::printf("%-8u %10zu %10zu %7.2f%% %12.1f %10.1f %10.1f "
+                    "%10.1f\n",
+                    r.clients, r.completed, r.rejected,
+                    100 * r.rejectRate(), r.throughputRps(), r.p50Us,
+                    r.p95Us, r.p99Us);
+    }
+
+    const char *jsonPath = "BENCH_serve_load.json";
+    std::ofstream json(jsonPath);
+    fatalIf(!json, std::string("cannot open '") + jsonPath + "'");
+    json << "{\n  \"queue_capacity\": " << queueCapacity
+         << ",\n  \"iterations_per_client\": " << iterations
+         << ",\n  \"levels\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const LevelResult &r = results[i];
+        json << "    {\"clients\": " << r.clients
+             << ", \"completed\": " << r.completed
+             << ", \"rejected\": " << r.rejected
+             << ", \"errors\": " << r.errors << ", \"reject_rate\": ";
+        writeJsonNumber(json, r.rejectRate());
+        json << ", \"throughput_rps\": ";
+        writeJsonNumber(json, r.throughputRps());
+        json << ", \"p50_us\": ";
+        writeJsonNumber(json, r.p50Us);
+        json << ", \"p95_us\": ";
+        writeJsonNumber(json, r.p95Us);
+        json << ", \"p99_us\": ";
+        writeJsonNumber(json, r.p99Us);
+        json << '}' << (i + 1 < results.size() ? "," : "") << '\n';
+    }
+    json << "  ]\n}\n";
+    std::cout << "wrote " << jsonPath << '\n';
+    return 0;
+}

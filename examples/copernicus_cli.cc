@@ -29,6 +29,18 @@
  *                          partition sizes and exit with its status
  *                          instead of characterizing anything
  *
+ * Client mode (talks to a running copernicus_serve daemon instead of
+ * characterizing in-process):
+ *
+ *   --connect PATH         connect to the daemon's Unix socket
+ *   --connect-tcp PORT     connect to the daemon's loopback TCP port
+ *   --op NAME              endpoint to call (default ping)
+ *   --params JSON          raw params object for the request
+ *   --timeout-ms MS        server-side deadline for the request
+ *
+ * In client mode the raw response line is printed to stdout and the
+ * exit status reflects the response's "ok" field.
+ *
  * Prints the full format x partition metric table, the Figure-3
  * partition statistics, the adaptive per-tile plan, and the advisor's
  * per-goal recommendations.
@@ -53,6 +65,7 @@
 #include "matrix/mm_io.hh"
 #include "matrix/stats.hh"
 #include "pipeline/event_sim.hh"
+#include "serve/client.hh"
 #include "trace/profile.hh"
 #include "trace/trace_writer.hh"
 #include "workloads/generators.hh"
@@ -83,6 +96,13 @@ struct CliOptions
     bool lint = false;
     unsigned jobs = 0;
     std::vector<std::string> positional;
+
+    /** Client mode: non-empty path or non-negative port selects it. */
+    std::string connectPath;
+    int connectTcpPort = -1;
+    std::string op = "ping";
+    std::string paramsJson;
+    double timeoutMs = 0;
 };
 
 CliOptions
@@ -104,6 +124,26 @@ parseArgs(int argc, char **argv)
             const long n = std::strtol(argv[++i], nullptr, 10);
             fatalIf(n < 1, "--jobs wants a positive integer");
             opts.jobs = static_cast<unsigned>(n);
+        } else if (arg == "--connect") {
+            fatalIf(i + 1 >= argc, "--connect needs a socket path");
+            opts.connectPath = argv[++i];
+        } else if (arg == "--connect-tcp") {
+            fatalIf(i + 1 >= argc, "--connect-tcp needs a port");
+            const long port = std::strtol(argv[++i], nullptr, 10);
+            fatalIf(port < 1 || port > 65535,
+                    "--connect-tcp wants a port in [1, 65535]");
+            opts.connectTcpPort = static_cast<int>(port);
+        } else if (arg == "--op") {
+            fatalIf(i + 1 >= argc, "--op needs an endpoint name");
+            opts.op = argv[++i];
+        } else if (arg == "--params") {
+            fatalIf(i + 1 >= argc, "--params needs a JSON object");
+            opts.paramsJson = argv[++i];
+        } else if (arg == "--timeout-ms") {
+            fatalIf(i + 1 >= argc, "--timeout-ms needs a value");
+            opts.timeoutMs = std::strtod(argv[++i], nullptr);
+            fatalIf(opts.timeoutMs < 0,
+                    "--timeout-ms wants a non-negative value");
         } else {
             opts.positional.push_back(arg);
         }
@@ -116,9 +156,34 @@ parseArgs(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    std::printf("copernicus_cli — sparse-format characterizer\n\n");
-
     const CliOptions opts = parseArgs(argc, argv);
+    if (!opts.connectPath.empty() || opts.connectTcpPort >= 0) {
+        // Client mode: one request against a running daemon. The raw
+        // response line goes to stdout so shell pipelines can parse it.
+        ServeClient client =
+            opts.connectTcpPort >= 0
+                ? ServeClient::connectTcp(opts.connectTcpPort)
+                : ServeClient::connectUnix(opts.connectPath);
+        std::ostringstream request;
+        request << "{\"op\": ";
+        writeJsonString(request, opts.op);
+        request << ", \"id\": 1";
+        if (opts.timeoutMs > 0) {
+            request << ", \"timeout_ms\": ";
+            writeJsonNumber(request, opts.timeoutMs);
+        }
+        if (!opts.paramsJson.empty())
+            request << ", \"params\": " << opts.paramsJson;
+        request << '}';
+        const std::string response = client.requestLine(request.str());
+        std::printf("%s\n", response.c_str());
+        JsonValue parsed;
+        return parseJson(response, parsed) &&
+                       parsed.boolOr("ok", false)
+                   ? 0
+                   : 1;
+    }
+    std::printf("copernicus_cli — sparse-format characterizer\n\n");
     if (opts.lint) {
         LintOptions lint_options;
         if (opts.positional.size() > 1)

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * copernicus_serve — the characterization service daemon.
+ *
+ *   copernicus_serve                       # serve on the default
+ *                                          # Unix socket
+ *   copernicus_serve --socket /tmp/c.sock  # choose the socket path
+ *   copernicus_serve --tcp 7070            # loopback TCP instead
+ *                                          # (0 = ephemeral port,
+ *                                          # printed at startup)
+ *
+ * Operational flags:
+ *
+ *   --queue N          max in-flight requests before queue_full
+ *                      rejections (default 64)
+ *   --jobs N           handler pool lanes (default: hardware)
+ *   --timeout-ms MS    default per-request deadline for requests that
+ *                      do not carry timeout_ms (default: none)
+ *   --max-dim N        per-request matrix dimension cap (default 4096)
+ *   --stats-json PATH  write the serve/thread_pool/encode_cache stat
+ *                      groups as JSON at drain
+ *   --trace PATH       write the request-lane Chrome trace at drain
+ *   --no-lint          skip the startup registry contract check
+ *   --lint-full        extend the startup check with the grammar and
+ *                      model-vs-walker oracle passes (slower)
+ *
+ * The daemon refuses to start (nonzero exit, diagnostic on stderr)
+ * when the format registry fails the static schedule contract check —
+ * a server built on a broken schedule model would serve wrong numbers
+ * for its whole lifetime. SIGINT/SIGTERM trigger a graceful drain:
+ * accepting stops, in-flight requests finish and are answered, stats
+ * and traces are flushed, and the process exits 0.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/status.hh"
+#include "serve/server.hh"
+
+using namespace copernicus;
+
+namespace {
+
+void
+onSignal(int)
+{
+    Server::requestShutdownFromSignal();
+}
+
+long
+numberArg(int argc, char **argv, int &i, const std::string &flag)
+{
+    fatalIf(i + 1 >= argc, flag + " needs a value");
+    char *end = nullptr;
+    const long value = std::strtol(argv[++i], &end, 10);
+    fatalIf(end == argv[i] || *end != '\0',
+            flag + ": '" + argv[i] + "' is not a number");
+    return value;
+}
+
+ServeOptions
+parseArgs(int argc, char **argv)
+{
+    ServeOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--socket") {
+            fatalIf(i + 1 >= argc, "--socket needs a path");
+            opts.socketPath = argv[++i];
+        } else if (arg == "--tcp") {
+            const long port = numberArg(argc, argv, i, "--tcp");
+            fatalIf(port < 0 || port > 65535,
+                    "--tcp wants a port in [0, 65535]");
+            opts.tcpPort = static_cast<int>(port);
+        } else if (arg == "--queue") {
+            const long n = numberArg(argc, argv, i, "--queue");
+            fatalIf(n < 1, "--queue wants a positive capacity");
+            opts.queueCapacity = static_cast<std::size_t>(n);
+        } else if (arg == "--jobs") {
+            const long n = numberArg(argc, argv, i, "--jobs");
+            fatalIf(n < 1, "--jobs wants a positive integer");
+            opts.workers = static_cast<unsigned>(n);
+        } else if (arg == "--timeout-ms") {
+            const long ms = numberArg(argc, argv, i, "--timeout-ms");
+            fatalIf(ms < 0, "--timeout-ms wants a non-negative value");
+            opts.defaultTimeoutMs = static_cast<double>(ms);
+        } else if (arg == "--max-dim") {
+            const long n = numberArg(argc, argv, i, "--max-dim");
+            fatalIf(n < 1, "--max-dim wants a positive dimension");
+            opts.maxMatrixDim = static_cast<Index>(n);
+        } else if (arg == "--stats-json") {
+            fatalIf(i + 1 >= argc, "--stats-json needs a path");
+            opts.statsJsonPath = argv[++i];
+        } else if (arg == "--trace") {
+            fatalIf(i + 1 >= argc, "--trace needs a path");
+            opts.tracePath = argv[++i];
+        } else if (arg == "--no-lint") {
+            opts.checkRegistry = false;
+        } else if (arg == "--lint-full") {
+            opts.fullLint = true;
+        } else {
+            fatal("copernicus_serve: unknown argument '" + arg + "'");
+        }
+    }
+    return opts;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        Server server(parseArgs(argc, argv));
+        server.start();
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        if (server.options().tcpPort >= 0)
+            std::printf("copernicus_serve: port %d\n", server.tcpPort());
+        std::fflush(stdout);
+        server.waitDrained();
+        return 0;
+    } catch (const Error &e) {
+        std::fprintf(stderr, "copernicus_serve: %s\n", e.what());
+        return 1;
+    }
+}

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
 
 namespace copernicus {
@@ -226,6 +227,284 @@ jsonValid(std::string_view text)
         return false;
     parser.skipWs();
     return parser.atEnd();
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[name, value] : members)
+        if (name == key)
+            return &value;
+    return nullptr;
+}
+
+double
+JsonValue::numberOr(std::string_view key, double fallback) const
+{
+    const JsonValue *value = find(key);
+    return value != nullptr && value->isNumber() ? value->number
+                                                 : fallback;
+}
+
+std::string
+JsonValue::stringOr(std::string_view key, std::string_view fallback) const
+{
+    const JsonValue *value = find(key);
+    return value != nullptr && value->isString()
+               ? value->text
+               : std::string(fallback);
+}
+
+bool
+JsonValue::boolOr(std::string_view key, bool fallback) const
+{
+    const JsonValue *value = find(key);
+    return value != nullptr && value->isBool() ? value->boolean
+                                               : fallback;
+}
+
+namespace {
+
+/**
+ * Value-building twin of the validator above. Shares its grammar and
+ * depth cap; kept separate so jsonValid() stays allocation-free.
+ */
+struct Builder
+{
+    std::string_view s;
+    std::size_t i = 0;
+
+    bool atEnd() const { return i >= s.size(); }
+
+    void
+    skipWs()
+    {
+        while (!atEnd() && (s[i] == ' ' || s[i] == '\t' ||
+                            s[i] == '\n' || s[i] == '\r')) {
+            ++i;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (atEnd() || s[i] != c)
+            return false;
+        ++i;
+        return true;
+    }
+
+    bool
+    consumeLiteral(std::string_view lit)
+    {
+        if (s.substr(i, lit.size()) != lit)
+            return false;
+        i += lit.size();
+        return true;
+    }
+
+    /** Appends the UTF-8 encoding of code point @p cp. */
+    static void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (!atEnd()) {
+            const char c = s[i];
+            if (c == '"') {
+                ++i;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false; // raw control character
+            if (c != '\\') {
+                out += c;
+                ++i;
+                continue;
+            }
+            ++i;
+            if (atEnd())
+                return false;
+            const char esc = s[i];
+            ++i;
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                  unsigned cp = 0;
+                  for (int h = 0; h < 4; ++h) {
+                      if (atEnd() ||
+                          !std::isxdigit(
+                              static_cast<unsigned char>(s[i]))) {
+                          return false;
+                      }
+                      const char d = s[i];
+                      cp = cp * 16 +
+                           static_cast<unsigned>(
+                               std::isdigit(
+                                   static_cast<unsigned char>(d))
+                                   ? d - '0'
+                                   : std::tolower(static_cast<
+                                                  unsigned char>(d)) -
+                                         'a' + 10);
+                      ++i;
+                  }
+                  appendUtf8(out, cp);
+                  break;
+              }
+              default:
+                return false;
+            }
+        }
+        return false; // unterminated
+    }
+
+    bool
+    parseNumber(double &out)
+    {
+        const std::size_t start = i;
+        consume('-');
+        if (consume('0')) {
+            // no leading zeros
+        } else if (!parseDigits()) {
+            return false;
+        }
+        if (consume('.') && !parseDigits())
+            return false;
+        if (!atEnd() && (s[i] == 'e' || s[i] == 'E')) {
+            ++i;
+            if (!atEnd() && (s[i] == '+' || s[i] == '-'))
+                ++i;
+            if (!parseDigits())
+                return false;
+        }
+        out = std::strtod(std::string(s.substr(start, i - start)).c_str(),
+                          nullptr);
+        return true;
+    }
+
+    bool
+    parseDigits()
+    {
+        if (atEnd() || !std::isdigit(static_cast<unsigned char>(s[i])))
+            return false;
+        while (!atEnd() && std::isdigit(static_cast<unsigned char>(s[i])))
+            ++i;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > 256)
+            return false;
+        skipWs();
+        if (atEnd())
+            return false;
+        const char c = s[i];
+        if (c == '{') {
+            ++i;
+            out.kind = JsonValue::Kind::Object;
+            out.members.clear();
+            skipWs();
+            if (consume('}'))
+                return true;
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (!consume(':'))
+                    return false;
+                JsonValue value;
+                if (!parseValue(value, depth + 1))
+                    return false;
+                out.members.emplace_back(std::move(key),
+                                         std::move(value));
+                skipWs();
+                if (consume('}'))
+                    return true;
+                if (!consume(','))
+                    return false;
+            }
+        }
+        if (c == '[') {
+            ++i;
+            out.kind = JsonValue::Kind::Array;
+            out.elements.clear();
+            skipWs();
+            if (consume(']'))
+                return true;
+            while (true) {
+                JsonValue value;
+                if (!parseValue(value, depth + 1))
+                    return false;
+                out.elements.push_back(std::move(value));
+                skipWs();
+                if (consume(']'))
+                    return true;
+                if (!consume(','))
+                    return false;
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.text);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return consumeLiteral("true");
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return consumeLiteral("false");
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Kind::Null;
+            return consumeLiteral("null");
+        }
+        out.kind = JsonValue::Kind::Number;
+        return parseNumber(out.number);
+    }
+};
+
+} // namespace
+
+bool
+parseJson(std::string_view text, JsonValue &out)
+{
+    Builder builder{text};
+    if (!builder.parseValue(out, 0))
+        return false;
+    builder.skipWs();
+    return builder.atEnd();
 }
 
 } // namespace copernicus

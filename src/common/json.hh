@@ -16,6 +16,8 @@
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace copernicus {
 
@@ -42,6 +44,61 @@ void writeJsonNumber(std::ostream &out, double v);
  * safe on hostile input.
  */
 bool jsonValid(std::string_view text);
+
+/**
+ * One parsed JSON value.
+ *
+ * The serve protocol (src/serve) reads newline-delimited JSON
+ * requests, so unlike the write-only exporters it needs an actual
+ * parse tree. The representation is deliberately plain: public fields,
+ * one vector per composite kind, object members in source order
+ * (duplicate keys keep the first occurrence on lookup). Numbers are
+ * doubles — integral ids survive exactly up to 2^53, far beyond any
+ * request id.
+ */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string text;
+    std::vector<JsonValue> elements; ///< Kind::Array
+    std::vector<std::pair<std::string, JsonValue>> members; ///< Object
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** Member @p key as a number, or @p fallback when absent. */
+    double numberOr(std::string_view key, double fallback) const;
+
+    /** Member @p key as a string, or @p fallback when absent. */
+    std::string stringOr(std::string_view key,
+                         std::string_view fallback) const;
+
+    /** Member @p key as a bool, or @p fallback when absent. */
+    bool boolOr(std::string_view key, bool fallback) const;
+};
+
+/**
+ * Parse exactly one JSON value (with optional surrounding whitespace)
+ * into @p out.
+ *
+ * Accepts the same grammar jsonValid() checks, including its 256-level
+ * nesting cap. \uXXXX escapes are decoded to UTF-8 code-unit-wise
+ * (surrogate pairs are not recombined — request text is ASCII in
+ * practice). Returns false on malformed input, leaving @p out in an
+ * unspecified but valid state.
+ */
+bool parseJson(std::string_view text, JsonValue &out);
 
 } // namespace copernicus
 

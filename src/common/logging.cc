@@ -1,8 +1,11 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <string>
 
 namespace copernicus {
 
@@ -37,8 +40,19 @@ initialTimestamps()
     return env != nullptr && env[0] == '1';
 }
 
-LogLevel minLevel = initialLevel();
-bool timestamps = initialTimestamps();
+// Level/timestamp toggles are atomics and line emission is serialized
+// behind a mutex: the serve daemon logs from acceptor, connection and
+// pool-worker threads at once, and interleaved fprintf calls would
+// corrupt the stream (and race under TSan).
+std::atomic<LogLevel> minLevel{initialLevel()};
+std::atomic<bool> timestamps{initialTimestamps()};
+
+std::mutex &
+emitMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
 
 /** Seconds since the first emitted message. */
 double
@@ -52,14 +66,23 @@ elapsedSeconds()
 void
 emit(LogLevel level, const char *tag, const std::string &msg)
 {
-    if (level < minLevel)
+    if (level < minLevel.load(std::memory_order_relaxed))
         return;
-    if (timestamps) {
-        std::fprintf(stderr, "[%10.3f] %s: %s\n", elapsedSeconds(), tag,
-                     msg.c_str());
-    } else {
-        std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    // Format outside the lock; hold it only for the single write so
+    // concurrent emitters serialize whole lines, never fragments.
+    std::string line;
+    if (timestamps.load(std::memory_order_relaxed)) {
+        char prefix[32];
+        std::snprintf(prefix, sizeof(prefix), "[%10.3f] ",
+                      elapsedSeconds());
+        line = prefix;
     }
+    line += tag;
+    line += ": ";
+    line += msg;
+    line += '\n';
+    const std::lock_guard<std::mutex> lock(emitMutex());
+    std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 } // namespace
@@ -67,25 +90,25 @@ emit(LogLevel level, const char *tag, const std::string &msg)
 void
 setLogLevel(LogLevel level)
 {
-    minLevel = level;
+    minLevel.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return minLevel;
+    return minLevel.load(std::memory_order_relaxed);
 }
 
 void
 setLogTimestamps(bool enabled)
 {
-    timestamps = enabled;
+    timestamps.store(enabled, std::memory_order_relaxed);
 }
 
 bool
 logTimestamps()
 {
-    return timestamps;
+    return timestamps.load(std::memory_order_relaxed);
 }
 
 void

@@ -12,6 +12,11 @@
  * the first message, for correlating with --profile dumps) are off by
  * default and enabled with setLogTimestamps() or
  * COPERNICUS_LOG_TIMESTAMPS=1.
+ *
+ * Thread safety: every entry point may be called from any thread. Line
+ * emission is serialized behind a mutex, so concurrent messages never
+ * interleave within a line (the serve daemon logs from acceptor,
+ * connection and worker threads simultaneously).
  */
 
 #ifndef COPERNICUS_COMMON_LOGGING_HH

@@ -114,6 +114,12 @@ DistributionStat::sample(double v)
 }
 
 double
+DistributionStat::emptyPercentile()
+{
+    return std::numeric_limits<double>::quiet_NaN();
+}
+
+double
 DistributionStat::percentile(double p) const
 {
     const std::lock_guard<std::mutex> lock(mutex);
@@ -126,7 +132,13 @@ DistributionStat::percentileLocked(double p) const
     fatalIf(p < 0.0 || p > 100.0,
             "percentile(" + std::to_string(p) +
                 ") is outside [0, 100]");
-    fatalIf(count == 0, "percentile of an empty distribution");
+    if (count == 0)
+        return emptyPercentile();
+    // All samples equal (the single-sample case included): the answer
+    // is that sample exactly, not a value interpolated across its
+    // bucket's width.
+    if (min_seen == max_seen)
+        return min_seen;
 
     const double target = p / 100.0 * static_cast<double>(count);
     double cum = 0;

@@ -167,13 +167,27 @@ class DistributionStat : public StatBase
     const std::vector<std::uint64_t> &buckets() const { return bins; }
 
     /**
+     * Sentinel returned by percentile() on an empty distribution: a
+     * quiet NaN, so a latency histogram that never saw a request reads
+     * as "no data" instead of a bogus number. Test with std::isnan;
+     * writeJsonNumber() maps it to 0 so exported JSON still parses.
+     */
+    static double emptyPercentile();
+
+    /**
      * The p-th percentile with linear interpolation inside buckets.
      *
      * Underflow mass is spread over [minSample, lo) and overflow mass
      * over [hi, maxSample], so tail percentiles stay meaningful.
      *
-     * @param p Percentile in [0, 100]; outside that range, or with no
-     *        samples recorded, this is a FatalError.
+     * Edge cases, pinned by tests/test_stat_group.cc: with no samples
+     * recorded every percentile returns the emptyPercentile() sentinel
+     * (never UB, never a throw); when all samples are equal — in
+     * particular a single sample — every percentile returns exactly
+     * that sample, with no bucket interpolation error.
+     *
+     * @param p Percentile in [0, 100]; outside that range is a
+     *        FatalError.
      */
     double percentile(double p) const;
 

@@ -40,6 +40,21 @@ class PanicError : public Error
 };
 
 /**
+ * Thrown when a cooperative cancellation hook interrupts a long run
+ * (Study::run's cancelCheck, driven by the serve daemon's per-request
+ * deadlines). Neither a user mistake nor a bug — the caller asked the
+ * work to stop — so it gets its own type that serving layers can map
+ * to a deadline_exceeded response.
+ */
+class CancelledError : public Error
+{
+  public:
+    explicit CancelledError(const std::string &what_arg)
+        : Error(what_arg)
+    {}
+};
+
+/**
  * Report a user-caused error.
  *
  * @param msg Human-readable description of what the user got wrong.

@@ -1,5 +1,6 @@
 #include "core/study.hh"
 
+#include <atomic>
 #include <fstream>
 
 #include "analysis/table_writer.hh"
@@ -195,14 +196,31 @@ Study::run() const
         // completion order cannot change the result; tracing is forced
         // off because interleaved per-partition timelines would be
         // meaningless (worker lanes cover the parallel case).
+        // Cancellation is polled at the same boundary as the serial
+        // path: a worker about to start a design point sees the flag
+        // and skips, and the caller rethrows once the loop drains.
+        std::atomic<bool> cancelled{false};
         ThreadPool pool(jobs);
         pool.parallelFor(points.size(), [&](std::size_t i) {
+            if (cancelled.load(std::memory_order_relaxed))
+                return;
+            if (cfg.cancelCheck && cfg.cancelCheck()) {
+                cancelled.store(true, std::memory_order_relaxed);
+                return;
+            }
             const Point &pt = points[i];
             result.rows[i] = makeRow(matrices[pt.w].first, *pt.parts,
                                      pt.kind, &noTraceSink());
         });
+        if (cancelled.load(std::memory_order_relaxed))
+            throw CancelledError("Study::run cancelled between design "
+                                 "points");
     } else {
         for (std::size_t i = 0; i < points.size(); ++i) {
+            if (cfg.cancelCheck && cfg.cancelCheck()) {
+                throw CancelledError(
+                    "Study::run cancelled between design points");
+            }
             const Point &pt = points[i];
             result.rows[i] = makeRow(matrices[pt.w].first, *pt.parts,
                                      pt.kind, nullptr);

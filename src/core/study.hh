@@ -13,6 +13,7 @@
 #ifndef COPERNICUS_CORE_STUDY_HH
 #define COPERNICUS_CORE_STUDY_HH
 
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -54,6 +55,17 @@ struct StudyConfig
      * report worker lanes instead.
      */
     unsigned jobs = 0;
+
+    /**
+     * Cooperative cancellation hook for long sweeps. run() calls it at
+     * partition boundaries — before each design point starts streaming
+     * its partitioning, never mid-partition — and throws CancelledError
+     * as soon as it returns true; rows already evaluated are discarded.
+     * The serve daemon wires its per-request deadline through this.
+     * Must be thread-safe at jobs > 1 (workers poll it concurrently);
+     * empty (the default) means never cancelled.
+     */
+    std::function<bool()> cancelCheck;
 };
 
 /** One evaluated design point over one workload. */

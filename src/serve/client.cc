@@ -1,0 +1,174 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/status.hh"
+
+namespace copernicus {
+
+ServeClient
+ServeClient::connectUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    fatalIf(path.empty() || path.size() >= sizeof(addr.sun_path),
+            "serve client: bad socket path '" + path + "'");
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    fatalIf(fd < 0, std::string("serve client: socket(): ") +
+                        std::strerror(errno));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        fatal("serve client: cannot connect to '" + path +
+              "': " + std::strerror(err));
+    }
+    return ServeClient(fd);
+}
+
+ServeClient
+ServeClient::connectTcp(int port)
+{
+    fatalIf(port <= 0 || port > 65535,
+            "serve client: bad TCP port " + std::to_string(port));
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    fatalIf(fd < 0, std::string("serve client: socket(): ") +
+                        std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        fatal("serve client: cannot connect to 127.0.0.1:" +
+              std::to_string(port) + ": " + std::strerror(err));
+    }
+    return ServeClient(fd);
+}
+
+ServeClient::~ServeClient()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+ServeClient::ServeClient(ServeClient &&other) noexcept
+    : fd(other.fd), rxBuffer(std::move(other.rxBuffer)),
+      nextRequestId(other.nextRequestId)
+{
+    other.fd = -1;
+}
+
+ServeClient &
+ServeClient::operator=(ServeClient &&other) noexcept
+{
+    if (this != &other) {
+        if (fd >= 0)
+            ::close(fd);
+        fd = other.fd;
+        rxBuffer = std::move(other.rxBuffer);
+        nextRequestId = other.nextRequestId;
+        other.fd = -1;
+    }
+    return *this;
+}
+
+void
+ServeClient::setReceiveTimeoutMs(double ms)
+{
+    fatalIf(fd < 0, "serve client: not connected");
+    timeval tv{};
+    if (ms > 0) {
+        tv.tv_sec = static_cast<time_t>(ms / 1000.0);
+        tv.tv_usec = static_cast<suseconds_t>(
+            (ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+    }
+    fatalIf(::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv,
+                         sizeof(tv)) != 0,
+            std::string("serve client: SO_RCVTIMEO: ") +
+                std::strerror(errno));
+}
+
+std::string
+ServeClient::requestLine(const std::string &line)
+{
+    fatalIf(fd < 0, "serve client: not connected");
+    std::string framed = line;
+    // NDJSON framing: a raw newline inside the request (e.g. from a
+    // multi-line shell --params string) would split it into two wire
+    // lines. Valid JSON never needs a newline inside a string literal,
+    // so mapping them to spaces is lossless inter-token whitespace.
+    for (char &c : framed)
+        if (c == '\n' || c == '\r')
+            c = ' ';
+    framed.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        const ssize_t n = ::send(fd, framed.data() + sent,
+                                 framed.size() - sent, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR)
+            continue;
+        fatalIf(n <= 0, std::string("serve client: send(): ") +
+                            std::strerror(errno));
+        sent += static_cast<std::size_t>(n);
+    }
+
+    for (;;) {
+        const std::size_t pos = rxBuffer.find('\n');
+        if (pos != std::string::npos) {
+            std::string response = rxBuffer.substr(0, pos);
+            rxBuffer.erase(0, pos + 1);
+            return response;
+        }
+        char buf[4096];
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        fatalIf(n == 0,
+                "serve client: server closed the connection");
+        fatalIf(n < 0,
+                errno == EAGAIN || errno == EWOULDBLOCK
+                    ? std::string("serve client: receive timeout")
+                    : std::string("serve client: recv(): ") +
+                          std::strerror(errno));
+        rxBuffer.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+JsonValue
+ServeClient::call(const std::string &op, const std::string &paramsJson,
+                  double timeoutMs)
+{
+    std::ostringstream request;
+    request << "{\"op\": ";
+    writeJsonString(request, op);
+    request << ", \"id\": " << nextRequestId++;
+    if (timeoutMs > 0) {
+        request << ", \"timeout_ms\": ";
+        writeJsonNumber(request, timeoutMs);
+    }
+    if (!paramsJson.empty())
+        request << ", \"params\": " << paramsJson;
+    request << '}';
+
+    const std::string line = requestLine(request.str());
+    JsonValue response;
+    fatalIf(!parseJson(line, response) || !response.isObject(),
+            "serve client: malformed response line: " + line);
+    return response;
+}
+
+} // namespace copernicus

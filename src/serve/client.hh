@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Blocking NDJSON client for the characterization daemon.
+ *
+ * One ServeClient wraps one connected socket. call() frames a request
+ * line, sends it, and blocks until the matching response line arrives
+ * (the protocol answers every request on the connection in order, so
+ * no correlation table is needed). Shared by `copernicus_cli
+ * --connect`, the bench_serve_load generator and tests/test_serve.cc,
+ * so all of them speak exactly the wire dialect the server does.
+ *
+ * Thread safety: none — use one ServeClient per thread (that is what
+ * the closed-loop load generator does).
+ */
+
+#ifndef COPERNICUS_SERVE_CLIENT_HH
+#define COPERNICUS_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hh"
+
+namespace copernicus {
+
+/** One client connection to a copernicus_serve daemon. */
+class ServeClient
+{
+  public:
+    /** Connect to a Unix-domain socket; FatalError on failure. */
+    static ServeClient connectUnix(const std::string &path);
+
+    /** Connect to a loopback TCP port; FatalError on failure. */
+    static ServeClient connectTcp(int port);
+
+    ~ServeClient();
+    ServeClient(ServeClient &&other) noexcept;
+    ServeClient &operator=(ServeClient &&other) noexcept;
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /**
+     * Issue one request and block for its response.
+     *
+     * @param op Endpoint wire name ("ping", "advise", ...).
+     * @param paramsJson The params object as raw JSON; "" omits it.
+     * @param timeoutMs Serialized as the request's timeout_ms when
+     *        positive. This is the *server-side* deadline; pair it
+     *        with setReceiveTimeoutMs for a client-side one.
+     * @return The parsed response (always an object with "ok").
+     */
+    JsonValue call(const std::string &op,
+                   const std::string &paramsJson = "",
+                   double timeoutMs = 0);
+
+    /**
+     * Send one raw line (newline appended) and return the next
+     * response line, newline stripped. FatalError when the server
+     * closes the connection or the receive timeout fires.
+     */
+    std::string requestLine(const std::string &line);
+
+    /** SO_RCVTIMEO guard against a dead server; 0 disables. */
+    void setReceiveTimeoutMs(double ms);
+
+    /** The correlation id the next call() will use. */
+    std::uint64_t nextId() const { return nextRequestId; }
+
+  private:
+    explicit ServeClient(int fd_) : fd(fd_) {}
+
+    int fd = -1;
+    std::string rxBuffer;
+    std::uint64_t nextRequestId = 1;
+};
+
+} // namespace copernicus
+
+#endif // COPERNICUS_SERVE_CLIENT_HH

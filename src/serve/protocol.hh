@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Wire protocol of the characterization service daemon.
+ *
+ * Requests and responses are newline-delimited JSON objects over a
+ * byte stream (Unix-domain socket by default, TCP optionally):
+ *
+ *   -> {"op": "advise", "id": 7, "timeout_ms": 250,
+ *       "params": {"matrix": {"kind": "band", "n": 512, "width": 8,
+ *                             "seed": 1},
+ *                  "goal": "latency"}}
+ *   <- {"ok": true, "id": 7, "op": "advise", "result": {...}}
+ *
+ * Every request line receives exactly one response line — a result, or
+ * an explicit error ({"ok": false, ..., "error": "<code>"}); the
+ * server never silently drops a request. Error codes are the
+ * serve_error constants below. This header owns parsing (on top of
+ * common/json's JsonValue) and response serialisation so the server,
+ * the client library and the tests agree on one source of truth.
+ */
+
+#ifndef COPERNICUS_SERVE_PROTOCOL_HH
+#define COPERNICUS_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hh"
+#include "core/advisor.hh"
+#include "formats/format_kind.hh"
+#include "matrix/triplet_matrix.hh"
+
+namespace copernicus {
+
+/** The operations the daemon serves. */
+enum class Endpoint
+{
+    Ping,         ///< liveness probe
+    Stats,        ///< per-endpoint latency/cache/queue counters
+    Shutdown,     ///< begin graceful drain (responds first)
+    Sleep,        ///< hold a worker for params.ms (load-gen/tests)
+    RunStudy,     ///< full format x partition sweep over one matrix
+    PlanFormats,  ///< adaptive per-tile format plan
+    Advise,       ///< Section-8 format recommendation
+    ValidateTile, ///< grammar-validate every encoded tile
+};
+
+/** Every endpoint, in a fixed order (stats registration order). */
+const std::vector<Endpoint> &allEndpoints();
+
+/** Wire name of @p endpoint ("run_study", "ping", ...). */
+std::string_view endpointName(Endpoint endpoint);
+
+/** Parse a wire name; false when unknown. */
+bool parseEndpoint(std::string_view name, Endpoint &out);
+
+/** Machine-readable error codes carried in the "error" field. */
+namespace serve_error {
+
+inline constexpr std::string_view badRequest = "bad_request";
+inline constexpr std::string_view queueFull = "queue_full";
+inline constexpr std::string_view deadlineExceeded = "deadline_exceeded";
+inline constexpr std::string_view shuttingDown = "shutting_down";
+inline constexpr std::string_view internal = "internal";
+
+} // namespace serve_error
+
+/** One parsed request line. */
+struct ServeRequest
+{
+    Endpoint endpoint = Endpoint::Ping;
+
+    /** Client-chosen correlation id, echoed in the response. */
+    std::uint64_t id = 0;
+
+    /** Per-request deadline; 0 falls back to the server default. */
+    double timeoutMs = 0;
+
+    /** The "params" object (empty object when the field is absent). */
+    JsonValue params;
+};
+
+/**
+ * Parse one request line.
+ *
+ * @param line One newline-stripped JSON object.
+ * @param out Filled on success.
+ * @param error Human-readable reason on failure.
+ * @return False on malformed JSON, a missing/unknown "op", or a
+ *         non-object "params".
+ */
+bool parseRequest(const std::string &line, ServeRequest &out,
+                  std::string &error);
+
+/**
+ * Serialise a success response. @p resultJson must be a complete JSON
+ * value (typically an object built by the handler).
+ */
+std::string okResponse(const ServeRequest &request,
+                       const std::string &resultJson);
+
+/**
+ * Serialise an error response. @p op is the wire name when known, ""
+ * for lines that never parsed far enough to have one.
+ */
+std::string errorResponse(std::uint64_t id, std::string_view op,
+                          std::string_view code,
+                          const std::string &message);
+
+/**
+ * Build the workload matrix described by a request's "matrix" spec:
+ *
+ *   {"kind": "random",    "n", "density", "seed"}
+ *   {"kind": "band",      "n", "width", "seed", "fill"}
+ *   {"kind": "diagonal",  "n", "seed"}
+ *   {"kind": "stencil2d", "nx", "ny"}
+ *   {"kind": "rmat",      "n", "edges", "seed"}
+ *   {"kind": "pruned",    "rows", "cols", "density", "seed", "block"}
+ *   {"kind": "file",      "path"}
+ *
+ * All generators are deterministic given the spec, so a request is
+ * reproducible offline from its JSON alone. Dimensions are capped at
+ * @p maxDim — the daemon's guard against a single request occupying a
+ * worker indefinitely. Throws FatalError (mapped to bad_request) on a
+ * malformed spec.
+ */
+TripletMatrix matrixFromSpec(const JsonValue &spec, Index maxDim);
+
+/** Parse an advisor goal name ("latency", ...); FatalError if unknown. */
+AdvisorGoal goalFromName(std::string_view name);
+
+/**
+ * Format list from a JSON array of names; @p fallback when @p array is
+ * null. FatalError on an unknown name.
+ */
+std::vector<FormatKind>
+formatsFromParam(const JsonValue *array,
+                 const std::vector<FormatKind> &fallback);
+
+/**
+ * Partition sizes from a JSON array of numbers; @p fallback when
+ * @p array is null. FatalError on a non-positive size.
+ */
+std::vector<Index>
+partitionSizesFromParam(const JsonValue *array,
+                        const std::vector<Index> &fallback);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_SERVE_PROTOCOL_HH

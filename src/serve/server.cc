@@ -1,0 +1,796 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "analysis/schedule_check.hh"
+#include "common/logging.hh"
+#include "common/status.hh"
+#include "core/scheduler.hh"
+#include "core/study.hh"
+#include "formats/validate.hh"
+#include "matrix/stats.hh"
+#include "trace/trace_writer.hh"
+
+namespace copernicus {
+
+namespace {
+
+/** Set by requestShutdownFromSignal(); polled by the acceptor tick. */
+std::atomic<bool> signalShutdown{false};
+
+std::string
+jsonStr(std::string_view text)
+{
+    std::ostringstream out;
+    writeJsonString(out, text);
+    return out.str();
+}
+
+std::string
+jsonNum(double v)
+{
+    std::ostringstream out;
+    writeJsonNumber(out, v);
+    return out.str();
+}
+
+} // namespace
+
+Server::Conn::~Conn()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+Server::Server(ServeOptions options)
+    : opts(std::move(options)), epoch(std::chrono::steady_clock::now())
+{
+    fatalIf(opts.queueCapacity == 0,
+            "serve: queue capacity must be at least 1");
+    connections = std::make_unique<ScalarStat>(
+        grp, "connections", "client connections accepted");
+    badLines = std::make_unique<ScalarStat>(
+        grp, "bad_lines", "request lines that failed to parse");
+    endpointStats.resize(allEndpoints().size());
+    for (std::size_t i = 0; i < allEndpoints().size(); ++i) {
+        const std::string prefix(endpointName(allEndpoints()[i]));
+        EndpointStats &s = endpointStats[i];
+        s.accepted = std::make_unique<ScalarStat>(
+            grp, prefix + ".accepted", "requests admitted");
+        s.rejected = std::make_unique<ScalarStat>(
+            grp, prefix + ".rejected",
+            "requests shed (queue_full / shutting_down)");
+        s.completed = std::make_unique<ScalarStat>(
+            grp, prefix + ".completed", "requests answered ok");
+        s.errors = std::make_unique<ScalarStat>(
+            grp, prefix + ".errors",
+            "admitted requests answered with an error");
+        s.cacheHits = std::make_unique<ScalarStat>(
+            grp, prefix + ".cache_hits",
+            "encode-cache hits attributed to this endpoint");
+        s.cacheMisses = std::make_unique<ScalarStat>(
+            grp, prefix + ".cache_misses",
+            "encode-cache misses attributed to this endpoint");
+        s.latencyUs = std::make_unique<DistributionStat>(
+            grp, prefix + ".latency_us",
+            "admitted-request latency (microseconds)", 0, 100000, 1000);
+    }
+}
+
+Server::~Server()
+{
+    if (started) {
+        beginShutdown();
+        waitDrained();
+    }
+}
+
+Server::EndpointStats &
+Server::statsFor(Endpoint endpoint)
+{
+    const auto index = static_cast<std::size_t>(endpoint);
+    panicIf(index >= endpointStats.size(),
+            "serve: endpoint index out of range");
+    return endpointStats[index];
+}
+
+std::uint64_t
+Server::nowUs() const
+{
+    const auto delta = std::chrono::steady_clock::now() - epoch;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(delta)
+            .count());
+}
+
+void
+Server::requestShutdownFromSignal()
+{
+    signalShutdown.store(true, std::memory_order_relaxed);
+}
+
+void
+Server::bindSocket()
+{
+    if (opts.tcpPort >= 0) {
+        listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+        fatalIf(listenFd < 0, std::string("serve: socket(): ") +
+                                  std::strerror(errno));
+        const int one = 1;
+        ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port =
+            htons(static_cast<std::uint16_t>(opts.tcpPort));
+        fatalIf(::bind(listenFd,
+                       reinterpret_cast<const sockaddr *>(&addr),
+                       sizeof(addr)) != 0,
+                "serve: cannot bind 127.0.0.1:" +
+                    std::to_string(opts.tcpPort) + ": " +
+                    std::strerror(errno));
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        fatalIf(::getsockname(listenFd,
+                              reinterpret_cast<sockaddr *>(&bound),
+                              &len) != 0,
+                std::string("serve: getsockname(): ") +
+                    std::strerror(errno));
+        boundTcpPort = ntohs(bound.sin_port);
+    } else {
+        fatalIf(opts.socketPath.empty(),
+                "serve: a socket path or --tcp port is required");
+        sockaddr_un addr{};
+        fatalIf(opts.socketPath.size() >= sizeof(addr.sun_path),
+                "serve: socket path '" + opts.socketPath +
+                    "' is too long for sockaddr_un");
+        listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        fatalIf(listenFd < 0, std::string("serve: socket(): ") +
+                                  std::strerror(errno));
+        ::unlink(opts.socketPath.c_str());
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, opts.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        fatalIf(::bind(listenFd,
+                       reinterpret_cast<const sockaddr *>(&addr),
+                       sizeof(addr)) != 0,
+                "serve: cannot bind '" + opts.socketPath +
+                    "': " + std::strerror(errno));
+    }
+    fatalIf(::listen(listenFd, 64) != 0,
+            std::string("serve: listen(): ") + std::strerror(errno));
+}
+
+void
+Server::start()
+{
+    panicIf(started, "serve: start() called twice");
+
+    if (opts.checkRegistry) {
+        LintOptions lint;
+        lint.params = opts.lintParams;
+        lint.runGrammar = opts.fullLint;
+        lint.runOracle = opts.fullLint;
+        const LintReport report = runLint(lint);
+        fatalIf(!report.ok(),
+                "serve: refusing to start, the format registry failed "
+                "the schedule contract check:\n" +
+                    report.toString());
+        inform("serve: registry lint passed (" +
+                std::to_string(report.warningCount()) + " warnings)");
+    }
+
+    pool = std::make_unique<ThreadPool>(opts.workers);
+    bindSocket();
+    started = true;
+    acceptor = std::thread([this] { acceptorLoop(); });
+
+    if (opts.tcpPort >= 0) {
+        inform("serve: listening on 127.0.0.1:" +
+                std::to_string(boundTcpPort));
+    } else {
+        inform("serve: listening on " + opts.socketPath);
+    }
+}
+
+bool
+Server::accepting() const
+{
+    const std::lock_guard<std::mutex> lock(admitMutex);
+    return started && !draining;
+}
+
+Server::Admit
+Server::tryAdmit()
+{
+    const std::lock_guard<std::mutex> lock(admitMutex);
+    if (draining)
+        return Admit::Draining;
+    if (inflight >= opts.queueCapacity)
+        return Admit::Full;
+    ++inflight;
+    return Admit::Ok;
+}
+
+void
+Server::releaseAdmission()
+{
+    std::lock_guard<std::mutex> lock(admitMutex);
+    panicIf(inflight == 0, "serve: admission released twice");
+    --inflight;
+    if (inflight == 0)
+        idleCv.notify_all();
+}
+
+void
+Server::beginShutdown()
+{
+    {
+        const std::lock_guard<std::mutex> lock(admitMutex);
+        if (draining)
+            return;
+        draining = true;
+    }
+    drainCv.notify_all();
+    idleCv.notify_all();
+    inform("serve: draining (in-flight requests will finish)");
+}
+
+void
+Server::sendLine(const std::shared_ptr<Conn> &conn,
+                 const std::string &line)
+{
+    if (!conn->open.load(std::memory_order_relaxed))
+        return;
+    std::string framed = line;
+    framed.push_back('\n');
+    const std::lock_guard<std::mutex> lock(conn->writeMutex);
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        const ssize_t n =
+            ::send(conn->fd, framed.data() + sent, framed.size() - sent,
+                   MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            // The client went away; the reader thread will see EOF and
+            // retire the connection.
+            conn->open.store(false, std::memory_order_relaxed);
+            return;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+void
+Server::reapFinishedReaders()
+{
+    std::vector<std::thread> joinable;
+    {
+        const std::lock_guard<std::mutex> lock(connsMutex);
+        for (std::uint64_t id : finishedReaders) {
+            auto it = readers.find(id);
+            if (it != readers.end()) {
+                joinable.push_back(std::move(it->second));
+                readers.erase(it);
+            }
+            conns.erase(id);
+        }
+        finishedReaders.clear();
+    }
+    for (std::thread &t : joinable)
+        t.join();
+}
+
+void
+Server::acceptorLoop()
+{
+    for (;;) {
+        if (signalShutdown.load(std::memory_order_relaxed))
+            beginShutdown();
+        {
+            const std::lock_guard<std::mutex> lock(admitMutex);
+            if (draining)
+                break;
+        }
+        pollfd pfd{};
+        pfd.fd = listenFd;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, 100);
+        reapFinishedReaders();
+        if (ready <= 0)
+            continue;
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        auto conn = std::make_shared<Conn>(fd);
+        *connections += 1;
+        const std::lock_guard<std::mutex> lock(connsMutex);
+        const std::uint64_t id = nextConnId++;
+        conns.emplace(id, conn);
+        readers.emplace(id, std::thread([this, id, conn] {
+                            readerLoop(id, conn);
+                        }));
+    }
+}
+
+void
+Server::readerLoop(std::uint64_t connId, std::shared_ptr<Conn> conn)
+{
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        conn->rxBuffer.append(buf, static_cast<std::size_t>(n));
+        std::size_t pos;
+        while ((pos = conn->rxBuffer.find('\n')) != std::string::npos) {
+            std::string line = conn->rxBuffer.substr(0, pos);
+            conn->rxBuffer.erase(0, pos + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.find_first_not_of(" \t") == std::string::npos)
+                continue;
+            handleLine(conn, line);
+        }
+    }
+    conn->open.store(false, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(connsMutex);
+    finishedReaders.push_back(connId);
+}
+
+void
+Server::handleLine(const std::shared_ptr<Conn> &conn,
+                   const std::string &line)
+{
+    ServeRequest request;
+    std::string parseError;
+    if (!parseRequest(line, request, parseError)) {
+        *badLines += 1;
+        sendLine(conn, errorResponse(0, "", serve_error::badRequest,
+                                     parseError));
+        return;
+    }
+
+    switch (tryAdmit()) {
+      case Admit::Full:
+        *statsFor(request.endpoint).rejected += 1;
+        sendLine(conn,
+                 errorResponse(request.id,
+                               endpointName(request.endpoint),
+                               serve_error::queueFull,
+                               "admission queue is full (capacity " +
+                                   std::to_string(opts.queueCapacity) +
+                                   "); retry later"));
+        return;
+      case Admit::Draining:
+        *statsFor(request.endpoint).rejected += 1;
+        sendLine(conn,
+                 errorResponse(request.id,
+                               endpointName(request.endpoint),
+                               serve_error::shuttingDown,
+                               "server is draining"));
+        return;
+      case Admit::Ok:
+        break;
+    }
+
+    *statsFor(request.endpoint).accepted += 1;
+    // The shared_ptr keeps the fd alive until the handler is done with
+    // it even if the client disconnects mid-request. On a one-lane
+    // pool submit() runs inline right here, which serializes requests
+    // per connection but keeps cross-connection concurrency.
+    pool->submit([this, conn, request = std::move(request)]() mutable {
+        runRequest(conn, std::move(request));
+    });
+}
+
+void
+Server::runRequest(std::shared_ptr<Conn> conn, ServeRequest request)
+{
+    EndpointStats &stats = statsFor(request.endpoint);
+    const std::uint64_t startUs = nowUs();
+    const EncodeCache::Stats cacheBefore = EncodeCache::global().stats();
+
+    double timeoutMs = request.timeoutMs > 0 ? request.timeoutMs
+                                             : opts.defaultTimeoutMs;
+    std::function<bool()> deadlineHit;
+    if (timeoutMs > 0) {
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(
+                static_cast<std::int64_t>(timeoutMs * 1000.0));
+        deadlineHit = [deadline] {
+            return std::chrono::steady_clock::now() >= deadline;
+        };
+    }
+
+    std::string response;
+    std::string outcome = "ok";
+    try {
+        response = okResponse(request, dispatch(request, deadlineHit));
+        *stats.completed += 1;
+    } catch (const CancelledError &e) {
+        outcome = std::string(serve_error::deadlineExceeded);
+        response = errorResponse(request.id,
+                                 endpointName(request.endpoint),
+                                 serve_error::deadlineExceeded,
+                                 e.what());
+        *stats.errors += 1;
+    } catch (const FatalError &e) {
+        outcome = std::string(serve_error::badRequest);
+        response = errorResponse(request.id,
+                                 endpointName(request.endpoint),
+                                 serve_error::badRequest, e.what());
+        *stats.errors += 1;
+    } catch (const std::exception &e) {
+        outcome = std::string(serve_error::internal);
+        response = errorResponse(request.id,
+                                 endpointName(request.endpoint),
+                                 serve_error::internal, e.what());
+        *stats.errors += 1;
+    }
+
+    // Attribute cache activity to the endpoint. Deltas from a shared
+    // cache are approximate when requests overlap, but per-endpoint
+    // hit *rates* remain meaningful because the mix is attributed
+    // proportionally over many requests.
+    const EncodeCache::Stats cacheAfter = EncodeCache::global().stats();
+    *stats.cacheHits +=
+        static_cast<double>(cacheAfter.hits - cacheBefore.hits);
+    *stats.cacheMisses +=
+        static_cast<double>(cacheAfter.misses - cacheBefore.misses);
+
+    const std::uint64_t endUs = nowUs();
+    stats.latencyUs->sample(static_cast<double>(endUs - startUs));
+    {
+        const std::lock_guard<std::mutex> lock(spansMutex);
+        requestSpans.push_back(
+            {request.endpoint, request.id, startUs, endUs, outcome});
+    }
+
+    sendLine(conn, response);
+    releaseAdmission();
+
+    // The shutdown endpoint's response must reach the wire before the
+    // drain can race the connection shutdown, so drain starts last.
+    if (request.endpoint == Endpoint::Shutdown)
+        beginShutdown();
+}
+
+std::string
+Server::dispatch(const ServeRequest &request,
+                 const std::function<bool()> &deadlineHit)
+{
+    const auto checkDeadline = [&deadlineHit] {
+        if (deadlineHit && deadlineHit())
+            throw CancelledError("request deadline exceeded");
+    };
+    const JsonValue &params = request.params;
+
+    switch (request.endpoint) {
+      case Endpoint::Ping:
+        return "{\"pong\": true}";
+
+      case Endpoint::Stats:
+        return statsJson();
+
+      case Endpoint::Shutdown:
+        return "{\"draining\": true}";
+
+      case Endpoint::Sleep: {
+        // Test/load-gen endpoint: occupy an admission slot for a
+        // controlled time, honoring the deadline like a real sweep.
+        double ms = params.numberOr("ms", 100);
+        fatalIf(ms < 0 || ms > 60000,
+                "sleep: ms must be in [0, 60000]");
+        double slept = 0;
+        while (slept < ms) {
+            checkDeadline();
+            const double slice = std::min(5.0, ms - slept);
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                static_cast<std::int64_t>(slice * 1000.0)));
+            slept += slice;
+        }
+        return "{\"slept_ms\": " + jsonNum(ms) + "}";
+      }
+
+      case Endpoint::Advise: {
+        const JsonValue *spec = params.find("matrix");
+        fatalIf(spec == nullptr, "advise: params.matrix is required");
+        const TripletMatrix matrix =
+            matrixFromSpec(*spec, opts.maxMatrixDim);
+        checkDeadline();
+        const MatrixStats mstats = computeStats(matrix);
+        const AdvisorGoal goal =
+            goalFromName(params.stringOr("goal", "balanced"));
+        const Recommendation rec =
+            advise(mstats, goal,
+                   params.boolOr("tailored_engine", false));
+        std::ostringstream out;
+        out << "{\"format\": " << jsonStr(formatName(rec.format))
+            << ", \"partition_size\": " << rec.partitionSize
+            << ", \"requires_tailored_engine\": "
+            << (rec.requiresTailoredEngine ? "true" : "false")
+            << ", \"goal\": " << jsonStr(goalName(goal))
+            << ", \"alternatives\": [";
+        for (std::size_t i = 0; i < rec.alternatives.size(); ++i) {
+            if (i > 0)
+                out << ", ";
+            out << jsonStr(formatName(rec.alternatives[i]));
+        }
+        out << "], \"rationale\": " << jsonStr(rec.rationale)
+            << ", \"matrix\": {\"rows\": " << mstats.rows
+            << ", \"cols\": " << mstats.cols
+            << ", \"nnz\": " << mstats.nnz
+            << ", \"density\": " << jsonNum(mstats.density)
+            << ", \"bandwidth\": " << mstats.bandwidth << "}}";
+        return out.str();
+      }
+
+      case Endpoint::RunStudy: {
+        const JsonValue *spec = params.find("matrix");
+        fatalIf(spec == nullptr,
+                "run_study: params.matrix is required");
+        TripletMatrix matrix =
+            matrixFromSpec(*spec, opts.maxMatrixDim);
+        StudyConfig cfg;
+        cfg.partitionSizes = partitionSizesFromParam(
+            params.find("partition_sizes"), cfg.partitionSizes);
+        cfg.formats =
+            formatsFromParam(params.find("formats"), cfg.formats);
+        // One lane: the serve pool is the concurrency layer; a nested
+        // per-request pool would oversubscribe and break the admission
+        // queue's meaning as "concurrent work units".
+        cfg.jobs = 1;
+        cfg.cancelCheck = deadlineHit;
+        Study study(cfg);
+        study.addWorkload("request", std::move(matrix));
+        const StudyResult result = study.run();
+
+        std::ostringstream out;
+        out << "{\"rows\": " << result.rows.size()
+            << ", \"by_format\": [";
+        const std::vector<FormatMetrics> agg =
+            result.aggregateByFormat();
+        for (std::size_t i = 0; i < agg.size(); ++i) {
+            if (i > 0)
+                out << ", ";
+            out << "{\"format\": " << jsonStr(formatName(agg[i].format))
+                << ", \"mean_sigma\": " << jsonNum(agg[i].meanSigma)
+                << ", \"throughput_bps\": "
+                << jsonNum(agg[i].throughput)
+                << ", \"balance_ratio\": "
+                << jsonNum(agg[i].balanceRatio)
+                << ", \"bw_util\": "
+                << jsonNum(agg[i].bandwidthUtilization)
+                << ", \"total_seconds\": "
+                << jsonNum(agg[i].totalSeconds)
+                << ", \"dyn_power_w\": "
+                << jsonNum(agg[i].dynamicPowerW) << '}';
+        }
+        out << ']';
+        if (params.boolOr("include_rows", false)) {
+            out << ", \"row_details\": [";
+            for (std::size_t i = 0; i < result.rows.size(); ++i) {
+                const StudyRow &row = result.rows[i];
+                if (i > 0)
+                    out << ", ";
+                out << "{\"format\": "
+                    << jsonStr(formatName(row.format))
+                    << ", \"p\": " << row.partitionSize
+                    << ", \"total_cycles\": " << row.totalCycles
+                    << ", \"mean_sigma\": " << jsonNum(row.meanSigma)
+                    << ", \"bw_util\": "
+                    << jsonNum(row.bandwidthUtilization) << '}';
+            }
+            out << ']';
+        }
+        out << '}';
+        return out.str();
+      }
+
+      case Endpoint::PlanFormats: {
+        const JsonValue *spec = params.find("matrix");
+        fatalIf(spec == nullptr,
+                "plan_formats: params.matrix is required");
+        const TripletMatrix matrix =
+            matrixFromSpec(*spec, opts.maxMatrixDim);
+        const double p = params.numberOr("partition_size", 16);
+        fatalIf(p < 1 || p > 4096,
+                "plan_formats: partition_size must be in [1, 4096]");
+        const std::vector<FormatKind> candidates =
+            formatsFromParam(params.find("formats"), paperFormats());
+        const std::string objectiveName =
+            params.stringOr("objective", "bottleneck");
+        SchedulerObjective objective = SchedulerObjective::Bottleneck;
+        if (objectiveName == "compute") {
+            objective = SchedulerObjective::Compute;
+        } else if (objectiveName == "bytes") {
+            objective = SchedulerObjective::Bytes;
+        } else {
+            fatalIf(objectiveName != "bottleneck",
+                    "plan_formats: unknown objective '" +
+                        objectiveName +
+                        "' (expected bottleneck|compute|bytes)");
+        }
+        checkDeadline();
+        const Partitioning parts =
+            partition(matrix, static_cast<Index>(p));
+        checkDeadline();
+        const FormatPlan plan =
+            planFormats(parts, candidates, objective, HlsConfig(),
+                        defaultRegistry(), 1);
+        std::ostringstream out;
+        out << "{\"tiles\": " << plan.perTile.size()
+            << ", \"histogram\": {";
+        bool first = true;
+        for (const auto &[kind, tiles] : plan.histogram) {
+            if (!first)
+                out << ", ";
+            first = false;
+            out << jsonStr(formatName(kind)) << ": " << tiles;
+        }
+        out << "}}";
+        return out.str();
+      }
+
+      case Endpoint::ValidateTile: {
+        const JsonValue *spec = params.find("matrix");
+        fatalIf(spec == nullptr,
+                "validate_tile: params.matrix is required");
+        const TripletMatrix matrix =
+            matrixFromSpec(*spec, opts.maxMatrixDim);
+        const double p = params.numberOr("partition_size", 16);
+        fatalIf(p < 1 || p > 4096,
+                "validate_tile: partition_size must be in [1, 4096]");
+        const std::vector<FormatKind> kinds =
+            formatsFromParam(params.find("formats"), paperFormats());
+        const Partitioning parts =
+            partition(matrix, static_cast<Index>(p));
+        std::vector<std::string> violations;
+        std::size_t checked = 0;
+        for (const Tile &tile : parts.tiles) {
+            checkDeadline();
+            for (FormatKind kind : kinds) {
+                const auto encoded =
+                    encodeCached(defaultRegistry(), kind, tile);
+                const GrammarReport report =
+                    validateEncodedTile(*encoded);
+                ++checked;
+                for (const GrammarViolation &v : report.violations)
+                    violations.push_back(v.toString());
+            }
+        }
+        std::ostringstream out;
+        out << "{\"tiles\": " << parts.tiles.size()
+            << ", \"formats\": " << kinds.size()
+            << ", \"checked\": " << checked << ", \"ok\": "
+            << (violations.empty() ? "true" : "false")
+            << ", \"violations\": [";
+        for (std::size_t i = 0; i < violations.size(); ++i) {
+            if (i > 0)
+                out << ", ";
+            out << jsonStr(violations[i]);
+        }
+        out << "]}";
+        return out.str();
+      }
+    }
+    panic("serve: unhandled endpoint in dispatch");
+}
+
+std::string
+Server::statsJson() const
+{
+    std::ostringstream out;
+    dumpGroupsJson(out,
+                   {&grp, &poolStats.group(), &cacheStats.group()});
+    std::string json = out.str();
+    // dumpGroupsJson ends its document with '\n'; embedded in an
+    // NDJSON response that newline would split the line, so trim it.
+    while (!json.empty() &&
+           (json.back() == '\n' || json.back() == '\r'))
+        json.pop_back();
+    return json;
+}
+
+std::vector<RequestSpan>
+Server::spans() const
+{
+    const std::lock_guard<std::mutex> lock(spansMutex);
+    return requestSpans;
+}
+
+void
+Server::waitDrained()
+{
+    panicIf(!started, "serve: waitDrained() before start()");
+
+    // 1. Park until someone (signal, shutdown endpoint, or
+    //    beginShutdown()) starts the drain.
+    {
+        std::unique_lock<std::mutex> lock(admitMutex);
+        drainCv.wait(lock, [this] { return draining; });
+    }
+
+    // 2. The acceptor exits on its next tick; no new connections.
+    if (acceptor.joinable())
+        acceptor.join();
+
+    // 3. Wait for the in-flight requests to finish. Admission is
+    //    closed (draining), so inflight can only fall.
+    {
+        std::unique_lock<std::mutex> lock(admitMutex);
+        idleCv.wait(lock, [this] { return inflight == 0; });
+    }
+
+    // 4. Unblock every reader: after SHUT_RDWR their recv() returns 0
+    //    and they retire. Responses already written are delivered —
+    //    SHUT_RDWR does not discard sent data on AF_UNIX/loopback.
+    std::map<std::uint64_t, std::thread> remaining;
+    {
+        const std::lock_guard<std::mutex> lock(connsMutex);
+        for (auto &[id, conn] : conns)
+            ::shutdown(conn->fd, SHUT_RDWR);
+        remaining = std::move(readers);
+        readers.clear();
+    }
+    for (auto &[id, thread] : remaining)
+        thread.join();
+    {
+        const std::lock_guard<std::mutex> lock(connsMutex);
+        conns.clear();
+        finishedReaders.clear();
+    }
+
+    // 5. Drain the pool (joins its workers) before flushing artifacts
+    //    so no handler can race the single-threaded writers below.
+    pool.reset();
+
+    if (!opts.statsJsonPath.empty()) {
+        std::ofstream out(opts.statsJsonPath);
+        fatalIf(!out, "serve: cannot open stats path '" +
+                          opts.statsJsonPath + "'");
+        out << statsJson() << '\n';
+        inform("serve: stats written to " + opts.statsJsonPath);
+    }
+    if (!opts.tracePath.empty()) {
+        TraceWriter writer;
+        writer.beginScope("serve");
+        const std::lock_guard<std::mutex> lock(spansMutex);
+        for (const RequestSpan &span : requestSpans) {
+            writer.durationEvent(endpointName(span.endpoint),
+                                 "r" + std::to_string(span.id) + " " +
+                                     span.outcome,
+                                 span.startUs, span.endUs);
+        }
+        writer.writeFile(opts.tracePath);
+        inform("serve: request trace written to " + opts.tracePath);
+    }
+
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+    }
+    if (opts.tcpPort < 0 && !opts.socketPath.empty())
+        ::unlink(opts.socketPath.c_str());
+    started = false;
+    inform("serve: drain complete");
+}
+
+} // namespace copernicus

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * The characterization service daemon.
+ *
+ * A Server owns one listening socket (Unix-domain by default, loopback
+ * TCP optionally), one reader thread per connection, and a ThreadPool
+ * that executes request handlers. Its load-shedding contract is the
+ * point of the subsystem:
+ *
+ *  - Admission is bounded: at most queueCapacity requests are in
+ *    flight; request queueCapacity+1 receives an immediate
+ *    {"error": "queue_full"} response instead of queueing invisibly.
+ *    Overload degrades to explicit rejections, never to silent hangs.
+ *  - Every admitted request runs under a deadline (its timeout_ms, or
+ *    the server default). Long handlers poll the deadline at partition
+ *    boundaries via StudyConfig::cancelCheck and unwind with
+ *    CancelledError, which maps to {"error": "deadline_exceeded"}.
+ *  - Drain is graceful: beginShutdown() stops accepting, new requests
+ *    get {"error": "shutting_down"}, in-flight requests finish and
+ *    their responses are delivered, then waitDrained() flushes the
+ *    stats JSON and the request-lane trace and returns.
+ *
+ * Threading model: the acceptor thread polls the listen socket (100 ms
+ * tick, so drain never races accept); each connection gets a reader
+ * thread that parses lines and performs admission; admitted requests
+ * run on the pool (inline on the reader thread when the pool has one
+ * lane, which keeps single-core containers correct — concurrency
+ * across connections is still real because each has its own reader).
+ * Response writes are serialized per connection by Conn::writeMutex,
+ * and the connection fd is closed by the last owner of the shared
+ * Conn, so a handler finishing after its client disconnected can never
+ * write to a recycled descriptor.
+ */
+
+#ifndef COPERNICUS_SERVE_SERVER_HH
+#define COPERNICUS_SERVE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stat_group.hh"
+#include "common/thread_pool.hh"
+#include "formats/encode_cache.hh"
+#include "serve/protocol.hh"
+
+namespace copernicus {
+
+/** Daemon configuration (the copernicus_serve flags). */
+struct ServeOptions
+{
+    /** Unix-domain socket path; unlinked on start and on drain. */
+    std::string socketPath = "/tmp/copernicus_serve.sock";
+
+    /**
+     * Loopback TCP port instead of the Unix socket; -1 disables TCP,
+     * 0 binds an ephemeral port (read it back with Server::tcpPort()).
+     */
+    int tcpPort = -1;
+
+    /** Max requests in flight; the next one is rejected queue_full. */
+    std::size_t queueCapacity = 64;
+
+    /** Handler pool lanes, resolved through effectiveJobs(). */
+    unsigned workers = 0;
+
+    /** Default deadline for requests without timeout_ms; 0 = none. */
+    double defaultTimeoutMs = 0;
+
+    /** Cap on generated/loaded matrix dimensions per request. */
+    Index maxMatrixDim = 4096;
+
+    /** Where waitDrained() writes the stats dump; "" = nowhere. */
+    std::string statsJsonPath;
+
+    /** Where waitDrained() writes the request-lane trace; "" = off. */
+    std::string tracePath;
+
+    /**
+     * Refuse to start unless the format registry passes the static
+     * lint passes (spec structure, decoder bodies, contracts). A
+     * daemon serving characterizations from a registry whose schedule
+     * model is wrong would hand out wrong numbers for its whole
+     * lifetime, so this fails fast instead.
+     */
+    bool checkRegistry = true;
+
+    /** Also run the grammar + oracle lint passes at startup (slow). */
+    bool fullLint = false;
+
+    /**
+     * Codec hyperparameters the startup lint gate validates (tests
+     * inject a contract-violating set here to exercise the refusal).
+     */
+    FormatParams lintParams;
+};
+
+/** One request-lane trace record (flushed to tracePath at drain). */
+struct RequestSpan
+{
+    Endpoint endpoint = Endpoint::Ping;
+    std::uint64_t id = 0;
+    std::uint64_t startUs = 0;
+    std::uint64_t endUs = 0;
+    std::string outcome; ///< "ok" or an error code
+};
+
+/** The daemon. Construct, start(), then waitDrained() blocks. */
+class Server
+{
+  public:
+    explicit Server(ServeOptions options);
+
+    /** Joins everything if the caller forgot waitDrained(). */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Validate the registry (lint gate), bind the socket and spawn the
+     * acceptor. Throws FatalError when the registry fails lint or the
+     * socket cannot be bound.
+     */
+    void start();
+
+    /**
+     * Begin a graceful drain: stop admitting (new requests are
+     * answered shutting_down) and let the acceptor exit. Safe from any
+     * thread, including request handlers; idempotent.
+     */
+    void beginShutdown();
+
+    /**
+     * Async-signal-safe shutdown request (one atomic store); the
+     * acceptor notices within one poll tick. Wire SIGINT/SIGTERM here.
+     */
+    static void requestShutdownFromSignal();
+
+    /**
+     * Block until a shutdown is requested, then drain: finish
+     * in-flight requests, deliver their responses, join every thread,
+     * flush statsJsonPath/tracePath, and release the socket.
+     */
+    void waitDrained();
+
+    /** Actual TCP port once start() returned (ephemeral-port tests). */
+    int tcpPort() const { return boundTcpPort; }
+
+    /** True between start() and the beginning of a drain. */
+    bool accepting() const;
+
+    /** The serve/thread_pool/encode_cache groups as one JSON doc. */
+    std::string statsJson() const;
+
+    /** Request spans recorded so far (tests; snapshot under lock). */
+    std::vector<RequestSpan> spans() const;
+
+    const ServeOptions &options() const { return opts; }
+
+  private:
+    /** Per-endpoint counters + latency histogram (group "serve"). */
+    struct EndpointStats
+    {
+        std::unique_ptr<ScalarStat> accepted;
+        std::unique_ptr<ScalarStat> rejected;
+        std::unique_ptr<ScalarStat> completed;
+        std::unique_ptr<ScalarStat> errors;
+        std::unique_ptr<ScalarStat> cacheHits;
+        std::unique_ptr<ScalarStat> cacheMisses;
+        std::unique_ptr<DistributionStat> latencyUs;
+    };
+
+    /**
+     * One accepted connection. The fd is owned by this struct and
+     * closed by its destructor, so whichever of the reader thread and
+     * the last in-flight handler drops its shared_ptr last also
+     * retires the descriptor — there is no window where the fd number
+     * can be recycled while a handler still holds it.
+     */
+    struct Conn
+    {
+        explicit Conn(int fd_) : fd(fd_) {}
+        ~Conn();
+        Conn(const Conn &) = delete;
+        Conn &operator=(const Conn &) = delete;
+
+        int fd = -1;
+        std::mutex writeMutex;
+        std::atomic<bool> open{true};
+        std::string rxBuffer;
+    };
+
+    enum class Admit { Ok, Full, Draining };
+
+    void bindSocket();
+    void acceptorLoop();
+    void readerLoop(std::uint64_t connId, std::shared_ptr<Conn> conn);
+    void handleLine(const std::shared_ptr<Conn> &conn,
+                    const std::string &line);
+    void runRequest(std::shared_ptr<Conn> conn, ServeRequest request);
+
+    /** Dispatch to the endpoint handler; returns the result JSON. */
+    std::string dispatch(const ServeRequest &request,
+                         const std::function<bool()> &deadlineHit);
+
+    Admit tryAdmit();
+    void releaseAdmission();
+    void sendLine(const std::shared_ptr<Conn> &conn,
+                  const std::string &line);
+    void reapFinishedReaders();
+    std::uint64_t nowUs() const;
+    EndpointStats &statsFor(Endpoint endpoint);
+
+    ServeOptions opts;
+    int listenFd = -1;
+    int boundTcpPort = -1;
+    bool started = false;
+
+    std::thread acceptor;
+
+    /** Reader bookkeeping, all under connsMutex. */
+    std::mutex connsMutex;
+    std::map<std::uint64_t, std::shared_ptr<Conn>> conns;
+    std::map<std::uint64_t, std::thread> readers;
+    std::vector<std::uint64_t> finishedReaders;
+    std::uint64_t nextConnId = 1;
+
+    /** Admission state, all under admitMutex. */
+    mutable std::mutex admitMutex;
+    std::size_t inflight = 0;
+    bool draining = false;
+    std::condition_variable idleCv;  ///< inflight reached zero
+    std::condition_variable drainCv; ///< draining flipped on
+
+    std::unique_ptr<ThreadPool> pool;
+
+    StatGroup grp{"serve"};
+    std::vector<EndpointStats> endpointStats; ///< allEndpoints() order
+    std::unique_ptr<ScalarStat> connections;
+    std::unique_ptr<ScalarStat> badLines;
+    ThreadPoolStats poolStats;
+    EncodeCacheStats cacheStats;
+
+    mutable std::mutex spansMutex;
+    std::vector<RequestSpan> requestSpans;
+    std::chrono::steady_clock::time_point epoch;
+};
+
+} // namespace copernicus
+
+#endif // COPERNICUS_SERVE_SERVER_HH

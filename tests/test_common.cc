@@ -5,7 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "common/logging.hh"
 #include "common/math.hh"
@@ -192,6 +200,73 @@ TEST(LoggingTest, EmittersDoNotThrow)
     EXPECT_NO_THROW(inform("info message"));
     EXPECT_NO_THROW(warn("warn message"));
     setLogLevel(saved);
+}
+
+/**
+ * Hammer the logger from many threads and prove whole-line emission:
+ * the serve daemon logs from acceptor, connection and pool-worker
+ * threads at once, and a torn line would corrupt every artifact that
+ * greps stderr. Redirects fd 2 to a file for the duration, then checks
+ * every captured line is exactly one complete message.
+ */
+TEST(LoggingTest, ConcurrentEmittersNeverTearLines)
+{
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Info);
+
+    const std::string path = "/tmp/copernicus_log_hammer_" +
+                             std::to_string(::getpid()) + ".txt";
+    std::fflush(stderr);
+    const int savedFd = ::dup(2);
+    ASSERT_GE(savedFd, 0);
+    const int fileFd =
+        ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0600);
+    ASSERT_GE(fileFd, 0);
+    ASSERT_GE(::dup2(fileFd, 2), 0);
+    ::close(fileFd);
+
+    constexpr int threadCount = 8;
+    constexpr int perThread = 200;
+    // The payload ends in a sentinel so a line truncated or spliced by
+    // a racing writer can't still look complete.
+    const std::string payload(24, 'x');
+    {
+        std::vector<std::thread> threads;
+        for (int t = 0; t < threadCount; ++t) {
+            threads.emplace_back([t, &payload] {
+                for (int i = 0; i < perThread; ++i)
+                    inform("hammer t" + std::to_string(t) + " m" +
+                           std::to_string(i) + " " + payload + "END");
+            });
+        }
+        for (std::thread &thread : threads)
+            thread.join();
+    }
+    std::fflush(stderr);
+    ASSERT_GE(::dup2(savedFd, 2), 0);
+    ::close(savedFd);
+    setLogLevel(saved);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    const std::string expectedTail = payload + "END";
+    int hammerLines = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find("hammer") == std::string::npos)
+            continue; // unrelated message from another component
+        ++hammerLines;
+        // One complete message per line: the prefix at the start, the
+        // sentinel at the very end, and no second message spliced in.
+        EXPECT_EQ(line.rfind("info: hammer t", 0), 0u) << line;
+        ASSERT_GE(line.size(), expectedTail.size());
+        EXPECT_EQ(line.substr(line.size() - expectedTail.size()),
+                  expectedTail)
+            << line;
+        EXPECT_EQ(line.find("info:"), line.rfind("info:")) << line;
+    }
+    EXPECT_EQ(hammerLines, threadCount * perThread);
+    ::unlink(path.c_str());
 }
 
 } // namespace

@@ -1,0 +1,425 @@
+/**
+ * @file
+ * End-to-end tests of the characterization service daemon: protocol
+ * round trips, the admission queue's explicit-rejection contract,
+ * per-request deadlines, graceful drain, the startup lint gate, and
+ * golden comparisons of the advise/run_study endpoints against the
+ * same computations run offline.
+ *
+ * Every test starts a real Server on a private Unix socket and talks
+ * to it through ServeClient — the same wire path production clients
+ * use. Labeled tsan: the server spans acceptor, reader, and pool
+ * threads, so this suite doubles as the serve concurrency test under
+ * -DCOPERNICUS_SANITIZE=thread.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/status.hh"
+#include "core/advisor.hh"
+#include "core/study.hh"
+#include "matrix/stats.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "workloads/generators.hh"
+
+namespace copernicus {
+namespace {
+
+/** A private socket path per fixture so parallel ctest runs coexist. */
+std::string
+testSocketPath(const std::string &tag)
+{
+    static int counter = 0;
+    return "/tmp/copernicus_test_" + std::to_string(::getpid()) + "_" +
+           tag + "_" + std::to_string(counter++) + ".sock";
+}
+
+/** Start a quiet server; drain it on teardown. */
+class ServeTest : public ::testing::Test
+{
+  protected:
+    void
+    startServer(std::size_t queueCapacity = 8)
+    {
+        savedLevel = logLevel();
+        setLogLevel(LogLevel::Warn);
+        ServeOptions options;
+        options.socketPath = testSocketPath("serve");
+        options.queueCapacity = queueCapacity;
+        // The lint gate has its own dedicated test; skipping it here
+        // keeps each fixture startup fast.
+        options.checkRegistry = false;
+        server = std::make_unique<Server>(std::move(options));
+        server->start();
+    }
+
+    void
+    TearDown() override
+    {
+        if (server) {
+            server->beginShutdown();
+            server->waitDrained();
+            server.reset();
+        }
+        setLogLevel(savedLevel);
+    }
+
+    ServeClient
+    client()
+    {
+        ServeClient c =
+            ServeClient::connectUnix(server->options().socketPath);
+        c.setReceiveTimeoutMs(30000);
+        return c;
+    }
+
+    std::unique_ptr<Server> server;
+    LogLevel savedLevel = LogLevel::Info;
+};
+
+TEST_F(ServeTest, PingRoundTripEchoesIdAndOp)
+{
+    startServer();
+    ServeClient c = client();
+    const JsonValue r1 = c.call("ping");
+    EXPECT_TRUE(r1.boolOr("ok", false));
+    EXPECT_DOUBLE_EQ(r1.numberOr("id", 0), 1);
+    EXPECT_EQ(r1.stringOr("op", ""), "ping");
+    const JsonValue *result = r1.find("result");
+    ASSERT_NE(result, nullptr);
+    EXPECT_TRUE(result->boolOr("pong", false));
+
+    // Ids increment per client and are echoed verbatim.
+    const JsonValue r2 = c.call("ping");
+    EXPECT_DOUBLE_EQ(r2.numberOr("id", 0), 2);
+}
+
+TEST_F(ServeTest, MalformedLineGetsBadRequestNotSilence)
+{
+    startServer();
+    ServeClient c = client();
+    const std::string raw = c.requestLine("this is not json");
+    JsonValue response;
+    ASSERT_TRUE(parseJson(raw, response));
+    EXPECT_FALSE(response.boolOr("ok", true));
+    EXPECT_EQ(response.stringOr("error", ""), "bad_request");
+}
+
+TEST_F(ServeTest, UnknownOpAndBadParamsAreBadRequests)
+{
+    startServer();
+    ServeClient c = client();
+    const std::string raw = c.requestLine("{\"op\": \"explode\"}");
+    JsonValue response;
+    ASSERT_TRUE(parseJson(raw, response));
+    EXPECT_EQ(response.stringOr("error", ""), "bad_request");
+
+    // A known op with missing params is rejected after admission,
+    // with the op echoed back.
+    const JsonValue advise = c.call("advise");
+    EXPECT_FALSE(advise.boolOr("ok", true));
+    EXPECT_EQ(advise.stringOr("error", ""), "bad_request");
+    EXPECT_EQ(advise.stringOr("op", ""), "advise");
+}
+
+/**
+ * Golden test of the advise endpoint: for three canonical matrix
+ * families the served recommendation must equal what the offline
+ * advisor (the format_advisor example's path) computes from the same
+ * matrix.
+ */
+TEST_F(ServeTest, AdviseMatchesOfflineAdvisorOnCanonicalMatrices)
+{
+    startServer();
+    ServeClient c = client();
+
+    struct Golden
+    {
+        const char *name;
+        std::string spec;
+        TripletMatrix matrix;
+    };
+    Rng bandRng(1);
+    Rng denseRng(2);
+    Rng sparseRng(3);
+    std::vector<Golden> goldens;
+    goldens.push_back(
+        {"band",
+         "{\"kind\": \"band\", \"n\": 256, \"width\": 8, \"seed\": 1}",
+         bandMatrix(256, 8, bandRng)});
+    goldens.push_back({"random-dense",
+                       "{\"kind\": \"random\", \"n\": 128, "
+                       "\"density\": 0.3, \"seed\": 2}",
+                       randomMatrix(128, 0.3, denseRng)});
+    goldens.push_back({"random-sparse",
+                       "{\"kind\": \"random\", \"n\": 256, "
+                       "\"density\": 0.01, \"seed\": 3}",
+                       randomMatrix(256, 0.01, sparseRng)});
+
+    for (const Golden &golden : goldens) {
+        for (const char *goal : {"latency", "power", "balanced"}) {
+            const JsonValue response =
+                c.call("advise", "{\"matrix\": " + golden.spec +
+                                     ", \"goal\": \"" + goal + "\"}");
+            ASSERT_TRUE(response.boolOr("ok", false))
+                << golden.name << " " << goal;
+            const JsonValue *result = response.find("result");
+            ASSERT_NE(result, nullptr);
+
+            const Recommendation offline =
+                advise(computeStats(golden.matrix),
+                       goalFromName(goal));
+            EXPECT_EQ(result->stringOr("format", ""),
+                      formatName(offline.format))
+                << golden.name << " " << goal;
+            EXPECT_DOUBLE_EQ(result->numberOr("partition_size", 0),
+                             offline.partitionSize)
+                << golden.name << " " << goal;
+        }
+    }
+}
+
+TEST_F(ServeTest, RunStudyMatchesOfflineStudy)
+{
+    startServer();
+    ServeClient c = client();
+    const JsonValue response = c.call(
+        "run_study",
+        "{\"matrix\": {\"kind\": \"random\", \"n\": 64, \"density\": "
+        "0.1, \"seed\": 5}, \"partition_sizes\": [8, 16], "
+        "\"formats\": [\"CSR\", \"COO\"]}");
+    ASSERT_TRUE(response.boolOr("ok", false));
+    const JsonValue *result = response.find("result");
+    ASSERT_NE(result, nullptr);
+    EXPECT_DOUBLE_EQ(result->numberOr("rows", 0), 4);
+
+    StudyConfig cfg;
+    cfg.partitionSizes = {8, 16};
+    cfg.formats = {FormatKind::CSR, FormatKind::COO};
+    cfg.jobs = 1;
+    Study study(cfg);
+    Rng rng(5);
+    study.addWorkload("request", randomMatrix(64, 0.1, rng));
+    const std::vector<FormatMetrics> offline =
+        study.run().aggregateByFormat();
+
+    const JsonValue *byFormat = result->find("by_format");
+    ASSERT_NE(byFormat, nullptr);
+    ASSERT_TRUE(byFormat->isArray());
+    ASSERT_EQ(byFormat->elements.size(), offline.size());
+    for (std::size_t i = 0; i < offline.size(); ++i) {
+        const JsonValue &served = byFormat->elements[i];
+        EXPECT_EQ(served.stringOr("format", ""),
+                  formatName(offline[i].format));
+        EXPECT_NEAR(served.numberOr("mean_sigma", -1),
+                    offline[i].meanSigma, 1e-12);
+        EXPECT_NEAR(served.numberOr("bw_util", -1),
+                    offline[i].bandwidthUtilization, 1e-12);
+    }
+}
+
+TEST_F(ServeTest, OverloadIsRejectedExplicitlyNeverHung)
+{
+    startServer(/*queueCapacity=*/1);
+
+    // One client parks the only admission slot in a long sleep...
+    std::thread sleeper([this] {
+        ServeClient c = client();
+        const JsonValue response =
+            c.call("sleep", "{\"ms\": 600}");
+        EXPECT_TRUE(response.boolOr("ok", false));
+    });
+
+    // ...so a second client's requests must bounce with queue_full —
+    // an immediate explicit rejection, not a queued/hung request.
+    ServeClient probe = client();
+    bool sawQueueFull = false;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(10);
+    while (!sawQueueFull &&
+           std::chrono::steady_clock::now() < deadline) {
+        const auto start = std::chrono::steady_clock::now();
+        const JsonValue response = probe.call("ping");
+        const double ms =
+            std::chrono::duration_cast<
+                std::chrono::duration<double, std::milli>>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (!response.boolOr("ok", true)) {
+            EXPECT_EQ(response.stringOr("error", ""), "queue_full");
+            // Rejection is immediate backpressure, not a timeout.
+            EXPECT_LT(ms, 1000.0);
+            sawQueueFull = true;
+        }
+    }
+    EXPECT_TRUE(sawQueueFull);
+    sleeper.join();
+}
+
+TEST_F(ServeTest, DeadlineCancelsSleepCooperatively)
+{
+    startServer();
+    ServeClient c = client();
+    const auto start = std::chrono::steady_clock::now();
+    const JsonValue response =
+        c.call("sleep", "{\"ms\": 30000}", /*timeoutMs=*/50);
+    const double ms = std::chrono::duration_cast<
+                          std::chrono::duration<double, std::milli>>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    EXPECT_FALSE(response.boolOr("ok", true));
+    EXPECT_EQ(response.stringOr("error", ""), "deadline_exceeded");
+    EXPECT_LT(ms, 5000.0);
+}
+
+TEST_F(ServeTest, DeadlineCancelsStudyBetweenDesignPoints)
+{
+    startServer();
+    ServeClient c = client();
+    // A sweep this size takes well over a millisecond, so the
+    // cancelCheck poll at a partition boundary must fire.
+    const JsonValue response = c.call(
+        "run_study",
+        "{\"matrix\": {\"kind\": \"random\", \"n\": 512, "
+        "\"density\": 0.05, \"seed\": 1}}",
+        /*timeoutMs=*/1);
+    EXPECT_FALSE(response.boolOr("ok", true));
+    EXPECT_EQ(response.stringOr("error", ""), "deadline_exceeded");
+}
+
+TEST_F(ServeTest, GracefulDrainFinishesInflightAndRejectsNew)
+{
+    startServer(/*queueCapacity=*/4);
+
+    // An in-flight request started before the drain...
+    std::thread inflight([this] {
+        ServeClient c = client();
+        const JsonValue response = c.call("sleep", "{\"ms\": 400}");
+        // ...must still be answered ok, not dropped.
+        EXPECT_TRUE(response.boolOr("ok", false));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    ServeClient c = client();
+    const JsonValue shutdown = c.call("shutdown");
+    EXPECT_TRUE(shutdown.boolOr("ok", false));
+
+    // The same connection stays readable during the drain, but new
+    // requests are shed with shutting_down.
+    const JsonValue late = c.call("ping");
+    EXPECT_FALSE(late.boolOr("ok", true));
+    EXPECT_EQ(late.stringOr("error", ""), "shutting_down");
+
+    server->waitDrained();
+    inflight.join();
+
+    // The request-lane trace recorded the slept request as completed.
+    bool sawSleepOk = false;
+    for (const RequestSpan &span : server->spans())
+        if (span.endpoint == Endpoint::Sleep && span.outcome == "ok")
+            sawSleepOk = true;
+    EXPECT_TRUE(sawSleepOk);
+    server.reset();
+}
+
+TEST_F(ServeTest, StatsEndpointExportsServeGroup)
+{
+    startServer();
+    ServeClient c = client();
+    (void)c.call("ping");
+    (void)c.call("ping");
+    const JsonValue response = c.call("stats");
+    ASSERT_TRUE(response.boolOr("ok", false));
+    const JsonValue *result = response.find("result");
+    ASSERT_NE(result, nullptr);
+    const JsonValue *groups = result->find("groups");
+    ASSERT_NE(groups, nullptr);
+    ASSERT_TRUE(groups->isArray());
+
+    bool sawServe = false;
+    for (const JsonValue &group : groups->elements) {
+        if (group.stringOr("group", "") != "serve")
+            continue;
+        sawServe = true;
+        // The ping counters cover at least the two calls above.
+        const JsonValue *stats = group.find("stats");
+        ASSERT_NE(stats, nullptr);
+        double pingCompleted = -1;
+        for (const JsonValue &stat : stats->elements)
+            if (stat.stringOr("name", "") == "ping.completed")
+                pingCompleted = stat.numberOr("value", -1);
+        EXPECT_GE(pingCompleted, 2.0);
+    }
+    EXPECT_TRUE(sawServe);
+}
+
+TEST_F(ServeTest, ValidateTileReportsCleanEncodings)
+{
+    startServer();
+    ServeClient c = client();
+    const JsonValue response = c.call(
+        "validate_tile",
+        "{\"matrix\": {\"kind\": \"random\", \"n\": 64, \"density\": "
+        "0.1, \"seed\": 9}, \"partition_size\": 16, \"formats\": "
+        "[\"CSR\", \"COO\", \"ELL\"]}");
+    ASSERT_TRUE(response.boolOr("ok", false));
+    const JsonValue *result = response.find("result");
+    ASSERT_NE(result, nullptr);
+    EXPECT_TRUE(result->boolOr("ok", false));
+    EXPECT_GT(result->numberOr("checked", 0), 0.0);
+    const JsonValue *violations = result->find("violations");
+    ASSERT_NE(violations, nullptr);
+    EXPECT_TRUE(violations->elements.empty());
+}
+
+TEST(ServeLintGateTest, RefusesToStartOnContractViolation)
+{
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Warn);
+    ServeOptions options;
+    options.socketPath = testSocketPath("lintgate");
+    options.checkRegistry = true;
+    // sellCsWindow must be a multiple of sellSlice; 6 % 4 != 0 is a
+    // contract error the gate must refuse.
+    options.lintParams.sellSlice = 4;
+    options.lintParams.sellCsWindow = 6;
+    Server server(std::move(options));
+    try {
+        server.start();
+        FAIL() << "start() accepted a contract-violating registry";
+    } catch (const FatalError &e) {
+        // The diagnostic names the violated constraint (either the
+        // registry's own parameter validation or the contract pass).
+        const std::string what = e.what();
+        EXPECT_TRUE(what.find("contract") != std::string::npos ||
+                    what.find("slice") != std::string::npos)
+            << what;
+    }
+    setLogLevel(saved);
+}
+
+TEST(ServeLintGateTest, StartsCleanlyOnDefaultRegistry)
+{
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Warn);
+    ServeOptions options;
+    options.socketPath = testSocketPath("lintok");
+    options.checkRegistry = true;
+    Server server(std::move(options));
+    EXPECT_NO_THROW(server.start());
+    server.beginShutdown();
+    server.waitDrained();
+    setLogLevel(saved);
+}
+
+} // namespace
+} // namespace copernicus

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "analysis/stats_report.hh"
@@ -94,10 +95,51 @@ TEST(StatGroupTest, PercentileRejectsBadInput)
 {
     StatGroup group("g");
     DistributionStat dist(group, "d", "x", 0.0, 1.0, 2);
-    EXPECT_THROW(dist.percentile(50), FatalError); // no samples yet
     dist.sample(0.5);
     EXPECT_THROW(dist.percentile(-1), FatalError);
     EXPECT_THROW(dist.percentile(101), FatalError);
+}
+
+TEST(StatGroupTest, EmptyDistributionReturnsNanSentinel)
+{
+    StatGroup group("g");
+    DistributionStat dist(group, "d", "x", 0.0, 1.0, 2);
+    // An empty histogram has no meaningful percentile; the documented
+    // sentinel is a quiet NaN ("no data"), never a throw or UB. The
+    // serve daemon's per-endpoint latency histograms hit this for any
+    // endpoint a run never exercised.
+    EXPECT_TRUE(std::isnan(DistributionStat::emptyPercentile()));
+    EXPECT_TRUE(std::isnan(dist.percentile(0)));
+    EXPECT_TRUE(std::isnan(dist.percentile(50)));
+    EXPECT_TRUE(std::isnan(dist.percentile(100)));
+    // The sentinel must not leak unparseable NaN into exported JSON.
+    std::ostringstream out;
+    dist.writeJson(out);
+    EXPECT_TRUE(jsonValid(out.str())) << out.str();
+}
+
+TEST(StatGroupTest, SingleSamplePercentilesEqualTheSample)
+{
+    StatGroup group("g");
+    DistributionStat dist(group, "d", "x", 0.0, 100.0, 10);
+    dist.sample(37.5);
+    // One sample: every percentile is that sample exactly — no
+    // interpolation across the bucket's width (p99 of one request is
+    // that request's latency, not a bucket edge).
+    EXPECT_DOUBLE_EQ(dist.percentile(0), 37.5);
+    EXPECT_DOUBLE_EQ(dist.percentile(50), 37.5);
+    EXPECT_DOUBLE_EQ(dist.percentile(99), 37.5);
+    EXPECT_DOUBLE_EQ(dist.percentile(100), 37.5);
+}
+
+TEST(StatGroupTest, AllEqualSamplesPercentilesEqualTheSample)
+{
+    StatGroup group("g");
+    DistributionStat dist(group, "d", "x", 0.0, 100.0, 10);
+    for (int i = 0; i < 5; ++i)
+        dist.sample(42.0);
+    EXPECT_DOUBLE_EQ(dist.percentile(1), 42.0);
+    EXPECT_DOUBLE_EQ(dist.percentile(99), 42.0);
 }
 
 TEST(StatGroupTest, DistributionPrintIncludesPercentiles)
