@@ -86,4 +86,16 @@ panicIf(bool cond, const std::string &msg)
 
 } // namespace copernicus
 
+/**
+ * Debug-only invariant check for per-element hot loops (tile cell
+ * access, codec inner loops). Expands to panicIf(!(cond)) in debug
+ * builds and to nothing under NDEBUG, so release sweeps pay no
+ * per-element branch while sanitizer/debug CI keeps the full checks.
+ */
+#if defined(NDEBUG) && !defined(COPERNICUS_DEBUG_CHECKS)
+#define COPERNICUS_DCHECK(cond, msg) ((void)0)
+#else
+#define COPERNICUS_DCHECK(cond, msg) ::copernicus::panicIf(!(cond), (msg))
+#endif
+
 #endif // COPERNICUS_COMMON_STATUS_HH

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <fstream>
+#include <optional>
 
 #include "analysis/table_writer.hh"
 #include "common/status.hh"
@@ -152,16 +153,21 @@ Study::makeRow(const std::string &workload, const Partitioning &parts,
 const Partitioning &
 Study::partitionsFor(std::size_t w, Index p) const
 {
-    const std::lock_guard<std::mutex> lock(*cacheMutex);
-    const auto key = std::make_pair(w, p);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        const ScopedTimer part_timer("study.run.partition");
-        it = cache.emplace(key, partition(matrices[w].second, p)).first;
+    PartitionSlot *slot;
+    {
+        const std::lock_guard<std::mutex> lock(*cacheMutex);
+        slot = &cache[std::make_pair(w, p)];
     }
-    // std::map iterators are stable and entries are never erased, so
-    // the reference outlives the lock.
-    return it->second;
+    // The slot is built outside the map lock so distinct keys
+    // partition concurrently (run() fans the combinations out on the
+    // pool); call_once serialises only same-key racers. std::map
+    // nodes are stable and entries are never erased, so the reference
+    // outlives both locks.
+    std::call_once(slot->once, [&] {
+        const ScopedTimer part_timer("study.run.partition");
+        slot->parts = partition(matrices[w].second, p);
+    });
+    return slot->parts;
 }
 
 StudyResult
@@ -169,8 +175,27 @@ Study::run() const
 {
     const ScopedTimer timer("study.run");
 
-    // Enumerate the sweep up front: partitionings are built (and
-    // cached) before the fan-out so workers only read shared state.
+    const unsigned jobs = effectiveJobs(cfg.jobs);
+    std::optional<ThreadPool> pool;
+    if (jobs > 1)
+        pool.emplace(jobs);
+
+    // Build every (workload, partition size) combination first. At
+    // jobs > 1 the combinations fan out on the pool — partitionsFor()
+    // constructs per slot, so distinct keys partition concurrently —
+    // and the design-point enumeration below then only reads cached
+    // references.
+    std::vector<std::pair<std::size_t, Index>> combos;
+    combos.reserve(matrices.size() * cfg.partitionSizes.size());
+    for (std::size_t w = 0; w < matrices.size(); ++w)
+        for (Index p : cfg.partitionSizes)
+            combos.emplace_back(w, p);
+    if (pool && combos.size() > 1) {
+        pool->parallelFor(combos.size(), [&](std::size_t i) {
+            partitionsFor(combos[i].first, combos[i].second);
+        });
+    }
+
     struct Point
     {
         std::size_t w;
@@ -178,20 +203,16 @@ Study::run() const
         FormatKind kind;
     };
     std::vector<Point> points;
-    points.reserve(matrices.size() * cfg.partitionSizes.size() *
-                   cfg.formats.size());
-    for (std::size_t w = 0; w < matrices.size(); ++w) {
-        for (Index p : cfg.partitionSizes) {
-            const Partitioning &parts = partitionsFor(w, p);
-            for (FormatKind kind : cfg.formats)
-                points.push_back({w, &parts, kind});
-        }
+    points.reserve(combos.size() * cfg.formats.size());
+    for (const auto &[w, p] : combos) {
+        const Partitioning &parts = partitionsFor(w, p);
+        for (FormatKind kind : cfg.formats)
+            points.push_back({w, &parts, kind});
     }
 
     StudyResult result;
     result.rows.resize(points.size());
-    const unsigned jobs = effectiveJobs(cfg.jobs);
-    if (jobs > 1 && points.size() > 1) {
+    if (pool && points.size() > 1) {
         // Each design point is pure and writes only its own row, so
         // completion order cannot change the result; tracing is forced
         // off because interleaved per-partition timelines would be
@@ -200,8 +221,7 @@ Study::run() const
         // path: a worker about to start a design point sees the flag
         // and skips, and the caller rethrows once the loop drains.
         std::atomic<bool> cancelled{false};
-        ThreadPool pool(jobs);
-        pool.parallelFor(points.size(), [&](std::size_t i) {
+        pool->parallelFor(points.size(), [&](std::size_t i) {
             if (cancelled.load(std::memory_order_relaxed))
                 return;
             if (cfg.cancelCheck && cfg.cancelCheck()) {

@@ -161,16 +161,26 @@ class Study
 
     /**
      * The partitioning of workload @p w at size @p p, built on first
-     * use. Thread-safe; the returned reference stays valid for the
-     * Study's lifetime (entries are never dropped).
+     * use. Thread-safe, and callers with *different* keys build
+     * concurrently: the map mutex only guards slot creation, while a
+     * per-slot once_flag serialises same-key racers. The returned
+     * reference stays valid for the Study's lifetime (entries are
+     * never dropped; std::map nodes do not move).
      */
     const Partitioning &partitionsFor(std::size_t w, Index p) const;
+
+    /** One partitioning-cache slot: built at most once. */
+    struct PartitionSlot
+    {
+        std::once_flag once;
+        Partitioning parts;
+    };
 
     StudyConfig cfg;
     FormatRegistry registry;
     std::vector<std::pair<std::string, TripletMatrix>> matrices;
     /** Partitioning cache keyed by (workload index, partition size). */
-    mutable std::map<std::pair<std::size_t, Index>, Partitioning> cache;
+    mutable std::map<std::pair<std::size_t, Index>, PartitionSlot> cache;
     /** Behind a pointer so Study stays movable (benches move Studies). */
     mutable std::unique_ptr<std::mutex> cacheMutex =
         std::make_unique<std::mutex>();

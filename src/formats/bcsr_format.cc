@@ -1,5 +1,7 @@
 #include "formats/bcsr_format.hh"
 
+#include <algorithm>
+
 #include "common/status.hh"
 
 namespace copernicus {
@@ -15,28 +17,44 @@ BcsrCodec::encode(const Tile &tile) const
     const Index p = tile.size();
     fatalIf(p % block != 0,
             "BCSR block size must divide the partition size");
-    auto encoded = std::make_unique<BcsrEncoded>(p, tile.nnz(), block);
+    const auto &nz = tile.nonzeros();
+    const TileStats &feat = tile.features();
+    auto encoded = std::make_unique<BcsrEncoded>(p, feat.nnz, block);
 
+    // Per block-row, scatter the row's nonzeros into their block
+    // columns, then emit the touched blocks in ascending order —
+    // exactly the blocks a dense block scan would keep.
     const Index grid = p / block;
+    std::vector<std::vector<Value>> flats(grid);
+    std::vector<char> touched(grid, 0);
+    std::vector<Index> touchedCols;
+    touchedCols.reserve(grid);
     Index running = 0;
     for (Index br = 0; br < grid; ++br) {
-        for (Index bc = 0; bc < grid; ++bc) {
-            // Gather the block and check whether it is non-zero.
-            std::vector<Value> flat(static_cast<std::size_t>(block) *
-                                    block, Value(0));
-            bool non_zero = false;
-            for (Index r = 0; r < block; ++r) {
-                for (Index c = 0; c < block; ++c) {
-                    const Value v = tile(br * block + r, bc * block + c);
-                    flat[static_cast<std::size_t>(r) * block + c] = v;
-                    non_zero |= v != Value(0);
+        touchedCols.clear();
+        for (Index r = br * block; r < (br + 1) * block; ++r) {
+            for (Index i = feat.rowStart[r]; i < feat.rowStart[r + 1];
+                 ++i) {
+                const TileNonzero &e = nz[i];
+                const Index bc = e.col / block;
+                if (!touched[bc]) {
+                    touched[bc] = 1;
+                    touchedCols.push_back(bc);
+                    flats[bc].assign(
+                        static_cast<std::size_t>(block) * block,
+                        Value(0));
                 }
+                flats[bc][static_cast<std::size_t>(r - br * block) *
+                              block +
+                          (e.col - bc * block)] = e.value;
             }
-            if (non_zero) {
-                encoded->colInx.push_back(bc * block);
-                encoded->values.push_back(std::move(flat));
-                ++running;
-            }
+        }
+        std::sort(touchedCols.begin(), touchedCols.end());
+        for (const Index bc : touchedCols) {
+            encoded->colInx.push_back(bc * block);
+            encoded->values.push_back(std::move(flats[bc]));
+            touched[bc] = 0;
+            ++running;
         }
         encoded->offsets.push_back(running);
     }
@@ -58,7 +76,7 @@ BcsrCodec::decode(const EncodedTile &encoded) const
             const auto &flat = bcsr.values[i];
             // Listing 2: drows[j / b][col0 + j mod b] = values[i][j].
             for (Index j = 0; j < b * b; ++j)
-                tile(br * b + j / b, col0 + j % b) = flat[j];
+                tile.cell(br * b + j / b, col0 + j % b) = flat[j];
         }
     }
     return tile;

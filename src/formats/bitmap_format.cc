@@ -8,16 +8,13 @@ std::unique_ptr<EncodedTile>
 BitmapCodec::encode(const Tile &tile) const
 {
     const ScopedTimer timer("encode.Bitmap");
-    const Index p = tile.size();
-    auto encoded = std::make_unique<BitmapEncoded>(p, tile.nnz());
-    for (Index r = 0; r < p; ++r) {
-        for (Index c = 0; c < p; ++c) {
-            const Value v = tile(r, c);
-            if (v != Value(0)) {
-                encoded->set(r, c);
-                encoded->values.push_back(v);
-            }
-        }
+    const auto &nz = tile.nonzeros();
+    auto encoded = std::make_unique<BitmapEncoded>(tile.size(),
+                                                   tile.nnz());
+    encoded->values.reserve(nz.size());
+    for (const TileNonzero &e : nz) {
+        encoded->set(e.row, e.col);
+        encoded->values.push_back(e.value);
     }
     return encoded;
 }
@@ -33,7 +30,7 @@ BitmapCodec::decode(const EncodedTile &encoded) const
     for (Index r = 0; r < p; ++r)
         for (Index c = 0; c < p; ++c)
             if (bitmap.test(r, c))
-                tile(r, c) = bitmap.values[next++];
+                tile.cell(r, c) = bitmap.values[next++];
     return tile;
 }
 

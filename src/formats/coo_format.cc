@@ -9,16 +9,15 @@ CooCodec::encode(const Tile &tile) const
 {
     const ScopedTimer timer("encode.COO");
     const Index p = tile.size();
+    const auto &nz = tile.nonzeros();
     auto encoded = std::make_unique<CooEncoded>(p, tile.nnz());
-    for (Index r = 0; r < p; ++r) {
-        for (Index c = 0; c < p; ++c) {
-            const Value v = tile(r, c);
-            if (v != Value(0)) {
-                encoded->rowInx.push_back(r);
-                encoded->colInx.push_back(c);
-                encoded->values.push_back(v);
-            }
-        }
+    encoded->rowInx.reserve(nz.size());
+    encoded->colInx.reserve(nz.size());
+    encoded->values.reserve(nz.size());
+    for (const TileNonzero &e : nz) {
+        encoded->rowInx.push_back(e.row);
+        encoded->colInx.push_back(e.col);
+        encoded->values.push_back(e.value);
     }
     return encoded;
 }
@@ -29,7 +28,7 @@ CooCodec::decode(const EncodedTile &encoded) const
     const auto &coo = encodedAs<CooEncoded>(encoded, FormatKind::COO);
     Tile tile(coo.tileSize());
     for (std::size_t i = 0; i < coo.values.size(); ++i)
-        tile(coo.rowInx[i], coo.colInx[i]) = coo.values[i];
+        tile.cell(coo.rowInx[i], coo.colInx[i]) = coo.values[i];
     return tile;
 }
 

@@ -6,19 +6,26 @@ std::unique_ptr<EncodedTile>
 CscCodec::encode(const Tile &tile) const
 {
     const Index p = tile.size();
-    auto encoded = std::make_unique<CscEncoded>(p, tile.nnz());
+    const auto &nz = tile.nonzeros();
+    const TileStats &feat = tile.features();
+    auto encoded = std::make_unique<CscEncoded>(p, feat.nnz);
+    // Counting scatter turns the row-major nonzero stream column-major:
+    // within one column the stream visits rows in ascending order, so
+    // each column's run comes out row-sorted, matching a column scan.
+    std::vector<Index> pos(p);
     encoded->offsets.reserve(p);
     Index running = 0;
     for (Index c = 0; c < p; ++c) {
-        for (Index r = 0; r < p; ++r) {
-            const Value v = tile(r, c);
-            if (v != Value(0)) {
-                encoded->rowInx.push_back(r);
-                encoded->values.push_back(v);
-                ++running;
-            }
-        }
+        pos[c] = running;
+        running += feat.colNnz[c];
         encoded->offsets.push_back(running);
+    }
+    encoded->rowInx.resize(nz.size());
+    encoded->values.resize(nz.size());
+    for (const TileNonzero &e : nz) {
+        const Index at = pos[e.col]++;
+        encoded->rowInx[at] = e.row;
+        encoded->values[at] = e.value;
     }
     return encoded;
 }
@@ -31,7 +38,7 @@ CscCodec::decode(const EncodedTile &encoded) const
     Tile tile(p);
     for (Index c = 0; c < p; ++c)
         for (Index i = csc.colStart(c); i < csc.colEnd(c); ++i)
-            tile(csc.rowInx[i], c) = csc.values[i];
+            tile.cell(csc.rowInx[i], c) = csc.values[i];
     return tile;
 }
 

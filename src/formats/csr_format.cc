@@ -9,20 +9,18 @@ CsrCodec::encode(const Tile &tile) const
 {
     const ScopedTimer timer("encode.CSR");
     const Index p = tile.size();
-    auto encoded = std::make_unique<CsrEncoded>(p, tile.nnz());
-    encoded->offsets.reserve(p);
-    Index running = 0;
-    for (Index r = 0; r < p; ++r) {
-        for (Index c = 0; c < p; ++c) {
-            const Value v = tile(r, c);
-            if (v != Value(0)) {
-                encoded->colInx.push_back(c);
-                encoded->values.push_back(v);
-                ++running;
-            }
-        }
-        encoded->offsets.push_back(running);
+    const auto &nz = tile.nonzeros();
+    const TileStats &feat = tile.features();
+    auto encoded = std::make_unique<CsrEncoded>(p, feat.nnz);
+    encoded->colInx.reserve(nz.size());
+    encoded->values.reserve(nz.size());
+    for (const TileNonzero &e : nz) {
+        encoded->colInx.push_back(e.col);
+        encoded->values.push_back(e.value);
     }
+    encoded->offsets.reserve(p);
+    for (Index r = 0; r < p; ++r)
+        encoded->offsets.push_back(feat.rowStart[r + 1]);
     return encoded;
 }
 
@@ -34,7 +32,7 @@ CsrCodec::decode(const EncodedTile &encoded) const
     Tile tile(p);
     for (Index r = 0; r < p; ++r)
         for (Index i = csr.rowStart(r); i < csr.rowEnd(r); ++i)
-            tile(r, csr.colInx[i]) = csr.values[i];
+            tile.cell(r, csr.colInx[i]) = csr.values[i];
     return tile;
 }
 

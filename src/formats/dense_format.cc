@@ -18,7 +18,8 @@ DenseCodec::decode(const EncodedTile &encoded) const
     Tile tile(p);
     for (Index r = 0; r < p; ++r)
         for (Index c = 0; c < p; ++c)
-            tile(r, c) = dense.values[static_cast<std::size_t>(r) * p + c];
+            tile.cell(r, c) =
+                dense.values[static_cast<std::size_t>(r) * p + c];
     return tile;
 }
 

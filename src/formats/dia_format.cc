@@ -1,5 +1,8 @@
 #include "formats/dia_format.hh"
 
+#include <cstdint>
+#include <vector>
+
 #include "trace/profile.hh"
 
 namespace copernicus {
@@ -9,24 +12,36 @@ DiaCodec::encode(const Tile &tile) const
 {
     const ScopedTimer timer("encode.DIA");
     const Index p = tile.size();
-    auto encoded = std::make_unique<DiaEncoded>(p, tile.nnz());
-    const auto size = static_cast<std::int32_t>(p);
-    for (std::int32_t d = -(size - 1); d <= size - 1; ++d) {
+    const auto &nz = tile.nonzeros();
+    const TileStats &feat = tile.features();
+    auto encoded = std::make_unique<DiaEncoded>(p, feat.nnz);
+    // One pass marks the populated diagonals; ascending bucket order
+    // matches a scan from d = -(p-1) to p-1. Slot index p-1+d keeps
+    // buckets non-negative.
+    const std::size_t diagCount = 2 * static_cast<std::size_t>(p) - 1;
+    std::vector<std::int32_t> diagSlot(diagCount, -1);
+    for (const TileNonzero &e : nz) {
+        const std::size_t k = static_cast<std::size_t>(p) - 1 - e.row +
+                              e.col;
+        diagSlot[k] = 0;
+    }
+    encoded->diagonals.reserve(feat.nnzDiagonals);
+    for (std::size_t k = 0; k < diagCount; ++k) {
+        if (diagSlot[k] < 0)
+            continue;
+        diagSlot[k] = static_cast<std::int32_t>(encoded->diagonals.size());
         DiaDiagonal diag;
-        diag.number = d;
+        diag.number = static_cast<std::int32_t>(k) -
+                      (static_cast<std::int32_t>(p) - 1);
         diag.values.assign(p, Value(0));
-        bool non_zero = false;
-        const Index row_begin = d < 0 ? static_cast<Index>(-d) : 0;
-        const Index row_end = d < 0 ? p : static_cast<Index>(size - d);
-        for (Index r = row_begin; r < row_end; ++r) {
-            const Index c = static_cast<Index>(
-                static_cast<std::int32_t>(r) + d);
-            const Value v = tile(r, c);
-            diag.values[DiaEncoded::slotForRow(r, d)] = v;
-            non_zero |= v != Value(0);
-        }
-        if (non_zero)
-            encoded->diagonals.push_back(std::move(diag));
+        encoded->diagonals.push_back(std::move(diag));
+    }
+    for (const TileNonzero &e : nz) {
+        const std::size_t k = static_cast<std::size_t>(p) - 1 - e.row +
+                              e.col;
+        DiaDiagonal &diag =
+            encoded->diagonals[static_cast<std::size_t>(diagSlot[k])];
+        diag.values[DiaEncoded::slotForRow(e.row, diag.number)] = e.value;
     }
     return encoded;
 }
@@ -44,7 +59,7 @@ DiaCodec::decode(const EncodedTile &encoded) const
                 continue;
             const Index col = static_cast<Index>(
                 static_cast<std::int32_t>(row) + diag.number);
-            tile(row, col) = diag.values[DiaEncoded::slotForRow(
+            tile.cell(row, col) = diag.values[DiaEncoded::slotForRow(
                 row, diag.number)];
         }
     }

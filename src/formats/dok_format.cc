@@ -5,15 +5,11 @@ namespace copernicus {
 std::unique_ptr<EncodedTile>
 DokCodec::encode(const Tile &tile) const
 {
-    const Index p = tile.size();
-    auto encoded = std::make_unique<DokEncoded>(p, tile.nnz());
-    for (Index r = 0; r < p; ++r) {
-        for (Index c = 0; c < p; ++c) {
-            const Value v = tile(r, c);
-            if (v != Value(0))
-                encoded->table.emplace(DokEncoded::key(r, c), v);
-        }
-    }
+    const auto &nz = tile.nonzeros();
+    auto encoded = std::make_unique<DokEncoded>(tile.size(), tile.nnz());
+    encoded->table.reserve(nz.size());
+    for (const TileNonzero &e : nz)
+        encoded->table.emplace(DokEncoded::key(e.row, e.col), e.value);
     return encoded;
 }
 
@@ -25,7 +21,7 @@ DokCodec::decode(const EncodedTile &encoded) const
     for (const auto &[key, value] : dok.table) {
         const Index row = static_cast<Index>(key >> 32);
         const Index col = static_cast<Index>(key & 0xffffffffULL);
-        tile(row, col) = value;
+        tile.cell(row, col) = value;
     }
     return tile;
 }

@@ -23,18 +23,16 @@ EllCodec::encode(const Tile &tile) const
 {
     const ScopedTimer timer("encode.ELL");
     const Index p = tile.size();
-    const Index width = widthFor(tile);
-    auto encoded = std::make_unique<EllEncoded>(p, tile.nnz(), width);
-    for (Index r = 0; r < p; ++r) {
-        Index slot = 0;
-        for (Index c = 0; c < p; ++c) {
-            const Value v = tile(r, c);
-            if (v != Value(0)) {
-                encoded->valueAt(r, slot) = v;
-                encoded->colAt(r, slot) = c;
-                ++slot;
-            }
-        }
+    const auto &nz = tile.nonzeros();
+    const TileStats &feat = tile.features();
+    const Index width = std::max(std::min(wMin, p), feat.maxRowNnz);
+    auto encoded = std::make_unique<EllEncoded>(p, feat.nnz, width);
+    // rowStart gives each nonzero's slot within its row directly.
+    for (Index i = 0; i < feat.nnz; ++i) {
+        const TileNonzero &e = nz[i];
+        const Index slot = i - feat.rowStart[e.row];
+        encoded->valueAt(e.row, slot) = e.value;
+        encoded->colAt(e.row, slot) = e.col;
     }
     return encoded;
 }
@@ -50,7 +48,7 @@ EllCodec::decode(const EncodedTile &encoded) const
             const Index col = ell.colAt(r, slot);
             if (col == EllEncoded::padMarker)
                 break;
-            tile(r, col) = ell.valueAt(r, slot);
+            tile.cell(r, col) = ell.valueAt(r, slot);
         }
     }
     return tile;

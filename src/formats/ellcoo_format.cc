@@ -16,22 +16,22 @@ EllCooCodec::encode(const Tile &tile) const
 {
     const Index p = tile.size();
     const Index width = std::min(w, p);
-    auto encoded = std::make_unique<EllCooEncoded>(p, tile.nnz(), width);
-    for (Index r = 0; r < p; ++r) {
-        Index slot = 0;
-        for (Index c = 0; c < p; ++c) {
-            const Value v = tile(r, c);
-            if (v == Value(0))
-                continue;
-            if (slot < width) {
-                encoded->valueAt(r, slot) = v;
-                encoded->colAt(r, slot) = c;
-                ++slot;
-            } else {
-                encoded->overflowRows.push_back(r);
-                encoded->overflowCols.push_back(c);
-                encoded->overflowValues.push_back(v);
-            }
+    const auto &nz = tile.nonzeros();
+    const TileStats &feat = tile.features();
+    auto encoded = std::make_unique<EllCooEncoded>(p, feat.nnz, width);
+    // The first `width` nonzeros of each row fill the ELL part; the
+    // row-major stream appends the rest to the COO overflow in the
+    // same row-then-column order a dense scan would.
+    for (Index i = 0; i < feat.nnz; ++i) {
+        const TileNonzero &e = nz[i];
+        const Index slot = i - feat.rowStart[e.row];
+        if (slot < width) {
+            encoded->valueAt(e.row, slot) = e.value;
+            encoded->colAt(e.row, slot) = e.col;
+        } else {
+            encoded->overflowRows.push_back(e.row);
+            encoded->overflowCols.push_back(e.col);
+            encoded->overflowValues.push_back(e.value);
         }
     }
     return encoded;
@@ -49,11 +49,11 @@ EllCooCodec::decode(const EncodedTile &encoded) const
             const Index col = hybrid.colAt(r, slot);
             if (col == EllCooEncoded::padMarker)
                 break;
-            tile(r, col) = hybrid.valueAt(r, slot);
+            tile.cell(r, col) = hybrid.valueAt(r, slot);
         }
     }
     for (std::size_t i = 0; i < hybrid.overflowValues.size(); ++i) {
-        tile(hybrid.overflowRows[i], hybrid.overflowCols[i]) =
+        tile.cell(hybrid.overflowRows[i], hybrid.overflowCols[i]) =
             hybrid.overflowValues[i];
     }
     return tile;

@@ -28,6 +28,11 @@ mixIndex(std::uint64_t hash, Index v)
     return fnv1a(&v, sizeof(v), hash);
 }
 
+// The key fingerprint hashes the raw triplet array in one pass; that
+// is only sound if TileNonzero has no padding bytes.
+static_assert(sizeof(TileNonzero) == 2 * sizeof(Index) + sizeof(Value),
+              "TileNonzero must be packed for raw-byte hashing");
+
 std::uint64_t
 keyHash(FormatKind kind, const FormatParams &params, const Tile &tile)
 {
@@ -40,8 +45,8 @@ keyHash(FormatKind kind, const FormatParams &params, const Tile &tile)
     hash = mixIndex(hash, params.ellCooWidth);
     hash = mixIndex(hash, params.sellCsWindow);
     hash = mixIndex(hash, tile.size());
-    const std::vector<Value> &store = tile.data();
-    return fnv1a(store.data(), store.size() * sizeof(Value), hash);
+    const std::vector<TileNonzero> &nz = tile.nonzeros();
+    return fnv1a(nz.data(), nz.size() * sizeof(TileNonzero), hash);
 }
 
 bool
@@ -58,7 +63,7 @@ std::uint64_t
 entryBytes(const Tile &tile, const EncodedTile &encoded)
 {
     // Key copy + encoding payload + container overhead, approximate.
-    return std::uint64_t(tile.data().size()) * sizeof(Value) +
+    return std::uint64_t(tile.nnz()) * sizeof(TileNonzero) +
            encoded.totalBytes() + 128;
 }
 
@@ -135,7 +140,8 @@ EncodeCache::encode(const FormatRegistry &registry, FormatKind kind,
             for (const Entry &entry : it->second) {
                 if (entry.kind == kind &&
                     sameParams(entry.params, params) &&
-                    entry.tile == tile) {
+                    entry.p == tile.size() &&
+                    entry.key == tile.nonzeros()) {
                     cached = entry.encoded;
                     break;
                 }
@@ -182,11 +188,12 @@ EncodeCache::encode(const FormatRegistry &registry, FormatKind kind,
     // encoding is bit-identical (encode is pure), so keep the first.
     for (const Entry &entry : bucket) {
         if (entry.kind == kind && sameParams(entry.params, params) &&
-            entry.tile == tile) {
+            entry.p == tile.size() && entry.key == tile.nonzeros()) {
             return entry.encoded;
         }
     }
-    bucket.push_back(Entry{kind, params, tile, encoded, cost});
+    bucket.push_back(
+        Entry{kind, params, tile.size(), tile.nonzeros(), encoded, cost});
     shard.bytes += cost;
     ++shard.entries;
     return encoded;

@@ -14,8 +14,9 @@
  * matrices produce in bulk (the same band tile repeats down the whole
  * diagonal).
  *
- * Lookups hash the tile contents (FNV-1a over the raw values) but hits
- * are verified by full tile comparison, so a hash collision can never
+ * Lookups hash the tile's canonical nonzero stream (FNV-1a over the
+ * sorted (row, col, value) triplets — O(nnz), not O(p^2)) but hits are
+ * verified by full stream comparison, so a hash collision can never
  * substitute a wrong encoding — parallel and serial sweeps stay
  * bit-identical with the cache on or off.
  *
@@ -109,7 +110,9 @@ class EncodeCache
     {
         FormatKind kind;
         FormatParams params;
-        Tile tile; ///< full key copy: hits are verified, never trusted
+        Index p = 0; ///< tile edge length of the key
+        /** Canonical nonzero stream: hits are verified, never trusted. */
+        std::vector<TileNonzero> key;
         std::shared_ptr<const EncodedTile> encoded;
         std::uint64_t bytes = 0;
     };

@@ -16,6 +16,7 @@
 #ifndef COPERNICUS_FORMATS_ENCODED_TILE_HH
 #define COPERNICUS_FORMATS_ENCODED_TILE_HH
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -42,7 +43,11 @@ class EncodedTile
 
     virtual ~EncodedTile() = default;
 
-    EncodedTile(const EncodedTile &) = default;
+    EncodedTile(const EncodedTile &other)
+        : p(other.p), _nnz(other._nnz),
+          cachedTotal(other.cachedTotal.load(std::memory_order_relaxed))
+    {}
+
     EncodedTile &operator=(const EncodedTile &) = delete;
 
     /** Format this tile is encoded in. */
@@ -66,13 +71,24 @@ class EncodedTile
     /** Payload bytes: the non-zero values. */
     Bytes usefulBytes() const { return Bytes(_nnz) * valueBytes; }
 
-    /** All bytes crossing the memory interface. */
+    /**
+     * All bytes crossing the memory interface. The sum is memoized:
+     * streams() allocates a fresh vector per call, and the pipeline
+     * asks for totalBytes(), metadataBytes() and
+     * bandwidthUtilization() against immutable encodings. A racing
+     * first call computes the same sum twice and stores it twice —
+     * benign.
+     */
     Bytes
     totalBytes() const
     {
-        Bytes total = 0;
-        for (Bytes s : streams())
-            total += s;
+        Bytes total = cachedTotal.load(std::memory_order_relaxed);
+        if (total == unknownBytes) {
+            total = 0;
+            for (Bytes s : streams())
+                total += s;
+            cachedTotal.store(total, std::memory_order_relaxed);
+        }
         return total;
     }
 
@@ -92,6 +108,12 @@ class EncodedTile
   protected:
     Index p;
     Index _nnz;
+
+  private:
+    /** Sentinel: the sum of streams() has not been computed yet. */
+    static constexpr Bytes unknownBytes = ~Bytes(0);
+
+    mutable std::atomic<Bytes> cachedTotal{unknownBytes};
 };
 
 /**

@@ -9,13 +9,13 @@ std::unique_ptr<EncodedTile>
 JdsCodec::encode(const Tile &tile) const
 {
     const Index p = tile.size();
-    auto encoded = std::make_unique<JdsEncoded>(p, tile.nnz());
+    const auto &nz = tile.nonzeros();
+    const TileStats &feat = tile.features();
+    auto encoded = std::make_unique<JdsEncoded>(p, feat.nnz);
 
     // Sort rows by descending non-zero count; stable keeps ties in
     // original order so the permutation is deterministic.
-    std::vector<Index> row_nnz(p);
-    for (Index r = 0; r < p; ++r)
-        row_nnz[r] = tile.rowNnz(r);
+    const std::vector<Index> &row_nnz = feat.rowNnz;
     encoded->perm.resize(p);
     std::iota(encoded->perm.begin(), encoded->perm.end(), Index(0));
     std::stable_sort(encoded->perm.begin(), encoded->perm.end(),
@@ -23,23 +23,20 @@ JdsCodec::encode(const Tile &tile) const
                          return row_nnz[a] > row_nnz[b];
                      });
 
-    // Left-compacted column lists per row, in sorted order.
-    std::vector<std::vector<std::pair<Index, Value>>> compact(p);
-    for (Index k = 0; k < p; ++k) {
-        const Index r = encoded->perm[k];
-        for (Index c = 0; c < p; ++c) {
-            const Value v = tile(r, c);
-            if (v != Value(0))
-                compact[k].push_back({c, v});
-        }
-    }
-
+    // Jagged-diagonal-major emission straight off the nonzero stream:
+    // entry j of permuted row k is nz[rowStart[perm[k]] + j], already
+    // column-sorted.
     const Index width = p == 0 ? 0 : row_nnz[encoded->perm[0]];
+    encoded->colInx.reserve(nz.size());
+    encoded->values.reserve(nz.size());
+    encoded->jdPtr.reserve(static_cast<std::size_t>(width) + 1);
     encoded->jdPtr.push_back(0);
     for (Index j = 0; j < width; ++j) {
-        for (Index k = 0; k < p && compact[k].size() > j; ++k) {
-            encoded->colInx.push_back(compact[k][j].first);
-            encoded->values.push_back(compact[k][j].second);
+        for (Index k = 0; k < p && row_nnz[encoded->perm[k]] > j; ++k) {
+            const TileNonzero &e =
+                nz[feat.rowStart[encoded->perm[k]] + j];
+            encoded->colInx.push_back(e.col);
+            encoded->values.push_back(e.value);
         }
         encoded->jdPtr.push_back(
             static_cast<Index>(encoded->values.size()));
@@ -60,7 +57,7 @@ JdsCodec::decode(const EncodedTile &encoded) const
         // Diagonal j covers the first (end - begin) sorted rows.
         for (Index i = begin; i < end; ++i) {
             const Index row = jds.perm[i - begin];
-            tile(row, jds.colInx[i]) = jds.values[i];
+            tile.cell(row, jds.colInx[i]) = jds.values[i];
         }
     }
     return tile;

@@ -6,19 +6,18 @@ std::unique_ptr<EncodedTile>
 LilCodec::encode(const Tile &tile) const
 {
     const Index p = tile.size();
+    const auto &nz = tile.nonzeros();
+    const TileStats &feat = tile.features();
     // Height is the longest column plus one all-sentinel terminator row.
-    const Index height = tile.maxColNnz() + 1;
-    auto encoded = std::make_unique<LilEncoded>(p, tile.nnz(), height);
-    for (Index c = 0; c < p; ++c) {
-        Index level = 0;
-        for (Index r = 0; r < p; ++r) {
-            const Value v = tile(r, c);
-            if (v != Value(0)) {
-                encoded->valueAt(level, c) = v;
-                encoded->rowAt(level, c) = r;
-                ++level;
-            }
-        }
+    const Index height = feat.maxColNnz + 1;
+    auto encoded = std::make_unique<LilEncoded>(p, feat.nnz, height);
+    // The row-major stream visits each column's rows in ascending
+    // order, so per-column level counters reproduce the column scan.
+    std::vector<Index> level(p, 0);
+    for (const TileNonzero &e : nz) {
+        const Index l = level[e.col]++;
+        encoded->valueAt(l, e.col) = e.value;
+        encoded->rowAt(l, e.col) = e.row;
     }
     return encoded;
 }
@@ -34,7 +33,7 @@ LilCodec::decode(const EncodedTile &encoded) const
             const Index row = lil.rowAt(level, c);
             if (row == LilEncoded::endMarker)
                 break;
-            tile(row, c) = lil.valueAt(level, c);
+            tile.cell(row, c) = lil.valueAt(level, c);
         }
     }
     return tile;

@@ -16,26 +16,26 @@ SellCodec::encode(const Tile &tile) const
 {
     const Index p = tile.size();
     fatalIf(p % c != 0, "SELL slice height must divide the tile size");
-    auto encoded = std::make_unique<SellEncoded>(p, tile.nnz(), c);
+    const auto &nz = tile.nonzeros();
+    const TileStats &feat = tile.features();
+    auto encoded = std::make_unique<SellEncoded>(p, feat.nnz, c);
+    encoded->slices.reserve(p / c);
     for (Index base = 0; base < p; base += c) {
         SellSlice slice;
         for (Index r = base; r < base + c; ++r)
-            slice.width = std::max(slice.width, tile.rowNnz(r));
+            slice.width = std::max(slice.width, feat.rowNnz[r]);
         slice.values.assign(static_cast<std::size_t>(c) * slice.width,
                             Value(0));
         slice.colInx.assign(static_cast<std::size_t>(c) * slice.width,
                             SellEncoded::padMarker);
-        for (Index r = 0; r < c; ++r) {
-            Index slot = 0;
-            for (Index col = 0; col < p; ++col) {
-                const Value v = tile(base + r, col);
-                if (v != Value(0)) {
-                    const auto at = static_cast<std::size_t>(r) *
-                                    slice.width + slot;
-                    slice.values[at] = v;
-                    slice.colInx[at] = col;
-                    ++slot;
-                }
+        for (Index r = base; r < base + c; ++r) {
+            for (Index i = feat.rowStart[r]; i < feat.rowStart[r + 1];
+                 ++i) {
+                const auto at =
+                    static_cast<std::size_t>(r - base) * slice.width +
+                    (i - feat.rowStart[r]);
+                slice.values[at] = nz[i].value;
+                slice.colInx[at] = nz[i].col;
             }
         }
         encoded->slices.push_back(std::move(slice));
@@ -60,7 +60,7 @@ SellCodec::decode(const EncodedTile &encoded) const
                 const Index col = slice.colInx[at];
                 if (col == SellEncoded::padMarker)
                     break;
-                tile(base + r, col) = slice.values[at];
+                tile.cell(base + r, col) = slice.values[at];
             }
         }
     }

@@ -22,13 +22,14 @@ SellCsCodec::encode(const Tile &tile) const
     const Index p = tile.size();
     fatalIf(p % sigma != 0,
             "SELL-C-sigma window must divide the tile size");
-    auto encoded = std::make_unique<SellCsEncoded>(p, tile.nnz(), c,
+    const auto &nz = tile.nonzeros();
+    const TileStats &feat = tile.features();
+    auto encoded = std::make_unique<SellCsEncoded>(p, feat.nnz, c,
                                                    sigma);
 
-    // Sort rows by descending length within each sigma window.
-    std::vector<Index> row_nnz(p);
-    for (Index r = 0; r < p; ++r)
-        row_nnz[r] = tile.rowNnz(r);
+    // Sort rows by descending length within each sigma window; stable
+    // keeps ties in original order so the permutation is deterministic.
+    const std::vector<Index> &row_nnz = feat.rowNnz;
     encoded->perm.resize(p);
     std::iota(encoded->perm.begin(), encoded->perm.end(), Index(0));
     for (Index base = 0; base < p; base += sigma) {
@@ -39,7 +40,9 @@ SellCsCodec::encode(const Tile &tile) const
                          });
     }
 
-    // Sliced ELL over the permuted row order.
+    // Sliced ELL over the permuted row order; rowStart hands each
+    // permuted row its nonzero run directly.
+    encoded->slices.reserve(p / c);
     for (Index base = 0; base < p; base += c) {
         SellSlice slice;
         for (Index k = base; k < base + c; ++k)
@@ -51,16 +54,12 @@ SellCsCodec::encode(const Tile &tile) const
                             SellCsEncoded::padMarker);
         for (Index k = 0; k < c; ++k) {
             const Index row = encoded->perm[base + k];
-            Index slot = 0;
-            for (Index col = 0; col < p; ++col) {
-                const Value v = tile(row, col);
-                if (v != Value(0)) {
-                    const auto at = static_cast<std::size_t>(k) *
-                                    slice.width + slot;
-                    slice.values[at] = v;
-                    slice.colInx[at] = col;
-                    ++slot;
-                }
+            for (Index i = feat.rowStart[row];
+                 i < feat.rowStart[row + 1]; ++i) {
+                const auto at = static_cast<std::size_t>(k) *
+                                slice.width + (i - feat.rowStart[row]);
+                slice.values[at] = nz[i].value;
+                slice.colInx[at] = nz[i].col;
             }
         }
         encoded->slices.push_back(std::move(slice));
@@ -87,7 +86,7 @@ SellCsCodec::decode(const EncodedTile &encoded) const
                 const Index col = slice.colInx[at];
                 if (col == SellCsEncoded::padMarker)
                     break;
-                tile(row, col) = slice.values[at];
+                tile.cell(row, col) = slice.values[at];
             }
         }
     }

@@ -1,7 +1,7 @@
 #include "formats/size_model.hh"
 
 #include <algorithm>
-#include <set>
+#include <functional>
 
 #include "common/status.hh"
 
@@ -10,40 +10,32 @@ namespace copernicus {
 TileShape
 measureTile(const Tile &tile, const FormatParams &params)
 {
+    const TileStats &feat = tile.features();
     TileShape shape;
     shape.p = tile.size();
-    shape.nnz = tile.nnz();
-    shape.maxRowNnz = tile.maxRowNnz();
-    shape.maxColNnz = tile.maxColNnz();
+    shape.nnz = feat.nnz;
+    shape.maxRowNnz = feat.maxRowNnz;
+    shape.maxColNnz = feat.maxColNnz;
+    shape.nnzDiagonals = feat.nnzDiagonals;
 
     const Index p = tile.size();
+    const auto &nz = tile.nonzeros();
+    const std::vector<Index> &row_nnz = feat.rowNnz;
 
-    // Non-zero BCSR blocks.
+    // Non-zero BCSR blocks: mark each nonzero's block in one pass.
     const Index b = params.bcsrBlock;
     if (p % b == 0) {
-        for (Index br = 0; br < p; br += b) {
-            for (Index bc = 0; bc < p; bc += b) {
-                bool non_zero = false;
-                for (Index r = br; r < br + b && !non_zero; ++r)
-                    for (Index c = bc; c < bc + b; ++c)
-                        non_zero |= tile(r, c) != Value(0);
-                shape.nnzBlocks += non_zero;
-            }
-        }
+        const Index grid = p / b;
+        std::vector<char> blockSet(static_cast<std::size_t>(grid) * grid,
+                                   0);
+        for (const TileNonzero &e : nz)
+            blockSet[static_cast<std::size_t>(e.row / b) * grid +
+                     e.col / b] = 1;
+        for (const char set : blockSet)
+            shape.nnzBlocks += set != 0;
     }
 
-    // Non-zero diagonals.
-    std::set<std::int64_t> diagonals;
-    for (Index r = 0; r < p; ++r)
-        for (Index c = 0; c < p; ++c)
-            if (tile(r, c) != Value(0))
-                diagonals.insert(static_cast<std::int64_t>(c) - r);
-    shape.nnzDiagonals = static_cast<Index>(diagonals.size());
-
     // Per-slice widths, plain and window-sorted.
-    std::vector<Index> row_nnz(p);
-    for (Index r = 0; r < p; ++r)
-        row_nnz[r] = tile.rowNnz(r);
     const Index c = params.sellSlice;
     if (p % c == 0) {
         for (Index base = 0; base < p; base += c) {

@@ -1,12 +1,57 @@
 #include "matrix/partitioner.hh"
 
 #include <algorithm>
-#include <map>
+#include <cstdint>
+#include <unordered_map>
 
 #include "common/math.hh"
 #include "common/status.hh"
 
 namespace copernicus {
+
+namespace {
+
+/** Tile id of one triplet: row-major position in the partition grid. */
+inline std::uint64_t
+tileIdOf(const Triplet &t, Index partitionSize, Index gridCols)
+{
+    return static_cast<std::uint64_t>(t.row / partitionSize) * gridCols +
+           t.col / partitionSize;
+}
+
+/**
+ * Occupied tile ids in row-major order plus the entry count of each.
+ *
+ * Counting over a dense per-tile array is the O(nnz + grid) fast path;
+ * a hash map plus one sort of the *occupied* ids (O(nnz + t log t))
+ * covers grids too large to allocate densely (huge hypersparse
+ * matrices at small p).
+ */
+std::vector<std::pair<std::uint64_t, Index>>
+countTileEntries(const TripletMatrix &matrix, Index partitionSize,
+                 Index gridCols, std::uint64_t grid)
+{
+    std::vector<std::pair<std::uint64_t, Index>> occupied;
+    constexpr std::uint64_t denseGridLimit = 1ULL << 24;
+    if (grid <= denseGridLimit) {
+        std::vector<Index> counts(grid, 0);
+        for (const Triplet &t : matrix.triplets())
+            ++counts[tileIdOf(t, partitionSize, gridCols)];
+        for (std::uint64_t id = 0; id < grid; ++id)
+            if (counts[id] != 0)
+                occupied.emplace_back(id, counts[id]);
+    } else {
+        std::unordered_map<std::uint64_t, Index> counts;
+        counts.reserve(matrix.nnz());
+        for (const Triplet &t : matrix.triplets())
+            ++counts[tileIdOf(t, partitionSize, gridCols)];
+        occupied.assign(counts.begin(), counts.end());
+        std::sort(occupied.begin(), occupied.end());
+    }
+    return occupied;
+}
+
+} // namespace
 
 Partitioning
 partition(const TripletMatrix &matrix, Index partitionSize)
@@ -20,30 +65,40 @@ partition(const TripletMatrix &matrix, Index partitionSize)
         static_cast<Index>(ceilDiv(matrix.rows(), partitionSize));
     result.gridCols =
         static_cast<Index>(ceilDiv(matrix.cols(), partitionSize));
+    const std::uint64_t grid =
+        static_cast<std::uint64_t>(result.gridRows) * result.gridCols;
 
-    // Bucket entries by tile coordinate. The map keeps tiles ordered by
-    // (tileRow, tileCol), which is the streaming order of the platform.
-    std::map<std::pair<Index, Index>, Tile> buckets;
-    for (const auto &t : matrix.triplets()) {
-        const Index tr = t.row / partitionSize;
-        const Index tc = t.col / partitionSize;
-        auto it = buckets.find({tr, tc});
-        if (it == buckets.end()) {
-            it = buckets.emplace(std::make_pair(tr, tc),
-                                 Tile(partitionSize, tr, tc)).first;
-        }
-        it->second(t.row % partitionSize, t.col % partitionSize) = t.value;
+    // Single-pass bucket sort by tile id. finalize() ordered the
+    // triplets row-major, so a stable scatter leaves every bucket
+    // sorted row-major in tile-local coordinates — exactly the
+    // canonical nonzero stream the Tile constructor wants. Entries
+    // that summed to zero during finalize() never reach here, so
+    // every bucketed tile is genuinely non-zero.
+    const auto occupied =
+        countTileEntries(matrix, partitionSize, result.gridCols, grid);
+
+    std::unordered_map<std::uint64_t, std::size_t> slotOf;
+    slotOf.reserve(occupied.size());
+    std::vector<std::vector<TileNonzero>> buckets(occupied.size());
+    for (std::size_t i = 0; i < occupied.size(); ++i) {
+        slotOf.emplace(occupied[i].first, i);
+        buckets[i].reserve(occupied[i].second);
+    }
+    for (const Triplet &t : matrix.triplets()) {
+        const std::uint64_t id =
+            tileIdOf(t, partitionSize, result.gridCols);
+        buckets[slotOf.find(id)->second].push_back(
+            {t.row % partitionSize, t.col % partitionSize, t.value});
     }
 
-    result.tiles.reserve(buckets.size());
-    for (auto &kv : buckets) {
-        // Entries that summed to zero during finalize() never reach here,
-        // so every bucketed tile is genuinely non-zero.
-        result.tiles.push_back(std::move(kv.second));
+    result.tiles.reserve(occupied.size());
+    for (std::size_t i = 0; i < occupied.size(); ++i) {
+        const std::uint64_t id = occupied[i].first;
+        result.tiles.emplace_back(
+            partitionSize, static_cast<Index>(id / result.gridCols),
+            static_cast<Index>(id % result.gridCols),
+            std::move(buckets[i]));
     }
-
-    const std::size_t grid = static_cast<std::size_t>(result.gridRows) *
-                             result.gridCols;
     result.zeroTiles = grid - result.tiles.size();
     return result;
 }

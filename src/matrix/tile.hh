@@ -1,19 +1,34 @@
 /**
  * @file
- * Tile: one p x p partition of a sparse matrix in dense form.
+ * Tile: one p x p partition of a sparse matrix.
  *
  * The paper applies every compression format to fixed-size partitions of
  * the original matrix (Section 4.1), never to the full matrix, so the
  * format codecs and decompressor models all operate on Tiles. Partition
- * sizes are small (8, 16 or 32), which makes the dense representation the
- * natural exchange format between the partitioner and the codecs.
+ * sizes are small (8, 16 or 32), which keeps a dense p x p store cheap as
+ * the exchange representation for decode and equality — but the *encode*
+ * hot path is density-proportional: every tile carries a canonical
+ * sorted-nonzero view (row-major (row, col, value) triplets) plus a
+ * one-shot TileStats bundle (per-row/column histograms, maxima,
+ * diagonal population) that the codecs, the size model and the schedule
+ * feature extraction all share, so no consumer rescans the p^2 cells.
+ *
+ * The view is built once — eagerly by the partitioner (from the already
+ * sorted triplet stream, O(nnz)) or lazily on first use (one dense scan)
+ * — and cached. Concurrent const access is safe: the lazy build installs
+ * the view with a compare-exchange, so racing readers agree on one
+ * instance. Mutation through a non-const accessor invalidates the cache;
+ * mutating a tile while other threads read it is a data race, exactly as
+ * for any standard container.
  */
 
 #ifndef COPERNICUS_MATRIX_TILE_HH
 #define COPERNICUS_MATRIX_TILE_HH
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "common/status.hh"
@@ -21,7 +36,52 @@
 
 namespace copernicus {
 
-/** Square dense tile of a partitioned sparse matrix. */
+/** One non-zero of a tile, in tile-local coordinates. */
+struct TileNonzero
+{
+    Index row = 0;
+    Index col = 0;
+    Value value = 0;
+
+    friend bool
+    operator==(const TileNonzero &a, const TileNonzero &b)
+    {
+        return a.row == b.row && a.col == b.col && a.value == b.value;
+    }
+};
+
+/**
+ * Sparsity features of one tile, computed in one O(nnz + p) pass and
+ * shared by every consumer (codecs, size model, schedule IR).
+ */
+struct TileStats
+{
+    /** Non-zero count. */
+    Index nnz = 0;
+
+    /** Non-zeros per row / per column; length p each. */
+    std::vector<Index> rowNnz;
+    std::vector<Index> colNnz;
+
+    /**
+     * Prefix sums of rowNnz into the canonical nonzero list: row r
+     * occupies [rowStart[r], rowStart[r + 1]). Length p + 1.
+     */
+    std::vector<Index> rowStart;
+
+    /** Longest row / column, in non-zeros. */
+    Index maxRowNnz = 0;
+    Index maxColNnz = 0;
+
+    /** Rows / columns with at least one non-zero. */
+    Index nnzRows = 0;
+    Index nnzCols = 0;
+
+    /** Populated diagonals (distinct col - row values). */
+    Index nnzDiagonals = 0;
+};
+
+/** Square tile of a partitioned sparse matrix. */
 class Tile
 {
   public:
@@ -39,6 +99,77 @@ class Tile
         fatalIf(size == 0, "Tile size must be positive");
     }
 
+    /**
+     * Construct directly from the canonical nonzero stream (the
+     * partitioner's O(nnz) path): @p nz must be sorted row-major with
+     * in-range coordinates and non-zero values. The sparse view and
+     * features are installed immediately — no dense rescan ever runs
+     * for a tile built this way.
+     */
+    Tile(Index size, Index tileRow, Index tileCol,
+         std::vector<TileNonzero> nz)
+        : Tile(size, tileRow, tileCol)
+    {
+        for (const TileNonzero &e : nz) {
+            COPERNICUS_DCHECK(e.row < p && e.col < p,
+                              "Tile nonzero out of range");
+            COPERNICUS_DCHECK(e.value != Value(0),
+                              "Tile nonzero stream holds a zero");
+            store[static_cast<std::size_t>(e.row) * p + e.col] = e.value;
+        }
+        cachedView.store(new SparseView(buildFeatures(p, std::move(nz))),
+                         std::memory_order_release);
+    }
+
+    ~Tile() { delete cachedView.load(std::memory_order_relaxed); }
+
+    Tile(const Tile &other)
+        : p(other.p), tRow(other.tRow), tCol(other.tCol),
+          store(other.store)
+    {
+        const SparseView *v =
+            other.cachedView.load(std::memory_order_acquire);
+        if (v != nullptr)
+            cachedView.store(new SparseView(*v),
+                             std::memory_order_release);
+    }
+
+    Tile(Tile &&other) noexcept
+        : p(other.p), tRow(other.tRow), tCol(other.tCol),
+          store(std::move(other.store))
+    {
+        cachedView.store(
+            other.cachedView.exchange(nullptr,
+                                      std::memory_order_acq_rel),
+            std::memory_order_release);
+    }
+
+    Tile &
+    operator=(const Tile &other)
+    {
+        if (this != &other) {
+            Tile copy(other);
+            *this = std::move(copy);
+        }
+        return *this;
+    }
+
+    Tile &
+    operator=(Tile &&other) noexcept
+    {
+        if (this != &other) {
+            p = other.p;
+            tRow = other.tRow;
+            tCol = other.tCol;
+            store = std::move(other.store);
+            delete cachedView.exchange(
+                other.cachedView.exchange(nullptr,
+                                          std::memory_order_acq_rel),
+                std::memory_order_acq_rel);
+        }
+        return *this;
+    }
+
     /** Partition edge length p. */
     Index size() const { return p; }
 
@@ -53,6 +184,7 @@ class Tile
     operator()(Index row, Index col)
     {
         panicIf(row >= p || col >= p, "Tile access out of range");
+        invalidateView();
         return store[static_cast<std::size_t>(row) * p + col];
     }
 
@@ -64,65 +196,65 @@ class Tile
         return store[static_cast<std::size_t>(row) * p + col];
     }
 
-    /** Number of non-zero elements. */
-    Index
-    nnz() const
+    /**
+     * Mutable element access for decode inner loops: bounds are
+     * checked in debug builds only (COPERNICUS_DCHECK).
+     */
+    Value &
+    cell(Index row, Index col)
     {
-        Index count = 0;
-        for (Value v : store)
-            count += v != Value(0);
-        return count;
+        COPERNICUS_DCHECK(row < p && col < p,
+                          "Tile access out of range");
+        invalidateView();
+        return store[static_cast<std::size_t>(row) * p + col];
     }
+
+    /** Const element access, debug-checked only. */
+    Value
+    cell(Index row, Index col) const
+    {
+        COPERNICUS_DCHECK(row < p && col < p,
+                          "Tile access out of range");
+        return store[static_cast<std::size_t>(row) * p + col];
+    }
+
+    /**
+     * The canonical nonzero stream: tile-local (row, col, value)
+     * triplets sorted row-major. Built once and cached; the reference
+     * stays valid until the tile is mutated.
+     */
+    const std::vector<TileNonzero> &nonzeros() const { return view().nz; }
+
+    /** One-shot sparsity features, computed with the nonzero view. */
+    const TileStats &features() const { return view().feat; }
+
+    /** Number of non-zero elements. */
+    Index nnz() const { return features().nnz; }
 
     /** Number of non-zero elements in @p row. */
     Index
     rowNnz(Index row) const
     {
-        Index count = 0;
-        for (Index c = 0; c < p; ++c)
-            count += (*this)(row, c) != Value(0);
-        return count;
+        panicIf(row >= p, "Tile rowNnz out of range");
+        return features().rowNnz[row];
     }
 
     /** Number of non-zero elements in @p col. */
     Index
     colNnz(Index col) const
     {
-        Index count = 0;
-        for (Index r = 0; r < p; ++r)
-            count += (*this)(r, col) != Value(0);
-        return count;
+        panicIf(col >= p, "Tile colNnz out of range");
+        return features().colNnz[col];
     }
 
     /** Number of rows with at least one non-zero. */
-    Index
-    nnzRows() const
-    {
-        Index count = 0;
-        for (Index r = 0; r < p; ++r)
-            count += rowNnz(r) != 0;
-        return count;
-    }
+    Index nnzRows() const { return features().nnzRows; }
 
     /** Length of the longest row, in non-zeros. */
-    Index
-    maxRowNnz() const
-    {
-        Index best = 0;
-        for (Index r = 0; r < p; ++r)
-            best = std::max(best, rowNnz(r));
-        return best;
-    }
+    Index maxRowNnz() const { return features().maxRowNnz; }
 
     /** Length of the longest column, in non-zeros. */
-    Index
-    maxColNnz() const
-    {
-        Index best = 0;
-        for (Index c = 0; c < p; ++c)
-            best = std::max(best, colNnz(c));
-        return best;
-    }
+    Index maxColNnz() const { return features().maxColNnz; }
 
     /** True iff the tile holds no non-zero element. */
     bool empty() const { return nnz() == 0; }
@@ -138,10 +270,103 @@ class Tile
     }
 
   private:
+    /** The cached sparse representation: nonzeros + features. */
+    struct SparseView
+    {
+        explicit SparseView(
+            std::pair<std::vector<TileNonzero>, TileStats> built)
+            : nz(std::move(built.first)), feat(std::move(built.second))
+        {}
+
+        std::vector<TileNonzero> nz;
+        TileStats feat;
+    };
+
+    /** Feature pass shared by the dense and triplet build paths. */
+    static std::pair<std::vector<TileNonzero>, TileStats>
+    buildFeatures(Index p, std::vector<TileNonzero> nz)
+    {
+        TileStats feat;
+        feat.nnz = static_cast<Index>(nz.size());
+        feat.rowNnz.assign(p, 0);
+        feat.colNnz.assign(p, 0);
+        feat.rowStart.assign(static_cast<std::size_t>(p) + 1, 0);
+        std::vector<char> diag(2 * static_cast<std::size_t>(p) - 1, 0);
+        for (const TileNonzero &e : nz) {
+            ++feat.rowNnz[e.row];
+            ++feat.colNnz[e.col];
+            diag[static_cast<std::size_t>(p) - 1 - e.row + e.col] = 1;
+        }
+        for (Index r = 0; r < p; ++r) {
+            feat.rowStart[r + 1] = feat.rowStart[r] + feat.rowNnz[r];
+            feat.maxRowNnz = std::max(feat.maxRowNnz, feat.rowNnz[r]);
+            feat.nnzRows += feat.rowNnz[r] != 0;
+        }
+        for (Index c = 0; c < p; ++c) {
+            feat.maxColNnz = std::max(feat.maxColNnz, feat.colNnz[c]);
+            feat.nnzCols += feat.colNnz[c] != 0;
+        }
+        for (char present : diag)
+            feat.nnzDiagonals += present != 0;
+        return {std::move(nz), std::move(feat)};
+    }
+
+    /** Extract the sorted nonzero stream from the dense store. */
+    std::vector<TileNonzero>
+    scanStore() const
+    {
+        std::vector<TileNonzero> nz;
+        for (Index r = 0; r < p; ++r) {
+            const std::size_t base = static_cast<std::size_t>(r) * p;
+            for (Index c = 0; c < p; ++c) {
+                const Value v = store[base + c];
+                if (v != Value(0))
+                    nz.push_back({r, c, v});
+            }
+        }
+        return nz;
+    }
+
+    /**
+     * The cached view, built on first use. Concurrent builders race
+     * benignly: both compute identical views and the compare-exchange
+     * keeps exactly one.
+     */
+    const SparseView &
+    view() const
+    {
+        const SparseView *v = cachedView.load(std::memory_order_acquire);
+        if (v != nullptr)
+            return *v;
+        auto *built = new SparseView(buildFeatures(p, scanStore()));
+        const SparseView *expected = nullptr;
+        if (cachedView.compare_exchange_strong(
+                expected, built, std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+            return *built;
+        }
+        delete built;
+        return *expected;
+    }
+
+    /**
+     * Drop the cached view before a write. Plain exchange: mutation
+     * implies exclusive ownership (concurrent readers would already
+     * race on the store itself).
+     */
+    void
+    invalidateView()
+    {
+        if (cachedView.load(std::memory_order_relaxed) != nullptr)
+            delete cachedView.exchange(nullptr,
+                                       std::memory_order_acq_rel);
+    }
+
     Index p;
     Index tRow;
     Index tCol;
     std::vector<Value> store;
+    mutable std::atomic<const SparseView *> cachedView{nullptr};
 };
 
 } // namespace copernicus
