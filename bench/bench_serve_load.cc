@@ -19,6 +19,13 @@
  * Request mix (closed loop, per iteration): 70% ping (queue-dynamics
  * probe), 20% advise (small real work), 10% plan_formats (heavier
  * work, exercises the shared encode cache across clients).
+ *
+ * The main levels run with the observability plane on (the daemon's
+ * default: spans, wide events, trace ids). A final at-capacity level
+ * reruns against a plane-off server and the JSON records both p99s
+ * plus the overhead fraction — the number the plane's "always on"
+ * claim rests on. Reported, not asserted: wall-clock latency on shared
+ * CI is too noisy for a hard gate.
  */
 
 #include <algorithm>
@@ -226,6 +233,35 @@ main(int argc, char **argv)
     server.beginShutdown();
     server.waitDrained();
 
+    // Observability overhead: the at-capacity level again, against a
+    // fresh server with the plane off. Same socket-path discipline,
+    // different path, so a crashed prior run can't alias it.
+    const unsigned overheadClients =
+        static_cast<unsigned>(queueCapacity);
+    std::printf("overhead level: %u clients x %zu iterations "
+                "(observability off)...\n",
+                overheadClients, iterations);
+    const std::string offSocketPath =
+        "/tmp/copernicus_bench_serve_off.sock";
+    ServeOptions offOptions;
+    offOptions.socketPath = offSocketPath;
+    offOptions.queueCapacity = queueCapacity;
+    offOptions.checkRegistry = false;
+    offOptions.observability = false;
+    Server offServer(std::move(offOptions));
+    offServer.start();
+    const LevelResult offResult =
+        runLevel(offSocketPath, overheadClients, iterations);
+    offServer.beginShutdown();
+    offServer.waitDrained();
+
+    // results[1] is the at-capacity plane-on run of the same shape.
+    const LevelResult &onResult = results[1];
+    const double overheadFrac =
+        offResult.p99Us > 0
+            ? (onResult.p99Us - offResult.p99Us) / offResult.p99Us
+            : 0.0;
+
     std::printf("\n%-8s %10s %10s %8s %12s %10s %10s %10s\n", "clients",
                 "completed", "rejected", "rej %", "rps", "p50 us",
                 "p95 us", "p99 us");
@@ -236,6 +272,10 @@ main(int argc, char **argv)
                     100 * r.rejectRate(), r.throughputRps(), r.p50Us,
                     r.p95Us, r.p99Us);
     }
+    std::printf("\nobservability overhead at %u clients: p99 %.1f us "
+                "(on) vs %.1f us (off), %+.1f%%\n",
+                overheadClients, onResult.p99Us, offResult.p99Us,
+                100 * overheadFrac);
 
     const char *jsonPath = "BENCH_serve_load.json";
     std::ofstream json(jsonPath);
@@ -260,7 +300,14 @@ main(int argc, char **argv)
         writeJsonNumber(json, r.p99Us);
         json << '}' << (i + 1 < results.size() ? "," : "") << '\n';
     }
-    json << "  ]\n}\n";
+    json << "  ],\n  \"observability\": {\"clients\": "
+         << overheadClients << ", \"p99_on_us\": ";
+    writeJsonNumber(json, onResult.p99Us);
+    json << ", \"p99_off_us\": ";
+    writeJsonNumber(json, offResult.p99Us);
+    json << ", \"p99_overhead_frac\": ";
+    writeJsonNumber(json, overheadFrac);
+    json << "}\n}\n";
     std::cout << "wrote " << jsonPath << '\n';
     return 0;
 }

@@ -41,21 +41,46 @@
  * In client mode the raw response line is printed to stdout and the
  * exit status reflects the response's "ok" field.
  *
+ * Observability client modes (need --connect/--connect-tcp except
+ * --check-exposition, which is offline):
+ *
+ *   --metrics              scrape the daemon's Prometheus exposition
+ *                          and print the raw text body
+ *   --check-exposition F   validate file F against the Prometheus
+ *                          text-format rules (TYPE before samples, no
+ *                          family interleaving, monotonic cumulative
+ *                          histogram buckets, +Inf == _count); exit
+ *                          nonzero with a diagnostic on violation
+ *   --top                  poll the stats endpoint and render a live
+ *                          per-endpoint board: request counts,
+ *                          p50/p95/p99 latency, cache hit rate, queue
+ *                          depth, and in-flight request ages
+ *   --interval-ms MS       --top refresh period (default 1000)
+ *   --iters N              stop --top after N refreshes (default:
+ *                          until the connection drops or Ctrl-C)
+ *
  * Prints the full format x partition metric table, the Figure-3
  * partition statistics, the adaptive per-tile plan, and the advisor's
  * per-goal recommendations.
  */
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <sstream>
+#include <thread>
+
+#include <unistd.h>
 
 #include "analysis/schedule_check.hh"
 #include "analysis/stats_report.hh"
 #include "analysis/table_writer.hh"
+#include "common/prometheus.hh"
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
 #include "formats/encode_cache.hh"
@@ -103,6 +128,13 @@ struct CliOptions
     std::string op = "ping";
     std::string paramsJson;
     double timeoutMs = 0;
+
+    /** Observability client modes. */
+    bool metrics = false;
+    bool top = false;
+    std::string checkExpositionPath;
+    double intervalMs = 1000;
+    long topIters = 0; ///< 0 = poll until the connection drops
 };
 
 CliOptions
@@ -144,11 +176,194 @@ parseArgs(int argc, char **argv)
             opts.timeoutMs = std::strtod(argv[++i], nullptr);
             fatalIf(opts.timeoutMs < 0,
                     "--timeout-ms wants a non-negative value");
+        } else if (arg == "--metrics") {
+            opts.metrics = true;
+        } else if (arg == "--top") {
+            opts.top = true;
+        } else if (arg == "--check-exposition") {
+            fatalIf(i + 1 >= argc,
+                    "--check-exposition needs a file argument");
+            opts.checkExpositionPath = argv[++i];
+        } else if (arg == "--interval-ms") {
+            fatalIf(i + 1 >= argc, "--interval-ms needs a value");
+            opts.intervalMs = std::strtod(argv[++i], nullptr);
+            fatalIf(opts.intervalMs < 0,
+                    "--interval-ms wants a non-negative value");
+        } else if (arg == "--iters") {
+            fatalIf(i + 1 >= argc, "--iters needs a count");
+            opts.topIters = std::strtol(argv[++i], nullptr, 10);
+            fatalIf(opts.topIters < 1,
+                    "--iters wants a positive count");
         } else {
             opts.positional.push_back(arg);
         }
     }
     return opts;
+}
+
+/**
+ * --check-exposition: validate a Prometheus text file offline. This is
+ * the checker the CI serve job runs against a live scrape, so its exit
+ * status is the contract: 0 = valid, 1 = violation (with the reason on
+ * stderr).
+ */
+int
+checkExposition(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "cannot open '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    if (!validatePrometheusText(buf.str(), error)) {
+        std::fprintf(stderr, "check-exposition: %s: %s\n",
+                     path.c_str(), error.c_str());
+        return 1;
+    }
+    std::printf("check-exposition: %s: ok\n", path.c_str());
+    return 0;
+}
+
+/** --metrics: scrape the daemon and print the raw exposition body. */
+int
+scrapeMetrics(ServeClient &client, double timeoutMs)
+{
+    const JsonValue response = client.call("metrics", "", timeoutMs);
+    if (!response.boolOr("ok", false)) {
+        std::fprintf(stderr, "metrics: daemon answered: %s\n",
+                     response.stringOr("error", "unknown").c_str());
+        return 1;
+    }
+    const JsonValue *result = response.find("result");
+    fatalIf(result == nullptr || !result->isObject(),
+            "metrics: response carries no result object");
+    std::fputs(result->stringOr("body", "").c_str(), stdout);
+    return 0;
+}
+
+/** Per-endpoint aggregate assembled from one stats-endpoint poll. */
+struct TopRow
+{
+    double accepted = 0;
+    double completed = 0;
+    double errors = 0;
+    double cacheHits = 0;
+    double cacheMisses = 0;
+    double p50 = 0, p95 = 0, p99 = 0;
+    bool hasLatency = false;
+};
+
+/** Render one --top frame from the stats endpoint's result object. */
+void
+renderTopFrame(const JsonValue &result, long iter)
+{
+    // Fold the serve group's flat stat list ("<endpoint>.accepted",
+    // "<endpoint>.latency_us", ...) into per-endpoint rows. Endpoint
+    // wire names never contain '.', so the first dot splits prefix
+    // from counter; non-endpoint prefixes (bad_lines) simply never
+    // accumulate an "accepted" and are filtered below.
+    std::map<std::string, TopRow> rows;
+    const JsonValue *groups = result.find("groups");
+    if (groups != nullptr && groups->isArray()) {
+        for (const JsonValue &group : groups->elements) {
+            if (group.stringOr("group", "") != "serve")
+                continue;
+            const JsonValue *stats = group.find("stats");
+            if (stats == nullptr || !stats->isArray())
+                continue;
+            for (const JsonValue &stat : stats->elements) {
+                const std::string name = stat.stringOr("name", "");
+                const std::size_t dot = name.find('.');
+                if (dot == std::string::npos)
+                    continue;
+                TopRow &row = rows[name.substr(0, dot)];
+                const std::string what = name.substr(dot + 1);
+                if (what == "accepted")
+                    row.accepted = stat.numberOr("value", 0);
+                else if (what == "completed")
+                    row.completed = stat.numberOr("value", 0);
+                else if (what == "errors")
+                    row.errors = stat.numberOr("value", 0);
+                else if (what == "cache_hits")
+                    row.cacheHits = stat.numberOr("value", 0);
+                else if (what == "cache_misses")
+                    row.cacheMisses = stat.numberOr("value", 0);
+                else if (what == "latency_us" &&
+                         stat.numberOr("samples", 0) > 0) {
+                    row.hasLatency = true;
+                    row.p50 = stat.numberOr("p50", 0);
+                    row.p95 = stat.numberOr("p95", 0);
+                    row.p99 = stat.numberOr("p99", 0);
+                }
+            }
+        }
+    }
+
+    std::printf("copernicus --top  (refresh %ld)  queue_depth %g\n\n",
+                iter, result.numberOr("queue_depth", 0));
+    TableWriter board({"endpoint", "accepted", "ok", "err", "p50 us",
+                       "p95 us", "p99 us", "cache hit %"});
+    for (const auto &[endpoint, row] : rows) {
+        if (row.accepted == 0)
+            continue;
+        const double lookups = row.cacheHits + row.cacheMisses;
+        const auto count = [](double v) {
+            return std::to_string(static_cast<long long>(v));
+        };
+        board.addRow(
+            {endpoint, count(row.accepted), count(row.completed),
+             count(row.errors),
+             row.hasLatency ? TableWriter::num(row.p50, 6) : "-",
+             row.hasLatency ? TableWriter::num(row.p95, 6) : "-",
+             row.hasLatency ? TableWriter::num(row.p99, 6) : "-",
+             lookups > 0
+                 ? TableWriter::num(100 * row.cacheHits / lookups, 3)
+                 : "-"});
+    }
+    board.print(std::cout);
+
+    const JsonValue *inflight = result.find("inflight");
+    if (inflight != nullptr && inflight->isArray() &&
+        !inflight->elements.empty()) {
+        std::printf("\nin flight:");
+        for (const JsonValue &req : inflight->elements)
+            std::printf(" %s#%g(%.0fus)",
+                        req.stringOr("endpoint", "?").c_str(),
+                        req.numberOr("id", 0),
+                        req.numberOr("age_us", 0));
+        std::printf("\n");
+    }
+    std::fflush(stdout);
+}
+
+/** --top: poll the stats endpoint and render the live board. */
+int
+runTop(ServeClient &client, const CliOptions &opts)
+{
+    const bool tty = ::isatty(STDOUT_FILENO) != 0;
+    for (long iter = 1;; ++iter) {
+        const JsonValue response =
+            client.call("stats", "", opts.timeoutMs);
+        if (!response.boolOr("ok", false)) {
+            std::fprintf(stderr, "top: daemon answered: %s\n",
+                         response.stringOr("error", "unknown")
+                             .c_str());
+            return 1;
+        }
+        const JsonValue *result = response.find("result");
+        fatalIf(result == nullptr || !result->isObject(),
+                "top: stats response carries no result object");
+        if (tty)
+            std::printf("\033[H\033[2J"); // home + clear, like top(1)
+        else if (iter > 1)
+            std::printf("\n");
+        renderTopFrame(*result, iter);
+        if (opts.topIters > 0 && iter >= opts.topIters)
+            return 0;
+        std::this_thread::sleep_for(std::chrono::duration<double,
+                                                          std::milli>(
+            opts.intervalMs));
+    }
 }
 
 } // namespace
@@ -157,6 +372,11 @@ int
 main(int argc, char **argv)
 {
     const CliOptions opts = parseArgs(argc, argv);
+    if (!opts.checkExpositionPath.empty())
+        return checkExposition(opts.checkExpositionPath);
+    fatalIf((opts.metrics || opts.top) && opts.connectPath.empty() &&
+                opts.connectTcpPort < 0,
+            "--metrics/--top need --connect or --connect-tcp");
     if (!opts.connectPath.empty() || opts.connectTcpPort >= 0) {
         // Client mode: one request against a running daemon. The raw
         // response line goes to stdout so shell pipelines can parse it.
@@ -164,6 +384,10 @@ main(int argc, char **argv)
             opts.connectTcpPort >= 0
                 ? ServeClient::connectTcp(opts.connectTcpPort)
                 : ServeClient::connectUnix(opts.connectPath);
+        if (opts.metrics)
+            return scrapeMetrics(client, opts.timeoutMs);
+        if (opts.top)
+            return runTop(client, opts);
         std::ostringstream request;
         request << "{\"op\": ";
         writeJsonString(request, opts.op);

@@ -24,6 +24,20 @@
  *   --lint-full        extend the startup check with the grammar and
  *                      model-vs-walker oracle passes (slower)
  *
+ * Observability flags:
+ *
+ *   --flightrec PATH      where the flight recorder dumps (default
+ *                         copernicus_flightrec.json; "" disables the
+ *                         drain-time dump but the recorder stays on)
+ *   --flight-capacity N   wide events retained in the ring
+ *                         (default 512)
+ *   --no-observe          turn the whole observability plane off
+ *                         (spans, wide events, trace ids)
+ *
+ * The flight recorder dumps on three triggers besides drain: SIGQUIT
+ * (kill -QUIT, without stopping the daemon), an uncaught exception
+ * (std::terminate), and the `dump_flightrec` endpoint.
+ *
  * The daemon refuses to start (nonzero exit, diagnostic on stderr)
  * when the format registry fails the static schedule contract check —
  * a server built on a broken schedule model would serve wrong numbers
@@ -32,13 +46,16 @@
  * and traces are flushed, and the process exits 0.
  */
 
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
 
 #include "common/status.hh"
 #include "serve/server.hh"
+#include "trace/flight_recorder.hh"
 
 using namespace copernicus;
 
@@ -48,6 +65,40 @@ void
 onSignal(int)
 {
     Server::requestShutdownFromSignal();
+}
+
+/** Where SIGQUIT / terminate dumps land; set before handlers go in. */
+std::string flightrec_path;
+
+/**
+ * Best-effort black-box dump. Allocating in a signal handler is
+ * technically unsafe; this is the documented flight-recorder trade —
+ * when the process is wedged or dying, a probably-valid artifact
+ * beats a certainly-absent one.
+ */
+void
+dumpFlightRecorder() noexcept
+{
+    try {
+        if (!flightrec_path.empty())
+            FlightRecorder::global().dumpToFile(flightrec_path);
+    } catch (...) {
+        // Nothing sane to do this deep; the dump is best-effort.
+    }
+}
+
+void
+onQuit(int)
+{
+    // kill -QUIT takes a black-box snapshot without stopping service.
+    dumpFlightRecorder();
+}
+
+void
+onTerminate()
+{
+    dumpFlightRecorder();
+    std::abort();
 }
 
 long
@@ -65,6 +116,10 @@ ServeOptions
 parseArgs(int argc, char **argv)
 {
     ServeOptions opts;
+    // Binary-level default: a daemon always leaves a black box behind.
+    // (The ServeOptions default stays "" so embedding a Server in
+    // tests writes no stray files.)
+    opts.flightRecPath = "copernicus_flightrec.json";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--socket") {
@@ -101,6 +156,17 @@ parseArgs(int argc, char **argv)
             opts.checkRegistry = false;
         } else if (arg == "--lint-full") {
             opts.fullLint = true;
+        } else if (arg == "--flightrec") {
+            fatalIf(i + 1 >= argc, "--flightrec needs a path");
+            opts.flightRecPath = argv[++i];
+        } else if (arg == "--flight-capacity") {
+            const long n =
+                numberArg(argc, argv, i, "--flight-capacity");
+            fatalIf(n < 1, "--flight-capacity wants a positive count");
+            opts.flightRecorderCapacity =
+                static_cast<std::size_t>(n);
+        } else if (arg == "--no-observe") {
+            opts.observability = false;
         } else {
             fatal("copernicus_serve: unknown argument '" + arg + "'");
         }
@@ -118,6 +184,11 @@ main(int argc, char **argv)
         server.start();
         std::signal(SIGINT, onSignal);
         std::signal(SIGTERM, onSignal);
+        if (server.options().observability) {
+            flightrec_path = server.options().flightRecPath;
+            std::signal(SIGQUIT, onQuit);
+            std::set_terminate(onTerminate);
+        }
         if (server.options().tcpPort >= 0)
             std::printf("copernicus_serve: port %d\n", server.tcpPort());
         std::fflush(stdout);

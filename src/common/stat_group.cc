@@ -98,6 +98,7 @@ DistributionStat::sample(double v)
 {
     const std::lock_guard<std::mutex> lock(mutex);
     ++count;
+    sum += v;
     min_seen = std::min(min_seen, v);
     max_seen = std::max(max_seen, v);
     if (v < lo) {
@@ -111,6 +112,74 @@ DistributionStat::sample(double v)
             bucket = bins.size() - 1; // guard float edge
         ++bins[bucket];
     }
+}
+
+DistributionStat::Snapshot
+DistributionStat::snapshotLocked() const
+{
+    Snapshot snap;
+    snap.lo = lo;
+    snap.hi = hi;
+    snap.bins = bins;
+    snap.underflow = underflow;
+    snap.overflow = overflow;
+    snap.count = count;
+    snap.min = min_seen;
+    snap.max = max_seen;
+    snap.sum = sum;
+    return snap;
+}
+
+DistributionStat::Snapshot
+DistributionStat::snapshot() const
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+    return snapshotLocked();
+}
+
+std::uint64_t
+DistributionStat::samples() const
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+    return count;
+}
+
+double
+DistributionStat::minSample() const
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+    return min_seen;
+}
+
+double
+DistributionStat::maxSample() const
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+    return max_seen;
+}
+
+double
+DistributionStat::sumSamples() const
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+    return sum;
+}
+
+void
+DistributionStat::Snapshot::merge(const Snapshot &other)
+{
+    fatalIf(lo != other.lo || hi != other.hi ||
+                bins.size() != other.bins.size(),
+            "DistributionStat::Snapshot::merge: mismatched bucket "
+            "configuration");
+    for (std::size_t b = 0; b < bins.size(); ++b)
+        bins[b] += other.bins[b];
+    underflow += other.underflow;
+    overflow += other.overflow;
+    count += other.count;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+    sum += other.sum;
 }
 
 double
@@ -129,6 +198,12 @@ DistributionStat::percentile(double p) const
 double
 DistributionStat::percentileLocked(double p) const
 {
+    return snapshotLocked().percentile(p);
+}
+
+double
+DistributionStat::Snapshot::percentile(double p) const
+{
     fatalIf(p < 0.0 || p > 100.0,
             "percentile(" + std::to_string(p) +
                 ") is outside [0, 100]");
@@ -137,17 +212,17 @@ DistributionStat::percentileLocked(double p) const
     // All samples equal (the single-sample case included): the answer
     // is that sample exactly, not a value interpolated across its
     // bucket's width.
-    if (min_seen == max_seen)
-        return min_seen;
+    if (min == max)
+        return min;
 
     const double target = p / 100.0 * static_cast<double>(count);
     double cum = 0;
 
-    // Underflow mass sits in [min_seen, lo).
+    // Underflow mass sits in [min, lo).
     if (underflow > 0) {
         if (target <= cum + static_cast<double>(underflow)) {
             const double frac = (target - cum) / underflow;
-            return min_seen + frac * (lo - min_seen);
+            return min + frac * (lo - min);
         }
         cum += static_cast<double>(underflow);
     }
@@ -163,13 +238,13 @@ DistributionStat::percentileLocked(double p) const
         cum += static_cast<double>(bins[b]);
     }
 
-    // Overflow mass sits in [hi, max_seen].
+    // Overflow mass sits in [hi, max].
     if (overflow > 0) {
         const double frac =
             std::min(1.0, (target - cum) / overflow);
-        return hi + frac * (max_seen - hi);
+        return hi + frac * (max - hi);
     }
-    return max_seen;
+    return max;
 }
 
 void

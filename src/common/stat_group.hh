@@ -142,14 +142,46 @@ class AverageStat : public StatBase
 /**
  * Fixed-bucket distribution with underflow/overflow tracking.
  *
- * sample(), percentile() and the dump methods are mutex-guarded so
- * pool workers can sample concurrently; the raw accessors (buckets(),
- * minSample(), maxSample(), samples()) are snapshot reads intended for
- * after the workers have joined.
+ * Every accessor is mutex-guarded so pool workers can sample
+ * concurrently with readers; concurrent consumers (the metrics scrape,
+ * the drain flush, --top) should take one snapshot() and compute from
+ * it — one short critical section per scrape, never a lock held while
+ * formatting. buckets() returns a reference and remains the one
+ * post-join accessor: call it only after the writers are done.
  */
 class DistributionStat : public StatBase
 {
   public:
+    /**
+     * An immutable copy of the distribution, decoupled from the live
+     * mutex: percentiles, merging and serialisation all happen on
+     * snapshots so a scrape never blocks request threads beyond the
+     * copy itself. merge() folds another snapshot of an identically
+     * configured distribution in (same lo/hi/bucket count), which is
+     * how per-endpoint latency histograms aggregate into one.
+     */
+    struct Snapshot
+    {
+        double lo = 0;
+        double hi = 0;
+        std::vector<std::uint64_t> bins;
+        std::uint64_t underflow = 0;
+        std::uint64_t overflow = 0;
+        std::uint64_t count = 0;
+        double min = std::numeric_limits<double>::infinity();
+        double max = -std::numeric_limits<double>::infinity();
+        double sum = 0;
+
+        /**
+         * Same semantics and edge cases as
+         * DistributionStat::percentile(), computed on the snapshot.
+         */
+        double percentile(double p) const;
+
+        /** Fold @p other in; FatalError on mismatched bucket config. */
+        void merge(const Snapshot &other);
+    };
+
     /**
      * @param lo Inclusive lower bound of the first bucket.
      * @param hi Exclusive upper bound of the last bucket.
@@ -161,9 +193,13 @@ class DistributionStat : public StatBase
 
     void sample(double v);
 
-    std::uint64_t samples() const { return count; }
-    double minSample() const { return min_seen; }
-    double maxSample() const { return max_seen; }
+    /** One consistent copy of the whole distribution. */
+    Snapshot snapshot() const;
+
+    std::uint64_t samples() const;
+    double minSample() const;
+    double maxSample() const;
+    double sumSamples() const;
     const std::vector<std::uint64_t> &buckets() const { return bins; }
 
     /**
@@ -196,6 +232,7 @@ class DistributionStat : public StatBase
 
   private:
     double percentileLocked(double p) const;
+    Snapshot snapshotLocked() const;
 
     double lo;
     double hi;
@@ -205,6 +242,7 @@ class DistributionStat : public StatBase
     std::uint64_t count = 0;
     double min_seen = std::numeric_limits<double>::infinity();
     double max_seen = -std::numeric_limits<double>::infinity();
+    double sum = 0;
     mutable std::mutex mutex;
 };
 

@@ -278,12 +278,17 @@ ThreadPool::parallelFor(std::size_t n,
 
     ForJob job;
     job.pending = chunks;
+    // Chunks inherit the caller's trace identity: a span opened inside
+    // the body parents under the span that issued the parallelFor, no
+    // matter which lane runs the chunk.
+    const TraceContext context = currentTraceContext();
     for (std::size_t c = 0; c < chunks; ++c) {
         const std::size_t begin = c * chunk;
         const std::size_t end = std::min(n, begin + chunk);
         pushTask(static_cast<unsigned>(c % njobs),
-                 [&job, &body, begin, end] {
+                 [&job, &body, &context, begin, end] {
                      if (!job.failed.load(std::memory_order_relaxed)) {
+                         const TraceContextScope scope(context);
                          try {
                              for (std::size_t i = begin; i < end; ++i)
                                  body(i);

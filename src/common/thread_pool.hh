@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "common/stat_group.hh"
+#include "common/trace_context.hh"
 
 namespace copernicus {
 
@@ -95,7 +96,10 @@ class ThreadPool
     /**
      * Schedule one task; the future carries its result or exception.
      * Runs inline immediately when jobs <= 1 or when called from
-     * inside a pool task.
+     * inside a pool task. The submitting thread's TraceContext is
+     * captured here and restored around the task body, so spans opened
+     * inside the task parent under the submitter's span even though
+     * the task runs on another lane.
      */
     template <typename F>
     auto
@@ -109,7 +113,11 @@ class ThreadPool
             (*task)();
             return future;
         }
-        pushTask(nextSubmitSlot(), [task] { (*task)(); });
+        pushTask(nextSubmitSlot(),
+                 [task, context = currentTraceContext()] {
+                     const TraceContextScope scope(context);
+                     (*task)();
+                 });
         wake();
         return future;
     }

@@ -1,0 +1,110 @@
+#include "common/trace_context.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace copernicus {
+
+namespace {
+
+thread_local TraceContext tl_context;
+
+/**
+ * One counter feeds both trace and span ids. Seeding from the wall
+ * clock makes ids from successive daemon runs distinguishable in
+ * post-mortem dumps; the shifted seed leaves ~2^24 allocations before
+ * two runs could collide, far beyond any process lifetime here.
+ */
+std::atomic<std::uint64_t> &
+idCounter()
+{
+    static std::atomic<std::uint64_t> counter = [] {
+        const auto now =
+            std::chrono::system_clock::now().time_since_epoch();
+        const auto seconds =
+            std::chrono::duration_cast<std::chrono::seconds>(now)
+                .count();
+        return (static_cast<std::uint64_t>(seconds) << 24) | 1;
+    }();
+    return counter;
+}
+
+std::uint64_t
+nextId()
+{
+    // fetch_add wraps; skip the reserved 0 if the counter ever laps.
+    std::uint64_t id =
+        idCounter().fetch_add(1, std::memory_order_relaxed);
+    while (id == 0)
+        id = idCounter().fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+} // namespace
+
+TraceContext
+currentTraceContext()
+{
+    return tl_context;
+}
+
+void
+setCurrentTraceContext(const TraceContext &context)
+{
+    tl_context = context;
+}
+
+std::uint64_t
+newTraceId()
+{
+    return nextId();
+}
+
+std::uint64_t
+newSpanId()
+{
+    return nextId();
+}
+
+std::uint64_t
+observeNowUs()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+}
+
+std::string
+traceIdToHex(std::uint64_t id)
+{
+    char buf[2 * sizeof(id) + 1];
+    std::snprintf(buf, sizeof(buf), "%llx",
+                  static_cast<unsigned long long>(id));
+    return buf;
+}
+
+std::uint64_t
+traceIdFromHex(const std::string &hex)
+{
+    if (hex.empty() || hex.size() > 16)
+        return 0;
+    std::uint64_t id = 0;
+    for (char c : hex) {
+        std::uint64_t digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<std::uint64_t>(c - 'a') + 10;
+        else if (c >= 'A' && c <= 'F')
+            digit = static_cast<std::uint64_t>(c - 'A') + 10;
+        else
+            return 0;
+        id = (id << 4) | digit;
+    }
+    return id;
+}
+
+} // namespace copernicus

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Request-scoped trace identity, propagated across threads and the
+ * serve wire protocol.
+ *
+ * A TraceContext is the minimal causal identity of "the work I am
+ * doing right now": the trace (one per request) and the span whose
+ * children any new span should attach to. It lives in common/ — below
+ * the trace library — because the thread pool must capture the
+ * submitting thread's context and restore it inside the worker lane
+ * without depending on span recording; the context is three integers,
+ * nothing more.
+ *
+ * Conventions:
+ *  - id 0 is "no id"; a context with traceId 0 is invalid/absent.
+ *  - ids are process-local (allocated from one atomic counter) and are
+ *    serialised as lowercase hex strings on the wire, so they survive
+ *    JSON number precision untouched.
+ *  - the current context is thread-local; TraceContextScope swaps it
+ *    in RAII-style so nested scopes restore their parent exactly.
+ *
+ * observeNowUs() is the shared observability clock: monotonic
+ * microseconds since the first call in the process. Every span, wide
+ * event and request timestamp uses it, so all the per-request
+ * artifacts line up on one axis.
+ */
+
+#ifndef COPERNICUS_COMMON_TRACE_CONTEXT_HH
+#define COPERNICUS_COMMON_TRACE_CONTEXT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace copernicus {
+
+/** The causal identity of the work on the current thread. */
+struct TraceContext
+{
+    std::uint64_t traceId = 0; ///< one per request; 0 = no trace
+    std::uint64_t spanId = 0;  ///< parent-to-be for new child spans
+
+    bool valid() const { return traceId != 0; }
+};
+
+/** The calling thread's current context (invalid when unset). */
+TraceContext currentTraceContext();
+
+/** Replace the calling thread's current context. */
+void setCurrentTraceContext(const TraceContext &context);
+
+/** Allocate a fresh trace id (never 0). */
+std::uint64_t newTraceId();
+
+/** Allocate a fresh span id (never 0). */
+std::uint64_t newSpanId();
+
+/**
+ * RAII: install @p context as the thread's current context, restore
+ * the previous one on destruction. The thread pool wraps every task in
+ * one of these so work inherits the submitter's identity.
+ */
+class TraceContextScope
+{
+  public:
+    explicit TraceContextScope(const TraceContext &context)
+        : saved(currentTraceContext())
+    {
+        setCurrentTraceContext(context);
+    }
+
+    ~TraceContextScope() { setCurrentTraceContext(saved); }
+
+    TraceContextScope(const TraceContextScope &) = delete;
+    TraceContextScope &operator=(const TraceContextScope &) = delete;
+
+  private:
+    TraceContext saved;
+};
+
+/**
+ * Monotonic microseconds since the process's observability epoch (the
+ * first call). Shared by spans, wide events and the serve request
+ * clock so every artifact shares one time axis.
+ */
+std::uint64_t observeNowUs();
+
+/** Lowercase-hex wire form of an id ("0" for no id). */
+std::string traceIdToHex(std::uint64_t id);
+
+/**
+ * Parse a lowercase/uppercase hex id; returns 0 (meaning "absent") on
+ * anything malformed — observability must never fail a request.
+ */
+std::uint64_t traceIdFromHex(const std::string &hex);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_COMMON_TRACE_CONTEXT_HH

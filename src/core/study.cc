@@ -8,6 +8,7 @@
 #include "common/status.hh"
 #include "common/thread_pool.hh"
 #include "trace/profile.hh"
+#include "trace/span.hh"
 
 namespace copernicus {
 
@@ -129,6 +130,10 @@ Study::makeRow(const std::string &workload, const Partitioning &parts,
                FormatKind kind, TraceSink *sink) const
 {
     const ScopedTimer timer("study.run.pipeline");
+    // One span per design point: at jobs > 1 the pool's context
+    // propagation parents it under the span that issued the
+    // parallelFor, so encodes attach to their request's study.run.
+    const ScopedSpan span("study.encode", "study");
     const PipelineResult pipe = runPipeline(parts, kind, cfg.hls,
                                             registry, sink);
     StudyRow row;
@@ -165,6 +170,7 @@ Study::partitionsFor(std::size_t w, Index p) const
     // outlives both locks.
     std::call_once(slot->once, [&] {
         const ScopedTimer part_timer("study.run.partition");
+        const ScopedSpan part_span("study.partition", "study");
         slot->parts = partition(matrices[w].second, p);
     });
     return slot->parts;
@@ -174,6 +180,7 @@ StudyResult
 Study::run() const
 {
     const ScopedTimer timer("study.run");
+    const ScopedSpan span("study.run", "study");
 
     const unsigned jobs = effectiveJobs(cfg.jobs);
     std::optional<ThreadPool> pool;

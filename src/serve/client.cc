@@ -12,6 +12,8 @@
 #include <unistd.h>
 
 #include "common/status.hh"
+#include "common/trace_context.hh"
+#include "trace/span.hh"
 
 namespace copernicus {
 
@@ -152,6 +154,14 @@ JsonValue
 ServeClient::call(const std::string &op, const std::string &paramsJson,
                   double timeoutMs)
 {
+    // When span recording is on in this process, the call itself is a
+    // span and its identity travels on the wire, so the server's
+    // serve.request span parents under this client span — one causal
+    // tree across the socket. With recording off span.context() is
+    // invalid and the request carries no trace field.
+    const ScopedSpan span("client." + op, "client");
+    const TraceContext trace = span.context();
+
     std::ostringstream request;
     request << "{\"op\": ";
     writeJsonString(request, op);
@@ -159,6 +169,13 @@ ServeClient::call(const std::string &op, const std::string &paramsJson,
     if (timeoutMs > 0) {
         request << ", \"timeout_ms\": ";
         writeJsonNumber(request, timeoutMs);
+    }
+    if (trace.valid()) {
+        request << ", \"trace\": {\"trace_id\": ";
+        writeJsonString(request, traceIdToHex(trace.traceId));
+        request << ", \"parent_span_id\": ";
+        writeJsonString(request, traceIdToHex(trace.spanId));
+        request << '}';
     }
     if (!paramsJson.empty())
         request << ", \"params\": " << paramsJson;

@@ -18,6 +18,7 @@ allEndpoints()
         Endpoint::Shutdown,   Endpoint::Sleep,
         Endpoint::RunStudy,   Endpoint::PlanFormats,
         Endpoint::Advise,     Endpoint::ValidateTile,
+        Endpoint::Metrics,    Endpoint::DumpFlightRec,
     };
     return endpoints;
 }
@@ -34,6 +35,8 @@ endpointName(Endpoint endpoint)
       case Endpoint::PlanFormats: return "plan_formats";
       case Endpoint::Advise: return "advise";
       case Endpoint::ValidateTile: return "validate_tile";
+      case Endpoint::Metrics: return "metrics";
+      case Endpoint::DumpFlightRec: return "dump_flightrec";
     }
     panic("endpointName: unhandled endpoint");
 }
@@ -50,26 +53,45 @@ parseEndpoint(std::string_view name, Endpoint &out)
     return false;
 }
 
+std::string_view
+requestParseErrorName(RequestParseError error)
+{
+    switch (error) {
+      case RequestParseError::None: return "none";
+      case RequestParseError::MalformedJson: return "malformed_json";
+      case RequestParseError::NotAnObject: return "not_an_object";
+      case RequestParseError::MissingOp: return "missing_op";
+      case RequestParseError::UnknownOp: return "unknown_op";
+      case RequestParseError::BadParams: return "bad_params";
+    }
+    panic("requestParseErrorName: unhandled error");
+}
+
 bool
 parseRequest(const std::string &line, ServeRequest &out,
-             std::string &error)
+             std::string &error, RequestParseError &why)
 {
+    why = RequestParseError::None;
     JsonValue root;
     if (!parseJson(line, root)) {
         error = "request is not valid JSON";
+        why = RequestParseError::MalformedJson;
         return false;
     }
     if (!root.isObject()) {
         error = "request must be a JSON object";
+        why = RequestParseError::NotAnObject;
         return false;
     }
     const JsonValue *op = root.find("op");
     if (op == nullptr || !op->isString()) {
         error = "request needs a string \"op\" field";
+        why = RequestParseError::MissingOp;
         return false;
     }
     if (!parseEndpoint(op->text, out.endpoint)) {
         error = "unknown op '" + op->text + "'";
+        why = RequestParseError::UnknownOp;
         return false;
     }
     const double id = root.numberOr("id", 0);
@@ -82,11 +104,33 @@ parseRequest(const std::string &line, ServeRequest &out,
     const JsonValue *params = root.find("params");
     if (params != nullptr && !params->isObject()) {
         error = "\"params\" must be an object";
+        why = RequestParseError::BadParams;
         return false;
     }
     out.params = params != nullptr ? *params : JsonValue{};
     out.params.kind = JsonValue::Kind::Object;
+    // Trace propagation is strictly best-effort: absent, non-object or
+    // unparseable ids leave the request untraced rather than failing
+    // it.
+    out.trace = TraceContext{};
+    const JsonValue *trace = root.find("trace");
+    if (trace != nullptr && trace->isObject()) {
+        out.trace.traceId =
+            traceIdFromHex(trace->stringOr("trace_id", ""));
+        out.trace.spanId =
+            traceIdFromHex(trace->stringOr("parent_span_id", ""));
+        if (!out.trace.valid())
+            out.trace = TraceContext{};
+    }
     return true;
+}
+
+bool
+parseRequest(const std::string &line, ServeRequest &out,
+             std::string &error)
+{
+    RequestParseError why;
+    return parseRequest(line, out, error, why);
 }
 
 std::string
@@ -95,13 +139,18 @@ okResponse(const ServeRequest &request, const std::string &resultJson)
     std::ostringstream out;
     out << "{\"ok\": true, \"id\": " << request.id << ", \"op\": ";
     writeJsonString(out, endpointName(request.endpoint));
+    if (request.trace.valid()) {
+        out << ", \"trace_id\": ";
+        writeJsonString(out, traceIdToHex(request.trace.traceId));
+    }
     out << ", \"result\": " << resultJson << '}';
     return out.str();
 }
 
 std::string
 errorResponse(std::uint64_t id, std::string_view op,
-              std::string_view code, const std::string &message)
+              std::string_view code, const std::string &message,
+              std::uint64_t traceId)
 {
     std::ostringstream out;
     out << "{\"ok\": false, \"id\": " << id << ", \"op\": ";
@@ -110,6 +159,10 @@ errorResponse(std::uint64_t id, std::string_view op,
     writeJsonString(out, code);
     out << ", \"message\": ";
     writeJsonString(out, message);
+    if (traceId != 0) {
+        out << ", \"trace_id\": ";
+        writeJsonString(out, traceIdToHex(traceId));
+    }
     out << '}';
     return out.str();
 }

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/json.hh"
+#include "common/trace_context.hh"
 #include "core/advisor.hh"
 #include "formats/format_kind.hh"
 #include "matrix/triplet_matrix.hh"
@@ -45,6 +46,8 @@ enum class Endpoint
     PlanFormats,  ///< adaptive per-tile format plan
     Advise,       ///< Section-8 format recommendation
     ValidateTile, ///< grammar-validate every encoded tile
+    Metrics,      ///< Prometheus text exposition scrape
+    DumpFlightRec, ///< dump the flight recorder (to file or inline)
 };
 
 /** Every endpoint, in a fixed order (stats registration order). */
@@ -80,7 +83,34 @@ struct ServeRequest
 
     /** The "params" object (empty object when the field is absent). */
     JsonValue params;
+
+    /**
+     * Caller's trace identity from the optional wire field
+     * `"trace": {"trace_id": "<hex>", "parent_span_id": "<hex>"}`;
+     * invalid (traceId 0) when absent or malformed — a bad trace field
+     * never fails a request. spanId carries the parent span.
+     */
+    TraceContext trace;
 };
+
+/**
+ * Why a request line failed to parse — the server keys its
+ * per-endpoint error counters off this, so "the client sent garbage"
+ * and "the client named an op we don't serve" stay distinguishable in
+ * the metrics.
+ */
+enum class RequestParseError
+{
+    None,          ///< parse succeeded
+    MalformedJson, ///< not valid JSON at all
+    NotAnObject,   ///< valid JSON but not an object
+    MissingOp,     ///< no string "op" field
+    UnknownOp,     ///< "op" names nothing we serve
+    BadParams,     ///< "params" present but not an object
+};
+
+/** Wire/metric label for a parse error ("malformed_json", ...). */
+std::string_view requestParseErrorName(RequestParseError error);
 
 /**
  * Parse one request line.
@@ -88,26 +118,36 @@ struct ServeRequest
  * @param line One newline-stripped JSON object.
  * @param out Filled on success.
  * @param error Human-readable reason on failure.
+ * @param why Classification of the failure (None on success).
  * @return False on malformed JSON, a missing/unknown "op", or a
  *         non-object "params".
  */
+bool parseRequest(const std::string &line, ServeRequest &out,
+                  std::string &error, RequestParseError &why);
+
+/** parseRequest() without the classification out-param. */
 bool parseRequest(const std::string &line, ServeRequest &out,
                   std::string &error);
 
 /**
  * Serialise a success response. @p resultJson must be a complete JSON
- * value (typically an object built by the handler).
+ * value (typically an object built by the handler). When the request
+ * carries a valid trace the response echoes `"trace_id"` (hex), so a
+ * client can correlate its reply with the server's spans and wide
+ * event.
  */
 std::string okResponse(const ServeRequest &request,
                        const std::string &resultJson);
 
 /**
  * Serialise an error response. @p op is the wire name when known, ""
- * for lines that never parsed far enough to have one.
+ * for lines that never parsed far enough to have one; @p traceId is
+ * echoed as `"trace_id"` when non-zero.
  */
 std::string errorResponse(std::uint64_t id, std::string_view op,
                           std::string_view code,
-                          const std::string &message);
+                          const std::string &message,
+                          std::uint64_t traceId = 0);
 
 /**
  * Build the workload matrix described by a request's "matrix" spec:

@@ -15,11 +15,15 @@
 
 #include "analysis/schedule_check.hh"
 #include "common/logging.hh"
+#include "common/prometheus.hh"
 #include "common/status.hh"
+#include "common/trace_context.hh"
 #include "core/scheduler.hh"
 #include "core/study.hh"
 #include "formats/validate.hh"
 #include "matrix/stats.hh"
+#include "trace/flight_recorder.hh"
+#include "trace/span.hh"
 #include "trace/trace_writer.hh"
 
 namespace copernicus {
@@ -53,8 +57,7 @@ Server::Conn::~Conn()
         ::close(fd);
 }
 
-Server::Server(ServeOptions options)
-    : opts(std::move(options)), epoch(std::chrono::steady_clock::now())
+Server::Server(ServeOptions options) : opts(std::move(options))
 {
     fatalIf(opts.queueCapacity == 0,
             "serve: queue capacity must be at least 1");
@@ -62,6 +65,15 @@ Server::Server(ServeOptions options)
         grp, "connections", "client connections accepted");
     badLines = std::make_unique<ScalarStat>(
         grp, "bad_lines", "request lines that failed to parse");
+    badLinesMalformed = std::make_unique<ScalarStat>(
+        grp, "bad_lines.malformed_json",
+        "request lines that were not valid JSON");
+    badLinesUnknownOp = std::make_unique<ScalarStat>(
+        grp, "bad_lines.unknown_op",
+        "well-formed requests naming an op we do not serve");
+    badLinesOther = std::make_unique<ScalarStat>(
+        grp, "bad_lines.other",
+        "other frame errors (non-object, missing op, bad params)");
     endpointStats.resize(allEndpoints().size());
     for (std::size_t i = 0; i < allEndpoints().size(); ++i) {
         const std::string prefix(endpointName(allEndpoints()[i]));
@@ -108,10 +120,9 @@ Server::statsFor(Endpoint endpoint)
 std::uint64_t
 Server::nowUs() const
 {
-    const auto delta = std::chrono::steady_clock::now() - epoch;
-    return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(delta)
-            .count());
+    // The shared observability clock, so request spans, wide events
+    // and SpanCollector spans all line up on one axis.
+    return observeNowUs();
 }
 
 void
@@ -190,6 +201,15 @@ Server::start()
                     report.toString());
         inform("serve: registry lint passed (" +
                 std::to_string(report.warningCount()) + " warnings)");
+    }
+
+    if (opts.observability) {
+        FlightRecorder::global().setCapacity(
+            opts.flightRecorderCapacity);
+        if (!SpanCollector::global().enabled()) {
+            SpanCollector::global().setEnabled(true);
+            observingSpans = true;
+        }
     }
 
     pool = std::make_unique<ThreadPool>(opts.workers);
@@ -357,33 +377,69 @@ void
 Server::handleLine(const std::shared_ptr<Conn> &conn,
                    const std::string &line)
 {
+    const std::uint64_t receiptUs = nowUs();
     ServeRequest request;
     std::string parseError;
-    if (!parseRequest(line, request, parseError)) {
+    RequestParseError why;
+    if (!parseRequest(line, request, parseError, why)) {
         *badLines += 1;
+        switch (why) {
+          case RequestParseError::MalformedJson:
+            *badLinesMalformed += 1;
+            break;
+          case RequestParseError::UnknownOp:
+            *badLinesUnknownOp += 1;
+            break;
+          default:
+            *badLinesOther += 1;
+            break;
+        }
+        if (opts.observability) {
+            FlightRecorder::global().record(
+                "{\"type\": \"bad_line\", \"reason\": " +
+                jsonStr(requestParseErrorName(why)) +
+                ", \"receipt_us\": " + std::to_string(receiptUs) + "}");
+        }
         sendLine(conn, errorResponse(0, "", serve_error::badRequest,
                                      parseError));
         return;
     }
 
+    // Assign the request's trace identity up front: the rejection wide
+    // events and the eventual serve.request span share one trace, and
+    // a client-supplied trace id is adopted so the caller's client
+    // span becomes the parent of everything the server records.
+    std::uint64_t requestSpanId = 0;
+    if (opts.observability && SpanCollector::global().enabled()) {
+        if (!request.trace.valid())
+            request.trace.traceId = newTraceId();
+        requestSpanId = newSpanId();
+    }
+
     switch (tryAdmit()) {
       case Admit::Full:
         *statsFor(request.endpoint).rejected += 1;
+        recordWideEvent(request, serve_error::queueFull, receiptUs,
+                        receiptUs, nowUs(), 0, 0, 0, RequestObs{});
         sendLine(conn,
                  errorResponse(request.id,
                                endpointName(request.endpoint),
                                serve_error::queueFull,
                                "admission queue is full (capacity " +
                                    std::to_string(opts.queueCapacity) +
-                                   "); retry later"));
+                                   "); retry later",
+                               request.trace.traceId));
         return;
       case Admit::Draining:
         *statsFor(request.endpoint).rejected += 1;
+        recordWideEvent(request, serve_error::shuttingDown, receiptUs,
+                        receiptUs, nowUs(), 0, 0, 0, RequestObs{});
         sendLine(conn,
                  errorResponse(request.id,
                                endpointName(request.endpoint),
                                serve_error::shuttingDown,
-                               "server is draining"));
+                               "server is draining",
+                               request.trace.traceId));
         return;
       case Admit::Ok:
         break;
@@ -394,17 +450,38 @@ Server::handleLine(const std::shared_ptr<Conn> &conn,
     // it even if the client disconnects mid-request. On a one-lane
     // pool submit() runs inline right here, which serializes requests
     // per connection but keeps cross-connection concurrency.
-    pool->submit([this, conn, request = std::move(request)]() mutable {
-        runRequest(conn, std::move(request));
+    pool->submit([this, conn, request = std::move(request), receiptUs,
+                  requestSpanId]() mutable {
+        runRequest(conn, std::move(request), receiptUs, requestSpanId);
     });
 }
 
 void
-Server::runRequest(std::shared_ptr<Conn> conn, ServeRequest request)
+Server::runRequest(std::shared_ptr<Conn> conn, ServeRequest request,
+                   std::uint64_t receiptUs,
+                   std::uint64_t requestSpanId)
 {
     EndpointStats &stats = statsFor(request.endpoint);
     const std::uint64_t startUs = nowUs();
     const EncodeCache::Stats cacheBefore = EncodeCache::global().stats();
+
+    const bool observe = requestSpanId != 0;
+    if (observe) {
+        // The queue span covers receipt -> handler start; it is a
+        // child of the serve.request span recorded below.
+        SpanCollector::global().record({request.trace.traceId,
+                                        newSpanId(), requestSpanId,
+                                        "serve.queue", "serve",
+                                        receiptUs, startUs});
+    }
+
+    std::uint64_t token = 0;
+    {
+        const std::lock_guard<std::mutex> lock(inflightMutex);
+        token = nextReqToken++;
+        inflightReqs.emplace(
+            token, InflightEntry{request.endpoint, request.id, startUs});
+    }
 
     double timeoutMs = request.timeoutMs > 0 ? request.timeoutMs
                                              : opts.defaultTimeoutMs;
@@ -421,28 +498,41 @@ Server::runRequest(std::shared_ptr<Conn> conn, ServeRequest request)
 
     std::string response;
     std::string outcome = "ok";
-    try {
-        response = okResponse(request, dispatch(request, deadlineHit));
-        *stats.completed += 1;
-    } catch (const CancelledError &e) {
-        outcome = std::string(serve_error::deadlineExceeded);
-        response = errorResponse(request.id,
-                                 endpointName(request.endpoint),
-                                 serve_error::deadlineExceeded,
-                                 e.what());
-        *stats.errors += 1;
-    } catch (const FatalError &e) {
-        outcome = std::string(serve_error::badRequest);
-        response = errorResponse(request.id,
-                                 endpointName(request.endpoint),
-                                 serve_error::badRequest, e.what());
-        *stats.errors += 1;
-    } catch (const std::exception &e) {
-        outcome = std::string(serve_error::internal);
-        response = errorResponse(request.id,
-                                 endpointName(request.endpoint),
-                                 serve_error::internal, e.what());
-        *stats.errors += 1;
+    RequestObs obs;
+    {
+        // Everything the handler does — the serve.handler span, the
+        // study phases, any pool fan-out — parents under the
+        // serve.request span through the thread-local context.
+        const TraceContextScope scope(
+            observe ? TraceContext{request.trace.traceId, requestSpanId}
+                    : TraceContext{});
+        const ScopedSpan handler("serve.handler", "serve");
+        try {
+            response = okResponse(request,
+                                  dispatch(request, deadlineHit, obs));
+            *stats.completed += 1;
+        } catch (const CancelledError &e) {
+            outcome = std::string(serve_error::deadlineExceeded);
+            response = errorResponse(request.id,
+                                     endpointName(request.endpoint),
+                                     serve_error::deadlineExceeded,
+                                     e.what(), request.trace.traceId);
+            *stats.errors += 1;
+        } catch (const FatalError &e) {
+            outcome = std::string(serve_error::badRequest);
+            response = errorResponse(
+                request.id, endpointName(request.endpoint),
+                serve_error::badRequest, e.what(),
+                request.trace.traceId);
+            *stats.errors += 1;
+        } catch (const std::exception &e) {
+            outcome = std::string(serve_error::internal);
+            response = errorResponse(
+                request.id, endpointName(request.endpoint),
+                serve_error::internal, e.what(),
+                request.trace.traceId);
+            *stats.errors += 1;
+        }
     }
 
     // Attribute cache activity to the endpoint. Deltas from a shared
@@ -450,10 +540,10 @@ Server::runRequest(std::shared_ptr<Conn> conn, ServeRequest request)
     // hit *rates* remain meaningful because the mix is attributed
     // proportionally over many requests.
     const EncodeCache::Stats cacheAfter = EncodeCache::global().stats();
-    *stats.cacheHits +=
-        static_cast<double>(cacheAfter.hits - cacheBefore.hits);
-    *stats.cacheMisses +=
-        static_cast<double>(cacheAfter.misses - cacheBefore.misses);
+    const auto cacheHits = cacheAfter.hits - cacheBefore.hits;
+    const auto cacheMisses = cacheAfter.misses - cacheBefore.misses;
+    *stats.cacheHits += static_cast<double>(cacheHits);
+    *stats.cacheMisses += static_cast<double>(cacheMisses);
 
     const std::uint64_t endUs = nowUs();
     stats.latencyUs->sample(static_cast<double>(endUs - startUs));
@@ -462,6 +552,21 @@ Server::runRequest(std::shared_ptr<Conn> conn, ServeRequest request)
         requestSpans.push_back(
             {request.endpoint, request.id, startUs, endUs, outcome});
     }
+    {
+        const std::lock_guard<std::mutex> lock(inflightMutex);
+        inflightReqs.erase(token);
+    }
+
+    if (observe) {
+        // The root (or client-parented) serve.request span spans
+        // receipt to completion, covering queue wait and handler both.
+        SpanCollector::global().record(
+            {request.trace.traceId, requestSpanId,
+             request.trace.spanId, "serve.request", "serve", receiptUs,
+             endUs});
+    }
+    recordWideEvent(request, outcome, receiptUs, startUs, endUs,
+                    timeoutMs, cacheHits, cacheMisses, obs);
 
     sendLine(conn, response);
     releaseAdmission();
@@ -472,9 +577,41 @@ Server::runRequest(std::shared_ptr<Conn> conn, ServeRequest request)
         beginShutdown();
 }
 
+void
+Server::recordWideEvent(const ServeRequest &request,
+                        std::string_view outcome,
+                        std::uint64_t receiptUs, std::uint64_t startUs,
+                        std::uint64_t endUs, double timeoutMs,
+                        std::uint64_t cacheHits,
+                        std::uint64_t cacheMisses,
+                        const RequestObs &obs)
+{
+    if (!opts.observability)
+        return;
+    // One flat, pre-serialised record per request: everything a
+    // post-mortem asks first, without joining other data sources.
+    std::ostringstream out;
+    out << "{\"type\": \"request\", \"endpoint\": "
+        << jsonStr(endpointName(request.endpoint))
+        << ", \"id\": " << request.id << ", \"trace_id\": "
+        << jsonStr(traceIdToHex(request.trace.traceId))
+        << ", \"outcome\": " << jsonStr(outcome)
+        << ", \"receipt_us\": " << receiptUs
+        << ", \"queue_wait_us\": " << (startUs - receiptUs)
+        << ", \"latency_us\": " << (endUs - startUs)
+        << ", \"deadline_budget_ms\": " << jsonNum(timeoutMs)
+        << ", \"deadline_used_ms\": "
+        << jsonNum(static_cast<double>(endUs - startUs) / 1000.0)
+        << ", \"cache_hits\": " << cacheHits
+        << ", \"cache_misses\": " << cacheMisses
+        << ", \"formats_swept\": " << obs.formatsSwept << '}';
+    FlightRecorder::global().record(out.str());
+}
+
 std::string
 Server::dispatch(const ServeRequest &request,
-                 const std::function<bool()> &deadlineHit)
+                 const std::function<bool()> &deadlineHit,
+                 RequestObs &obs)
 {
     const auto checkDeadline = [&deadlineHit] {
         if (deadlineHit && deadlineHit())
@@ -553,6 +690,7 @@ Server::dispatch(const ServeRequest &request,
             params.find("partition_sizes"), cfg.partitionSizes);
         cfg.formats =
             formatsFromParam(params.find("formats"), cfg.formats);
+        obs.formatsSwept = cfg.formats.size();
         // One lane: the serve pool is the concurrency layer; a nested
         // per-request pool would oversubscribe and break the admission
         // queue's meaning as "concurrent work units".
@@ -615,6 +753,7 @@ Server::dispatch(const ServeRequest &request,
                 "plan_formats: partition_size must be in [1, 4096]");
         const std::vector<FormatKind> candidates =
             formatsFromParam(params.find("formats"), paperFormats());
+        obs.formatsSwept = candidates.size();
         const std::string objectiveName =
             params.stringOr("objective", "bottleneck");
         SchedulerObjective objective = SchedulerObjective::Bottleneck;
@@ -660,6 +799,7 @@ Server::dispatch(const ServeRequest &request,
                 "validate_tile: partition_size must be in [1, 4096]");
         const std::vector<FormatKind> kinds =
             formatsFromParam(params.find("formats"), paperFormats());
+        obs.formatsSwept = kinds.size();
         const Partitioning parts =
             partition(matrix, static_cast<Index>(p));
         std::vector<std::string> violations;
@@ -690,6 +830,33 @@ Server::dispatch(const ServeRequest &request,
         out << "]}";
         return out.str();
       }
+
+      case Endpoint::Metrics: {
+        // The exposition text rides inside the NDJSON envelope; a
+        // scraper sidecar (or the CLI's --metrics) unwraps "body".
+        return "{\"content_type\": "
+               "\"text/plain; version=0.0.4; charset=utf-8\", "
+               "\"body\": " +
+               jsonStr(metricsText()) + "}";
+      }
+
+      case Endpoint::DumpFlightRec: {
+        const std::string path = params.stringOr("path", "");
+        const FlightRecorder &recorder = FlightRecorder::global();
+        if (!path.empty()) {
+            recorder.dumpToFile(path);
+            std::ostringstream out;
+            out << "{\"path\": " << jsonStr(path)
+                << ", \"wide_events\": "
+                << recorder.snapshot().size() << ", \"spans\": "
+                << SpanCollector::global().snapshot().size() << '}';
+            return out.str();
+        }
+        // No path: the dump document itself is the result.
+        std::ostringstream out;
+        recorder.dump(out);
+        return out.str();
+      }
     }
     panic("serve: unhandled endpoint in dispatch");
 }
@@ -706,7 +873,151 @@ Server::statsJson() const
     while (!json.empty() &&
            (json.back() == '\n' || json.back() == '\r'))
         json.pop_back();
+
+    // Splice live load state into the document: --top reads queue
+    // depth and per-request ages from here, so the stats endpoint
+    // stays the one poll target.
+    panicIf(json.empty() || json.back() != '}',
+            "serve: stats dump is not a JSON object");
+    json.pop_back();
+    std::size_t depth;
+    {
+        const std::lock_guard<std::mutex> lock(admitMutex);
+        depth = inflight;
+    }
+    json += ", \"queue_depth\": " + std::to_string(depth) +
+            ", \"inflight\": [";
+    const std::uint64_t now = nowUs();
+    {
+        const std::lock_guard<std::mutex> lock(inflightMutex);
+        bool first = true;
+        for (const auto &[token, entry] : inflightReqs) {
+            if (!first)
+                json += ", ";
+            first = false;
+            json += "{\"endpoint\": " +
+                    jsonStr(endpointName(entry.endpoint)) +
+                    ", \"id\": " + std::to_string(entry.id) +
+                    ", \"age_us\": " +
+                    std::to_string(now > entry.startUs
+                                       ? now - entry.startUs
+                                       : 0) +
+                    "}";
+        }
+    }
+    json += "]}";
     return json;
+}
+
+std::string
+Server::metricsText() const
+{
+    PrometheusWriter writer;
+    using Series =
+        std::vector<std::pair<std::vector<PrometheusLabel>, double>>;
+
+    // Per-endpoint counters, one series per endpoint.
+    const auto perEndpoint = [this](auto member) {
+        Series series;
+        for (std::size_t i = 0; i < allEndpoints().size(); ++i) {
+            series.push_back(
+                {{{"endpoint",
+                   std::string(endpointName(allEndpoints()[i]))}},
+                 (endpointStats[i].*member)->value()});
+        }
+        return series;
+    };
+    writer.counter("copernicus_serve_requests_accepted_total",
+                   "Requests admitted, by endpoint.",
+                   perEndpoint(&EndpointStats::accepted));
+    writer.counter("copernicus_serve_requests_rejected_total",
+                   "Requests shed (queue_full / shutting_down).",
+                   perEndpoint(&EndpointStats::rejected));
+    writer.counter("copernicus_serve_requests_completed_total",
+                   "Requests answered ok.",
+                   perEndpoint(&EndpointStats::completed));
+    writer.counter("copernicus_serve_requests_errored_total",
+                   "Admitted requests answered with an error.",
+                   perEndpoint(&EndpointStats::errors));
+    writer.counter("copernicus_serve_cache_hits_total",
+                   "Encode-cache hits attributed to the endpoint.",
+                   perEndpoint(&EndpointStats::cacheHits));
+    writer.counter("copernicus_serve_cache_misses_total",
+                   "Encode-cache misses attributed to the endpoint.",
+                   perEndpoint(&EndpointStats::cacheMisses));
+
+    writer.counter(
+        "copernicus_serve_bad_lines_total",
+        "Request lines that failed to parse, by reason.",
+        {{{{"reason", "malformed_json"}}, badLinesMalformed->value()},
+         {{{"reason", "unknown_op"}}, badLinesUnknownOp->value()},
+         {{{"reason", "other"}}, badLinesOther->value()}});
+    writer.counter("copernicus_serve_connections_total",
+                   "Client connections accepted.",
+                   {{{}, connections->value()}});
+
+    std::size_t depth;
+    {
+        const std::lock_guard<std::mutex> lock(admitMutex);
+        depth = inflight;
+    }
+    writer.gauge("copernicus_serve_queue_depth",
+                 "Requests currently admitted (in flight).",
+                 {{{}, static_cast<double>(depth)}});
+
+    // Latency histograms from snapshots: the one histogram copy per
+    // endpoint is the only lock a scrape shares with request threads.
+    std::vector<std::pair<std::vector<PrometheusLabel>,
+                          DistributionStat::Snapshot>>
+        latencies;
+    for (std::size_t i = 0; i < allEndpoints().size(); ++i) {
+        latencies.push_back(
+            {{{"endpoint",
+               std::string(endpointName(allEndpoints()[i]))}},
+             endpointStats[i].latencyUs->snapshot()});
+    }
+    writer.histogram("copernicus_serve_request_duration_seconds",
+                     "Admitted-request latency.", latencies, 1e-6);
+
+    const ThreadPool::Counters poolCounters =
+        ThreadPool::globalCounters();
+    writer.counter("copernicus_thread_pool_tasks_total",
+                   "Pool tasks executed on any lane.",
+                   {{{}, static_cast<double>(poolCounters.tasksRun)}});
+    writer.counter("copernicus_thread_pool_steals_total",
+                   "Tasks taken from another lane's deque.",
+                   {{{}, static_cast<double>(poolCounters.steals)}});
+
+    const EncodeCache::Stats cache = EncodeCache::global().stats();
+    writer.counter("copernicus_encode_cache_hits_total",
+                   "Encode-cache hits, process-wide.",
+                   {{{}, static_cast<double>(cache.hits)}});
+    writer.counter("copernicus_encode_cache_misses_total",
+                   "Encode-cache misses, process-wide.",
+                   {{{}, static_cast<double>(cache.misses)}});
+    writer.gauge("copernicus_encode_cache_entries",
+                 "Entries resident in the encode cache.",
+                 {{{}, static_cast<double>(cache.entries)}});
+
+    const FlightRecorder &recorder = FlightRecorder::global();
+    writer.counter(
+        "copernicus_flightrec_wide_events_total",
+        "Wide events recorded by the flight recorder.",
+        {{{}, static_cast<double>(recorder.recorded())}});
+    writer.counter("copernicus_flightrec_wide_events_dropped_total",
+                   "Wide events overwritten by ring wrap-around.",
+                   {{{}, static_cast<double>(recorder.dropped())}});
+    const SpanCollector &spanCollector = SpanCollector::global();
+    writer.counter(
+        "copernicus_spans_recorded_total",
+        "Spans recorded by the span collector.",
+        {{{}, static_cast<double>(spanCollector.recorded())}});
+    writer.counter(
+        "copernicus_spans_dropped_total",
+        "Spans overwritten by ring wrap-around.",
+        {{{}, static_cast<double>(spanCollector.dropped())}});
+
+    return writer.text();
 }
 
 std::vector<RequestSpan>
@@ -772,15 +1083,42 @@ Server::waitDrained()
     if (!opts.tracePath.empty()) {
         TraceWriter writer;
         writer.beginScope("serve");
-        const std::lock_guard<std::mutex> lock(spansMutex);
-        for (const RequestSpan &span : requestSpans) {
-            writer.durationEvent(endpointName(span.endpoint),
-                                 "r" + std::to_string(span.id) + " " +
-                                     span.outcome,
-                                 span.startUs, span.endUs);
+        {
+            const std::lock_guard<std::mutex> lock(spansMutex);
+            for (const RequestSpan &span : requestSpans) {
+                writer.durationEvent(endpointName(span.endpoint),
+                                     "r" + std::to_string(span.id) +
+                                         " " + span.outcome,
+                                     span.startUs, span.endUs);
+            }
+        }
+        if (opts.observability) {
+            // The span tree rides in the same Chrome trace: one scope,
+            // tracks by subsystem, and the causal edges preserved in
+            // each event's args (the timeline view flattens them).
+            writer.beginScope("spans");
+            for (const SpanRecord &span :
+                 SpanCollector::global().snapshot()) {
+                writer.durationEventArgs(
+                    span.track, span.name, span.startUs, span.endUs,
+                    "{\"trace_id\": " + jsonStr(traceIdToHex(
+                                            span.traceId)) +
+                        ", \"span_id\": " +
+                        jsonStr(traceIdToHex(span.spanId)) +
+                        ", \"parent_span_id\": " +
+                        jsonStr(traceIdToHex(span.parentSpanId)) + "}");
+            }
         }
         writer.writeFile(opts.tracePath);
         inform("serve: request trace written to " + opts.tracePath);
+    }
+    if (!opts.flightRecPath.empty()) {
+        FlightRecorder::global().dumpToFile(opts.flightRecPath);
+        inform("serve: flight recorder dumped to " + opts.flightRecPath);
+    }
+    if (observingSpans) {
+        SpanCollector::global().setEnabled(false);
+        observingSpans = false;
     }
 
     if (listenFd >= 0) {

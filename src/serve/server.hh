@@ -84,6 +84,21 @@ struct ServeOptions
     /** Where waitDrained() writes the request-lane trace; "" = off. */
     std::string tracePath;
 
+    /** Where waitDrained() dumps the flight recorder; "" = nowhere. */
+    std::string flightRecPath;
+
+    /**
+     * Run the observability plane: span recording into
+     * SpanCollector::global(), one wide event per request into
+     * FlightRecorder::global(), trace ids on the wire. The daemon
+     * leaves this on (the plane is designed to be cheap enough to);
+     * the overhead benchmark turns it off for its baseline.
+     */
+    bool observability = true;
+
+    /** Wide-event ring capacity when observability is on. */
+    std::size_t flightRecorderCapacity = 512;
+
     /**
      * Refuse to start unless the format registry passes the static
      * lint passes (spec structure, decoder bodies, contracts). A
@@ -158,8 +173,21 @@ class Server
     /** True between start() and the beginning of a drain. */
     bool accepting() const;
 
-    /** The serve/thread_pool/encode_cache groups as one JSON doc. */
+    /**
+     * The serve/thread_pool/encode_cache groups plus live load state
+     * (`"queue_depth"`, an `"inflight"` array with per-request ages)
+     * as one JSON doc — the stats endpoint's payload, which is also
+     * what `copernicus_cli --top` polls.
+     */
     std::string statsJson() const;
+
+    /**
+     * Prometheus text exposition of the serve counters, latency
+     * histograms, pool and cache stats. Built entirely from atomic
+     * reads and DistributionStat snapshots — a scrape never holds a
+     * lock a request thread contends beyond one histogram copy.
+     */
+    std::string metricsText() const;
 
     /** Request spans recorded so far (tests; snapshot under lock). */
     std::vector<RequestSpan> spans() const;
@@ -201,16 +229,49 @@ class Server
 
     enum class Admit { Ok, Full, Draining };
 
+    /** What a handler reports back for the request's wide event. */
+    struct RequestObs
+    {
+        std::size_t formatsSwept = 0; ///< sweep endpoints only
+    };
+
+    /** One in-flight request, for --top's per-request ages. */
+    struct InflightEntry
+    {
+        Endpoint endpoint = Endpoint::Ping;
+        std::uint64_t id = 0;
+        std::uint64_t startUs = 0;
+    };
+
     void bindSocket();
     void acceptorLoop();
     void readerLoop(std::uint64_t connId, std::shared_ptr<Conn> conn);
     void handleLine(const std::shared_ptr<Conn> &conn,
                     const std::string &line);
-    void runRequest(std::shared_ptr<Conn> conn, ServeRequest request);
+
+    /**
+     * @param receiptUs observeNowUs() when the line was read — the
+     *        queue-wait half of the latency split.
+     * @param requestSpanId Pre-allocated id of the serve.request span,
+     *        0 when span recording is off.
+     */
+    void runRequest(std::shared_ptr<Conn> conn, ServeRequest request,
+                    std::uint64_t receiptUs,
+                    std::uint64_t requestSpanId);
 
     /** Dispatch to the endpoint handler; returns the result JSON. */
     std::string dispatch(const ServeRequest &request,
-                         const std::function<bool()> &deadlineHit);
+                         const std::function<bool()> &deadlineHit,
+                         RequestObs &obs);
+
+    /** Record one wide event (no-op when observability is off). */
+    void recordWideEvent(const ServeRequest &request,
+                         std::string_view outcome,
+                         std::uint64_t receiptUs, std::uint64_t startUs,
+                         std::uint64_t endUs, double timeoutMs,
+                         std::uint64_t cacheHits,
+                         std::uint64_t cacheMisses,
+                         const RequestObs &obs);
 
     Admit tryAdmit();
     void releaseAdmission();
@@ -247,12 +308,23 @@ class Server
     std::vector<EndpointStats> endpointStats; ///< allEndpoints() order
     std::unique_ptr<ScalarStat> connections;
     std::unique_ptr<ScalarStat> badLines;
+    /** badLines split by RequestParseError (satellite counters). */
+    std::unique_ptr<ScalarStat> badLinesMalformed;
+    std::unique_ptr<ScalarStat> badLinesUnknownOp;
+    std::unique_ptr<ScalarStat> badLinesOther;
     ThreadPoolStats poolStats;
     EncodeCacheStats cacheStats;
 
     mutable std::mutex spansMutex;
     std::vector<RequestSpan> requestSpans;
-    std::chrono::steady_clock::time_point epoch;
+
+    /** In-flight registry for --top, under inflightMutex. */
+    mutable std::mutex inflightMutex;
+    std::map<std::uint64_t, InflightEntry> inflightReqs;
+    std::uint64_t nextReqToken = 1;
+
+    /** True when this server turned the span collector on. */
+    bool observingSpans = false;
 };
 
 } // namespace copernicus

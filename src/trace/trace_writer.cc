@@ -35,6 +35,15 @@ TraceWriter::durationEvent(std::string_view track,
 }
 
 void
+TraceWriter::durationEventArgs(std::string_view track,
+                               std::string_view name, Cycles start,
+                               Cycles end, std::string argsJson)
+{
+    durationEvent(track, name, start, end);
+    recorded.back().args = std::move(argsJson);
+}
+
+void
 TraceWriter::counterEvent(std::string_view counter, Cycles ts,
                           double value)
 {
@@ -124,7 +133,10 @@ TraceWriter::write(std::ostream &out) const
                 << ", \"tid\": " << tid << ", \"name\": ";
             writeJsonString(out, event.name);
             out << ", \"cat\": \"stage\", \"ts\": " << event.ts
-                << ", \"dur\": " << event.dur << "}";
+                << ", \"dur\": " << event.dur;
+            if (!event.args.empty())
+                out << ", \"args\": " << event.args;
+            out << "}";
         } else {
             out << "{\"ph\": \"C\", \"pid\": " << event.pid
                 << ", \"tid\": 0, \"name\": ";

@@ -38,6 +38,7 @@ class TraceWriter : public TraceSink
         Cycles ts = 0;
         Cycles dur = 0;   ///< 'X' only
         double value = 0; ///< 'C' only
+        std::string args; ///< optional JSON object, emitted verbatim
     };
 
     TraceWriter();
@@ -47,6 +48,16 @@ class TraceWriter : public TraceSink
                        Cycles start, Cycles end) override;
     void counterEvent(std::string_view counter, Cycles ts,
                       double value) override;
+
+    /**
+     * A duration event with an `args` payload — @p argsJson must be a
+     * complete JSON object and is emitted verbatim. The serve drain
+     * uses this to attach span/trace ids to span events, so the Chrome
+     * trace retains the causal tree the timeline flattens.
+     */
+    void durationEventArgs(std::string_view track,
+                           std::string_view name, Cycles start,
+                           Cycles end, std::string argsJson);
 
     /**
      * Serialise a finished event-sim run (one scope, tracks
