@@ -6,12 +6,14 @@
  *   copernicus_lint 8,16            # choose partition sizes
  *   copernicus_lint --no-oracle     # skip the model-vs-walker oracle
  *   copernicus_lint --no-grammar    # skip encoded-tile validation
+ *   copernicus_lint --no-streams    # skip typed-stream coverage
  *
  * Runs every static pass over the full format registry: schedule-spec
  * structure, hlsc decoder-body cross-checks (pipeline depth, II,
  * comparator-tree balance, BRAM port budgets), hyperparameter
- * contracts, encoded-tile grammar over synthetic workloads, and the
- * closed-form-vs-walker cycle oracle. Exits 1 if any error-severity
+ * contracts, encoded-tile grammar over synthetic workloads, the
+ * closed-form-vs-walker cycle oracle, and the typed-stream coverage
+ * contract (typed payloads must sum to the legacy streams() bytes). Exits 1 if any error-severity
  * diagnostic is produced, so CI can gate on it.
  */
 
@@ -51,6 +53,8 @@ main(int argc, char **argv)
             options.runOracle = false;
         else if (arg == "--no-grammar")
             options.runGrammar = false;
+        else if (arg == "--no-streams")
+            options.runStreams = false;
         else
             options.partitionSizes = parsePartitionSizes(arg);
     }

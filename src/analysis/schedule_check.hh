@@ -112,6 +112,14 @@ struct LintOptions
 
     /** Run the model-vs-walker oracle over synthetic tiles. */
     bool runOracle = true;
+
+    /**
+     * Run the typed-stream coverage pass over synthetic tiles: every
+     * format's typedStreams() must cover its legacy streams() total
+     * exactly (no bytes dropped or double-counted by the typed-stream
+     * migration).
+     */
+    bool runStreams = true;
 };
 
 /**
@@ -145,6 +153,11 @@ void checkContracts(const FormatParams &params, const HlsConfig &config,
  * Pass 4 (per tile): grammar-validate @p tile encoded as @p kind and
  * check the closed-form bound against the dynamic walker.
  */
+void checkTile(const FormatRegistry &registry, FormatKind kind,
+               const Tile &tile, const HlsConfig &config, bool grammar,
+               bool oracle, bool streams, LintReport &report);
+
+/** Back-compat overload: runs the streams pass. */
 void checkTile(const FormatRegistry &registry, FormatKind kind,
                const Tile &tile, const HlsConfig &config, bool grammar,
                bool oracle, LintReport &report);

@@ -46,8 +46,15 @@ writeJsonNumber(std::ostream &out, double v)
         out << '0';
         return;
     }
+    // Shortest round-trip form: rising precision until strtod gives
+    // the value back. 17 significant digits always round-trip, so the
+    // loop cannot fall through.
     char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
     out << buf;
 }
 

@@ -31,7 +31,10 @@ void writeJsonString(std::ostream &out, std::string_view text);
  * Write @p v as a JSON number.
  *
  * JSON has no NaN/Infinity literals; non-finite values are emitted as
- * 0 so the artifact always parses.
+ * 0 so the artifact always parses. The representation is the shortest
+ * decimal string that parses back to exactly @p v, so 0.1 emits as
+ * "0.1" — never "0.10000000000000001" — and committed artifacts don't
+ * accumulate float-noise diffs.
  */
 void writeJsonNumber(std::ostream &out, double v);
 

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * LZ4-class block compressor (in-repo, zero external dependencies).
+ *
+ * Implements the LZ4 block wire format: a sequence of tokens, each a
+ * literal run followed by a match against the already-decoded window.
+ *
+ *   token byte   high nibble = literal length (15 = extension bytes
+ *                follow, each 255 until a byte < 255 closes the sum)
+ *                low nibble  = match length - 4, same 15/255 extension
+ *   literals     raw bytes
+ *   offset       2-byte little-endian distance back into the window,
+ *                1..65535 (0 is invalid)
+ *
+ * The block ends with a final literal-only token (its match nibble is
+ * unused). Matches are found with a single-probe hash table over
+ * 4-byte windows — the "fast" LZ4 strategy: greedy, no lazy matching,
+ * one attempt per position. That is the right trade for the encode
+ * hot path, where compression runs once per tile stream.
+ *
+ * End-of-block constraints follow the LZ4 spec (the last 5 bytes are
+ * always literals; a match never starts within the last 12 bytes), so
+ * the decoder's copy loops need no per-byte bounds checks on
+ * well-formed input. decompress() still validates against the
+ * declared raw size and fails loudly on corrupt blocks — it is used
+ * by the roundtrip-verification layer, not just by benchmarks.
+ */
+
+#ifndef COPERNICUS_COMPRESS_LZ4_BLOCK_HH
+#define COPERNICUS_COMPRESS_LZ4_BLOCK_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace copernicus {
+
+/**
+ * Append the LZ4 block image of @p src to @p out.
+ *
+ * Never fails: incompressible input degrades to one literal run with
+ * ~0.4% framing overhead. Returns the number of bytes appended.
+ */
+std::size_t lz4Compress(std::span<const std::byte> src,
+                        std::vector<std::byte> &out);
+
+/**
+ * Decode an LZ4 block into exactly @p dst.size() bytes.
+ *
+ * @return true on success; false if the block is malformed or does
+ * not decode to exactly the destination size (nothing is assumed
+ * about @p dst contents on failure).
+ */
+bool lz4Decompress(std::span<const std::byte> src,
+                   std::span<std::byte> dst);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_COMPRESS_LZ4_BLOCK_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * LZF-class block compressor (in-repo, zero external dependencies).
+ *
+ * Implements the classic LZF control-byte wire format — simpler and
+ * cheaper than LZ4, with a shorter minimum match (3 vs 4) and a
+ * smaller window (8 KiB vs 64 KiB), which makes it the better pick
+ * for short, structured metadata streams where LZ4's framing
+ * overhead dominates:
+ *
+ *   ctrl < 0x20           literal run of (ctrl + 1) bytes, 1..32
+ *   ctrl >= 0x20          match: length = (ctrl >> 5) + 2, 3..8;
+ *                         a length code of 7 adds one extension byte
+ *                         (total 3..264). Offset is 13 bits: the low
+ *                         5 control bits are the high bits, one more
+ *                         byte the low bits, stored as offset - 1
+ *                         (window 1..8192).
+ *
+ * decompress() validates every run and match against the declared
+ * raw size and fails loudly on corrupt blocks.
+ */
+
+#ifndef COPERNICUS_COMPRESS_LZF_BLOCK_HH
+#define COPERNICUS_COMPRESS_LZF_BLOCK_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace copernicus {
+
+/**
+ * Append the LZF block image of @p src to @p out.
+ *
+ * Never fails: incompressible input degrades to literal runs with
+ * ~3% framing overhead. Returns the number of bytes appended.
+ */
+std::size_t lzfCompress(std::span<const std::byte> src,
+                        std::vector<std::byte> &out);
+
+/**
+ * Decode an LZF block into exactly @p dst.size() bytes.
+ *
+ * @return true on success; false if the block is malformed or does
+ * not decode to exactly the destination size.
+ */
+bool lzfDecompress(std::span<const std::byte> src,
+                   std::span<std::byte> dst);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_COMPRESS_LZF_BLOCK_HH

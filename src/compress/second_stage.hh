@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Second-stage stream compression: per-stream-class codec selection
+ * over an encoded tile's typed streams.
+ *
+ * Copernicus charges every byte crossing the memory interface against
+ * bandwidth utilization (Section 4.2). The first stage is the sparse
+ * format itself; this module adds the optional second stage: each
+ * typed stream (typed_stream.hh) is byte-compressed before the DDR
+ * transfer model sees it. Index, offset and value streams have very
+ * different statistics — offsets are near-monotone and highly
+ * repetitive, indices are small-alphabet, values are mostly
+ * incompressible floats — so the codec is chosen *per stream class*
+ * (SMASH and Qin et al., PAPERS.md), with an automatic
+ * try-both-pick-smaller mode and a STORE passthrough whenever
+ * compression loses.
+ *
+ * Accounting contract: a STORE stream ships the raw serialized bytes
+ * unchanged, so storedBytes() <= rawBytes() always, and disabling the
+ * second stage is exactly the all-STORE policy. Compressed streams
+ * pay a fixed per-stream container header (family + raw size) so the
+ * model never undercounts framing.
+ */
+
+#ifndef COPERNICUS_COMPRESS_SECOND_STAGE_HH
+#define COPERNICUS_COMPRESS_SECOND_STAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "compress/stream_compressor.hh"
+#include "formats/encoded_tile.hh"
+#include "formats/typed_stream.hh"
+
+namespace copernicus {
+
+/** Codec choice for one stream class. */
+enum class SecondStageChoice : std::uint8_t
+{
+    Auto, ///< try every family, keep the smallest (or STORE)
+    Store,
+    Lz4,
+    Lzf,
+};
+
+/**
+ * Per-stream-class selection policy. Defaults to Auto everywhere —
+ * the measured-smallest choice per stream.
+ */
+struct CompressionPolicy
+{
+    SecondStageChoice value = SecondStageChoice::Auto;
+    SecondStageChoice index = SecondStageChoice::Auto;
+    SecondStageChoice offset = SecondStageChoice::Auto;
+
+    SecondStageChoice forClass(StreamClass cls) const;
+};
+
+/**
+ * Fixed container header charged to every non-STORE stream: one
+ * family byte plus the 32-bit raw size the decoder needs.
+ */
+constexpr Bytes streamHeaderBytes = 5;
+
+/** One stream after second-stage selection. */
+struct CompressedStream
+{
+    StreamClass cls = StreamClass::Value;
+    const char *name = "";
+    CompressionFamily family = CompressionFamily::Store;
+
+    /** Serialized (pre-compression) payload size. */
+    Bytes rawBytes = 0;
+
+    /** Compressed payload size (== rawBytes for STORE). */
+    Bytes payloadBytes = 0;
+
+    /**
+     * Bytes that cross the memory interface: the payload plus the
+     * container header for compressed streams; exactly the raw bytes
+     * for STORE.
+     */
+    Bytes
+    storedBytes() const
+    {
+        return family == CompressionFamily::Store
+                   ? rawBytes
+                   : payloadBytes + streamHeaderBytes;
+    }
+
+    /** Compressed image; kept only when requested (tests, benches). */
+    std::vector<std::byte> payload;
+};
+
+/** Second-stage result for one encoded tile. */
+struct TileCompression
+{
+    std::vector<CompressedStream> streams;
+
+    Bytes rawBytes() const;
+    Bytes storedBytes() const;
+
+    /** Per-stream stored sizes, for the AXI streamline model. */
+    std::vector<Bytes> storedStreamBytes() const;
+};
+
+/**
+ * Run second-stage selection over @p tile's typed streams.
+ *
+ * Every compressed candidate is roundtrip-verified (decompressed and
+ * byte-compared against the raw payload) before it may be selected;
+ * a candidate that fails verification is discarded in favor of STORE
+ * — a storage format that cannot prove it preserves the stream never
+ * wins. With @p keepPayloads the winning compressed images are
+ * retained on the result for inspection.
+ */
+TileCompression compressTile(const EncodedTile &tile,
+                             const CompressionPolicy &policy = {},
+                             bool keepPayloads = false);
+
+/** Monotonic process-wide second-stage counters (wide events). */
+struct CompressTotals
+{
+    std::uint64_t streams = 0;
+    std::uint64_t rawBytes = 0;
+    std::uint64_t storedBytes = 0;
+    std::uint64_t nanos = 0;
+};
+
+/** Snapshot of the counters compressTile() maintains. */
+CompressTotals compressTotals();
+
+} // namespace copernicus
+
+#endif // COPERNICUS_COMPRESS_SECOND_STAGE_HH

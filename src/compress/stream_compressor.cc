@@ -1,0 +1,100 @@
+#include "compress/stream_compressor.hh"
+
+#include "compress/lz4_block.hh"
+#include "compress/lzf_block.hh"
+
+namespace copernicus {
+
+namespace {
+
+class Lz4StreamCompressor final : public StreamCompressor
+{
+  public:
+    CompressionFamily family() const override
+    {
+        return CompressionFamily::Lz4;
+    }
+
+    std::size_t
+    compress(std::span<const std::byte> src,
+             std::vector<std::byte> &out) const override
+    {
+        return lz4Compress(src, out);
+    }
+
+    bool
+    decompress(std::span<const std::byte> src,
+               std::span<std::byte> dst) const override
+    {
+        return lz4Decompress(src, dst);
+    }
+};
+
+class LzfStreamCompressor final : public StreamCompressor
+{
+  public:
+    CompressionFamily family() const override
+    {
+        return CompressionFamily::Lzf;
+    }
+
+    std::size_t
+    compress(std::span<const std::byte> src,
+             std::vector<std::byte> &out) const override
+    {
+        return lzfCompress(src, out);
+    }
+
+    bool
+    decompress(std::span<const std::byte> src,
+               std::span<std::byte> dst) const override
+    {
+        return lzfDecompress(src, dst);
+    }
+};
+
+} // namespace
+
+const char *
+compressionFamilyName(CompressionFamily family)
+{
+    switch (family) {
+    case CompressionFamily::Store:
+        return "store";
+    case CompressionFamily::Lz4:
+        return "lz4";
+    case CompressionFamily::Lzf:
+        return "lzf";
+    }
+    return "unknown";
+}
+
+const StreamCompressor &
+lz4Compressor()
+{
+    static const Lz4StreamCompressor compressor;
+    return compressor;
+}
+
+const StreamCompressor &
+lzfCompressor()
+{
+    static const LzfStreamCompressor compressor;
+    return compressor;
+}
+
+const StreamCompressor *
+compressorFor(CompressionFamily family)
+{
+    switch (family) {
+    case CompressionFamily::Store:
+        return nullptr;
+    case CompressionFamily::Lz4:
+        return &lz4Compressor();
+    case CompressionFamily::Lzf:
+        return &lzfCompressor();
+    }
+    return nullptr;
+}
+
+} // namespace copernicus

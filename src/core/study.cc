@@ -7,6 +7,8 @@
 #include "analysis/table_writer.hh"
 #include "common/status.hh"
 #include "common/thread_pool.hh"
+#include "common/trace_context.hh"
+#include "compress/second_stage.hh"
 #include "trace/profile.hh"
 #include "trace/span.hh"
 
@@ -181,6 +183,7 @@ Study::run() const
 {
     const ScopedTimer timer("study.run");
     const ScopedSpan span("study.run", "study");
+    const CompressTotals compressBefore = compressTotals();
 
     const unsigned jobs = effectiveJobs(cfg.jobs);
     std::optional<ThreadPool> pool;
@@ -252,6 +255,28 @@ Study::run() const
             result.rows[i] = makeRow(matrices[pt.w].first, *pt.parts,
                                      pt.kind, nullptr);
         }
+    }
+
+    if (cfg.hls.secondStageCompression &&
+        SpanCollector::global().enabled()) {
+        // Per-tile compress timings are far too fine-grained for the
+        // span ring; report one synthetic span whose duration is the
+        // summed second-stage time across every design point, parented
+        // under study.run so traces show where the compression cost
+        // sits.
+        const std::uint64_t nanos =
+            compressTotals().nanos - compressBefore.nanos;
+        const TraceContext ctx = currentTraceContext();
+        SpanRecord rec;
+        rec.traceId = ctx.valid() ? ctx.traceId : newTraceId();
+        rec.spanId = newSpanId();
+        rec.parentSpanId = ctx.valid() ? ctx.spanId : 0;
+        rec.name = "study.compress";
+        rec.track = "study";
+        rec.endUs = observeNowUs();
+        const std::uint64_t micros = nanos / 1000;
+        rec.startUs = rec.endUs > micros ? rec.endUs - micros : 0;
+        SpanCollector::global().record(std::move(rec));
     }
     return result;
 }

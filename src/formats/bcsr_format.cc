@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/arena.hh"
 #include "common/status.hh"
 
 namespace copernicus {
@@ -21,38 +22,52 @@ BcsrCodec::encode(const Tile &tile) const
     const TileStats &feat = tile.features();
     auto encoded = std::make_unique<BcsrEncoded>(p, feat.nnz, block);
 
-    // Per block-row, scatter the row's nonzeros into their block
-    // columns, then emit the touched blocks in ascending order —
-    // exactly the blocks a dense block scan would keep.
+    Arena &arena = encodeArena();
+    const ArenaScope scope(arena);
+
+    // One reusable scatter plane spans a whole block-row: block column
+    // bc owns plane[bc * b*b ..), zeroed lazily on first touch so the
+    // (common) untouched blocks cost nothing.
     const Index grid = p / block;
-    std::vector<std::vector<Value>> flats(grid);
-    std::vector<char> touched(grid, 0);
-    std::vector<Index> touchedCols;
-    touchedCols.reserve(grid);
+    const std::size_t blockArea = static_cast<std::size_t>(block) * block;
+    Value *plane = arena.alloc<Value>(grid * blockArea);
+    char *touched = arena.alloc<char>(grid);
+    std::fill(touched, touched + grid, char(0));
+    ArenaVec<Index> touchedCols(arena, grid);
+
+    const Index maxBlocks =
+        std::min(feat.nnz, static_cast<Index>(grid) * grid);
+    encoded->offsets.reserve(grid);
+    encoded->colInx.reserve(maxBlocks);
+    encoded->values.reserve(maxBlocks);
+
+    const TileNonzero *entries = nz.data();
     Index running = 0;
     for (Index br = 0; br < grid; ++br) {
         touchedCols.clear();
-        for (Index r = br * block; r < (br + 1) * block; ++r) {
-            for (Index i = feat.rowStart[r]; i < feat.rowStart[r + 1];
-                 ++i) {
-                const TileNonzero &e = nz[i];
+        const Index rowBase = br * block;
+        for (Index r = rowBase; r < rowBase + block; ++r) {
+            const Index rowEnd = feat.rowStart[r + 1];
+            for (Index i = feat.rowStart[r]; i < rowEnd; ++i) {
+                const TileNonzero &e = entries[i];
                 const Index bc = e.col / block;
+                Value *blk = plane + bc * blockArea;
                 if (!touched[bc]) {
                     touched[bc] = 1;
                     touchedCols.push_back(bc);
-                    flats[bc].assign(
-                        static_cast<std::size_t>(block) * block,
-                        Value(0));
+                    std::fill(blk, blk + blockArea, Value(0));
                 }
-                flats[bc][static_cast<std::size_t>(r - br * block) *
-                              block +
-                          (e.col - bc * block)] = e.value;
+                blk[static_cast<std::size_t>(r - rowBase) * block +
+                    (e.col - bc * block)] = e.value;
             }
         }
+        // Emit the touched blocks in ascending order — exactly the
+        // blocks a dense block scan would keep.
         std::sort(touchedCols.begin(), touchedCols.end());
         for (const Index bc : touchedCols) {
+            const Value *blk = plane + bc * blockArea;
             encoded->colInx.push_back(bc * block);
-            encoded->values.push_back(std::move(flats[bc]));
+            encoded->values.emplace_back(blk, blk + blockArea);
             touched[bc] = 0;
             ++running;
         }

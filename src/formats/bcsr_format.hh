@@ -38,6 +38,21 @@ class BcsrEncoded : public EncodedTile
                 Bytes(offsets.size()) * indexBytes};
     }
 
+    std::vector<TypedStream>
+    typedStreams() const override
+    {
+        TypedStream values_stream{StreamClass::Value, "values", {}};
+        for (const auto &blk : values)
+            appendScalarBytes(values_stream.bytes, blk.data(),
+                              blk.size());
+        std::vector<TypedStream> out;
+        out.push_back(std::move(values_stream));
+        out.push_back(scalarStream(StreamClass::Index, "colInx", colInx));
+        out.push_back(
+            scalarStream(StreamClass::Offset, "offsets", offsets));
+        return out;
+    }
+
     /** Block edge length b. */
     Index blockSize() const { return block; }
 

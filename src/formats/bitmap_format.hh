@@ -41,6 +41,21 @@ class BitmapEncoded : public EncodedTile
         return {Bytes(values.size()) * valueBytes, mask_bytes};
     }
 
+    std::vector<TypedStream>
+    typedStreams() const override
+    {
+        TypedStream mask_stream{StreamClass::Index, "mask", {}};
+        appendScalarBytes(mask_stream.bytes, mask.data(), mask.size());
+        // The wire image is the packed p*p bits, not the backing
+        // words: truncate the tail padding the words add.
+        mask_stream.bytes.resize((std::size_t(p) * p + 7) / 8);
+        std::vector<TypedStream> out;
+        out.push_back(
+            scalarStream(StreamClass::Value, "values", values));
+        out.push_back(std::move(mask_stream));
+        return out;
+    }
+
     /** True iff cell (row, col) is occupied. */
     bool
     test(Index row, Index col) const

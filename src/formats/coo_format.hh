@@ -30,6 +30,15 @@ class CooEncoded : public EncodedTile
                 (valueBytes + 2 * indexBytes)};
     }
 
+    /** The interleaved tuples split into planar streams (SoA). */
+    std::vector<TypedStream>
+    typedStreams() const override
+    {
+        return {scalarStream(StreamClass::Value, "values", values),
+                scalarStream(StreamClass::Index, "rowInx", rowInx),
+                scalarStream(StreamClass::Index, "colInx", colInx)};
+    }
+
     std::vector<Index> rowInx;
     std::vector<Index> colInx;
     std::vector<Value> values;

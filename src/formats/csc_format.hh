@@ -30,6 +30,14 @@ class CscEncoded : public EncodedTile
                 Bytes(offsets.size()) * indexBytes};
     }
 
+    std::vector<TypedStream>
+    typedStreams() const override
+    {
+        return {scalarStream(StreamClass::Value, "values", values),
+                scalarStream(StreamClass::Index, "rowInx", rowInx),
+                scalarStream(StreamClass::Offset, "offsets", offsets)};
+    }
+
     /** Cumulative non-zero count through each column; length p. */
     std::vector<Index> offsets;
 

@@ -35,6 +35,14 @@ class CsrEncoded : public EncodedTile
                 Bytes(offsets.size()) * indexBytes};
     }
 
+    std::vector<TypedStream>
+    typedStreams() const override
+    {
+        return {scalarStream(StreamClass::Value, "values", values),
+                scalarStream(StreamClass::Index, "colInx", colInx),
+                scalarStream(StreamClass::Offset, "offsets", offsets)};
+    }
+
     /** Cumulative non-zero count through each row; length p. */
     std::vector<Index> offsets;
 

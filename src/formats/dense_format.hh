@@ -29,6 +29,12 @@ class DenseEncoded : public EncodedTile
         return {Bytes(values.size()) * valueBytes};
     }
 
+    std::vector<TypedStream>
+    typedStreams() const override
+    {
+        return {scalarStream(StreamClass::Value, "values", values)};
+    }
+
     /** Row-major p*p values including zeros. */
     std::vector<Value> values;
 };

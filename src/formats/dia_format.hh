@@ -44,6 +44,23 @@ class DiaEncoded : public EncodedTile
         return {Bytes(diagonals.size()) * (p + 1) * valueBytes};
     }
 
+    /** Header numbers and padded value slots as planar streams. */
+    std::vector<TypedStream>
+    typedStreams() const override
+    {
+        TypedStream values{StreamClass::Value, "values", {}};
+        TypedStream headers{StreamClass::Offset, "headers", {}};
+        for (const DiaDiagonal &d : diagonals) {
+            appendScalarBytes(headers.bytes, &d.number, 1);
+            appendScalarBytes(values.bytes, d.values.data(),
+                              d.values.size());
+        }
+        std::vector<TypedStream> out;
+        out.push_back(std::move(values));
+        out.push_back(std::move(headers));
+        return out;
+    }
+
     /**
      * Value-slot index of @p row on diagonal @p d (Listing 7's
      * DiaInxForRow): position along the diagonal from its start.

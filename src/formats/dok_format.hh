@@ -32,6 +32,13 @@ class DokEncoded : public EncodedTile
         return {Bytes(table.size()) * (valueBytes + 2 * indexBytes)};
     }
 
+    /**
+     * COO's planar wire image in sorted (row, col) order — the hash
+     * table's iteration order is not deterministic, the serialized
+     * streams must be.
+     */
+    std::vector<TypedStream> typedStreams() const override;
+
     /** Pack (row, col) into one hash key. */
     static std::uint64_t
     key(Index row, Index col)

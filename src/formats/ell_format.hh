@@ -39,6 +39,13 @@ class EllEncoded : public EncodedTile
                 Bytes(colInx.size()) * indexBytes};
     }
 
+    std::vector<TypedStream>
+    typedStreams() const override
+    {
+        return {scalarStream(StreamClass::Value, "values", values),
+                scalarStream(StreamClass::Index, "colInx", colInx)};
+    }
+
     /** Compressed row width (padding included). */
     Index width() const { return w; }
 

@@ -39,6 +39,19 @@ class EllCooEncoded : public EncodedTile
                     (valueBytes + 2 * indexBytes)};
     }
 
+    std::vector<TypedStream>
+    typedStreams() const override
+    {
+        return {scalarStream(StreamClass::Value, "values", values),
+                scalarStream(StreamClass::Index, "colInx", colInx),
+                scalarStream(StreamClass::Value, "overflowValues",
+                             overflowValues),
+                scalarStream(StreamClass::Index, "overflowRows",
+                             overflowRows),
+                scalarStream(StreamClass::Index, "overflowCols",
+                             overflowCols)};
+    }
+
     /** Fixed ELL-part width. */
     Index width() const { return w; }
 

@@ -23,6 +23,7 @@
 #include "common/status.hh"
 #include "common/types.hh"
 #include "formats/format_kind.hh"
+#include "formats/typed_stream.hh"
 
 namespace copernicus {
 
@@ -61,6 +62,15 @@ class EncodedTile
      * (Section 5.2, CSR discussion).
      */
     virtual std::vector<Bytes> streams() const = 0;
+
+    /**
+     * The same bytes as streams(), split into labeled, classed,
+     * serialized payloads for second-stage compression (see
+     * typed_stream.hh). Implementations must cover the streams()
+     * total exactly; copernicus_lint's `streams` pass and the tier-1
+     * tests enforce it.
+     */
+    virtual std::vector<TypedStream> typedStreams() const = 0;
 
     /** Edge length p of the source tile. */
     Index tileSize() const { return p; }

@@ -1,7 +1,8 @@
 #include "formats/jds_format.hh"
 
 #include <algorithm>
-#include <numeric>
+
+#include "common/arena.hh"
 
 namespace copernicus {
 
@@ -13,33 +14,64 @@ JdsCodec::encode(const Tile &tile) const
     const TileStats &feat = tile.features();
     auto encoded = std::make_unique<JdsEncoded>(p, feat.nnz);
 
-    // Sort rows by descending non-zero count; stable keeps ties in
-    // original order so the permutation is deterministic.
-    const std::vector<Index> &row_nnz = feat.rowNnz;
-    encoded->perm.resize(p);
-    std::iota(encoded->perm.begin(), encoded->perm.end(), Index(0));
-    std::stable_sort(encoded->perm.begin(), encoded->perm.end(),
-                     [&](Index a, Index b) {
-                         return row_nnz[a] > row_nnz[b];
-                     });
+    Arena &arena = encodeArena();
+    const ArenaScope scope(arena);
 
-    // Jagged-diagonal-major emission straight off the nonzero stream:
-    // entry j of permuted row k is nz[rowStart[perm[k]] + j], already
-    // column-sorted.
-    const Index width = p == 0 ? 0 : row_nnz[encoded->perm[0]];
-    encoded->colInx.reserve(nz.size());
-    encoded->values.reserve(nz.size());
-    encoded->jdPtr.reserve(static_cast<std::size_t>(width) + 1);
-    encoded->jdPtr.push_back(0);
+    // One allocation covers every index stream; jagged width (the
+    // longest row) is known up front from the tile stats.
+    const Index width = feat.maxRowNnz;
+    encoded->meta.resize(std::size_t(feat.nnz) + p + width + 1);
+    Index *cols = encoded->colInx().data();
+    Index *perm = encoded->perm().data();
+    Index *jd = encoded->jdPtr().data();
+
+    // Descending counting sort over the row lengths — stable (ties
+    // keep original order), allocation-free, and the exact permutation
+    // std::stable_sort produced before. Keys never exceed the longest
+    // row, so the count table stops there rather than at p.
+    const std::vector<Index> &row_nnz = feat.rowNnz;
+    Index *start = arena.alloc<Index>(std::size_t(width) + 2);
+    std::fill(start, start + width + 2, Index(0));
+    for (Index r = 0; r < p; ++r)
+        ++start[row_nnz[r] + 1];
+    Index running = 0;
+    for (Index len = width;; --len) {
+        const Index count = start[len + 1];
+        start[len + 1] = running;
+        running += count;
+        if (len == 0)
+            break;
+    }
+    for (Index r = 0; r < p; ++r)
+        perm[start[row_nnz[r] + 1]++] = r;
+    // The scatter bumped each key's cursor past its run, so
+    // start[len + 1] now counts the rows with length >= len.
+
+    // Jagged diagonal j holds one entry for every row longer than j,
+    // and those rows are exactly sorted rows 0..count-1 in order, so
+    // the pointers come straight from the length histogram.
+    jd[0] = 0;
+    Index acc = 0;
     for (Index j = 0; j < width; ++j) {
-        for (Index k = 0; k < p && row_nnz[encoded->perm[k]] > j; ++k) {
-            const TileNonzero &e =
-                nz[feat.rowStart[encoded->perm[k]] + j];
-            encoded->colInx.push_back(e.col);
-            encoded->values.push_back(e.value);
+        acc += start[j + 2]; // rows with length >= j + 1
+        jd[j + 1] = acc;
+    }
+
+    // With the pointers known up front, the diagonal-major emission
+    // collapses to one flat pass over the canonical nonzero view:
+    // entry j of sorted row k lands at jdPtr[j] + k.
+    encoded->values.resize(nz.size());
+    Value *values = encoded->values.data();
+    const TileNonzero *entries = nz.data();
+    for (Index k = 0; k < p; ++k) {
+        const Index row = perm[k];
+        const Index len = row_nnz[row];
+        const TileNonzero *run = entries + feat.rowStart[row];
+        for (Index j = 0; j < len; ++j) {
+            const Index at = jd[j] + k;
+            values[at] = run[j].value;
+            cols[at] = run[j].col;
         }
-        encoded->jdPtr.push_back(
-            static_cast<Index>(encoded->values.size()));
     }
     return encoded;
 }
@@ -50,14 +82,17 @@ JdsCodec::decode(const EncodedTile &encoded) const
     const auto &jds = encodedAs<JdsEncoded>(encoded, FormatKind::JDS);
     const Index p = jds.tileSize();
     Tile tile(p);
-    const Index width = static_cast<Index>(jds.jdPtr.size()) - 1;
+    const std::span<const Index> jd = jds.jdPtr();
+    const std::span<const Index> perm = jds.perm();
+    const std::span<const Index> cols = jds.colInx();
+    const Index width = static_cast<Index>(jd.size()) - 1;
     for (Index j = 0; j < width; ++j) {
-        const Index begin = jds.jdPtr[j];
-        const Index end = jds.jdPtr[j + 1];
+        const Index begin = jd[j];
+        const Index end = jd[j + 1];
         // Diagonal j covers the first (end - begin) sorted rows.
         for (Index i = begin; i < end; ++i) {
-            const Index row = jds.perm[i - begin];
-            tile.cell(row, jds.colInx[i]) = jds.values[i];
+            const Index row = perm[i - begin];
+            tile.cell(row, cols[i]) = jds.values[i];
         }
     }
     return tile;

@@ -22,6 +22,33 @@ LilCodec::encode(const Tile &tile) const
     return encoded;
 }
 
+std::vector<TypedStream>
+LilEncoded::typedStreams() const
+{
+    TypedStream values{StreamClass::Value, "values", {}};
+    TypedStream rows{StreamClass::Index, "rowInx", {}};
+    // Column-major: each column's packed list, closed by one
+    // end-marker entry (a zero value slot under the endMarker row).
+    for (Index col = 0; col < tileSize(); ++col) {
+        for (Index level = 0;; ++level) {
+            const Index row = rowAt(level, col);
+            if (row == endMarker) {
+                const Value sentinel = Value(0);
+                appendScalarBytes(values.bytes, &sentinel, 1);
+                appendScalarBytes(rows.bytes, &row, 1);
+                break;
+            }
+            const Value value = valueAt(level, col);
+            appendScalarBytes(values.bytes, &value, 1);
+            appendScalarBytes(rows.bytes, &row, 1);
+        }
+    }
+    std::vector<TypedStream> out;
+    out.push_back(std::move(values));
+    out.push_back(std::move(rows));
+    return out;
+}
+
 Tile
 LilCodec::decode(const EncodedTile &encoded) const
 {

@@ -45,6 +45,13 @@ class LilEncoded : public EncodedTile
         return {entries * valueBytes, entries * indexBytes};
     }
 
+    /**
+     * The compact wire image: per column, the packed (value, row)
+     * entries followed by one end-marker entry — the padded BRAM
+     * arrays never cross the memory interface.
+     */
+    std::vector<TypedStream> typedStreams() const override;
+
     /** Stored rows: longest column + 1 sentinel row. */
     Index height() const { return h; }
 

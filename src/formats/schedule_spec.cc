@@ -443,7 +443,7 @@ extractScheduleFeatures(const EncodedTile &encoded, const Tile &decoded)
         const auto &jds = encodedAs<JdsEncoded>(encoded,
                                                 FormatKind::JDS);
         feat.entries = jds.values.size();
-        feat.groupHeaders = jds.jdPtr.size() - 1; // jagged width
+        feat.groupHeaders = jds.jdPtr().size() - 1; // jagged width
         feat.nonEmptyGroups = nnz_rows;
         feat.producedRows = nnz_rows;
         break;

@@ -1,8 +1,8 @@
 #include "formats/sellcs_format.hh"
 
 #include <algorithm>
-#include <numeric>
 
+#include "common/arena.hh"
 #include "common/status.hh"
 
 namespace copernicus {
@@ -27,39 +27,58 @@ SellCsCodec::encode(const Tile &tile) const
     auto encoded = std::make_unique<SellCsEncoded>(p, feat.nnz, c,
                                                    sigma);
 
-    // Sort rows by descending length within each sigma window; stable
-    // keeps ties in original order so the permutation is deterministic.
+    Arena &arena = encodeArena();
+    const ArenaScope scope(arena);
+
+    // Per-window descending counting sort over the row lengths —
+    // stable (ties keep original order), allocation-free, and the
+    // exact permutation std::stable_sort produced before.
     const std::vector<Index> &row_nnz = feat.rowNnz;
     encoded->perm.resize(p);
-    std::iota(encoded->perm.begin(), encoded->perm.end(), Index(0));
+    Index *perm = encoded->perm.data();
+    Index *start = arena.alloc<Index>(static_cast<std::size_t>(p) + 2);
     for (Index base = 0; base < p; base += sigma) {
-        std::stable_sort(encoded->perm.begin() + base,
-                         encoded->perm.begin() + base + sigma,
-                         [&](Index a, Index b) {
-                             return row_nnz[a] > row_nnz[b];
-                         });
+        std::fill(start, start + p + 2, Index(0));
+        for (Index k = base; k < base + sigma; ++k)
+            ++start[row_nnz[k] + 1];
+        // start[len] = first slot for key len, longest first:
+        // suffix-sum the counts from the top of the key domain down.
+        Index running = 0;
+        for (Index len = p;; --len) {
+            const Index count = start[len + 1];
+            start[len + 1] = running;
+            running += count;
+            if (len == 0)
+                break;
+        }
+        for (Index k = base; k < base + sigma; ++k)
+            perm[base + start[row_nnz[k] + 1]++] = k;
     }
 
-    // Sliced ELL over the permuted row order; rowStart hands each
-    // permuted row its nonzero run directly.
+    // Sliced ELL over the permuted rows. sigma is a multiple of C, so
+    // every slice lies inside one sorted window and its width is the
+    // length of its first (longest) row; each row's nonzero run
+    // scatters flat off the canonical view via rowStart.
+    const TileNonzero *entries = nz.data();
     encoded->slices.reserve(p / c);
     for (Index base = 0; base < p; base += c) {
         SellSlice slice;
-        for (Index k = base; k < base + c; ++k)
-            slice.width = std::max(slice.width,
-                                   row_nnz[encoded->perm[k]]);
+        slice.width = row_nnz[perm[base]];
         slice.values.assign(static_cast<std::size_t>(c) * slice.width,
                             Value(0));
         slice.colInx.assign(static_cast<std::size_t>(c) * slice.width,
                             SellCsEncoded::padMarker);
+        Value *vals = slice.values.data();
+        Index *cols = slice.colInx.data();
         for (Index k = 0; k < c; ++k) {
-            const Index row = encoded->perm[base + k];
-            for (Index i = feat.rowStart[row];
-                 i < feat.rowStart[row + 1]; ++i) {
-                const auto at = static_cast<std::size_t>(k) *
-                                slice.width + (i - feat.rowStart[row]);
-                slice.values[at] = nz[i].value;
-                slice.colInx[at] = nz[i].col;
+            const Index row = perm[base + k];
+            const TileNonzero *run = entries + feat.rowStart[row];
+            const Index len = row_nnz[row];
+            Value *vrow = vals + static_cast<std::size_t>(k) * slice.width;
+            Index *crow = cols + static_cast<std::size_t>(k) * slice.width;
+            for (Index i = 0; i < len; ++i) {
+                vrow[i] = run[i].value;
+                crow[i] = run[i].col;
             }
         }
         encoded->slices.push_back(std::move(slice));

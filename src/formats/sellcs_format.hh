@@ -46,6 +46,27 @@ class SellCsEncoded : public EncodedTile
         return {value_bytes, index_bytes};
     }
 
+    std::vector<TypedStream>
+    typedStreams() const override
+    {
+        TypedStream values{StreamClass::Value, "values", {}};
+        TypedStream colInx{StreamClass::Index, "colInx", {}};
+        TypedStream widths{StreamClass::Offset, "widths", {}};
+        for (const auto &slice : slices) {
+            appendScalarBytes(values.bytes, slice.values.data(),
+                              slice.values.size());
+            appendScalarBytes(colInx.bytes, slice.colInx.data(),
+                              slice.colInx.size());
+            appendScalarBytes(widths.bytes, &slice.width, 1);
+        }
+        std::vector<TypedStream> out;
+        out.push_back(std::move(values));
+        out.push_back(std::move(colInx));
+        out.push_back(std::move(widths));
+        out.push_back(scalarStream(StreamClass::Index, "perm", perm));
+        return out;
+    }
+
     /** Slice height C. */
     Index sliceHeight() const { return c; }
 

@@ -1,0 +1,19 @@
+#include "formats/typed_stream.hh"
+
+namespace copernicus {
+
+const char *
+streamClassName(StreamClass cls)
+{
+    switch (cls) {
+    case StreamClass::Value:
+        return "value";
+    case StreamClass::Index:
+        return "index";
+    case StreamClass::Offset:
+        return "offset";
+    }
+    return "unknown";
+}
+
+} // namespace copernicus

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Typed memory streams: the second-stage compression boundary.
+ *
+ * The legacy EncodedTile::streams() API reports opaque byte counts,
+ * which is all the AXI transfer model needs. Second-stage compression
+ * (src/compress) needs more: the actual serialized payload of each
+ * stream, and a coarse class so index, offset and value streams can be
+ * compressed with independently chosen codecs — they have very
+ * different statistics (Qin et al., PAPERS.md).
+ *
+ * Every format therefore also reports typedStreams(): the same bytes
+ * as streams(), split into labeled, classed, serialized payloads. The
+ * invariant — enforced by the `streams` lint pass and the tier-1 tests
+ * — is that the typed payload sizes sum to exactly the legacy
+ * streams() total for every format: no bytes silently dropped or
+ * double-counted by the migration.
+ *
+ * Serialization is the native little-endian in-memory image of each
+ * array (the same bytes the DDR interface would move); formats with
+ * non-contiguous storage (DOK's hash table, SELL's slices, BCSR's
+ * blocks) define a deterministic canonical order here.
+ */
+
+#ifndef COPERNICUS_FORMATS_TYPED_STREAM_HH
+#define COPERNICUS_FORMATS_TYPED_STREAM_HH
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace copernicus {
+
+/** Coarse stream taxonomy for per-class compressor selection. */
+enum class StreamClass : std::uint8_t
+{
+    Value,  ///< non-zero payload words (and in-block/padding zeros)
+    Index,  ///< per-entry coordinates: column/row indices, masks, perms
+    Offset, ///< structural headers: prefix sums, widths, diagonal numbers
+};
+
+/** Human-readable class label ("value", "index", "offset"). */
+const char *streamClassName(StreamClass cls);
+
+/** One serialized memory stream of an encoded tile. */
+struct TypedStream
+{
+    StreamClass cls = StreamClass::Value;
+
+    /** Static label, e.g. "values", "colInx" (never owned). */
+    const char *name = "";
+
+    /** Serialized payload, canonical order, native byte order. */
+    std::vector<std::byte> bytes;
+
+    Bytes size() const { return Bytes(bytes.size()); }
+};
+
+/** Append the raw bytes of @p count scalars at @p data to @p out. */
+template <typename T>
+inline void
+appendScalarBytes(std::vector<std::byte> &out, const T *data,
+                  std::size_t count)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t at = out.size();
+    out.resize(at + count * sizeof(T));
+    if (count != 0)
+        std::memcpy(out.data() + at, data, count * sizeof(T));
+}
+
+/** Build a TypedStream from a contiguous scalar range. */
+template <typename Range>
+inline TypedStream
+scalarStream(StreamClass cls, const char *name, const Range &range)
+{
+    TypedStream s;
+    s.cls = cls;
+    s.name = name;
+    appendScalarBytes(s.bytes, std::data(range), std::size(range));
+    return s;
+}
+
+/** Sum of the serialized payload sizes. */
+inline Bytes
+typedStreamBytes(const std::vector<TypedStream> &streams)
+{
+    Bytes total = 0;
+    for (const TypedStream &s : streams)
+        total += s.size();
+    return total;
+}
+
+} // namespace copernicus
+
+#endif // COPERNICUS_FORMATS_TYPED_STREAM_HH

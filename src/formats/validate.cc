@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <span>
 
 #include "formats/bcsr_format.hh"
 #include "formats/bitmap_format.hh"
@@ -333,7 +334,7 @@ checkSlices(Checker &chk, const std::vector<SellSlice> &slices, Index p,
 
 /** @p perm must be a permutation of 0..p-1. */
 void
-checkPermutation(Checker &chk, const std::vector<Index> &perm, Index p,
+checkPermutation(Checker &chk, std::span<const Index> perm, Index p,
                  const std::string &invariant)
 {
     chk.require(perm.size() == p, invariant,
@@ -412,37 +413,39 @@ void
 checkJds(Checker &chk, const JdsEncoded &jds)
 {
     const Index p = jds.tileSize();
-    checkPermutation(chk, jds.perm, p, "jds.perm");
-    chk.require(jds.colInx.size() == jds.values.size(),
+    const std::span<const Index> jdPtr = jds.jdPtr();
+    const std::span<const Index> colInx = jds.colInx();
+    checkPermutation(chk, jds.perm(), p, "jds.perm");
+    chk.require(colInx.size() == jds.values.size(),
                 "jds.arrays.length", "colInx/values length mismatch");
     chk.require(jds.values.size() == jds.nnz(), "jds.nnz",
                 "stored " + std::to_string(jds.values.size()) +
                     " values for nnz " + std::to_string(jds.nnz()));
-    chk.require(!jds.jdPtr.empty() && jds.jdPtr.front() == 0,
+    chk.require(!jdPtr.empty() && jdPtr.front() == 0,
                 "jds.jdptr.start", "jdPtr must start at 0");
-    if (jds.jdPtr.empty())
+    if (jdPtr.empty())
         return;
-    for (std::size_t i = 1; i < jds.jdPtr.size(); ++i)
-        chk.require(jds.jdPtr[i] >= jds.jdPtr[i - 1],
+    for (std::size_t i = 1; i < jdPtr.size(); ++i)
+        chk.require(jdPtr[i] >= jdPtr[i - 1],
                     "jds.jdptr.monotone",
                     "jdPtr decreases " + at(i));
-    chk.require(jds.jdPtr.back() == jds.values.size(),
+    chk.require(jdPtr.back() == jds.values.size(),
                 "jds.jdptr.total",
-                "final jdPtr " + std::to_string(jds.jdPtr.back()) +
+                "final jdPtr " + std::to_string(jdPtr.back()) +
                     " does not cover the " +
                     std::to_string(jds.values.size()) +
                     " stored entries");
     // Jagged diagonals shrink (rows are sorted by descending length).
-    for (std::size_t d = 2; d < jds.jdPtr.size(); ++d) {
-        const Index lenPrev = jds.jdPtr[d - 1] - jds.jdPtr[d - 2];
-        const Index len = jds.jdPtr[d] - jds.jdPtr[d - 1];
+    for (std::size_t d = 2; d < jdPtr.size(); ++d) {
+        const Index lenPrev = jdPtr[d - 1] - jdPtr[d - 2];
+        const Index len = jdPtr[d] - jdPtr[d - 1];
         chk.require(len <= lenPrev, "jds.jagged.nonincreasing",
                     "jagged diagonal " + std::to_string(d - 1) +
                         " is longer than its predecessor");
     }
-    for (std::size_t i = 0; i < jds.colInx.size(); ++i)
-        chk.require(jds.colInx[i] < p, "jds.col.range",
-                    "column " + std::to_string(jds.colInx[i]) +
+    for (std::size_t i = 0; i < colInx.size(); ++i)
+        chk.require(colInx[i] < p, "jds.col.range",
+                    "column " + std::to_string(colInx[i]) +
                         " exceeds p " + at(i));
 }
 

@@ -58,6 +58,18 @@ struct HlsConfig
      */
     bool streamVectorOperand = false;
 
+    /**
+     * Second-stage stream compression (compress/second_stage.hh):
+     * when true, every encoded stream is byte-compressed (per-class
+     * codec selection with STORE fallback) before the DDR transfer
+     * model sees it, so transfer latency and total bytes reflect the
+     * post-compression sizes. Useful bytes are unchanged — the metric
+     * still charges what the kernel consumes — so enabling this can
+     * only raise bandwidth utilization. Off by default: the paper's
+     * numbers are first-stage only.
+     */
+    bool secondStageCompression = false;
+
     /** BRAM read latency in cycles (block RAM is registered). */
     Cycles bramReadLatency = 2;
 

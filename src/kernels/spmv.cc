@@ -177,13 +177,16 @@ spmvJds(const JdsEncoded &jds, std::span<const Value> x)
 {
     const Index p = jds.tileSize();
     std::vector<Value> y(p, Value(0));
-    const Index width = static_cast<Index>(jds.jdPtr.size()) - 1;
+    const std::span<const Index> jd = jds.jdPtr();
+    const std::span<const Index> perm = jds.perm();
+    const std::span<const Index> cols = jds.colInx();
+    const Index width = static_cast<Index>(jd.size()) - 1;
     for (Index j = 0; j < width; ++j) {
-        const Index begin = jds.jdPtr[j];
-        const Index end = jds.jdPtr[j + 1];
+        const Index begin = jd[j];
+        const Index end = jd[j + 1];
         for (Index i = begin; i < end; ++i) {
-            const Index row = jds.perm[i - begin];
-            y[row] += jds.values[i] * x[jds.colInx[i]];
+            const Index row = perm[i - begin];
+            y[row] += jds.values[i] * x[cols[i]];
         }
     }
     return y;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "compress/second_stage.hh"
 #include "hls/axi.hh"
 #include "hls/decompressor.hh"
 
@@ -36,8 +37,14 @@ runEventSim(const Partitioning &parts, FormatKind kind,
         const auto encoded = codec.encode(tile);
         const auto decomp = simulateDecompression(*encoded, config);
 
-        const Cycles read_cost = transferCycles(encoded->streams(),
-                                                config);
+        std::vector<Bytes> streams = encoded->streams();
+        Bytes stored_bytes = encoded->totalBytes();
+        if (config.secondStageCompression) {
+            const TileCompression comp = compressTile(*encoded);
+            streams = comp.storedStreamBytes();
+            stored_bytes = comp.storedBytes();
+        }
+        const Cycles read_cost = transferCycles(streams, config);
         const Cycles compute_cost = computeCycles(decomp, config);
         const Cycles write_cost = writebackCycles(out_bytes, config);
 
@@ -78,8 +85,12 @@ runEventSim(const Partitioning &parts, FormatKind kind,
                                  slot.computeEnd);
             trace->durationEvent("write", name, slot.writeStart,
                                  slot.writeEnd);
-            trace->counterEvent("bw_util", slot.readEnd,
-                                encoded->bandwidthUtilization());
+            trace->counterEvent(
+                "bw_util", slot.readEnd,
+                stored_bytes == 0
+                    ? 0.0
+                    : static_cast<double>(encoded->usefulBytes()) /
+                          static_cast<double>(stored_bytes));
             trace->counterEvent(
                 "sigma", slot.computeEnd,
                 sigmaOverhead(decomp, parts.partitionSize, config));

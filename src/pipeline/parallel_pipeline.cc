@@ -5,6 +5,7 @@
 
 #include "common/math.hh"
 #include "common/status.hh"
+#include "compress/second_stage.hh"
 #include "hls/axi.hh"
 #include "hls/decompressor.hh"
 
@@ -64,10 +65,17 @@ runParallelImpl(const Partitioning &parts, FormatKind kind,
         const auto encoded = codec.encode(tile);
         const auto decomp = simulateDecompression(*encoded, config);
         TileCost cost;
-        cost.memory = transferCycles(encoded->streams(), config);
+        std::vector<Bytes> streams = encoded->streams();
+        Bytes stored_bytes = encoded->totalBytes();
+        if (config.secondStageCompression) {
+            const TileCompression comp = compressTile(*encoded);
+            streams = comp.storedStreamBytes();
+            stored_bytes = comp.storedBytes();
+        }
+        cost.memory = transferCycles(streams, config);
         cost.compute = computeCycles(decomp, config);
         cost.write = writebackCycles(out_bytes, config);
-        cost.bytes = encoded->totalBytes() + out_bytes;
+        cost.bytes = stored_bytes + out_bytes;
         total_bytes += cost.bytes;
         costs.push_back(cost);
     }

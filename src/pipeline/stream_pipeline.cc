@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/status.hh"
+#include "compress/second_stage.hh"
 #include "formats/encode_cache.hh"
 #include "formats/validate.hh"
 #include "hls/axi.hh"
@@ -49,6 +50,14 @@ runImpl(const Partitioning &parts,
 
         PartitionTiming timing;
         auto streams = encoded->streams();
+        timing.totalBytes = encoded->totalBytes();
+        if (config.secondStageCompression) {
+            // The DDR interface sees post-compression stream images;
+            // useful bytes are untouched, so utilization can only rise.
+            const TileCompression comp = compressTile(*encoded);
+            streams = comp.storedStreamBytes();
+            timing.totalBytes = comp.storedBytes();
+        }
         if (config.streamVectorOperand)
             streams.push_back(Bytes(p) * valueBytes);
         timing.memoryCycles = transferCycles(streams, config);
@@ -57,7 +66,6 @@ runImpl(const Partitioning &parts,
         timing.computeCycles = computeCycles(decomp, config);
         timing.writeCycles = writebackCycles(out_bytes, config);
         timing.sigma = sigmaOverhead(decomp, p, config);
-        timing.totalBytes = encoded->totalBytes();
         timing.usefulBytes = encoded->usefulBytes();
 
         result.totalMemoryCycles += timing.memoryCycles;
@@ -92,8 +100,12 @@ runImpl(const Partitioning &parts,
             const Cycles slot_end =
                 trace_clock + timing.bottleneckCycles();
             trace->counterEvent("sigma", slot_end, timing.sigma);
-            trace->counterEvent("bw_util", slot_end,
-                                encoded->bandwidthUtilization());
+            trace->counterEvent(
+                "bw_util", slot_end,
+                timing.totalBytes == 0
+                    ? 0.0
+                    : static_cast<double>(timing.usefulBytes) /
+                          static_cast<double>(timing.totalBytes));
             trace_clock = slot_end;
         }
 

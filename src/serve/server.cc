@@ -18,6 +18,7 @@
 #include "common/prometheus.hh"
 #include "common/status.hh"
 #include "common/trace_context.hh"
+#include "compress/second_stage.hh"
 #include "core/scheduler.hh"
 #include "core/study.hh"
 #include "formats/validate.hh"
@@ -420,7 +421,7 @@ Server::handleLine(const std::shared_ptr<Conn> &conn,
       case Admit::Full:
         *statsFor(request.endpoint).rejected += 1;
         recordWideEvent(request, serve_error::queueFull, receiptUs,
-                        receiptUs, nowUs(), 0, 0, 0, RequestObs{});
+                        receiptUs, nowUs(), 0, 0, 0, 0, RequestObs{});
         sendLine(conn,
                  errorResponse(request.id,
                                endpointName(request.endpoint),
@@ -433,7 +434,7 @@ Server::handleLine(const std::shared_ptr<Conn> &conn,
       case Admit::Draining:
         *statsFor(request.endpoint).rejected += 1;
         recordWideEvent(request, serve_error::shuttingDown, receiptUs,
-                        receiptUs, nowUs(), 0, 0, 0, RequestObs{});
+                        receiptUs, nowUs(), 0, 0, 0, 0, RequestObs{});
         sendLine(conn,
                  errorResponse(request.id,
                                endpointName(request.endpoint),
@@ -464,6 +465,7 @@ Server::runRequest(std::shared_ptr<Conn> conn, ServeRequest request,
     EndpointStats &stats = statsFor(request.endpoint);
     const std::uint64_t startUs = nowUs();
     const EncodeCache::Stats cacheBefore = EncodeCache::global().stats();
+    const CompressTotals compressBefore = compressTotals();
 
     const bool observe = requestSpanId != 0;
     if (observe) {
@@ -542,6 +544,10 @@ Server::runRequest(std::shared_ptr<Conn> conn, ServeRequest request,
     const EncodeCache::Stats cacheAfter = EncodeCache::global().stats();
     const auto cacheHits = cacheAfter.hits - cacheBefore.hits;
     const auto cacheMisses = cacheAfter.misses - cacheBefore.misses;
+    // Second-stage compression time attributed to this request; the
+    // same approximate-under-overlap caveat as the cache deltas.
+    const std::uint64_t compressUs =
+        (compressTotals().nanos - compressBefore.nanos) / 1000;
     *stats.cacheHits += static_cast<double>(cacheHits);
     *stats.cacheMisses += static_cast<double>(cacheMisses);
 
@@ -566,7 +572,8 @@ Server::runRequest(std::shared_ptr<Conn> conn, ServeRequest request,
              endUs});
     }
     recordWideEvent(request, outcome, receiptUs, startUs, endUs,
-                    timeoutMs, cacheHits, cacheMisses, obs);
+                    timeoutMs, cacheHits, cacheMisses, compressUs,
+                    obs);
 
     sendLine(conn, response);
     releaseAdmission();
@@ -584,6 +591,7 @@ Server::recordWideEvent(const ServeRequest &request,
                         std::uint64_t endUs, double timeoutMs,
                         std::uint64_t cacheHits,
                         std::uint64_t cacheMisses,
+                        std::uint64_t compressUs,
                         const RequestObs &obs)
 {
     if (!opts.observability)
@@ -604,6 +612,7 @@ Server::recordWideEvent(const ServeRequest &request,
         << jsonNum(static_cast<double>(endUs - startUs) / 1000.0)
         << ", \"cache_hits\": " << cacheHits
         << ", \"cache_misses\": " << cacheMisses
+        << ", \"compress_us\": " << compressUs
         << ", \"formats_swept\": " << obs.formatsSwept << '}';
     FlightRecorder::global().record(out.str());
 }

@@ -271,6 +271,7 @@ class Server
                          std::uint64_t endUs, double timeoutMs,
                          std::uint64_t cacheHits,
                          std::uint64_t cacheMisses,
+                         std::uint64_t compressUs,
                          const RequestObs &obs);
 
     Admit tryAdmit();

@@ -310,9 +310,11 @@ TEST(JdsFormatTest, PermutationSortsByRowLength)
     const auto encoded = JdsCodec().encode(exampleTile());
     const auto &jds = encodedAs<JdsEncoded>(*encoded, FormatKind::JDS);
     // Row lengths: r0=2, r1=0, r2=1, r3=2; stable sort: 0, 3, 2, 1.
-    EXPECT_EQ(jds.perm, (std::vector<Index>{0, 3, 2, 1}));
+    const std::vector<Index> perm(jds.perm().begin(), jds.perm().end());
+    EXPECT_EQ(perm, (std::vector<Index>{0, 3, 2, 1}));
     // Two jagged diagonals: first has 3 entries, second 2.
-    EXPECT_EQ(jds.jdPtr, (std::vector<Index>{0, 3, 5}));
+    const std::vector<Index> jdPtr(jds.jdPtr().begin(), jds.jdPtr().end());
+    EXPECT_EQ(jdPtr, (std::vector<Index>{0, 3, 5}));
     EXPECT_EQ(jds.values.size(), 5u);
 }
 

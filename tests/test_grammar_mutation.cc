@@ -12,6 +12,8 @@
 #include <algorithm>
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "formats/bcsr_format.hh"
 #include "formats/bitmap_format.hh"
 #include "formats/coo_format.hh"
@@ -194,7 +196,7 @@ TEST(GrammarMutationTest, JdsBrokenPermutation)
 {
     auto encoded = encodeTile<JdsEncoded>(FormatKind::JDS);
     auto &jds = static_cast<JdsEncoded &>(*encoded);
-    jds.perm[0] = jds.perm[1];
+    jds.perm()[0] = jds.perm()[1];
     expectViolation(*encoded, FormatKind::JDS, "jds.perm");
 }
 
@@ -202,8 +204,9 @@ TEST(GrammarMutationTest, JdsNonMonotonePointers)
 {
     auto encoded = encodeTile<JdsEncoded>(FormatKind::JDS);
     auto &jds = static_cast<JdsEncoded &>(*encoded);
-    ASSERT_GE(jds.jdPtr.size(), 3u);
-    std::swap(jds.jdPtr[1], jds.jdPtr[2]);
+    const std::span<Index> jdPtr = jds.jdPtr();
+    ASSERT_GE(jdPtr.size(), 3u);
+    std::swap(jdPtr[1], jdPtr[2]);
     expectViolation(*encoded, FormatKind::JDS, "jds.jdptr.monotone");
 }
 

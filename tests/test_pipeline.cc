@@ -172,6 +172,41 @@ TEST(PipelineTest, VectorStreamingAddsMemoryButNotUtilization)
     EXPECT_EQ(streamed.totalBytes, base.totalBytes);
 }
 
+TEST(PipelineTest, SecondStageCompressionOnlyImproves)
+{
+    Rng rng(21);
+    const auto m = bandMatrix(128, 2, rng);
+    const auto parts = partition(m, 16);
+    HlsConfig compressed;
+    compressed.secondStageCompression = true;
+    for (FormatKind kind :
+         {FormatKind::CSR, FormatKind::Dense, FormatKind::COO}) {
+        const auto off = runPipeline(parts, kind);
+        const auto on = runPipeline(parts, kind, compressed);
+        // STORE passthrough bounds the loss at zero: stored bytes
+        // never exceed raw, so utilization never drops and memory
+        // latency never rises.
+        EXPECT_LE(on.totalBytes, off.totalBytes) << formatName(kind);
+        EXPECT_GE(on.bandwidthUtilization, off.bandwidthUtilization)
+            << formatName(kind);
+        EXPECT_LE(on.totalMemoryCycles, off.totalMemoryCycles)
+            << formatName(kind);
+        // Useful bytes are a property of the tile, not the wire
+        // image; compression must not touch them.
+        EXPECT_EQ(on.totalUsefulBytes, off.totalUsefulBytes);
+        // Compute is downstream of the decompressor and unchanged.
+        EXPECT_EQ(on.totalComputeCycles, off.totalComputeCycles);
+    }
+    // A banded matrix's DENSE tiles are mostly zero bytes — the
+    // second stage must find real compression there.
+    const auto dense_off = runPipeline(parts, FormatKind::Dense);
+    const auto dense_on =
+        runPipeline(parts, FormatKind::Dense, compressed);
+    EXPECT_LT(dense_on.totalBytes, dense_off.totalBytes);
+    EXPECT_GT(dense_on.bandwidthUtilization,
+              dense_off.bandwidthUtilization);
+}
+
 TEST(PipelineTest, DiagonalMatrixFavorsDiaBandwidth)
 {
     Rng rng(11);
