@@ -24,10 +24,14 @@
  *                          COPERNICUS_JOBS=N, default = hardware
  *                          concurrency. Results are bit-identical at
  *                          any setting.
- *   --lint                 run the static schedule/grammar lint passes
- *                          (same as copernicus_lint) at the selected
+ *   --lint                 run the multi-pass static analyzer (same
+ *                          driver as copernicus_lint) at the selected
  *                          partition sizes and exit with its status
- *                          instead of characterizing anything
+ *                          instead of characterizing anything.
+ *                          Forwards the analyzer flags: --list-passes,
+ *                          --passes=a,b, --json, --sarif=PATH,
+ *                          --baseline=PATH, --werror, --no-oracle,
+ *                          --no-grammar, --no-streams
  *
  * Client mode (talks to a running copernicus_serve daemon instead of
  * characterizing in-process):
@@ -77,6 +81,7 @@
 
 #include <unistd.h>
 
+#include "analysis/lint_driver.hh"
 #include "analysis/schedule_check.hh"
 #include "analysis/stats_report.hh"
 #include "analysis/table_writer.hh"
@@ -91,6 +96,7 @@
 #include "matrix/stats.hh"
 #include "pipeline/event_sim.hh"
 #include "serve/client.hh"
+#include "serve/protocol_doc.hh"
 #include "trace/profile.hh"
 #include "trace/trace_writer.hh"
 #include "workloads/generators.hh"
@@ -119,6 +125,7 @@ struct CliOptions
     std::string statsJsonPath;
     bool profile = false;
     bool lint = false;
+    LintDriverOptions lintDriver;
     unsigned jobs = 0;
     std::vector<std::string> positional;
 
@@ -147,6 +154,29 @@ parseArgs(int argc, char **argv)
             opts.profile = true;
         } else if (arg == "--lint") {
             opts.lint = true;
+        } else if (arg == "--list-passes") {
+            opts.lint = true;
+            opts.lintDriver.listPasses = true;
+        } else if (arg == "--lint-json" || arg == "--json") {
+            opts.lintDriver.json = true;
+        } else if (arg == "--werror") {
+            opts.lintDriver.werror = true;
+        } else if (arg == "--no-oracle") {
+            opts.lintDriver.lint.runOracle = false;
+        } else if (arg == "--no-grammar") {
+            opts.lintDriver.lint.runGrammar = false;
+        } else if (arg == "--no-streams") {
+            opts.lintDriver.lint.runStreams = false;
+        } else if (arg.rfind("--passes=", 0) == 0) {
+            std::istringstream names(arg.substr(9));
+            std::string token;
+            while (std::getline(names, token, ','))
+                if (!token.empty())
+                    opts.lintDriver.passes.push_back(token);
+        } else if (arg.rfind("--sarif=", 0) == 0) {
+            opts.lintDriver.sarifPath = arg.substr(8);
+        } else if (arg.rfind("--baseline=", 0) == 0) {
+            opts.lintDriver.baselinePath = arg.substr(11);
         } else if (arg == "--trace" || arg == "--stats-json") {
             fatalIf(i + 1 >= argc, arg + " needs a file argument");
             (arg == "--trace" ? opts.tracePath
@@ -407,19 +437,19 @@ main(int argc, char **argv)
                    ? 0
                    : 1;
     }
-    std::printf("copernicus_cli — sparse-format characterizer\n\n");
     if (opts.lint) {
-        LintOptions lint_options;
+        LintDriverOptions driver = opts.lintDriver;
         if (opts.positional.size() > 1)
-            lint_options.partitionSizes =
+            driver.lint.partitionSizes =
                 parsePartitionSizes(opts.positional[1]);
-        const LintReport report = runLint(lint_options);
-        if (!report.diagnostics.empty())
-            std::fputs(report.toString().c_str(), stdout);
-        std::printf("lint: %zu error(s), %zu warning(s)\n",
-                    report.errorCount(), report.warningCount());
-        return report.ok() ? 0 : 1;
+        const ProtocolSurface surface = collectServeProtocolSurface();
+        driver.lint.protocol = &surface;
+        if (!driver.json && !driver.listPasses)
+            std::printf("copernicus_cli --lint — multi-pass "
+                        "schedule/format analyzer\n");
+        return runLintDriver(driver, std::cout);
     }
+    std::printf("copernicus_cli — sparse-format characterizer\n\n");
     if (opts.profile || !opts.statsJsonPath.empty())
         ProfileRegistry::global().setEnabled(true);
     if (opts.jobs != 0)

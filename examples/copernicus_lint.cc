@@ -1,28 +1,36 @@
 /**
  * @file
- * copernicus_lint — static contract checker for the cycle model.
+ * copernicus_lint — multi-pass static analyzer for the cycle model.
  *
- *   copernicus_lint                 # full lint at p = 8,16,32
- *   copernicus_lint 8,16            # choose partition sizes
- *   copernicus_lint --no-oracle     # skip the model-vs-walker oracle
- *   copernicus_lint --no-grammar    # skip encoded-tile validation
- *   copernicus_lint --no-streams    # skip typed-stream coverage
+ *   copernicus_lint                  # default passes at p = 8,16,32
+ *   copernicus_lint 8,16             # choose partition sizes
+ *   copernicus_lint --list-passes    # show the pass table and exit
+ *   copernicus_lint --passes=a,b     # run only the named passes
+ *   copernicus_lint --json           # machine-readable report
+ *   copernicus_lint --sarif=PATH     # also write SARIF 2.1.0
+ *   copernicus_lint --baseline=PATH  # suppress accepted findings
+ *   copernicus_lint --werror         # warnings fail the build
+ *   copernicus_lint --no-oracle      # skip the model-vs-walker oracle
+ *   copernicus_lint --no-grammar     # skip encoded-tile validation
+ *   copernicus_lint --no-streams     # skip typed-stream coverage
  *
- * Runs every static pass over the full format registry: schedule-spec
- * structure, hlsc decoder-body cross-checks (pipeline depth, II,
- * comparator-tree balance, BRAM port budgets), hyperparameter
- * contracts, encoded-tile grammar over synthetic workloads, the
- * closed-form-vs-walker cycle oracle, and the typed-stream coverage
- * contract (typed payloads must sum to the legacy streams() bytes). Exits 1 if any error-severity
- * diagnostic is produced, so CI can gate on it.
+ * Runs every analyzer pass over the full format registry: schedule-spec
+ * structure, hlsc decoder-body cross-checks, hyperparameter contracts,
+ * encoded-tile grammar, the closed-form-vs-walker cycle oracle, typed-
+ * stream coverage, symbolic overflow analysis of the cycle/byte
+ * accounting, BRAM capacity dataflow, thread-safety contracts, serve
+ * protocol conformance, and the compression size invariant. Exit code:
+ * 0 clean, 1 errors (or warnings with --werror), 2 warnings.
  */
 
 #include <cstdio>
+#include <iostream>
 #include <sstream>
 #include <string>
 
-#include "analysis/schedule_check.hh"
+#include "analysis/lint_driver.hh"
 #include "common/status.hh"
+#include "serve/protocol_doc.hh"
 
 using namespace copernicus;
 
@@ -41,30 +49,56 @@ parsePartitionSizes(const std::string &arg)
     return sizes;
 }
 
+std::vector<std::string>
+splitNames(const std::string &arg)
+{
+    std::vector<std::string> names;
+    std::istringstream in(arg);
+    std::string token;
+    while (std::getline(in, token, ','))
+        if (!token.empty())
+            names.push_back(token);
+    return names;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    LintOptions options;
+    LintDriverOptions options;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--no-oracle")
-            options.runOracle = false;
+            options.lint.runOracle = false;
         else if (arg == "--no-grammar")
-            options.runGrammar = false;
+            options.lint.runGrammar = false;
         else if (arg == "--no-streams")
-            options.runStreams = false;
+            options.lint.runStreams = false;
+        else if (arg == "--list-passes")
+            options.listPasses = true;
+        else if (arg == "--json")
+            options.json = true;
+        else if (arg == "--werror")
+            options.werror = true;
+        else if (arg.rfind("--passes=", 0) == 0)
+            options.passes = splitNames(arg.substr(9));
+        else if (arg.rfind("--sarif=", 0) == 0)
+            options.sarifPath = arg.substr(8);
+        else if (arg.rfind("--baseline=", 0) == 0)
+            options.baselinePath = arg.substr(11);
         else
-            options.partitionSizes = parsePartitionSizes(arg);
+            options.lint.partitionSizes = parsePartitionSizes(arg);
     }
 
-    std::printf("copernicus_lint — schedule IR + encoded-tile grammar "
-                "checks\n");
-    const LintReport report = runLint(options);
-    if (!report.diagnostics.empty())
-        std::fputs(report.toString().c_str(), stdout);
-    std::printf("%zu error(s), %zu warning(s)\n", report.errorCount(),
-                report.warningCount());
-    return report.ok() ? 0 : 1;
+    // The protocol-conformance pass diffs the serve layer's documented
+    // surface against what the implementation exposes; the surface
+    // must outlive the run.
+    const ProtocolSurface surface = collectServeProtocolSurface();
+    options.lint.protocol = &surface;
+
+    if (!options.json && !options.listPasses)
+        std::printf("copernicus_lint — multi-pass schedule/format "
+                    "analyzer\n");
+    return runLintDriver(options, std::cout);
 }

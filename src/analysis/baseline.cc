@@ -1,0 +1,113 @@
+#include "analysis/baseline.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace copernicus {
+
+namespace {
+
+/** Collapse runs of whitespace so hand-edited files compare stably. */
+std::string
+normalizeEntry(const std::string &line)
+{
+    std::string out;
+    bool inSpace = true; // also trims leading whitespace
+    for (const char c : line) {
+        if (c == ' ' || c == '\t') {
+            if (!inSpace)
+                out += ' ';
+            inSpace = true;
+        } else {
+            out += c;
+            inSpace = false;
+        }
+    }
+    while (!out.empty() && out.back() == ' ')
+        out.pop_back();
+    return out;
+}
+
+} // namespace
+
+LintBaseline
+parseBaseline(const std::string &text)
+{
+    LintBaseline baseline;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::string::size_type hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        const std::string entry = normalizeEntry(line);
+        if (!entry.empty())
+            baseline.fingerprints.push_back(entry);
+    }
+    return baseline;
+}
+
+bool
+loadBaseline(const std::string &path, LintBaseline &out)
+{
+    out = LintBaseline();
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out = parseBaseline(buffer.str());
+    return true;
+}
+
+std::string
+baselineFromReport(const LintReport &report)
+{
+    // Sorted + deduplicated: the file is meant to be committed, so
+    // regenerating it must be diff-stable.
+    std::set<std::string> fingerprints;
+    for (const LintDiagnostic &d : report.diagnostics)
+        fingerprints.insert(d.fingerprint());
+    std::string out = "# copernicus_lint baseline: one accepted "
+                      "finding per line\n"
+                      "# format: <id> <pass> <format-or-file> "
+                      "<segment-or->\n";
+    for (const std::string &fingerprint : fingerprints) {
+        out += fingerprint;
+        out += '\n';
+    }
+    return out;
+}
+
+std::size_t
+applyBaseline(LintReport &report, const LintBaseline &baseline,
+              std::vector<std::string> *unused)
+{
+    const std::set<std::string> accepted(baseline.fingerprints.begin(),
+                                         baseline.fingerprints.end());
+    std::set<std::string> matched;
+    std::vector<LintDiagnostic> kept;
+    kept.reserve(report.diagnostics.size());
+    std::size_t suppressed = 0;
+    for (LintDiagnostic &d : report.diagnostics) {
+        const std::string fingerprint = d.fingerprint();
+        if (accepted.count(fingerprint) != 0) {
+            ++suppressed;
+            matched.insert(fingerprint);
+        } else {
+            kept.push_back(std::move(d));
+        }
+    }
+    report.diagnostics = std::move(kept);
+    if (unused != nullptr) {
+        unused->clear();
+        for (const std::string &fingerprint : accepted)
+            if (matched.count(fingerprint) == 0)
+                unused->push_back(fingerprint);
+    }
+    return suppressed;
+}
+
+} // namespace copernicus

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Checked-in lint baselines: suppress known findings, keep new ones
+ * fatal.
+ *
+ * A baseline file holds one fingerprint per accepted finding —
+ * `<id> <pass> <format-or-file> <segment-or->`, '#' comments and
+ * blank lines ignored — matching LintDiagnostic::fingerprint().
+ * Messages and line numbers deliberately do not participate, so
+ * rewording a diagnostic or editing an unrelated line never un-
+ * suppresses it, while a finding moving to a new format/segment/file
+ * does surface.
+ *
+ * applyBaseline() removes matched diagnostics from the report (each
+ * entry suppresses any number of matching findings) and reports which
+ * entries matched nothing — stale entries are how a baseline rots, so
+ * `copernicus_lint --baseline` prints them as warnings. The tree's
+ * committed baseline (lint_baseline.txt) is empty and the CI lint job
+ * enforces it stays that way; the mechanism exists so a future
+ * intentional exception is one reviewed line, not a disabled pass.
+ */
+
+#ifndef COPERNICUS_ANALYSIS_BASELINE_HH
+#define COPERNICUS_ANALYSIS_BASELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hh"
+
+namespace copernicus {
+
+/** A parsed baseline: accepted finding fingerprints. */
+struct LintBaseline
+{
+    std::vector<std::string> fingerprints;
+};
+
+/** Parse baseline text (comments/blank lines stripped). */
+LintBaseline parseBaseline(const std::string &text);
+
+/**
+ * Load @p path. Returns false (and an empty baseline) when the file
+ * cannot be read — callers decide whether a missing baseline is fatal.
+ */
+bool loadBaseline(const std::string &path, LintBaseline &out);
+
+/** The report's fingerprints as baseline text (one per line). */
+std::string baselineFromReport(const LintReport &report);
+
+/**
+ * Remove diagnostics matching @p baseline from @p report. Returns the
+ * number suppressed; when @p unused is non-null it receives the
+ * entries that matched nothing (stale suppressions).
+ */
+std::size_t applyBaseline(LintReport &report,
+                          const LintBaseline &baseline,
+                          std::vector<std::string> *unused = nullptr);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_ANALYSIS_BASELINE_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Buffer/BRAM capacity dataflow across pipelined segments (rules
+ * COP070-072).
+ *
+ * Two resources can be over-subscribed without any single segment
+ * looking wrong in isolation:
+ *
+ *  - Ports (COP070): consecutive Pipelined segments of one decode
+ *    schedule stream concurrently once the producer's first results
+ *    reach the consumer — a producer/consumer pair whose summed
+ *    bankAccessesPerII exceeds the bank's ports cannot both sustain
+ *    their declared IIs. The diagnostic names the offending segment
+ *    chain ("row sweep -> overflow loop").
+ *  - BRAM bits (COP071/072): the worst-case working set is the
+ *    Section 2 allocation bound, and the streaming pipeline double
+ *    buffers it (tile k decodes while tile k+1 loads). 2x the bound
+ *    above the device's BRAM is an error naming the largest buffer;
+ *    above 80% is a warning — one partition-size bump from failing
+ *    placement.
+ *
+ * checkPortPressure() is exposed on a bare ScheduleSpec so the
+ * seeded-defect suite can feed it a mutated chain.
+ */
+
+#ifndef COPERNICUS_ANALYSIS_CAPACITY_PASS_HH
+#define COPERNICUS_ANALYSIS_CAPACITY_PASS_HH
+
+#include "analysis/schedule_check.hh"
+#include "fpga/device.hh"
+
+namespace copernicus {
+
+/** COP070 over one spec's consecutive-Pipelined chains. */
+void checkPortPressure(const ScheduleSpec &spec, const HlsConfig &config,
+                       LintReport &report);
+
+/** COP071/072 for one format at one partition size. */
+void checkBufferCapacity(FormatKind kind, Index p,
+                         const FormatParams &params,
+                         const DeviceCapacity &device,
+                         LintReport &report);
+
+/** The whole pass over the registry and options.partitionSizes. */
+void runCapacityPass(const LintOptions &options, LintReport &report);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_ANALYSIS_CAPACITY_PASS_HH

@@ -1,0 +1,193 @@
+#include "analysis/emitters.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace copernicus {
+
+namespace {
+
+const char *
+severityName(LintSeverity severity)
+{
+    return severity == LintSeverity::Error ? "error" : "warning";
+}
+
+void
+writeMember(std::ostream &out, const char *key, const std::string &value,
+            bool &first)
+{
+    if (!first)
+        out << ',';
+    first = false;
+    writeJsonString(out, key);
+    out << ':';
+    writeJsonString(out, value);
+}
+
+/** Distinct rule ids used by @p report, sorted. */
+std::vector<std::string>
+usedRuleIds(const LintReport &report)
+{
+    std::set<std::string> ids;
+    for (const LintDiagnostic &d : report.diagnostics)
+        if (!d.id.empty())
+            ids.insert(d.id);
+    return {ids.begin(), ids.end()};
+}
+
+} // namespace
+
+std::string
+lintReportToJson(const LintReport &report)
+{
+    std::ostringstream out;
+    out << "{\"errors\":" << report.errorCount()
+        << ",\"warnings\":" << report.warningCount()
+        << ",\"diagnostics\":[";
+    bool firstDiag = true;
+    for (const LintDiagnostic &d : report.diagnostics) {
+        if (!firstDiag)
+            out << ',';
+        firstDiag = false;
+        out << '{';
+        bool first = true;
+        writeMember(out, "severity", severityName(d.severity), first);
+        writeMember(out, "pass", d.pass, first);
+        if (!d.id.empty())
+            writeMember(out, "id", d.id, first);
+        if (!d.format.empty())
+            writeMember(out, "format", d.format, first);
+        if (!d.segment.empty())
+            writeMember(out, "segment", d.segment, first);
+        if (!d.file.empty()) {
+            writeMember(out, "file", d.file, first);
+            out << ",\"line\":" << d.line;
+        }
+        writeMember(out, "message", d.message, first);
+        if (!d.fixHint.empty())
+            writeMember(out, "fix", d.fixHint, first);
+        out << '}';
+    }
+    out << "]}";
+    return out.str();
+}
+
+std::string
+lintReportToSarif(const LintReport &report)
+{
+    std::ostringstream out;
+    out << "{\"$schema\":\"https://raw.githubusercontent.com/oasis-"
+           "tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\","
+           "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+           "\"name\":\"copernicus_lint\",\"informationUri\":"
+           "\"https://github.com/copernicus/copernicus\",\"rules\":[";
+    bool first = true;
+    for (const std::string &id : usedRuleIds(report)) {
+        if (!first)
+            out << ',';
+        first = false;
+        out << "{\"id\":";
+        writeJsonString(out, id);
+        out << ",\"shortDescription\":{\"text\":";
+        writeJsonString(out, lintRuleDescription(id));
+        out << "}}";
+    }
+    out << "]}},\"results\":[";
+    first = true;
+    for (const LintDiagnostic &d : report.diagnostics) {
+        if (!first)
+            out << ',';
+        first = false;
+        out << "{\"ruleId\":";
+        // SARIF requires a ruleId; ad-hoc diagnostics map to the
+        // reserved synthetic id of their pass.
+        writeJsonString(out, d.id.empty() ? "COP000" : d.id);
+        out << ",\"level\":";
+        writeJsonString(out, severityName(d.severity));
+        out << ",\"message\":{\"text\":";
+        writeJsonString(out, d.message);
+        out << "}";
+        if (!d.file.empty()) {
+            out << ",\"locations\":[{\"physicalLocation\":{"
+                   "\"artifactLocation\":{\"uri\":";
+            writeJsonString(out, d.file);
+            out << "}";
+            if (d.line > 0)
+                out << ",\"region\":{\"startLine\":" << d.line << "}";
+            out << "}}]";
+        } else if (!d.format.empty()) {
+            out << ",\"locations\":[{\"logicalLocations\":[{"
+                   "\"name\":";
+            writeJsonString(out, d.format);
+            out << ",\"kind\":\"format\"";
+            if (!d.segment.empty()) {
+                out << ",\"fullyQualifiedName\":";
+                writeJsonString(out, d.format + "/" + d.segment);
+            }
+            out << "}]}]";
+        }
+        out << ",\"properties\":{\"pass\":";
+        writeJsonString(out, d.pass);
+        if (!d.fixHint.empty()) {
+            out << ",\"fix\":";
+            writeJsonString(out, d.fixHint);
+        }
+        out << "}}";
+    }
+    out << "]}]}";
+    return out.str();
+}
+
+bool
+validateSarifDocument(const std::string &text, std::string *why)
+{
+    const auto fail = [why](const char *reason) {
+        if (why != nullptr)
+            *why = reason;
+        return false;
+    };
+    JsonValue doc;
+    if (!parseJson(text, doc))
+        return fail("document is not well-formed JSON");
+    if (!doc.isObject())
+        return fail("top level is not an object");
+    if (doc.stringOr("version", "") != "2.1.0")
+        return fail("version is not \"2.1.0\"");
+    const JsonValue *runs = doc.find("runs");
+    if (runs == nullptr || !runs->isArray() || runs->elements.empty())
+        return fail("runs is missing or empty");
+    const JsonValue &run = runs->elements.front();
+    const JsonValue *tool = run.find("tool");
+    const JsonValue *driver =
+        tool != nullptr ? tool->find("driver") : nullptr;
+    if (driver == nullptr || driver->stringOr("name", "").empty())
+        return fail("tool.driver.name is missing");
+    std::set<std::string> ruleIds;
+    if (const JsonValue *rules = driver->find("rules");
+        rules != nullptr && rules->isArray())
+        for (const JsonValue &rule : rules->elements)
+            ruleIds.insert(rule.stringOr("id", ""));
+    const JsonValue *results = run.find("results");
+    if (results == nullptr || !results->isArray())
+        return fail("results is missing");
+    for (const JsonValue &result : results->elements) {
+        const std::string ruleId = result.stringOr("ruleId", "");
+        if (ruleId.empty())
+            return fail("a result has no ruleId");
+        const JsonValue *message = result.find("message");
+        if (message == nullptr ||
+            message->stringOr("text", "").empty())
+            return fail("a result has no message.text");
+        if (ruleId != "COP000" && ruleIds.count(ruleId) == 0)
+            return fail("a result's ruleId is not in the driver's "
+                        "rules table");
+    }
+    return true;
+}
+
+} // namespace copernicus

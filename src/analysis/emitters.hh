@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Machine-readable lint report emitters.
+ *
+ * Two formats, both assembled with the common/json helpers:
+ *
+ *  - lintReportToJson(): a compact custom document ({"diagnostics":
+ *    [...], "errors": N, "warnings": N}) for scripting against
+ *    `copernicus_lint --json`.
+ *  - lintReportToSarif(): SARIF 2.1.0, the interchange format code
+ *    hosts ingest (GitHub code scanning among them). One run, one
+ *    driver ("copernicus_lint"), every emitted rule id present in the
+ *    driver's rule table with its lintRuleDescription(), results
+ *    carrying physical locations for source-anchored findings and
+ *    logical locations (format/segment) for model-level ones.
+ *
+ * validateSarifDocument() is a structural checker used by tests and
+ * the CLI: it proves an emitted document parses and carries the
+ * required SARIF skeleton (version string, runs array, driver name,
+ * per-result ruleId/message), without pretending to be a full schema
+ * validator.
+ */
+
+#ifndef COPERNICUS_ANALYSIS_EMITTERS_HH
+#define COPERNICUS_ANALYSIS_EMITTERS_HH
+
+#include <string>
+
+#include "analysis/diagnostics.hh"
+
+namespace copernicus {
+
+/** The report as one compact JSON document. */
+std::string lintReportToJson(const LintReport &report);
+
+/** The report as a SARIF 2.1.0 document. */
+std::string lintReportToSarif(const LintReport &report);
+
+/**
+ * Structurally validate @p text as a SARIF 2.1.0 log: well-formed
+ * JSON, version "2.1.0", a non-empty runs array whose first run has a
+ * tool.driver.name, and every result carrying ruleId + message.text
+ * with its ruleId present in the driver's rules table. On failure
+ * returns false and, when @p why is non-null, sets it to the first
+ * violated requirement.
+ */
+bool validateSarifDocument(const std::string &text,
+                           std::string *why = nullptr);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_ANALYSIS_EMITTERS_HH

@@ -1,0 +1,96 @@
+#include "analysis/lint_driver.hh"
+
+#include <fstream>
+#include <ostream>
+
+#include "analysis/baseline.hh"
+#include "analysis/emitters.hh"
+#include "analysis/pass_manager.hh"
+
+namespace copernicus {
+
+namespace {
+
+void
+printPassTable(const PassManager &manager, std::ostream &out)
+{
+    out << "available passes (--passes=a,b selects a subset):\n";
+    for (const PassInfo &pass : manager.passes()) {
+        out << "  " << pass.name;
+        if (pass.slow)
+            out << " [slow]";
+        out << "\n      " << pass.description << '\n';
+        if (!pass.ids.empty()) {
+            out << "      ids:";
+            for (const std::string &id : pass.ids)
+                out << ' ' << id;
+            out << '\n';
+        }
+    }
+}
+
+} // namespace
+
+int
+runLintDriver(const LintDriverOptions &options, std::ostream &out)
+{
+    PassManager manager = PassManager::standard();
+    if (options.listPasses) {
+        printPassTable(manager, out);
+        return 0;
+    }
+
+    LintReport report = options.passes.empty()
+                            ? manager.run(options.lint)
+                            : manager.run(options.lint, options.passes);
+
+    if (!options.baselinePath.empty()) {
+        LintBaseline baseline;
+        if (!loadBaseline(options.baselinePath, baseline)) {
+            report.error("driver", "",
+                         "cannot read baseline file '" +
+                             options.baselinePath + "'");
+        } else {
+            std::vector<std::string> unused;
+            const std::size_t suppressed =
+                applyBaseline(report, baseline, &unused);
+            if (!options.json && suppressed != 0)
+                out << "(baseline suppressed " << suppressed
+                    << " finding(s))\n";
+            // A stale entry means the finding it excused is gone; the
+            // file should shrink with the debt it tracks.
+            for (const std::string &fingerprint : unused) {
+                LintDiagnostic d;
+                d.severity = LintSeverity::Warning;
+                d.pass = "baseline";
+                d.file = options.baselinePath;
+                d.message =
+                    "unused baseline entry: " + fingerprint;
+                d.fixHint = "delete the stale line";
+                report.add(std::move(d));
+            }
+        }
+    }
+
+    if (!options.sarifPath.empty()) {
+        std::ofstream sarif(options.sarifPath);
+        if (sarif)
+            sarif << lintReportToSarif(report);
+        else
+            report.error("driver", "",
+                         "cannot write SARIF to '" +
+                             options.sarifPath + "'");
+    }
+
+    if (options.json) {
+        out << lintReportToJson(report) << '\n';
+    } else {
+        if (!report.diagnostics.empty())
+            out << report.toString();
+        out << report.errorCount() << " error(s), "
+            << report.warningCount() << " warning(s)\n";
+    }
+    return lintExitCode(report, options.werror);
+}
+
+} // namespace copernicus

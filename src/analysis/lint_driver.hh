@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared driver behind the lint command-line surfaces.
+ *
+ * `copernicus_lint` and `copernicus_cli --lint` accept the same flag
+ * set and must behave identically; both parse argv into a
+ * LintDriverOptions and hand it here. The driver runs the pass
+ * manager (optionally a named subset), applies a baseline file,
+ * surfaces stale baseline entries as warnings, emits human text or
+ * JSON to the given stream plus an optional SARIF file, and maps the
+ * final report to an exit code via lintExitCode().
+ */
+
+#ifndef COPERNICUS_ANALYSIS_LINT_DRIVER_HH
+#define COPERNICUS_ANALYSIS_LINT_DRIVER_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/schedule_check.hh"
+
+namespace copernicus {
+
+/** Parsed lint CLI flags; `lint` carries the pass gates. */
+struct LintDriverOptions
+{
+    LintOptions lint;
+    /** Exact pass names to run; empty means the default gated set. */
+    std::vector<std::string> passes;
+    bool listPasses = false;   ///< print the pass table and exit 0
+    bool json = false;         ///< machine-readable report on stdout
+    std::string sarifPath;     ///< write SARIF 2.1.0 here when set
+    std::string baselinePath;  ///< suppress fingerprints listed here
+    bool werror = false;       ///< warnings exit 1 instead of 2
+};
+
+/**
+ * Run the lint passes per `options`, write the report to `out`, and
+ * return the process exit code (0 clean, 1 errors or --werror
+ * warnings, 2 warnings).
+ */
+int runLintDriver(const LintDriverOptions &options, std::ostream &out);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_ANALYSIS_LINT_DRIVER_HH

@@ -1,0 +1,199 @@
+#include "analysis/pass_manager.hh"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "analysis/capacity_pass.hh"
+#include "analysis/compress_pass.hh"
+#include "analysis/overflow_pass.hh"
+#include "analysis/protocol_pass.hh"
+#include "analysis/thread_safety_pass.hh"
+
+namespace copernicus {
+
+namespace {
+
+void
+runSpecPass(const LintOptions &options, LintReport &report)
+{
+    const FormatRegistry registry(options.params);
+    for (FormatKind kind : allFormats())
+        checkSpecStructure(registry.schedule(kind), options.hls,
+                           report);
+}
+
+void
+runBodyPass(const LintOptions &options, LintReport &report)
+{
+    const FormatRegistry registry(options.params);
+    for (FormatKind kind : allFormats()) {
+        const ScheduleSpec &spec = registry.schedule(kind);
+        if (!spec.hasInnerBody)
+            continue;
+        for (Index p : options.partitionSizes)
+            checkDecoderBody(spec,
+                             decoderBodyFor(kind, options.params, p), p,
+                             options.hls, report);
+    }
+}
+
+void
+runContractPass(const LintOptions &options, LintReport &report)
+{
+    checkContracts(options.params, options.hls, options.partitionSizes,
+                   report);
+}
+
+/** Grammar, oracle and streams share checkTile's one encode per tile. */
+void
+runTilePasses(const LintOptions &options, bool grammar, bool oracle,
+              bool streams, LintReport &report)
+{
+    const FormatRegistry registry(options.params);
+    forEachLintTile(options.partitionSizes,
+                    [&](Index, const Tile &tile) {
+                        for (FormatKind kind : allFormats())
+                            checkTile(registry, kind, tile, options.hls,
+                                      grammar, oracle, streams, report);
+                    });
+}
+
+PassManager
+buildStandard()
+{
+    PassManager manager;
+    const auto always = [](const LintOptions &) { return true; };
+
+    manager.add({"spec",
+                 "schedule specs well-formed, segment port budgets",
+                 {"COP001", "COP002", "COP003", "COP004"},
+                 false, always, runSpecPass});
+    manager.add({"body",
+                 "spec claims vs hlsc-scheduled decoder bodies",
+                 {"COP010", "COP011", "COP012", "COP013"},
+                 false, always, runBodyPass});
+    manager.add({"contract",
+                 "codec hyperparameter and platform-knob contracts",
+                 {"COP020", "COP021", "COP022", "COP023", "COP024"},
+                 false, always, runContractPass});
+    manager.add({"grammar",
+                 "encoded tiles satisfy their format grammars",
+                 {"COP030"},
+                 true,
+                 [](const LintOptions &o) { return o.runGrammar; },
+                 [](const LintOptions &o, LintReport &r) {
+                     runTilePasses(o, true, false, false, r);
+                 }});
+    manager.add({"oracle",
+                 "closed-form cycle model vs the dynamic walker",
+                 {"COP040", "COP041"},
+                 true,
+                 [](const LintOptions &o) { return o.runOracle; },
+                 [](const LintOptions &o, LintReport &r) {
+                     runTilePasses(o, false, true, false, r);
+                 }});
+    manager.add({"streams",
+                 "typed streams cover the legacy stream bytes exactly",
+                 {"COP050"},
+                 true,
+                 [](const LintOptions &o) { return o.runStreams; },
+                 [](const LintOptions &o, LintReport &r) {
+                     runTilePasses(o, false, false, true, r);
+                 }});
+    manager.add({"overflow",
+                 "uint64 accounting proven against the workload "
+                 "envelope; narrowing-cast scan",
+                 {"COP060", "COP061", "COP062", "COP063"},
+                 false,
+                 [](const LintOptions &o) { return o.runOverflow; },
+                 runOverflowPass});
+    manager.add({"capacity",
+                 "pipelined-chain port pressure and double-buffered "
+                 "BRAM budgets",
+                 {"COP070", "COP071", "COP072"},
+                 false,
+                 [](const LintOptions &o) { return o.runCapacity; },
+                 runCapacityPass});
+    manager.add({"thread-safety",
+                 "lock-order registry sanity and bare-mutex header "
+                 "scan",
+                 {"COP080", "COP081", "COP082"},
+                 false,
+                 [](const LintOptions &o) { return o.runThreadSafety; },
+                 runThreadSafetyPass});
+    manager.add({"protocol",
+                 "serve surface (endpoints, wide events, metrics) vs "
+                 "its documentation",
+                 {"COP090", "COP091", "COP092", "COP093"},
+                 false,
+                 [](const LintOptions &o) {
+                     return o.protocol != nullptr;
+                 },
+                 runProtocolPass});
+    manager.add({"compress",
+                 "second stage never stores more than raw "
+                 "(storedBytes <= rawBytes)",
+                 {"COP100"},
+                 true,
+                 [](const LintOptions &o) { return o.runCompress; },
+                 runCompressPass});
+    return manager;
+}
+
+} // namespace
+
+const PassManager &
+PassManager::standard()
+{
+    static const PassManager manager = buildStandard();
+    return manager;
+}
+
+const PassInfo *
+PassManager::find(const std::string &name) const
+{
+    for (const PassInfo &pass : registered)
+        if (pass.name == name)
+            return &pass;
+    return nullptr;
+}
+
+LintReport
+PassManager::run(const LintOptions &options) const
+{
+    LintReport report;
+    for (const PassInfo &pass : registered)
+        if (pass.enabledByDefault(options))
+            pass.run(options, report);
+    return report;
+}
+
+LintReport
+PassManager::run(const LintOptions &options,
+                 const std::vector<std::string> &selection) const
+{
+    LintReport report;
+    const std::set<std::string> wanted(selection.begin(),
+                                       selection.end());
+    std::set<std::string> known;
+    for (const PassInfo &pass : registered) {
+        known.insert(pass.name);
+        if (wanted.count(pass.name) != 0)
+            pass.run(options, report);
+    }
+    for (const std::string &name : wanted)
+        if (known.count(name) == 0)
+            report.error("driver", "",
+                         "unknown pass '" + name +
+                             "' (see --list-passes)");
+    return report;
+}
+
+LintReport
+runLint(const LintOptions &options)
+{
+    return PassManager::standard().run(options);
+}
+
+} // namespace copernicus

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The analyzer's pass framework.
+ *
+ * Every lint check is a named pass: a description, the rule ids it can
+ * emit, a default-enablement predicate over LintOptions, and a run
+ * function from (options, report). PassManager::standard() owns the
+ * registered list — the same one `copernicus_lint --list-passes`
+ * prints and `--passes=a,b` selects from — and runLint() is exactly
+ * standard().run(options) with the default selection.
+ *
+ * Passes are independent by contract: each builds what it needs from
+ * the options (sharing forEachLintTile for the synthetic sweep) and
+ * only appends diagnostics, so an explicit `--passes` selection runs
+ * any subset in registration order with identical results.
+ */
+
+#ifndef COPERNICUS_ANALYSIS_PASS_MANAGER_HH
+#define COPERNICUS_ANALYSIS_PASS_MANAGER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/schedule_check.hh"
+
+namespace copernicus {
+
+/** One registered analyzer pass. */
+struct PassInfo
+{
+    /** Selection name ("overflow", "thread-safety", ...). */
+    std::string name;
+
+    /** One-line description for --list-passes. */
+    std::string description;
+
+    /** Rule ids this pass can emit ("COP060", ...). */
+    std::vector<std::string> ids;
+
+    /** True for tile-sweeping passes a quick gate may want off. */
+    bool slow = false;
+
+    /** Whether the default selection includes this pass. */
+    std::function<bool(const LintOptions &)> enabledByDefault;
+
+    /** Append this pass's findings to the report. */
+    std::function<void(const LintOptions &, LintReport &)> run;
+};
+
+/** The registered pass list and the drivers over it. */
+class PassManager
+{
+  public:
+    /** The process-wide registry of every pass, in run order. */
+    static const PassManager &standard();
+
+    const std::vector<PassInfo> &passes() const { return registered; }
+
+    /** The pass named @p name, or nullptr. */
+    const PassInfo *find(const std::string &name) const;
+
+    /** Run the default selection (each pass's enabledByDefault). */
+    LintReport run(const LintOptions &options) const;
+
+    /**
+     * Run exactly @p selection (registration order, duplicates
+     * collapsed), ignoring the default-enablement gates. An unknown
+     * name produces an error diagnostic (pass "driver") instead of
+     * silently checking nothing.
+     */
+    LintReport run(const LintOptions &options,
+                   const std::vector<std::string> &selection) const;
+
+    /** Register @p pass (used by standard()'s builder and tests). */
+    void add(PassInfo pass) { registered.push_back(std::move(pass)); }
+
+  private:
+    std::vector<PassInfo> registered;
+};
+
+} // namespace copernicus
+
+#endif // COPERNICUS_ANALYSIS_PASS_MANAGER_HH

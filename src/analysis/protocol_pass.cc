@@ -1,0 +1,98 @@
+#include "analysis/protocol_pass.hh"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace copernicus {
+
+namespace {
+
+/** Elements of @p actual missing from @p documented, sorted. */
+std::vector<std::string>
+missingFrom(const std::vector<std::string> &actual,
+            const std::vector<std::string> &documented)
+{
+    const std::set<std::string> have(documented.begin(),
+                                     documented.end());
+    std::vector<std::string> missing;
+    for (const std::string &name : actual)
+        if (have.count(name) == 0)
+            missing.push_back(name);
+    std::sort(missing.begin(), missing.end());
+    missing.erase(std::unique(missing.begin(), missing.end()),
+                  missing.end());
+    return missing;
+}
+
+std::string
+joined(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const std::string &name : names) {
+        if (!out.empty())
+            out += ", ";
+        out += name;
+    }
+    return out;
+}
+
+} // namespace
+
+void
+checkProtocolSurface(const ProtocolSurface &surface, LintReport &report)
+{
+    for (const std::string &endpoint :
+         missingFrom(surface.handledEndpoints,
+                     surface.documentedEndpoints))
+        report.error("COP090", "protocol", "",
+                     "endpoint '" + endpoint +
+                         "' is handled by the server but missing from "
+                         "the documented endpoint table");
+    for (const std::string &endpoint :
+         missingFrom(surface.documentedEndpoints,
+                     surface.handledEndpoints))
+        report.error("COP091", "protocol", "",
+                     "endpoint '" + endpoint +
+                         "' is documented but no handler serves it");
+
+    const std::vector<std::string> undocFields = missingFrom(
+        surface.wideEventFields, surface.documentedWideEventFields);
+    if (!undocFields.empty())
+        report.error("COP092", "protocol", "",
+                     "wide events carry undocumented fields: " +
+                         joined(undocFields));
+    const std::vector<std::string> deadFields = missingFrom(
+        surface.documentedWideEventFields, surface.wideEventFields);
+    if (!deadFields.empty())
+        report.error("COP092", "protocol", "",
+                     "documented wide-event fields never recorded: " +
+                         joined(deadFields));
+
+    const std::vector<std::string> undocMetrics =
+        missingFrom(surface.metricNames, surface.documentedMetricNames);
+    if (!undocMetrics.empty())
+        report.error("COP093", "protocol", "",
+                     "exported metric families are undocumented: " +
+                         joined(undocMetrics));
+    const std::vector<std::string> deadMetrics =
+        missingFrom(surface.documentedMetricNames, surface.metricNames);
+    if (!deadMetrics.empty())
+        report.error("COP093", "protocol", "",
+                     "documented metric families never exported: " +
+                         joined(deadMetrics));
+}
+
+void
+runProtocolPass(const LintOptions &options, LintReport &report)
+{
+    // No surface injected: the caller has no serve plane in the
+    // process (plain copernicus_lint links it precisely to provide
+    // one; library users may not). Nothing to check.
+    if (options.protocol == nullptr)
+        return;
+    checkProtocolSurface(*options.protocol, report);
+}
+
+} // namespace copernicus

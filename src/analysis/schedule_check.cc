@@ -1,6 +1,7 @@
 #include "analysis/schedule_check.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/math.hh"
 #include "common/rng.hh"
@@ -13,47 +14,6 @@
 #include "workloads/generators.hh"
 
 namespace copernicus {
-
-std::string
-LintDiagnostic::toString() const
-{
-    std::string out =
-        severity == LintSeverity::Error ? "error[" : "warning[";
-    out += pass;
-    out += "] ";
-    if (!format.empty()) {
-        out += format;
-        out += ": ";
-    }
-    out += message;
-    return out;
-}
-
-std::size_t
-LintReport::errorCount() const
-{
-    std::size_t count = 0;
-    for (const LintDiagnostic &d : diagnostics)
-        count += d.severity == LintSeverity::Error;
-    return count;
-}
-
-std::size_t
-LintReport::warningCount() const
-{
-    return diagnostics.size() - errorCount();
-}
-
-std::string
-LintReport::toString() const
-{
-    std::string out;
-    for (const LintDiagnostic &d : diagnostics) {
-        out += d.toString();
-        out += '\n';
-    }
-    return out;
-}
 
 namespace {
 
@@ -125,27 +85,41 @@ checkSpecStructure(const ScheduleSpec &spec, const HlsConfig &config,
 {
     const std::string name(formatName(spec.format));
     if (spec.format != FormatKind::Dense && spec.segments.empty())
-        report.error("spec", name,
+        report.error("COP001", "spec", name,
                      "decode schedule declares no segments");
     for (const SegmentSpec &segment : spec.segments) {
         if (segment.name == nullptr || segment.name[0] == '\0')
-            report.error("spec", name, "segment without a name");
+            report.error("COP002", "spec", name,
+                         "segment without a name");
         if (segment.bankAccessesPerII == 0) {
-            report.error("spec", name,
-                         std::string("segment '") + segment.name +
-                             "' declares zero bank accesses per II");
+            LintDiagnostic d;
+            d.id = "COP003";
+            d.pass = "spec";
+            d.format = name;
+            d.segment = segment.name;
+            d.message = std::string("segment '") + segment.name +
+                        "' declares zero bank accesses per II";
+            report.add(std::move(d));
             continue;
         }
         // > bramPorts accesses per II against one dual-port bank can
         // never be scheduled at the declared II.
-        if (segment.bankAccessesPerII > config.bramPorts)
-            report.error(
-                "spec", name,
+        if (segment.bankAccessesPerII > config.bramPorts) {
+            LintDiagnostic d;
+            d.id = "COP004";
+            d.pass = "spec";
+            d.format = name;
+            d.segment = segment.name;
+            d.message =
                 std::string("BRAM port over-subscription: segment '") +
-                    segment.name + "' needs " +
-                    std::to_string(segment.bankAccessesPerII) +
-                    " accesses per II on one bank, but banks expose " +
-                    std::to_string(config.bramPorts) + " ports");
+                segment.name + "' needs " +
+                std::to_string(segment.bankAccessesPerII) +
+                " accesses per II on one bank, but banks expose " +
+                std::to_string(config.bramPorts) + " ports";
+            d.fixHint = "split the access across banks or raise the "
+                        "segment's initiation interval";
+            report.add(std::move(d));
+        }
     }
 }
 
@@ -171,7 +145,7 @@ checkDecoderBody(const ScheduleSpec &spec, const LoopBody &body,
             relaxed <= claimedIi
                 ? "BRAM port over-subscription"
                 : "a loop-carried dependence";
-        report.error("body", name,
+        report.error("COP010", "body", name,
                      "II violation from " + std::string(cause) +
                          ": body '" + body.name + "' schedules at II " +
                          std::to_string(schedule.ii) +
@@ -183,7 +157,7 @@ checkDecoderBody(const ScheduleSpec &spec, const LoopBody &body,
         const Cycles claimedDepth =
             knobCycles(spec.claims.depth, config, none);
         if (schedule.depth != claimedDepth)
-            report.error("body", name,
+            report.error("COP011", "body", name,
                          "pipeline depth mismatch: body '" + body.name +
                              "' schedules at depth " +
                              std::to_string(schedule.depth) +
@@ -195,14 +169,14 @@ checkDecoderBody(const ScheduleSpec &spec, const LoopBody &body,
         const Cycles levels = compareChainDepth(body);
         const Cycles balanced = log2Ceil(partitionSize);
         if (levels > balanced)
-            report.error("body", name,
+            report.error("COP012", "body", name,
                          "unbalanced comparator tree: compare chain of " +
                              std::to_string(levels) + " levels over " +
                              std::to_string(partitionSize) +
                              " lanes; a balanced tree needs " +
                              std::to_string(balanced));
         else if (levels < balanced)
-            report.warning("body", name,
+            report.warning("COP013", "body", name,
                            "comparator tree shallower than log2(p) — "
                            "body covers " +
                                std::to_string(levels) +
@@ -217,23 +191,25 @@ checkContracts(const FormatParams &params, const HlsConfig &config,
                LintReport &report)
 {
     if (config.bramPorts == 0)
-        report.error("contract", "", "bramPorts must be positive");
+        report.error("COP020", "contract", "",
+                     "bramPorts must be positive");
     if (config.loopDepth == 0)
-        report.error("contract", "",
+        report.error("COP020", "contract", "",
                      "loopDepth must be positive (pipelines have at "
                      "least one stage)");
     if (config.bramReadLatency == 0)
-        report.error("contract", "",
+        report.error("COP020", "contract", "",
                      "bramReadLatency must be positive (block RAM is "
                      "registered)");
     if (params.bcsrBlock == 0)
-        report.error("contract", "BCSR", "block size must be positive");
+        report.error("COP021", "contract", "BCSR",
+                     "block size must be positive");
     if (params.sellSlice == 0)
-        report.error("contract", "SELL",
+        report.error("COP021", "contract", "SELL",
                      "slice height must be positive");
     if (params.sellSlice != 0 &&
         params.sellCsWindow % params.sellSlice != 0)
-        report.error("contract", "SELLCS",
+        report.error("COP021", "contract", "SELLCS",
                      "sorting window " +
                          std::to_string(params.sellCsWindow) +
                          " is not a multiple of the slice height " +
@@ -241,44 +217,44 @@ checkContracts(const FormatParams &params, const HlsConfig &config,
 
     for (Index p : partitionSizes) {
         if (p == 0) {
-            report.error("contract", "",
+            report.error("COP022", "contract", "",
                          "partition size must be positive");
             continue;
         }
         if (params.bcsrBlock != 0 && p % params.bcsrBlock != 0)
-            report.error("contract", "BCSR",
+            report.error("COP022", "contract", "BCSR",
                          "block size " +
                              std::to_string(params.bcsrBlock) +
                              " does not divide partition size " +
                              std::to_string(p));
         if (params.sellSlice != 0 && p % params.sellSlice != 0)
-            report.error("contract", "SELL",
+            report.error("COP022", "contract", "SELL",
                          "slice height " +
                              std::to_string(params.sellSlice) +
                              " does not divide partition size " +
                              std::to_string(p));
         if (params.sellCsWindow != 0 && p % params.sellCsWindow != 0)
-            report.error("contract", "SELLCS",
+            report.error("COP022", "contract", "SELLCS",
                          "sorting window " +
                              std::to_string(params.sellCsWindow) +
                              " does not divide partition size " +
                              std::to_string(p));
         if (params.ellMinWidth > p)
-            report.warning("contract", "ELL",
+            report.warning("COP023", "contract", "ELL",
                            "minimum width " +
                                std::to_string(params.ellMinWidth) +
                                " exceeds partition size " +
                                std::to_string(p) +
                                " (codec clamps it)");
         if (params.ellCooWidth > p)
-            report.warning("contract", "ELLCOO",
+            report.warning("COP023", "contract", "ELLCOO",
                            "ELL-part width " +
                                std::to_string(params.ellCooWidth) +
                                " exceeds partition size " +
                                std::to_string(p) +
                                " (codec clamps it)");
         if (!isPow2(p))
-            report.warning("contract", "",
+            report.warning("COP024", "contract", "",
                            "partition size " + std::to_string(p) +
                                " is not a power of two; the dot "
                                "engine's adder tree rounds up");
@@ -313,7 +289,7 @@ checkTile(const FormatRegistry &registry, FormatKind kind,
         const Bytes typedTotal =
             typedStreamBytes(encoded->typedStreams());
         if (typedTotal != legacyTotal)
-            report.error("streams", name,
+            report.error("COP050", "streams", name,
                          "typed streams serialize " +
                              std::to_string(typedTotal) +
                              " bytes but streams() reports " +
@@ -326,7 +302,7 @@ checkTile(const FormatRegistry &registry, FormatKind kind,
     if (grammar) {
         const GrammarReport check = validateEncodedTile(*encoded);
         for (const GrammarViolation &violation : check.violations)
-            report.error("grammar", name,
+            report.error("COP030", "grammar", name,
                          violation.invariant + ": " + violation.detail);
     }
 
@@ -339,7 +315,7 @@ checkTile(const FormatRegistry &registry, FormatKind kind,
         const Cycles closed =
             closedFormCycles(spec, config, features);
         if (closed != walked.decompressCycles)
-            report.error("oracle", name,
+            report.error("COP040", "oracle", name,
                          "closed-form bound " + std::to_string(closed) +
                              " != dynamic walker " +
                              std::to_string(walked.decompressCycles) +
@@ -347,7 +323,7 @@ checkTile(const FormatRegistry &registry, FormatKind kind,
                              " tile with " +
                              std::to_string(tile.nnz()) + " non-zeros");
         if (features.producedRows != walked.rowsProduced)
-            report.error("oracle", name,
+            report.error("COP041", "oracle", name,
                          "IR produced-rows " +
                              std::to_string(features.producedRows) +
                              " != walker rows " +
@@ -357,34 +333,14 @@ checkTile(const FormatRegistry &registry, FormatKind kind,
     }
 }
 
-LintReport
-runLint(const LintOptions &options)
+void
+forEachLintTile(const std::vector<Index> &partitionSizes,
+                const std::function<void(Index, const Tile &)> &fn)
 {
-    LintReport report;
-    const FormatRegistry registry(options.params);
-
-    for (FormatKind kind : allFormats()) {
-        const ScheduleSpec &spec = registry.schedule(kind);
-        checkSpecStructure(spec, options.hls, report);
-        if (!spec.hasInnerBody)
-            continue;
-        for (Index p : options.partitionSizes)
-            checkDecoderBody(spec,
-                             decoderBodyFor(kind, options.params, p), p,
-                             options.hls, report);
-    }
-
-    checkContracts(options.params, options.hls, options.partitionSizes,
-                   report);
-
-    if (!options.runGrammar && !options.runOracle &&
-        !options.runStreams)
-        return report;
-
-    // Grammar + oracle over the synthetic workload set: random, band,
-    // diagonal and stencil structure exercise every format's encoder
-    // shapes (dense rows, empty rows, diagonals, uneven slices).
-    for (Index p : options.partitionSizes) {
+    // The synthetic workload set: random, band, diagonal and stencil
+    // structure exercise every format's encoder shapes (dense rows,
+    // empty rows, diagonals, uneven slices).
+    for (Index p : partitionSizes) {
         if (p == 0)
             continue;
         const Index n = p * 4;
@@ -400,20 +356,13 @@ runLint(const LintOptions &options)
             for (const Tile &tile : parts.tiles) {
                 if (++checked > 12)
                     break; // bounded per workload; shapes repeat
-                for (FormatKind kind : allFormats())
-                    checkTile(registry, kind, tile, options.hls,
-                              options.runGrammar, options.runOracle,
-                              options.runStreams, report);
+                fn(p, tile);
             }
         }
         // The all-zero tile exercises every guard path.
         const Tile empty(p);
-        for (FormatKind kind : allFormats())
-            checkTile(registry, kind, empty, options.hls,
-                      options.runGrammar, options.runOracle,
-                      options.runStreams, report);
+        fn(p, empty);
     }
-    return report;
 }
 
 } // namespace copernicus

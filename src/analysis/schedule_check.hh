@@ -1,99 +1,53 @@
 /**
  * @file
- * Static schedule analyzer and lint driver.
+ * Static schedule analyzer: the original four pass families.
  *
- * Four families of passes, all static — nothing here runs the
- * pipeline:
+ * All static — nothing here runs the pipeline:
  *
- *  - Spec structure: every format's ScheduleSpec is well-formed and
- *    none of its segments over-subscribes a dual-port BRAM bank
- *    (> bramPorts accesses per initiation interval on one bank).
- *  - Decoder-body cross-check: the depth/II each spec claims for its
- *    inner loop must equal what the hlsc list scheduler derives from
- *    the Listing 1-7 loop bodies; a violated II is classified as port
- *    over-subscription (rescheduling with unlimited ports fixes it) or
- *    a loop-carried dependence (it does not). LIL's comparator tree is
- *    additionally checked for balance: its compare-chain depth must be
- *    log2(p).
- *  - Contracts: codec hyperparameters against hls_config.hh and the
- *    requested partition sizes (BCSR block / SELL slice /
- *    SELL-C-sigma window divisibility, ELL width clamps, knob sanity).
- *  - Grammar + oracle over synthetic workloads: every encoded tile
- *    must satisfy its format grammar (formats/validate), and the
- *    closed-form cycle bound from the schedule IR must equal the
- *    dynamic walker exactly (the model-vs-walker oracle).
+ *  - Spec structure (COP001-004): every format's ScheduleSpec is
+ *    well-formed and none of its segments over-subscribes a dual-port
+ *    BRAM bank (> bramPorts accesses per initiation interval on one
+ *    bank).
+ *  - Decoder-body cross-check (COP010-013): the depth/II each spec
+ *    claims for its inner loop must equal what the hlsc list scheduler
+ *    derives from the Listing 1-7 loop bodies; a violated II is
+ *    classified as port over-subscription (rescheduling with unlimited
+ *    ports fixes it) or a loop-carried dependence (it does not). LIL's
+ *    comparator tree is additionally checked for balance: its
+ *    compare-chain depth must be log2(p).
+ *  - Contracts (COP020-024): codec hyperparameters against
+ *    hls_config.hh and the requested partition sizes (BCSR block /
+ *    SELL slice / SELL-C-sigma window divisibility, ELL width clamps,
+ *    knob sanity).
+ *  - Grammar + oracle + streams (COP030, COP040-041, COP050) over
+ *    synthetic workloads: every encoded tile must satisfy its format
+ *    grammar (formats/validate), and the closed-form cycle bound from
+ *    the schedule IR must equal the dynamic walker exactly (the
+ *    model-vs-walker oracle).
  *
- * copernicus_lint and `copernicus_cli --lint` run runLint() over the
- * full registry and exit nonzero on any error diagnostic.
+ * The deeper passes live beside this file (overflow_pass, capacity_pass,
+ * thread_safety_pass, protocol_pass, compress_pass) and everything is
+ * orchestrated by analysis/pass_manager. runLint() remains the
+ * one-call entry point: copernicus_lint and `copernicus_cli --lint`
+ * run it over the full registry and map the report to an exit status
+ * with lintExitCode().
  */
 
 #ifndef COPERNICUS_ANALYSIS_SCHEDULE_CHECK_HH
 #define COPERNICUS_ANALYSIS_SCHEDULE_CHECK_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.hh"
+#include "analysis/protocol_surface.hh"
 #include "formats/registry.hh"
 #include "hls/hls_config.hh"
 #include "hlsc/ir.hh"
 #include "matrix/tile.hh"
 
 namespace copernicus {
-
-/** How bad one lint finding is. */
-enum class LintSeverity
-{
-    Warning, ///< suspicious but does not invalidate the model
-    Error,   ///< the model or an encoding is wrong; lint exits nonzero
-};
-
-/** One format-qualified diagnostic. */
-struct LintDiagnostic
-{
-    LintSeverity severity = LintSeverity::Error;
-
-    /** Pass that produced it: "spec", "body", "contract", ... */
-    std::string pass;
-
-    /** Format the finding concerns ("" for global contract findings). */
-    std::string format;
-
-    std::string message;
-
-    /** "error[body] CSR: ..." */
-    std::string toString() const;
-};
-
-/** Everything one lint run found. */
-struct LintReport
-{
-    std::vector<LintDiagnostic> diagnostics;
-
-    std::size_t errorCount() const;
-    std::size_t warningCount() const;
-
-    /** True when no error-severity diagnostics were produced. */
-    bool ok() const { return errorCount() == 0; }
-
-    /** One line per diagnostic. */
-    std::string toString() const;
-
-    void
-    error(const std::string &pass, const std::string &format,
-          const std::string &message)
-    {
-        diagnostics.push_back(
-            {LintSeverity::Error, pass, format, message});
-    }
-
-    void
-    warning(const std::string &pass, const std::string &format,
-            const std::string &message)
-    {
-        diagnostics.push_back(
-            {LintSeverity::Warning, pass, format, message});
-    }
-};
 
 /** What to lint and against which platform. */
 struct LintOptions
@@ -120,6 +74,39 @@ struct LintOptions
      * migration).
      */
     bool runStreams = true;
+
+    /** Run the symbolic range/overflow pass (COP060-063). */
+    bool runOverflow = true;
+
+    /** Run the buffer/BRAM capacity dataflow pass (COP070-072). */
+    bool runCapacity = true;
+
+    /** Run the thread-safety contract pass (COP080-082). */
+    bool runThreadSafety = true;
+
+    /**
+     * Run the second-stage compression invariant pass (COP100):
+     * storedBytes <= rawBytes over synthetic tiles. Slow — off by
+     * default like grammar/oracle are in the daemon's quick gate.
+     */
+    bool runCompress = true;
+
+    /**
+     * Serve-protocol surface to conform-check (COP090-093); the pass
+     * is skipped when null. The serve library provides
+     * collectServeProtocolSurface() — analysis cannot depend on serve
+     * (serve's startup gate already depends on analysis), so callers
+     * inject the surface.
+     */
+    const ProtocolSurface *protocol = nullptr;
+
+    /**
+     * Root of the source tree for the source-scanning rules (COP063
+     * narrowing casts, COP082 bare mutexes). "" means the compiled-in
+     * checkout path; the scans skip silently when the directory does
+     * not exist (a deployed daemon has no source tree).
+     */
+    std::string sourceRoot;
 };
 
 /**
@@ -162,7 +149,20 @@ void checkTile(const FormatRegistry &registry, FormatKind kind,
                const Tile &tile, const HlsConfig &config, bool grammar,
                bool oracle, LintReport &report);
 
-/** Run every pass over the full registry. */
+/**
+ * Invoke @p fn for every tile of the synthetic lint workload set
+ * (random, band, diagonal, stencil, plus the all-zero tile) at each
+ * partition size — the shared tile sweep behind the grammar, oracle,
+ * streams and compress passes. Deterministic (fixed seed).
+ */
+void forEachLintTile(const std::vector<Index> &partitionSizes,
+                     const std::function<void(Index, const Tile &)> &fn);
+
+/**
+ * Run every enabled pass over the full registry (implemented in
+ * analysis/pass_manager — this is PassManager::standard() with the
+ * default selection).
+ */
 LintReport runLint(const LintOptions &options = LintOptions());
 
 } // namespace copernicus

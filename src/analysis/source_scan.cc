@@ -1,0 +1,83 @@
+#include "analysis/source_scan.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/schedule_check.hh"
+
+namespace copernicus {
+
+std::string
+lintSourceRoot(const LintOptions &options)
+{
+    if (!options.sourceRoot.empty())
+        return options.sourceRoot;
+#ifdef COPERNICUS_SOURCE_ROOT
+    return COPERNICUS_SOURCE_ROOT;
+#else
+    return "";
+#endif
+}
+
+bool
+readTextFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out = buffer.str();
+    return true;
+}
+
+std::vector<std::string>
+splitLines(const std::string &contents)
+{
+    std::vector<std::string> lines;
+    std::string::size_type start = 0;
+    while (start <= contents.size()) {
+        const std::string::size_type end = contents.find('\n', start);
+        if (end == std::string::npos) {
+            if (start < contents.size())
+                lines.push_back(contents.substr(start));
+            break;
+        }
+        lines.push_back(contents.substr(start, end - start));
+        start = end + 1;
+    }
+    return lines;
+}
+
+std::vector<std::string>
+listHeadersUnderSrc(const std::string &root)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> headers;
+    if (root.empty())
+        return headers;
+    const fs::path src = fs::path(root) / "src";
+    std::error_code ec;
+    if (!fs::is_directory(src, ec))
+        return headers;
+    for (fs::recursive_directory_iterator
+             it(src, fs::directory_options::skip_permission_denied, ec),
+         end;
+         it != end; it.increment(ec)) {
+        if (ec)
+            break;
+        if (!it->is_regular_file(ec))
+            continue;
+        if (it->path().extension() != ".hh")
+            continue;
+        headers.push_back(
+            fs::relative(it->path(), fs::path(root), ec).string());
+    }
+    // Deterministic report order regardless of directory iteration.
+    std::sort(headers.begin(), headers.end());
+    return headers;
+}
+
+} // namespace copernicus

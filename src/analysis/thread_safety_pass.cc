@@ -1,0 +1,164 @@
+#include "analysis/thread_safety_pass.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <utility>
+
+#include "analysis/source_scan.hh"
+
+namespace copernicus {
+
+namespace {
+
+/** True when trimmed @p line sits inside a comment. */
+bool
+isCommentLine(const std::string &line)
+{
+    std::size_t i = 0;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])))
+        ++i;
+    if (i >= line.size())
+        return true;
+    if (line[i] == '*')
+        return true;
+    return line.compare(i, 2, "//") == 0 ||
+           line.compare(i, 2, "/*") == 0 ||
+           line.compare(i, 2, "*/") == 0;
+}
+
+/**
+ * True when @p line declares a std::mutex member: the token
+ * "std::mutex" followed by an identifier and ';', not a template
+ * argument ("std::unique_lock<std::mutex>") or a comment mention.
+ */
+bool
+declaresBareMutex(const std::string &line)
+{
+    if (isCommentLine(line))
+        return false;
+    const std::size_t at = line.find("std::mutex");
+    if (at == std::string::npos)
+        return false;
+    // Template arguments and pointers/references are not members.
+    const std::size_t after = at + std::string("std::mutex").size();
+    if (after >= line.size())
+        return false;
+    if (line[after] == '>' || line[after] == '*' || line[after] == '&')
+        return false;
+    if (line.find(';', after) == std::string::npos)
+        return false;
+    // Need an identifier between the type and the semicolon.
+    std::size_t i = after;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])))
+        ++i;
+    return i < line.size() &&
+           (std::isalpha(static_cast<unsigned char>(line[i])) ||
+            line[i] == '_');
+}
+
+/** Lines above a declaration the exclusion marker may sit on. */
+constexpr std::size_t markerWindow = 6;
+
+bool
+hasExclusionMarker(const std::vector<std::string> &lines,
+                   std::size_t declIndex)
+{
+    const std::size_t first =
+        declIndex >= markerWindow ? declIndex - markerWindow : 0;
+    for (std::size_t i = first; i <= declIndex; ++i) {
+        if (lines[i].find("CV-paired") != std::string::npos ||
+            lines[i].find("documented exclusion") != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+checkLockOrderRegistry(const std::vector<LockLevel> &registry,
+                       LintReport &report)
+{
+    std::map<int, std::string> byRank;
+    std::map<std::string, int> byName;
+    for (const LockLevel &level : registry) {
+        if (level.rank <= 0)
+            report.error("COP080", "thread-safety", "",
+                         "lock '" + level.name +
+                             "' has non-positive rank " +
+                             std::to_string(level.rank) +
+                             "; ranks must be positive (0 is the "
+                             "unranked sentinel)");
+        else if (const auto [it, inserted] =
+                     byRank.emplace(level.rank, level.name);
+                 !inserted)
+            report.error("COP080", "thread-safety", "",
+                         "locks '" + it->second + "' and '" +
+                             level.name + "' share rank " +
+                             std::to_string(level.rank) +
+                             "; equal ranks legalize a nesting the "
+                             "hierarchy forbids");
+        if (level.name.empty())
+            report.error("COP081", "thread-safety", "",
+                         "lock with rank " +
+                             std::to_string(level.rank) +
+                             " has no name");
+        else if (const auto [it, inserted] =
+                     byName.emplace(level.name, level.rank);
+                 !inserted)
+            report.error("COP081", "thread-safety", "",
+                         "lock name '" + level.name +
+                             "' registered twice (ranks " +
+                             std::to_string(it->second) + " and " +
+                             std::to_string(level.rank) + ")");
+    }
+}
+
+void
+scanHeaderForBareMutexes(const std::string &path,
+                         const std::string &contents, LintReport &report)
+{
+    // The wrapper itself is the one header allowed a bare member.
+    if (path.find("common/mutex.hh") != std::string::npos)
+        return;
+    const std::vector<std::string> lines = splitLines(contents);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (!declaresBareMutex(lines[i]))
+            continue;
+        if (hasExclusionMarker(lines, i))
+            continue;
+        LintDiagnostic d;
+        d.id = "COP082";
+        d.pass = "thread-safety";
+        d.file = path;
+        d.line = static_cast<int>(i + 1);
+        d.message = "bare std::mutex member: invisible to "
+                    "-Wthread-safety and the lock-order assertions";
+        d.fixHint = "use copernicus::Mutex + COPERNICUS_GUARDED_BY "
+                    "(common/mutex.hh), or document the exclusion "
+                    "with a 'CV-paired' / 'documented exclusion' "
+                    "comment above the member";
+        report.add(std::move(d));
+    }
+}
+
+void
+runThreadSafetyPass(const LintOptions &options, LintReport &report)
+{
+    checkLockOrderRegistry(lockOrderRegistry(), report);
+
+    const std::string root = lintSourceRoot(options);
+    if (root.empty())
+        return;
+    for (const std::string &header : listHeadersUnderSrc(root)) {
+        std::string contents;
+        if (!readTextFile(root + "/" + header, contents))
+            continue;
+        scanHeaderForBareMutexes(header, contents, report);
+    }
+}
+
+} // namespace copernicus

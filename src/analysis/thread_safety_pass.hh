@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Thread-safety contract pass (rules COP080-082).
+ *
+ * The locking discipline has three legs: clang capability annotations
+ * (common/thread_annotations.hh, enforced by the -Wthread-safety CI
+ * job), the debug-asserted lock-order hierarchy
+ * (common/lock_order.hh), and this pass, which checks the parts a
+ * compiler cannot:
+ *
+ *  - COP080/081: the lock-order registry must stay a strict total
+ *    order by construction — ranks positive and unique, names
+ *    non-empty and unique. A duplicated rank silently legalizes a
+ *    nesting the hierarchy was supposed to forbid.
+ *  - COP082: every std::mutex member in a header must either be the
+ *    annotated Mutex wrapper or carry a documented exclusion. The scan
+ *    flags bare `std::mutex` member declarations in src/ headers
+ *    unless a "CV-paired" or "documented exclusion" marker appears on
+ *    or just above the declaration — the condition-variable waiters
+ *    are the only legitimate escape, and they must say so where the
+ *    next reader will look.
+ *
+ * The scan halves are exposed on raw inputs so the seeded-defect
+ * suite can feed mutated registries and header snippets.
+ */
+
+#ifndef COPERNICUS_ANALYSIS_THREAD_SAFETY_PASS_HH
+#define COPERNICUS_ANALYSIS_THREAD_SAFETY_PASS_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/schedule_check.hh"
+#include "common/lock_order.hh"
+
+namespace copernicus {
+
+/** COP080/081 over @p registry (tests inject broken hierarchies). */
+void checkLockOrderRegistry(const std::vector<LockLevel> &registry,
+                            LintReport &report);
+
+/**
+ * COP082 over one header's contents. @p path is used for reporting
+ * and for the wrapper exemption (common/mutex.hh is the one header
+ * allowed to hold a bare std::mutex — it is the annotated wrapper).
+ */
+void scanHeaderForBareMutexes(const std::string &path,
+                              const std::string &contents,
+                              LintReport &report);
+
+/**
+ * The whole pass: the process lock-order registry plus the header
+ * scan over options.sourceRoot (skipped when no checkout exists).
+ */
+void runThreadSafetyPass(const LintOptions &options, LintReport &report);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_ANALYSIS_THREAD_SAFETY_PASS_HH

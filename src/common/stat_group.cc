@@ -96,7 +96,7 @@ DistributionStat::DistributionStat(StatGroup &group, std::string name,
 void
 DistributionStat::sample(double v)
 {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     ++count;
     sum += v;
     min_seen = std::min(min_seen, v);
@@ -133,35 +133,35 @@ DistributionStat::snapshotLocked() const
 DistributionStat::Snapshot
 DistributionStat::snapshot() const
 {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     return snapshotLocked();
 }
 
 std::uint64_t
 DistributionStat::samples() const
 {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     return count;
 }
 
 double
 DistributionStat::minSample() const
 {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     return min_seen;
 }
 
 double
 DistributionStat::maxSample() const
 {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     return max_seen;
 }
 
 double
 DistributionStat::sumSamples() const
 {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     return sum;
 }
 
@@ -191,7 +191,7 @@ DistributionStat::emptyPercentile()
 double
 DistributionStat::percentile(double p) const
 {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     return percentileLocked(p);
 }
 
@@ -250,7 +250,7 @@ DistributionStat::Snapshot::percentile(double p) const
 void
 DistributionStat::print(std::ostream &out) const
 {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     printLine(out, name() + ".samples", static_cast<double>(count),
               description());
     if (count == 0)
@@ -285,7 +285,7 @@ DistributionStat::print(std::ostream &out) const
 void
 DistributionStat::writeJson(std::ostream &out) const
 {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     jsonHead(out, *this, "distribution");
     jsonField(out, "samples", static_cast<double>(count));
     jsonField(out, "lo", lo);

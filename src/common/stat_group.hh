@@ -17,9 +17,12 @@
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/lock_order.hh"
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 
 namespace copernicus {
 
@@ -200,7 +203,17 @@ class DistributionStat : public StatBase
     double minSample() const;
     double maxSample() const;
     double sumSamples() const;
-    const std::vector<std::uint64_t> &buckets() const { return bins; }
+
+    /**
+     * Post-join accessor (see class comment): returns a reference into
+     * the live bins, so it is deliberately outside the capability
+     * analysis — callers must be past the last concurrent sample().
+     */
+    const std::vector<std::uint64_t> &
+    buckets() const COPERNICUS_NO_THREAD_SAFETY_ANALYSIS
+    {
+        return bins;
+    }
 
     /**
      * Sentinel returned by percentile() on an empty distribution: a
@@ -231,19 +244,22 @@ class DistributionStat : public StatBase
     void writeJson(std::ostream &out) const override;
 
   private:
-    double percentileLocked(double p) const;
-    Snapshot snapshotLocked() const;
+    double percentileLocked(double p) const
+        COPERNICUS_REQUIRES(mutex);
+    Snapshot snapshotLocked() const COPERNICUS_REQUIRES(mutex);
 
     double lo;
     double hi;
-    std::vector<std::uint64_t> bins;
-    std::uint64_t underflow = 0;
-    std::uint64_t overflow = 0;
-    std::uint64_t count = 0;
-    double min_seen = std::numeric_limits<double>::infinity();
-    double max_seen = -std::numeric_limits<double>::infinity();
-    double sum = 0;
-    mutable std::mutex mutex;
+    std::vector<std::uint64_t> bins COPERNICUS_GUARDED_BY(mutex);
+    std::uint64_t underflow COPERNICUS_GUARDED_BY(mutex) = 0;
+    std::uint64_t overflow COPERNICUS_GUARDED_BY(mutex) = 0;
+    std::uint64_t count COPERNICUS_GUARDED_BY(mutex) = 0;
+    double min_seen COPERNICUS_GUARDED_BY(mutex) =
+        std::numeric_limits<double>::infinity();
+    double max_seen COPERNICUS_GUARDED_BY(mutex) =
+        -std::numeric_limits<double>::infinity();
+    double sum COPERNICUS_GUARDED_BY(mutex) = 0;
+    mutable Mutex mutex{lock_rank::statDistribution};
 };
 
 /** A named collection of statistics, dumped together. */

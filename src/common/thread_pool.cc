@@ -173,7 +173,7 @@ ThreadPool::pushTask(unsigned slot, std::function<void()> task)
 {
     Lane &lane = *lanes[slot % lanes.size()];
     {
-        const std::lock_guard<std::mutex> lock(lane.mutex);
+        const MutexLock lock(lane.mutex);
         lane.queue.push_back(std::move(task));
     }
     queued.fetch_add(1, std::memory_order_release);
@@ -201,7 +201,7 @@ ThreadPool::runOneTask(unsigned slot)
     // Own deque first (front = newest, cache-warm)...
     {
         Lane &own = *lanes[slot];
-        const std::lock_guard<std::mutex> lock(own.mutex);
+        const MutexLock lock(own.mutex);
         if (!own.queue.empty()) {
             task = std::move(own.queue.front());
             own.queue.pop_front();
@@ -211,7 +211,7 @@ ThreadPool::runOneTask(unsigned slot)
     if (!task) {
         for (unsigned i = 1; i < njobs && !task; ++i) {
             Lane &victim = *lanes[(slot + i) % njobs];
-            const std::lock_guard<std::mutex> lock(victim.mutex);
+            const MutexLock lock(victim.mutex);
             if (!victim.queue.empty()) {
                 task = std::move(victim.queue.back());
                 victim.queue.pop_back();

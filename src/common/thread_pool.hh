@@ -46,7 +46,9 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/mutex.hh"
 #include "common/stat_group.hh"
+#include "common/thread_annotations.hh"
 #include "common/trace_context.hh"
 
 namespace copernicus {
@@ -162,11 +164,16 @@ class ThreadPool
     static std::vector<LaneSpan> drainLaneSpans();
 
   private:
-    /** One lane's deque; the owner locks briefly, thieves likewise. */
+    /**
+     * One lane's deque; the owner locks briefly, thieves likewise.
+     * The lane mutex is unranked: it is a leaf lock (nothing is ever
+     * acquired under it) and lanes of one pool never nest.
+     */
     struct Lane
     {
-        std::mutex mutex;
-        std::deque<std::function<void()>> queue;
+        Mutex mutex;
+        std::deque<std::function<void()>> queue
+            COPERNICUS_GUARDED_BY(mutex);
     };
 
     void workerLoop(unsigned slot);
@@ -181,6 +188,7 @@ class ThreadPool
     std::atomic<std::size_t> queued{0};       ///< tasks sitting in deques
     std::atomic<unsigned> submitSlot{0};
     std::atomic<bool> stopping{false};
+    /** CV-paired: stays std::mutex (documented exclusion, mutex.hh). */
     std::mutex sleepMutex;
     std::condition_variable sleepCv;
 };

@@ -162,7 +162,7 @@ Study::partitionsFor(std::size_t w, Index p) const
 {
     PartitionSlot *slot;
     {
-        const std::lock_guard<std::mutex> lock(*cacheMutex);
+        const MutexLock lock(*cacheMutex);
         slot = &cache[std::make_pair(w, p)];
     }
     // The slot is built outside the map lock so distinct keys

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "analysis/summary.hh"
+#include "common/lock_order.hh"
+#include "common/mutex.hh"
 #include "fpga/power_model.hh"
 #include "fpga/resource_model.hh"
 #include "hls/hls_config.hh"
@@ -182,8 +184,8 @@ class Study
     /** Partitioning cache keyed by (workload index, partition size). */
     mutable std::map<std::pair<std::size_t, Index>, PartitionSlot> cache;
     /** Behind a pointer so Study stays movable (benches move Studies). */
-    mutable std::unique_ptr<std::mutex> cacheMutex =
-        std::make_unique<std::mutex>();
+    mutable std::unique_ptr<Mutex> cacheMutex =
+        std::make_unique<Mutex>(lock_rank::studyCache);
 };
 
 } // namespace copernicus

@@ -114,7 +114,7 @@ void
 EncodeCache::clear()
 {
     for (const auto &shard : shards) {
-        const std::lock_guard<std::mutex> lock(shard->mutex);
+        const MutexLock lock(shard->mutex);
         shard->table.clear();
         shard->bytes = 0;
         shard->entries = 0;
@@ -134,7 +134,7 @@ EncodeCache::encode(const FormatRegistry &registry, FormatKind kind,
 
     std::shared_ptr<const EncodedTile> cached;
     {
-        const std::lock_guard<std::mutex> lock(shard.mutex);
+        const MutexLock lock(shard.mutex);
         auto it = shard.table.find(hash);
         if (it != shard.table.end()) {
             for (const Entry &entry : it->second) {
@@ -175,7 +175,7 @@ EncodeCache::encode(const FormatRegistry &registry, FormatKind kind,
         registry.codec(kind).encode(tile);
     const std::uint64_t cost = entryBytes(tile, *encoded);
 
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const MutexLock lock(shard.mutex);
     if (shard.bytes + cost >
         budget.load(std::memory_order_relaxed) / shardCount) {
         shard.table.clear();
@@ -209,7 +209,7 @@ EncodeCache::stats() const
     out.validationBypasses =
         validationBypasses.load(std::memory_order_relaxed);
     for (const auto &shard : shards) {
-        const std::lock_guard<std::mutex> lock(shard->mutex);
+        const MutexLock lock(shard->mutex);
         out.entries += shard->entries;
         out.bytes += shard->bytes;
     }

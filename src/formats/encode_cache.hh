@@ -39,11 +39,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_order.hh"
+#include "common/mutex.hh"
 #include "common/stat_group.hh"
+#include "common/thread_annotations.hh"
 #include "formats/registry.hh"
 #include "matrix/tile.hh"
 
@@ -119,10 +121,11 @@ class EncodeCache
 
     struct Shard
     {
-        mutable std::mutex mutex;
-        std::unordered_map<std::uint64_t, std::vector<Entry>> table;
-        std::uint64_t bytes = 0;
-        std::uint64_t entries = 0;
+        mutable Mutex mutex{lock_rank::encodeCacheShard};
+        std::unordered_map<std::uint64_t, std::vector<Entry>> table
+            COPERNICUS_GUARDED_BY(mutex);
+        std::uint64_t bytes COPERNICUS_GUARDED_BY(mutex) = 0;
+        std::uint64_t entries COPERNICUS_GUARDED_BY(mutex) = 0;
     };
 
     static constexpr std::size_t shardCount = 16;

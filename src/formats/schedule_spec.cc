@@ -365,14 +365,16 @@ extractScheduleFeatures(const EncodedTile &encoded, const Tile &decoded)
                                                   FormatKind::BCSR);
         feat.entries = bcsr.values.size();
         const Index grid = p / bcsr.blockSize();
+        Index nonEmptyBlockRows = 0;
         for (Index br = 0; br < grid; ++br) {
-            feat.nonEmptyGroups +=
+            nonEmptyBlockRows +=
                 bcsr.blockRowEnd(br) != bcsr.blockRowStart(br);
         }
+        feat.nonEmptyGroups = nonEmptyBlockRows;
         // Every row of a non-zero block-row reaches the dot engine,
-        // zero or not (Listing 2 discussion).
-        feat.producedRows =
-            static_cast<Index>(feat.nonEmptyGroups) * bcsr.blockSize();
+        // zero or not (Listing 2 discussion). Counted in Index (the
+        // block-row count is at most p), so no narrowing happens.
+        feat.producedRows = nonEmptyBlockRows * bcsr.blockSize();
         break;
       }
       case FormatKind::CSC: {

@@ -23,6 +23,7 @@
 #include "core/study.hh"
 #include "formats/validate.hh"
 #include "matrix/stats.hh"
+#include "serve/protocol_doc.hh"
 #include "trace/flight_recorder.hh"
 #include "trace/span.hh"
 #include "trace/trace_writer.hh"
@@ -195,6 +196,16 @@ Server::start()
         lint.params = opts.lintParams;
         lint.runGrammar = opts.fullLint;
         lint.runOracle = opts.fullLint;
+        lint.runStreams = opts.fullLint;
+        lint.runCompress = opts.fullLint;
+        // The quick gate keeps the static passes (spec, body,
+        // contract, overflow, capacity, thread-safety, protocol) —
+        // they cost milliseconds; only the tile sweeps gate on
+        // fullLint. A daemon whose own protocol surface drifted from
+        // its documentation refuses to start just like one whose
+        // schedule model is wrong.
+        const ProtocolSurface surface = collectServeProtocolSurface();
+        lint.protocol = &surface;
         const LintReport report = runLint(lint);
         fatalIf(!report.ok(),
                 "serve: refusing to start, the format registry failed "
@@ -277,7 +288,7 @@ Server::sendLine(const std::shared_ptr<Conn> &conn,
         return;
     std::string framed = line;
     framed.push_back('\n');
-    const std::lock_guard<std::mutex> lock(conn->writeMutex);
+    const MutexLock lock(conn->writeMutex);
     std::size_t sent = 0;
     while (sent < framed.size()) {
         const ssize_t n =
@@ -300,7 +311,7 @@ Server::reapFinishedReaders()
 {
     std::vector<std::thread> joinable;
     {
-        const std::lock_guard<std::mutex> lock(connsMutex);
+        const MutexLock lock(connsMutex);
         for (std::uint64_t id : finishedReaders) {
             auto it = readers.find(id);
             if (it != readers.end()) {
@@ -338,7 +349,7 @@ Server::acceptorLoop()
             continue;
         auto conn = std::make_shared<Conn>(fd);
         *connections += 1;
-        const std::lock_guard<std::mutex> lock(connsMutex);
+        const MutexLock lock(connsMutex);
         const std::uint64_t id = nextConnId++;
         conns.emplace(id, conn);
         readers.emplace(id, std::thread([this, id, conn] {
@@ -370,7 +381,7 @@ Server::readerLoop(std::uint64_t connId, std::shared_ptr<Conn> conn)
         }
     }
     conn->open.store(false, std::memory_order_relaxed);
-    const std::lock_guard<std::mutex> lock(connsMutex);
+    const MutexLock lock(connsMutex);
     finishedReaders.push_back(connId);
 }
 
@@ -479,7 +490,7 @@ Server::runRequest(std::shared_ptr<Conn> conn, ServeRequest request,
 
     std::uint64_t token = 0;
     {
-        const std::lock_guard<std::mutex> lock(inflightMutex);
+        const MutexLock lock(inflightMutex);
         token = nextReqToken++;
         inflightReqs.emplace(
             token, InflightEntry{request.endpoint, request.id, startUs});
@@ -554,12 +565,12 @@ Server::runRequest(std::shared_ptr<Conn> conn, ServeRequest request,
     const std::uint64_t endUs = nowUs();
     stats.latencyUs->sample(static_cast<double>(endUs - startUs));
     {
-        const std::lock_guard<std::mutex> lock(spansMutex);
+        const MutexLock lock(spansMutex);
         requestSpans.push_back(
             {request.endpoint, request.id, startUs, endUs, outcome});
     }
     {
-        const std::lock_guard<std::mutex> lock(inflightMutex);
+        const MutexLock lock(inflightMutex);
         inflightReqs.erase(token);
     }
 
@@ -596,25 +607,22 @@ Server::recordWideEvent(const ServeRequest &request,
 {
     if (!opts.observability)
         return;
-    // One flat, pre-serialised record per request: everything a
-    // post-mortem asks first, without joining other data sources.
-    std::ostringstream out;
-    out << "{\"type\": \"request\", \"endpoint\": "
-        << jsonStr(endpointName(request.endpoint))
-        << ", \"id\": " << request.id << ", \"trace_id\": "
-        << jsonStr(traceIdToHex(request.trace.traceId))
-        << ", \"outcome\": " << jsonStr(outcome)
-        << ", \"receipt_us\": " << receiptUs
-        << ", \"queue_wait_us\": " << (startUs - receiptUs)
-        << ", \"latency_us\": " << (endUs - startUs)
-        << ", \"deadline_budget_ms\": " << jsonNum(timeoutMs)
-        << ", \"deadline_used_ms\": "
-        << jsonNum(static_cast<double>(endUs - startUs) / 1000.0)
-        << ", \"cache_hits\": " << cacheHits
-        << ", \"cache_misses\": " << cacheMisses
-        << ", \"compress_us\": " << compressUs
-        << ", \"formats_swept\": " << obs.formatsSwept << '}';
-    FlightRecorder::global().record(out.str());
+    WideEventInputs event;
+    event.endpoint = endpointName(request.endpoint);
+    event.id = request.id;
+    event.traceIdHex = traceIdToHex(request.trace.traceId);
+    event.outcome = outcome;
+    event.receiptUs = receiptUs;
+    event.queueWaitUs = startUs - receiptUs;
+    event.latencyUs = endUs - startUs;
+    event.deadlineBudgetMs = timeoutMs;
+    event.deadlineUsedMs =
+        static_cast<double>(endUs - startUs) / 1000.0;
+    event.cacheHits = cacheHits;
+    event.cacheMisses = cacheMisses;
+    event.compressUs = compressUs;
+    event.formatsSwept = obs.formatsSwept;
+    FlightRecorder::global().record(buildWideEventJson(event));
 }
 
 std::string
@@ -898,7 +906,7 @@ Server::statsJson() const
             ", \"inflight\": [";
     const std::uint64_t now = nowUs();
     {
-        const std::lock_guard<std::mutex> lock(inflightMutex);
+        const MutexLock lock(inflightMutex);
         bool first = true;
         for (const auto &[token, entry] : inflightReqs) {
             if (!first)
@@ -1032,7 +1040,7 @@ Server::metricsText() const
 std::vector<RequestSpan>
 Server::spans() const
 {
-    const std::lock_guard<std::mutex> lock(spansMutex);
+    const MutexLock lock(spansMutex);
     return requestSpans;
 }
 
@@ -1064,7 +1072,7 @@ Server::waitDrained()
     //    SHUT_RDWR does not discard sent data on AF_UNIX/loopback.
     std::map<std::uint64_t, std::thread> remaining;
     {
-        const std::lock_guard<std::mutex> lock(connsMutex);
+        const MutexLock lock(connsMutex);
         for (auto &[id, conn] : conns)
             ::shutdown(conn->fd, SHUT_RDWR);
         remaining = std::move(readers);
@@ -1073,7 +1081,7 @@ Server::waitDrained()
     for (auto &[id, thread] : remaining)
         thread.join();
     {
-        const std::lock_guard<std::mutex> lock(connsMutex);
+        const MutexLock lock(connsMutex);
         conns.clear();
         finishedReaders.clear();
     }
@@ -1093,7 +1101,7 @@ Server::waitDrained()
         TraceWriter writer;
         writer.beginScope("serve");
         {
-            const std::lock_guard<std::mutex> lock(spansMutex);
+            const MutexLock lock(spansMutex);
             for (const RequestSpan &span : requestSpans) {
                 writer.durationEvent(endpointName(span.endpoint),
                                      "r" + std::to_string(span.id) +

@@ -47,7 +47,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/lock_order.hh"
+#include "common/mutex.hh"
 #include "common/stat_group.hh"
+#include "common/thread_annotations.hh"
 #include "common/thread_pool.hh"
 #include "formats/encode_cache.hh"
 #include "serve/protocol.hh"
@@ -222,7 +225,8 @@ class Server
         Conn &operator=(const Conn &) = delete;
 
         int fd = -1;
-        std::mutex writeMutex;
+        /** Unranked leaf lock: nothing is acquired under a write. */
+        Mutex writeMutex;
         std::atomic<bool> open{true};
         std::string rxBuffer;
     };
@@ -290,13 +294,19 @@ class Server
     std::thread acceptor;
 
     /** Reader bookkeeping, all under connsMutex. */
-    std::mutex connsMutex;
-    std::map<std::uint64_t, std::shared_ptr<Conn>> conns;
-    std::map<std::uint64_t, std::thread> readers;
-    std::vector<std::uint64_t> finishedReaders;
-    std::uint64_t nextConnId = 1;
+    Mutex connsMutex{lock_rank::serveConns};
+    std::map<std::uint64_t, std::shared_ptr<Conn>> conns
+        COPERNICUS_GUARDED_BY(connsMutex);
+    std::map<std::uint64_t, std::thread> readers
+        COPERNICUS_GUARDED_BY(connsMutex);
+    std::vector<std::uint64_t> finishedReaders
+        COPERNICUS_GUARDED_BY(connsMutex);
+    std::uint64_t nextConnId COPERNICUS_GUARDED_BY(connsMutex) = 1;
 
-    /** Admission state, all under admitMutex. */
+    /**
+     * Admission state, all under admitMutex. CV-paired, so it stays
+     * std::mutex (documented exclusion, common/mutex.hh).
+     */
     mutable std::mutex admitMutex;
     std::size_t inflight = 0;
     bool draining = false;
@@ -316,13 +326,15 @@ class Server
     ThreadPoolStats poolStats;
     EncodeCacheStats cacheStats;
 
-    mutable std::mutex spansMutex;
-    std::vector<RequestSpan> requestSpans;
+    mutable Mutex spansMutex{lock_rank::serveSpans};
+    std::vector<RequestSpan> requestSpans
+        COPERNICUS_GUARDED_BY(spansMutex);
 
     /** In-flight registry for --top, under inflightMutex. */
-    mutable std::mutex inflightMutex;
-    std::map<std::uint64_t, InflightEntry> inflightReqs;
-    std::uint64_t nextReqToken = 1;
+    mutable Mutex inflightMutex{lock_rank::serveInflight};
+    std::map<std::uint64_t, InflightEntry> inflightReqs
+        COPERNICUS_GUARDED_BY(inflightMutex);
+    std::uint64_t nextReqToken COPERNICUS_GUARDED_BY(inflightMutex) = 1;
 
     /** True when this server turned the span collector on. */
     bool observingSpans = false;

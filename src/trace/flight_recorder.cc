@@ -19,7 +19,7 @@ void
 FlightRecorder::setCapacity(std::size_t newCapacity)
 {
     fatalIf(newCapacity == 0, "FlightRecorder capacity must be >= 1");
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     ring.clear();
     capacity = newCapacity;
     head = 0;
@@ -29,7 +29,7 @@ FlightRecorder::setCapacity(std::size_t newCapacity)
 void
 FlightRecorder::record(std::string wideEventJson)
 {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     ++total;
     if (ring.size() < capacity) {
         ring.push_back(std::move(wideEventJson));
@@ -42,7 +42,7 @@ FlightRecorder::record(std::string wideEventJson)
 std::vector<std::string>
 FlightRecorder::snapshot() const
 {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     std::vector<std::string> events;
     events.reserve(ring.size());
     for (std::size_t i = 0; i < ring.size(); ++i)
@@ -53,21 +53,21 @@ FlightRecorder::snapshot() const
 std::uint64_t
 FlightRecorder::recorded() const
 {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     return total;
 }
 
 std::uint64_t
 FlightRecorder::dropped() const
 {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     return total - ring.size();
 }
 
 void
 FlightRecorder::clear()
 {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     ring.clear();
     head = 0;
     total = 0;

@@ -24,9 +24,12 @@
 
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/lock_order.hh"
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 
 namespace copernicus {
 
@@ -73,11 +76,11 @@ class FlightRecorder
     void dumpToFile(const std::string &path) const;
 
   private:
-    mutable std::mutex mutex;
-    std::vector<std::string> ring;
-    std::size_t capacity = 512;
-    std::size_t head = 0;
-    std::uint64_t total = 0;
+    mutable Mutex mutex{lock_rank::flightRecorder};
+    std::vector<std::string> ring COPERNICUS_GUARDED_BY(mutex);
+    std::size_t capacity COPERNICUS_GUARDED_BY(mutex) = 512;
+    std::size_t head COPERNICUS_GUARDED_BY(mutex) = 0;
+    std::uint64_t total COPERNICUS_GUARDED_BY(mutex) = 0;
 };
 
 } // namespace copernicus

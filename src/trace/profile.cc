@@ -14,7 +14,7 @@ ProfileRegistry::global()
 void
 ProfileRegistry::record(std::string_view name, double seconds)
 {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     auto it = table.find(name);
     if (it == table.end()) {
         Entry entry;
@@ -30,14 +30,14 @@ ProfileRegistry::record(std::string_view name, double seconds)
 void
 ProfileRegistry::clear()
 {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     table.clear();
 }
 
 std::vector<ProfileRegistry::Entry>
 ProfileRegistry::entries() const
 {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     std::vector<Entry> out;
     out.reserve(table.size());
     for (const auto &[name, entry] : table)

@@ -23,12 +23,14 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/lock_order.hh"
+#include "common/mutex.hh"
 #include "common/stat_group.hh"
+#include "common/thread_annotations.hh"
 #include "common/thread_pool.hh"
 #include "trace/trace_sink.hh"
 
@@ -77,8 +79,9 @@ class ProfileRegistry
 
   private:
     std::atomic<bool> on{false};
-    mutable std::mutex mutex;
-    std::map<std::string, Entry, std::less<>> table;
+    mutable Mutex mutex{lock_rank::profileRegistry};
+    std::map<std::string, Entry, std::less<>> table
+        COPERNICUS_GUARDED_BY(mutex);
 };
 
 /**

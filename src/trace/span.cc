@@ -35,7 +35,7 @@ void
 SpanCollector::setCapacity(std::size_t newCapacity)
 {
     fatalIf(newCapacity == 0, "SpanCollector capacity must be >= 1");
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     ring.clear();
     capacity = newCapacity;
     head = 0;
@@ -45,7 +45,7 @@ SpanCollector::setCapacity(std::size_t newCapacity)
 void
 SpanCollector::record(SpanRecord span)
 {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     ++total;
     if (ring.size() < capacity) {
         ring.push_back(std::move(span));
@@ -58,7 +58,7 @@ SpanCollector::record(SpanRecord span)
 std::vector<SpanRecord>
 SpanCollector::snapshot() const
 {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     std::vector<SpanRecord> spans;
     spans.reserve(ring.size());
     // Once the ring has lapped, head is the oldest retained slot.
@@ -81,21 +81,21 @@ SpanCollector::spansForTrace(std::uint64_t traceId) const
 std::uint64_t
 SpanCollector::recorded() const
 {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     return total;
 }
 
 std::uint64_t
 SpanCollector::dropped() const
 {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     return total - ring.size();
 }
 
 void
 SpanCollector::clear()
 {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     ring.clear();
     head = 0;
     total = 0;

@@ -22,11 +22,13 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/lock_order.hh"
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 #include "common/trace_context.hh"
 
 namespace copernicus {
@@ -99,11 +101,13 @@ class SpanCollector
 
   private:
     std::atomic<bool> on{false};
-    mutable std::mutex mutex;
-    std::vector<SpanRecord> ring; ///< size() < capacity until first lap
-    std::size_t capacity = 4096;
-    std::size_t head = 0; ///< next overwrite slot once full
-    std::uint64_t total = 0;
+    mutable Mutex mutex{lock_rank::spanCollector};
+    /** size() < capacity until first lap */
+    std::vector<SpanRecord> ring COPERNICUS_GUARDED_BY(mutex);
+    std::size_t capacity COPERNICUS_GUARDED_BY(mutex) = 4096;
+    /** next overwrite slot once full */
+    std::size_t head COPERNICUS_GUARDED_BY(mutex) = 0;
+    std::uint64_t total COPERNICUS_GUARDED_BY(mutex) = 0;
 };
 
 /**

@@ -1,0 +1,513 @@
+/**
+ * @file
+ * Tests for the analyzer's pass framework: diagnostic formatting and
+ * exit codes, the pass manager's selection semantics, baseline
+ * parse/apply/staleness, the JSON and SARIF emitters, and the deep
+ * passes (overflow, capacity, thread-safety, protocol, compress) both
+ * clean-on-tree and firing on injected defects.
+ */
+
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "analysis/baseline.hh"
+#include "analysis/capacity_pass.hh"
+#include "analysis/compress_pass.hh"
+#include "analysis/emitters.hh"
+#include "analysis/lint_driver.hh"
+#include "analysis/overflow_pass.hh"
+#include "analysis/pass_manager.hh"
+#include "analysis/protocol_pass.hh"
+#include "analysis/thread_safety_pass.hh"
+#include "common/json.hh"
+#include "serve/protocol_doc.hh"
+
+namespace copernicus {
+namespace {
+
+bool
+hasId(const LintReport &report, const std::string &id)
+{
+    return std::any_of(report.diagnostics.begin(),
+                       report.diagnostics.end(),
+                       [&](const LintDiagnostic &d) {
+                           return d.id == id;
+                       });
+}
+
+LintOptions
+fastOptions()
+{
+    LintOptions options;
+    options.runGrammar = false;
+    options.runOracle = false;
+    options.runStreams = false;
+    options.runCompress = false;
+    return options;
+}
+
+// ---------------------------------------------------------------- //
+// Diagnostics: formatting, fingerprints, exit codes.
+
+TEST(DiagnosticsTest, IdBearingToString)
+{
+    LintReport report;
+    report.error("COP004", "spec", "CSR", "too many ports");
+    EXPECT_EQ(report.diagnostics[0].toString(),
+              "error[spec] COP004 CSR: too many ports");
+
+    LintDiagnostic d;
+    d.severity = LintSeverity::Warning;
+    d.id = "COP063";
+    d.pass = "overflow";
+    d.file = "src/formats/size_model.cc";
+    d.line = 42;
+    d.message = "narrowing cast";
+    EXPECT_EQ(d.toString(), "warning[overflow] COP063 "
+                            "src/formats/size_model.cc:42: "
+                            "narrowing cast");
+}
+
+TEST(DiagnosticsTest, SegmentBearingToString)
+{
+    LintDiagnostic d;
+    d.id = "COP070";
+    d.pass = "capacity";
+    d.format = "ELLCOO";
+    d.segment = "ell sweep -> overflow loop";
+    d.message = "over-subscribed";
+    EXPECT_EQ(d.toString(),
+              "error[capacity] COP070 ELLCOO(ell sweep -> overflow "
+              "loop): over-subscribed");
+}
+
+TEST(DiagnosticsTest, FingerprintOmitsMessageAndLine)
+{
+    LintDiagnostic a;
+    a.id = "COP063";
+    a.pass = "overflow";
+    a.file = "src/formats/size_model.cc";
+    a.line = 42;
+    a.message = "one wording";
+    LintDiagnostic b = a;
+    b.line = 99;
+    b.message = "another wording";
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    EXPECT_EQ(a.fingerprint(), "COP063 overflow size_model.cc -");
+}
+
+TEST(DiagnosticsTest, ExitCodeMapping)
+{
+    LintReport clean;
+    EXPECT_EQ(lintExitCode(clean), 0);
+    EXPECT_EQ(lintExitCode(clean, /*werror=*/true), 0);
+
+    LintReport warns;
+    warns.warning("contract", "ELL", "looks odd");
+    EXPECT_EQ(lintExitCode(warns), 2);
+    EXPECT_EQ(lintExitCode(warns, /*werror=*/true), 1);
+
+    LintReport errors;
+    errors.error("spec", "CSR", "broken");
+    errors.warning("contract", "ELL", "looks odd");
+    EXPECT_EQ(lintExitCode(errors), 1);
+    EXPECT_EQ(lintExitCode(errors, /*werror=*/true), 1);
+}
+
+TEST(DiagnosticsTest, EveryRegisteredIdHasDescription)
+{
+    for (const PassInfo &pass : PassManager::standard().passes())
+        for (const std::string &id : pass.ids)
+            EXPECT_FALSE(lintRuleDescription(id).empty())
+                << pass.name << " emits " << id
+                << " with no rule description";
+}
+
+// ---------------------------------------------------------------- //
+// Pass manager: listing, selection, unknown names.
+
+TEST(PassManagerTest, StandardRegistryShape)
+{
+    const PassManager &manager = PassManager::standard();
+    ASSERT_GE(manager.passes().size(), 11u);
+    EXPECT_NE(manager.find("overflow"), nullptr);
+    EXPECT_NE(manager.find("capacity"), nullptr);
+    EXPECT_NE(manager.find("thread-safety"), nullptr);
+    EXPECT_NE(manager.find("protocol"), nullptr);
+    EXPECT_NE(manager.find("compress"), nullptr);
+    EXPECT_EQ(manager.find("no-such-pass"), nullptr);
+}
+
+TEST(PassManagerTest, SelectionRunsOnlyNamedPasses)
+{
+    // "contract" at a non-power-of-two partition warns (COP024);
+    // selecting only "spec" must not surface it.
+    LintOptions options = fastOptions();
+    options.partitionSizes = {12};
+    const LintReport contract =
+        PassManager::standard().run(options, {"contract"});
+    EXPECT_TRUE(hasId(contract, "COP024")) << contract.toString();
+    const LintReport spec =
+        PassManager::standard().run(options, {"spec"});
+    EXPECT_FALSE(hasId(spec, "COP024")) << spec.toString();
+}
+
+TEST(PassManagerTest, UnknownPassNameIsAnError)
+{
+    const LintReport report =
+        PassManager::standard().run(fastOptions(), {"bogus"});
+    EXPECT_EQ(report.errorCount(), 1u) << report.toString();
+    EXPECT_EQ(report.diagnostics[0].pass, "driver");
+}
+
+// ---------------------------------------------------------------- //
+// Overflow pass.
+
+TEST(OverflowPassTest, CleanAtDefaultEnvelope)
+{
+    LintReport report;
+    checkAccountingRanges(fastOptions(), AccountingEnvelope(), report);
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+TEST(OverflowPassTest, AbsurdEnvelopeOverflowsUint64)
+{
+    // At 2^64-1 aggregate non-zeros over p=8 tiles, the 128-bit shadow
+    // fold must exceed uint64 and say so.
+    AccountingEnvelope envelope;
+    envelope.maxPartition = 8;
+    envelope.maxWorkloadNnz = UINT64_MAX;
+    LintOptions options = fastOptions();
+    options.partitionSizes = {8};
+    LintReport report;
+    checkAccountingRanges(options, envelope, report);
+    EXPECT_TRUE(hasId(report, "COP061")) << report.toString();
+}
+
+TEST(OverflowPassTest, NarrowingCastScanFlagsAndWaives)
+{
+    LintReport report;
+    scanForNarrowingCasts(
+        "fake.cc",
+        "Cycles total = 0;\n"
+        "Index n = static_cast<Index>(total);\n"
+        "Index m = static_cast<Index>(total); // lint: widening-ok\n",
+        report);
+    ASSERT_EQ(report.diagnostics.size(), 1u) << report.toString();
+    EXPECT_EQ(report.diagnostics[0].id, "COP063");
+    EXPECT_EQ(report.diagnostics[0].line, 2);
+}
+
+TEST(OverflowPassTest, AccountingHotFilesAreCastClean)
+{
+    // The full pass (range proof + source scan over the real
+    // checkout) must be clean; a new narrowing cast in the accounting
+    // files fails here before CI.
+    LintReport report;
+    runOverflowPass(fastOptions(), report);
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+// ---------------------------------------------------------------- //
+// Capacity pass.
+
+TEST(CapacityPassTest, CleanAtDefaultSizes)
+{
+    LintReport report;
+    runCapacityPass(fastOptions(), report);
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+TEST(CapacityPassTest, OverSubscribedPipelinedChain)
+{
+    // Two consecutive pipelined segments demanding 2 accesses each on
+    // a dual-port bank: neither alone over-subscribes, the chain does.
+    ScheduleSpec spec;
+    spec.format = FormatKind::CSR;
+    SegmentSpec producer;
+    producer.kind = SegmentKind::Pipelined;
+    producer.name = "producer";
+    producer.bankAccessesPerII = 2;
+    SegmentSpec consumer = producer;
+    consumer.name = "consumer";
+    spec.segments = {producer, consumer};
+    LintReport report;
+    checkPortPressure(spec, HlsConfig(), report);
+    ASSERT_TRUE(hasId(report, "COP070")) << report.toString();
+    EXPECT_EQ(report.diagnostics[0].segment, "producer -> consumer");
+}
+
+TEST(CapacityPassTest, HugePartitionOverflowsBram)
+{
+    // COO keeps the full coordinate stream resident; at p = 4096 the
+    // double-buffered working set cannot fit a single device's BRAM.
+    LintReport report;
+    checkBufferCapacity(FormatKind::COO, 4096, FormatParams(),
+                        DeviceCapacity(), report);
+    EXPECT_FALSE(report.ok()) << report.toString();
+}
+
+// ---------------------------------------------------------------- //
+// Thread-safety pass.
+
+TEST(ThreadSafetyPassTest, ProcessRegistryAndHeadersClean)
+{
+    LintReport report;
+    runThreadSafetyPass(fastOptions(), report);
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+TEST(ThreadSafetyPassTest, DuplicateRankIsAnError)
+{
+    LintReport report;
+    checkLockOrderRegistry({{"a", 10}, {"b", 10}}, report);
+    EXPECT_TRUE(hasId(report, "COP080")) << report.toString();
+}
+
+TEST(ThreadSafetyPassTest, DuplicateOrEmptyNameIsAnError)
+{
+    LintReport duplicate;
+    checkLockOrderRegistry({{"a", 10}, {"a", 20}}, duplicate);
+    EXPECT_TRUE(hasId(duplicate, "COP081")) << duplicate.toString();
+
+    LintReport empty;
+    checkLockOrderRegistry({{"", 10}}, empty);
+    EXPECT_TRUE(hasId(empty, "COP081")) << empty.toString();
+}
+
+TEST(ThreadSafetyPassTest, BareMutexMemberFlaggedUnlessMarked)
+{
+    LintReport bare;
+    scanHeaderForBareMutexes("src/foo/bar.hh",
+                             "class X {\n    std::mutex lock;\n};\n",
+                             bare);
+    EXPECT_TRUE(hasId(bare, "COP082")) << bare.toString();
+
+    LintReport marked;
+    scanHeaderForBareMutexes(
+        "src/foo/bar.hh",
+        "class X {\n"
+        "    // CV-paired with wakeCv; documented exclusion.\n"
+        "    std::mutex lock;\n"
+        "};\n",
+        marked);
+    EXPECT_TRUE(marked.ok()) << marked.toString();
+
+    LintReport wrapped;
+    scanHeaderForBareMutexes(
+        "src/foo/bar.hh",
+        "    std::lock_guard<std::mutex> guard(lock);\n", wrapped);
+    EXPECT_TRUE(wrapped.ok()) << wrapped.toString();
+}
+
+// ---------------------------------------------------------------- //
+// Protocol pass.
+
+TEST(ProtocolPassTest, ServeSurfaceConforms)
+{
+    const ProtocolSurface surface = collectServeProtocolSurface();
+    LintReport report;
+    checkProtocolSurface(surface, report);
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+TEST(ProtocolPassTest, DriftFiresEachDirection)
+{
+    ProtocolSurface surface;
+    surface.handledEndpoints = {"ping", "secret"};
+    surface.documentedEndpoints = {"ping", "retired"};
+    surface.wideEventFields = {"type", "renamed_field"};
+    surface.documentedWideEventFields = {"type", "old_field"};
+    surface.metricNames = {"copernicus_new_total"};
+    surface.documentedMetricNames = {"copernicus_old_total"};
+    LintReport report;
+    checkProtocolSurface(surface, report);
+    EXPECT_TRUE(hasId(report, "COP090")) << report.toString();
+    EXPECT_TRUE(hasId(report, "COP091")) << report.toString();
+    EXPECT_TRUE(hasId(report, "COP092")) << report.toString();
+    EXPECT_TRUE(hasId(report, "COP093")) << report.toString();
+}
+
+TEST(ProtocolPassTest, SkippedWithoutSurface)
+{
+    LintReport report;
+    runProtocolPass(fastOptions(), report); // protocol == nullptr
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+// ---------------------------------------------------------------- //
+// Compress pass.
+
+TEST(CompressPassTest, StoredNeverExceedsRawOnMixedTiles)
+{
+    const FormatRegistry registry;
+    Tile tile(8);
+    tile(0, 0) = 1;
+    tile(3, 4) = 2;
+    tile(7, 7) = 3;
+    LintReport report;
+    for (FormatKind kind : allFormats())
+        checkTileCompression(registry, kind, tile, report);
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+// ---------------------------------------------------------------- //
+// Baseline.
+
+TEST(BaselineTest, ParseStripsCommentsAndNormalizes)
+{
+    const LintBaseline baseline = parseBaseline(
+        "# header comment\n"
+        "\n"
+        "COP063  overflow   size_model.cc  -  # trailing note\n"
+        "  COP024 contract ELL -\n");
+    ASSERT_EQ(baseline.fingerprints.size(), 2u);
+    EXPECT_EQ(baseline.fingerprints[0],
+              "COP063 overflow size_model.cc -");
+    EXPECT_EQ(baseline.fingerprints[1], "COP024 contract ELL -");
+}
+
+TEST(BaselineTest, ApplySuppressesAndReportsStale)
+{
+    LintReport report;
+    report.error("COP004", "spec", "CSR", "ports");
+    report.error("COP010", "body", "COO", "ii");
+
+    LintBaseline baseline;
+    baseline.fingerprints = {"COP004 spec CSR -",
+                             "COP099 nowhere gone -"};
+    std::vector<std::string> unused;
+    const std::size_t suppressed =
+        applyBaseline(report, baseline, &unused);
+    EXPECT_EQ(suppressed, 1u);
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_EQ(report.diagnostics[0].id, "COP010");
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(unused[0], "COP099 nowhere gone -");
+}
+
+TEST(BaselineTest, RoundTripThroughGeneratedText)
+{
+    LintReport report;
+    report.error("COP004", "spec", "CSR", "ports");
+    report.warning("COP024", "contract", "ELL", "non-pow2");
+    const LintBaseline baseline =
+        parseBaseline(baselineFromReport(report));
+    LintReport again;
+    again.error("COP004", "spec", "CSR", "other wording");
+    again.warning("COP024", "contract", "ELL", "other wording");
+    EXPECT_EQ(applyBaseline(again, baseline, nullptr), 2u);
+    EXPECT_TRUE(again.diagnostics.empty());
+}
+
+// ---------------------------------------------------------------- //
+// Emitters.
+
+LintReport
+sampleReport()
+{
+    LintReport report;
+    report.error("COP004", "spec", "CSR", "too many ports");
+    LintDiagnostic d;
+    d.severity = LintSeverity::Warning;
+    d.id = "COP063";
+    d.pass = "overflow";
+    d.file = "src/formats/size_model.cc";
+    d.line = 7;
+    d.message = "narrowing cast";
+    d.fixHint = "widen it";
+    report.add(std::move(d));
+    return report;
+}
+
+TEST(EmittersTest, JsonDocumentParsesAndCounts)
+{
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(lintReportToJson(sampleReport()), doc));
+    EXPECT_EQ(doc.numberOr("errors", -1), 1);
+    EXPECT_EQ(doc.numberOr("warnings", -1), 1);
+}
+
+TEST(EmittersTest, SarifDocumentValidates)
+{
+    std::string why;
+    EXPECT_TRUE(
+        validateSarifDocument(lintReportToSarif(sampleReport()), &why))
+        << why;
+    EXPECT_TRUE(validateSarifDocument(lintReportToSarif(LintReport())))
+        << "empty reports must still produce valid SARIF";
+}
+
+TEST(EmittersTest, SarifValidatorRejectsBrokenDocuments)
+{
+    EXPECT_FALSE(validateSarifDocument("not json"));
+    EXPECT_FALSE(validateSarifDocument("{}"));
+    EXPECT_FALSE(validateSarifDocument(
+        "{\"version\": \"2.1.0\", \"runs\": []}"));
+    std::string why;
+    EXPECT_FALSE(validateSarifDocument(
+        "{\"version\": \"1.0.0\", \"runs\": [{\"tool\": {\"driver\": "
+        "{\"name\": \"x\"}}, \"results\": []}]}",
+        &why));
+    EXPECT_FALSE(why.empty());
+}
+
+TEST(EmittersTest, SarifCarriesLocationsAndRules)
+{
+    const std::string text = lintReportToSarif(sampleReport());
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(text, doc));
+    EXPECT_NE(text.find("\"COP004\""), std::string::npos);
+    EXPECT_NE(text.find("\"COP063\""), std::string::npos);
+    EXPECT_NE(text.find("size_model.cc"), std::string::npos);
+    EXPECT_NE(text.find("logicalLocations"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- //
+// Driver: the CLI-facing behavior both binaries share.
+
+TEST(LintDriverTest, ListPassesPrintsEveryPassName)
+{
+    LintDriverOptions options;
+    options.listPasses = true;
+    std::ostringstream out;
+    EXPECT_EQ(runLintDriver(options, out), 0);
+    for (const PassInfo &pass : PassManager::standard().passes())
+        EXPECT_NE(out.str().find(pass.name), std::string::npos)
+            << pass.name;
+}
+
+TEST(LintDriverTest, UnknownPassExitsNonzero)
+{
+    LintDriverOptions options;
+    options.lint = fastOptions();
+    options.passes = {"bogus"};
+    std::ostringstream out;
+    EXPECT_EQ(runLintDriver(options, out), 1);
+}
+
+TEST(LintDriverTest, MissingBaselineIsAnError)
+{
+    LintDriverOptions options;
+    options.lint = fastOptions();
+    options.passes = {"spec"};
+    options.baselinePath = "/nonexistent/lint_baseline.txt";
+    std::ostringstream out;
+    EXPECT_EQ(runLintDriver(options, out), 1);
+}
+
+TEST(LintDriverTest, JsonModeEmitsParseableDocument)
+{
+    LintDriverOptions options;
+    options.lint = fastOptions();
+    options.passes = {"spec"};
+    options.json = true;
+    std::ostringstream out;
+    EXPECT_EQ(runLintDriver(options, out), 0);
+    JsonValue doc;
+    EXPECT_TRUE(parseJson(out.str(), doc)) << out.str();
+}
+
+} // namespace
+} // namespace copernicus

@@ -7,13 +7,28 @@
  * validator reports the exact format and offending invariant id. Also
  * covers the EncodeCache verified-hit path: a cached encoding that
  * fails validation is bypassed with a fresh encode, never trusted.
+ *
+ * The seeded-defect suite at the bottom does the same for the deep
+ * analyzer passes: inject a narrowing cast, an over-subscribed
+ * pipelined BRAM chain, a dropped lock annotation, and an
+ * undocumented endpoint, and assert each is caught under its expected
+ * COP rule id. The rendered diagnostics are pinned against
+ * tests/golden/seeded_lint_defects.txt (regenerate with
+ * COPERNICUS_REGEN_GOLDEN=1).
  */
 
 #include <algorithm>
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <span>
+#include <sstream>
 
+#include "analysis/capacity_pass.hh"
+#include "analysis/overflow_pass.hh"
+#include "analysis/protocol_pass.hh"
+#include "analysis/thread_safety_pass.hh"
 #include "formats/bcsr_format.hh"
 #include "formats/bitmap_format.hh"
 #include "formats/coo_format.hh"
@@ -300,6 +315,137 @@ TEST(EncodeCacheValidationTest, CleanHitsAreNotBypassed)
     const EncodeCache::Stats stats = cache.stats();
     EXPECT_EQ(stats.hits, 1u);
     EXPECT_EQ(stats.validationBypasses, 0u);
+}
+
+// ---------------------------------------------------------------- //
+// Seeded defects for the deep analyzer passes: each mutant must be
+// caught under exactly its expected COP rule id.
+
+bool
+hasOnlyId(const LintReport &report, const std::string &id)
+{
+    return !report.diagnostics.empty() &&
+           std::all_of(report.diagnostics.begin(),
+                       report.diagnostics.end(),
+                       [&](const LintDiagnostic &d) {
+                           return d.id == id;
+                       });
+}
+
+/** COP063: a Cycles total squeezed through a 32-bit cast. */
+LintReport
+narrowingCastMutant()
+{
+    LintReport report;
+    scanForNarrowingCasts(
+        "src/formats/size_model.cc",
+        "Bytes total = entries * 12;\n"
+        "return static_cast<Index>(total);\n",
+        report);
+    return report;
+}
+
+/** COP070: consecutive pipelined segments over one dual-port bank. */
+LintReport
+portChainMutant()
+{
+    ScheduleSpec spec;
+    spec.format = FormatKind::ELLCOO;
+    SegmentSpec sweep;
+    sweep.kind = SegmentKind::Pipelined;
+    sweep.name = "ell sweep";
+    sweep.bankAccessesPerII = 2;
+    SegmentSpec overflow = sweep;
+    overflow.name = "overflow loop";
+    overflow.bankAccessesPerII = 1;
+    spec.segments = {sweep, overflow};
+    LintReport report;
+    checkPortPressure(spec, HlsConfig(), report);
+    return report;
+}
+
+/** COP082: a mutex member that lost its annotation wrapper. */
+LintReport
+droppedAnnotationMutant()
+{
+    LintReport report;
+    scanHeaderForBareMutexes("src/serve/server.hh",
+                             "class Server {\n"
+                             "    std::mutex admitMutex;\n"
+                             "};\n",
+                             report);
+    return report;
+}
+
+/** COP090: a handler shipped without documentation. */
+LintReport
+undocumentedEndpointMutant()
+{
+    ProtocolSurface surface;
+    surface.handledEndpoints = {"ping", "debug_peek"};
+    surface.documentedEndpoints = {"ping"};
+    LintReport report;
+    checkProtocolSurface(surface, report);
+    return report;
+}
+
+TEST(SeededDefectTest, NarrowingCastCaughtAsCop063)
+{
+    const LintReport report = narrowingCastMutant();
+    EXPECT_TRUE(hasOnlyId(report, "COP063")) << report.toString();
+}
+
+TEST(SeededDefectTest, OverSubscribedChainCaughtAsCop070)
+{
+    const LintReport report = portChainMutant();
+    EXPECT_TRUE(hasOnlyId(report, "COP070")) << report.toString();
+    EXPECT_EQ(report.diagnostics[0].segment,
+              "ell sweep -> overflow loop");
+}
+
+TEST(SeededDefectTest, DroppedLockAnnotationCaughtAsCop082)
+{
+    const LintReport report = droppedAnnotationMutant();
+    EXPECT_TRUE(hasOnlyId(report, "COP082")) << report.toString();
+}
+
+TEST(SeededDefectTest, UndocumentedEndpointCaughtAsCop090)
+{
+    const LintReport report = undocumentedEndpointMutant();
+    EXPECT_TRUE(hasOnlyId(report, "COP090")) << report.toString();
+    EXPECT_NE(report.diagnostics[0].message.find("debug_peek"),
+              std::string::npos)
+        << report.toString();
+}
+
+/**
+ * The rendered diagnostics for all four mutants, pinned golden: a
+ * reworded message or a reassigned rule id is a reviewable diff, not
+ * a silent behavior change.
+ */
+TEST(SeededDefectTest, DiagnosticsMatchGolden)
+{
+    std::ostringstream rendered;
+    rendered << narrowingCastMutant().toString()
+             << portChainMutant().toString()
+             << droppedAnnotationMutant().toString()
+             << undocumentedEndpointMutant().toString();
+
+    const std::string path = std::string(COPERNICUS_GOLDEN_DIR) +
+                             "/seeded_lint_defects.txt";
+    const char *regen = std::getenv("COPERNICUS_REGEN_GOLDEN");
+    if (regen != nullptr && regen[0] == '1') {
+        std::ofstream out(path);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << rendered.str();
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << " (regenerate with COPERNICUS_REGEN_GOLDEN=1)";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(rendered.str(), golden.str());
 }
 
 } // namespace
