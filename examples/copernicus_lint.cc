@@ -13,6 +13,8 @@
  *   copernicus_lint --no-oracle      # skip the model-vs-walker oracle
  *   copernicus_lint --no-grammar     # skip encoded-tile validation
  *   copernicus_lint --no-streams     # skip typed-stream coverage
+ *   copernicus_lint --no-store      # skip .cbm container integrity
+ *   copernicus_lint --cbm=PATH      # also lint a real .cbm artifact
  *
  * Runs every analyzer pass over the full format registry: schedule-spec
  * structure, hlsc decoder-body cross-checks, hyperparameter contracts,
@@ -75,6 +77,10 @@ main(int argc, char **argv)
             options.lint.runGrammar = false;
         else if (arg == "--no-streams")
             options.lint.runStreams = false;
+        else if (arg == "--no-store")
+            options.lint.runStore = false;
+        else if (arg.rfind("--cbm=", 0) == 0)
+            options.lint.storeContainers.push_back(arg.substr(6));
         else if (arg == "--list-passes")
             options.listPasses = true;
         else if (arg == "--json")

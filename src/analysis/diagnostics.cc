@@ -155,6 +155,12 @@ lintRuleDescription(const std::string &id)
                    "set"},
         {"COP100", "second-stage compression stored more bytes than "
                    "raw"},
+        {"COP110", "container header invariant broken (magic, "
+                   "version, sizes, header hash)"},
+        {"COP111", "container chunk directory inconsistent (offsets, "
+                   "extent monotonicity, counts)"},
+        {"COP112", "container content hash does not cover the "
+                   "payload bytes"},
     };
     for (const Rule &rule : rules)
         if (id == rule.id)

@@ -8,6 +8,7 @@
 #include "analysis/compress_pass.hh"
 #include "analysis/overflow_pass.hh"
 #include "analysis/protocol_pass.hh"
+#include "analysis/store_pass.hh"
 #include "analysis/thread_safety_pass.hh"
 
 namespace copernicus {
@@ -138,6 +139,13 @@ buildStandard()
                  true,
                  [](const LintOptions &o) { return o.runCompress; },
                  runCompressPass});
+    manager.add({"store",
+                 ".cbm container invariants (header, chunk "
+                 "directory, content hash) with defect injection",
+                 {"COP110", "COP111", "COP112"},
+                 false,
+                 [](const LintOptions &o) { return o.runStore; },
+                 runStorePass});
     return manager;
 }
 

@@ -92,6 +92,19 @@ struct LintOptions
     bool runCompress = true;
 
     /**
+     * Run the .cbm container-integrity pass (COP110-112): synthetic
+     * round-trips plus per-rule defect injection against the
+     * inspector.
+     */
+    bool runStore = true;
+
+    /**
+     * Extra .cbm files to deep-inspect under COP110-112 — real sweep
+     * artifacts a CI job wants linted alongside the synthetic ones.
+     */
+    std::vector<std::string> storeContainers;
+
+    /**
      * Serve-protocol surface to conform-check (COP090-093); the pass
      * is skipped when null. The serve library provides
      * collectServeProtocolSurface() — analysis cannot depend on serve

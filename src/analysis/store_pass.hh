@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Container-integrity pass (rules COP110-112).
+ *
+ * The .cbm container is the store layer's durable artifact: sweeps
+ * mmap it repeatedly and the sweep journal trusts its content hash as
+ * the matrix identity, so a malformed container corrupts results
+ * silently rather than loudly. This pass exercises the container
+ * inspector both ways:
+ *
+ *  - it writes synthetic containers (several shapes and chunk sizes)
+ *    and deep-inspects them — any finding on a freshly written file
+ *    means the writer and inspector disagree on the invariants;
+ *  - it injects one defect per rule class into corrupted copies
+ *    (version bytes, a shuffled chunk directory, a flipped payload
+ *    byte) and requires the inspector to flag each — an injected
+ *    defect the inspector misses is itself an error, the same
+ *    soundness bar the model-vs-walker oracle sets for cycle counts.
+ *
+ * Rules map 1:1 onto CbmIssueKind:
+ *
+ *  - COP110: header invariant broken (magic, version, sizes, header
+ *    hash).
+ *  - COP111: chunk directory inconsistent (offsets, extent
+ *    monotonicity, counts).
+ *  - COP112: content hash does not cover the payload bytes.
+ *
+ * User-supplied containers (LintOptions::storeContainers) are
+ * deep-inspected with the same rules, so CI can lint real artifacts.
+ */
+
+#ifndef COPERNICUS_ANALYSIS_STORE_PASS_HH
+#define COPERNICUS_ANALYSIS_STORE_PASS_HH
+
+#include <string>
+
+#include "analysis/schedule_check.hh"
+
+namespace copernicus {
+
+/** Deep-inspect one .cbm file, reporting each issue under its rule. */
+void checkContainerFile(const std::string &path, LintReport &report);
+
+/** The pass: synthetic round-trips, defect injection, user files. */
+void runStorePass(const LintOptions &options, LintReport &report);
+
+} // namespace copernicus
+
+#endif // COPERNICUS_ANALYSIS_STORE_PASS_HH

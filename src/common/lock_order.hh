@@ -50,6 +50,7 @@ inline constexpr int serveAdmit = 20;    ///< admission state
 inline constexpr int serveInflight = 30; ///< --top in-flight registry
 inline constexpr int serveSpans = 40;    ///< request-span log
 inline constexpr int studyCache = 50;    ///< partitioning memo slots
+inline constexpr int sweepJournal = 55;  ///< checkpoint journal append
 inline constexpr int encodeCacheShard = 60; ///< encode-cache shards
 inline constexpr int statDistribution = 70; ///< DistributionStat bins
 inline constexpr int spanCollector = 80;    ///< span ring

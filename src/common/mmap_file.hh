@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Read-only memory-mapped file with a bounded-residency scan mode.
+ *
+ * The out-of-core store reads containers and MatrixMarket drops far
+ * larger than RAM through one mapping. Sequential consumers call
+ * dropPagesBefore() as their cursor advances, which returns the
+ * already-consumed clean file pages to the kernel (madvise
+ * MADV_DONTNEED), so a full-file scan keeps resident set proportional
+ * to the advisory window, not the file — the property the streaming
+ * ingest bench asserts with a hard RSS budget.
+ */
+
+#ifndef COPERNICUS_COMMON_MMAP_FILE_HH
+#define COPERNICUS_COMMON_MMAP_FILE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace copernicus {
+
+/** One read-only mapping of a whole file. */
+class MmapFile
+{
+  public:
+    /** Map @p path read-only; FatalError when open/map fails. */
+    explicit MmapFile(const std::string &path);
+
+    ~MmapFile();
+
+    MmapFile(const MmapFile &) = delete;
+    MmapFile &operator=(const MmapFile &) = delete;
+
+    MmapFile(MmapFile &&other) noexcept;
+    MmapFile &operator=(MmapFile &&other) noexcept;
+
+    /** First mapped byte; nullptr only for an empty file. */
+    const unsigned char *data() const { return base; }
+
+    /** File length in bytes. */
+    std::size_t size() const { return length; }
+
+    const std::string &path() const { return filePath; }
+
+    /**
+     * Advise the kernel that bytes before @p offset will not be
+     * touched again, releasing their resident pages. Offsets are
+     * rounded down to a page boundary; calling with a smaller offset
+     * than a previous call is a no-op. Purely advisory — the data
+     * stays readable (it would fault back in from the file).
+     */
+    void dropPagesBefore(std::size_t offset);
+
+    /**
+     * Rewind the drop cursor to the start of the file. Required
+     * before re-scanning: dropPagesBefore() only ever advances, so a
+     * second forward scan would otherwise re-fault every page and
+     * never release one (the multi-pass streaming partitioner hits
+     * exactly this).
+     */
+    void resetDropWindow();
+
+  private:
+    void unmap();
+
+    std::string filePath;
+    const unsigned char *base = nullptr;
+    std::size_t length = 0;
+    std::size_t droppedBelow = 0;
+};
+
+} // namespace copernicus
+
+#endif // COPERNICUS_COMMON_MMAP_FILE_HH

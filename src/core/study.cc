@@ -9,6 +9,8 @@
 #include "common/thread_pool.hh"
 #include "common/trace_context.hh"
 #include "compress/second_stage.hh"
+#include "store/container.hh"
+#include "store/sweep_journal.hh"
 #include "trace/profile.hh"
 #include "trace/span.hh"
 
@@ -127,6 +129,16 @@ Study::addWorkload(const std::string &name, TripletMatrix matrix)
     matrices.emplace_back(name, std::move(matrix));
 }
 
+std::uint64_t
+Study::workloadSetIdentity() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> hashes;
+    hashes.reserve(matrices.size());
+    for (const auto &[name, matrix] : matrices)
+        hashes.emplace_back(name, contentHashOf(matrix));
+    return workloadSetHash(hashes);
+}
+
 StudyRow
 Study::makeRow(const std::string &workload, const Partitioning &parts,
                FormatKind kind, TraceSink *sink) const
@@ -239,8 +251,19 @@ Study::run() const
                 return;
             }
             const Point &pt = points[i];
-            result.rows[i] = makeRow(matrices[pt.w].first, *pt.parts,
-                                     pt.kind, &noTraceSink());
+            const std::string &workload = matrices[pt.w].first;
+            if (cfg.journal) {
+                const StudyRow *done = cfg.journal->completed(
+                    workload, pt.kind, pt.parts->partitionSize);
+                if (done != nullptr) {
+                    result.rows[i] = *done;
+                    return;
+                }
+            }
+            result.rows[i] = makeRow(workload, *pt.parts, pt.kind,
+                                     &noTraceSink());
+            if (cfg.journal)
+                cfg.journal->record(result.rows[i]);
         });
         if (cancelled.load(std::memory_order_relaxed))
             throw CancelledError("Study::run cancelled between design "
@@ -252,8 +275,19 @@ Study::run() const
                     "Study::run cancelled between design points");
             }
             const Point &pt = points[i];
-            result.rows[i] = makeRow(matrices[pt.w].first, *pt.parts,
-                                     pt.kind, nullptr);
+            const std::string &workload = matrices[pt.w].first;
+            if (cfg.journal) {
+                const StudyRow *done = cfg.journal->completed(
+                    workload, pt.kind, pt.parts->partitionSize);
+                if (done != nullptr) {
+                    result.rows[i] = *done;
+                    continue;
+                }
+            }
+            result.rows[i] = makeRow(workload, *pt.parts, pt.kind,
+                                     nullptr);
+            if (cfg.journal)
+                cfg.journal->record(result.rows[i]);
         }
     }
 

@@ -32,6 +32,8 @@
 
 namespace copernicus {
 
+class SweepJournal;
+
 /** What a Study evaluates. */
 struct StudyConfig
 {
@@ -68,6 +70,17 @@ struct StudyConfig
      * empty (the default) means never cancelled.
      */
     std::function<bool()> cancelCheck;
+
+    /**
+     * Optional checkpoint journal (store/sweep_journal.hh). When set,
+     * run() skips design points the journal already holds — restoring
+     * their rows verbatim — and records each freshly evaluated row as
+     * soon as it finishes, so a killed sweep resumes mid-flight with
+     * byte-identical output. The caller binds the journal to the
+     * workload set and config (JournalIdentity) before handing it
+     * over; Study trusts that binding.
+     */
+    std::shared_ptr<SweepJournal> journal;
 };
 
 /** One evaluated design point over one workload. */
@@ -146,6 +159,14 @@ class Study
 
     /** Number of registered workloads. */
     std::size_t workloads() const { return matrices.size(); }
+
+    /**
+     * Combined identity hash of the registered workload set — each
+     * workload's name folded with its triplet content hash, in
+     * registration order. This is the matrixHash a SweepJournal's
+     * JournalIdentity binds to.
+     */
+    std::uint64_t workloadSetIdentity() const;
 
     /** Evaluate every (workload, format, partition size) triple. */
     StudyResult run() const;

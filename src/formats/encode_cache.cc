@@ -3,24 +3,13 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/fnv.hh"
 #include "common/logging.hh"
 #include "formats/validate.hh"
 
 namespace copernicus {
 
 namespace {
-
-/** FNV-1a over raw bytes; the tile fingerprint. */
-std::uint64_t
-fnv1a(const void *data, std::size_t size, std::uint64_t hash)
-{
-    const auto *bytes = static_cast<const unsigned char *>(data);
-    for (std::size_t i = 0; i < size; ++i) {
-        hash ^= bytes[i];
-        hash *= 0x100000001b3ULL;
-    }
-    return hash;
-}
 
 std::uint64_t
 mixIndex(std::uint64_t hash, Index v)
@@ -36,7 +25,7 @@ static_assert(sizeof(TileNonzero) == 2 * sizeof(Index) + sizeof(Value),
 std::uint64_t
 keyHash(FormatKind kind, const FormatParams &params, const Tile &tile)
 {
-    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    std::uint64_t hash = fnvOffsetBasis;
     const auto kind_id = static_cast<std::uint32_t>(kind);
     hash = fnv1a(&kind_id, sizeof(kind_id), hash);
     hash = mixIndex(hash, params.bcsrBlock);

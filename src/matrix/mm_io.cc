@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
-#include <sstream>
+#include <limits>
+#include <string_view>
 
+#include "common/mmap_file.hh"
 #include "common/status.hh"
 
 namespace copernicus {
@@ -19,87 +24,272 @@ toLower(std::string s)
     return s;
 }
 
-/** Skip comment lines (starting with '%') and blank lines. */
-bool
-nextDataLine(std::istream &in, std::string &line)
+/** Drop a trailing '\r' so CRLF files parse like LF files. */
+std::string_view
+stripCr(std::string_view line)
 {
-    while (std::getline(in, line)) {
-        if (line.empty())
-            continue;
-        if (line[0] == '%')
-            continue;
-        return true;
-    }
-    return false;
+    if (!line.empty() && line.back() == '\r')
+        line.remove_suffix(1);
+    return line;
 }
 
-} // namespace
-
-TripletMatrix
-readMatrixMarket(std::istream &in)
+/** True for lines holding nothing but whitespace. */
+bool
+isBlank(std::string_view line)
 {
-    std::string banner;
-    fatalIf(!std::getline(in, banner),
-            "MatrixMarket: empty input stream");
-    std::istringstream head(banner);
-    std::string magic, object, layout, field, symmetry;
-    head >> magic >> object >> layout >> field >> symmetry;
+    return line.find_first_not_of(" \t\v\f\r") == std::string_view::npos;
+}
+
+/** Pop the next whitespace-separated token off @p rest. */
+std::string_view
+nextToken(std::string_view &rest)
+{
+    const std::size_t begin = rest.find_first_not_of(" \t\v\f");
+    if (begin == std::string_view::npos) {
+        rest = {};
+        return {};
+    }
+    std::size_t end = rest.find_first_of(" \t\v\f", begin);
+    if (end == std::string_view::npos)
+        end = rest.size();
+    const std::string_view token = rest.substr(begin, end - begin);
+    rest.remove_prefix(end);
+    return token;
+}
+
+enum class NumParse { Ok, Bad, Overflow };
+
+NumParse
+parseU64(std::string_view token, std::uint64_t &value)
+{
+    if (token.empty())
+        return NumParse::Bad;
+    const auto [ptr, ec] = std::from_chars(
+        token.data(), token.data() + token.size(), value);
+    if (ec == std::errc::result_out_of_range)
+        return NumParse::Overflow;
+    if (ec != std::errc() || ptr != token.data() + token.size())
+        return NumParse::Bad;
+    return NumParse::Ok;
+}
+
+bool
+parseDouble(std::string_view token, double &value)
+{
+    if (token.empty())
+        return false;
+    // strtod needs a terminator; tokens are tiny, so a stack copy is
+    // cheaper than materializing each line into a std::string.
+    char buf[64];
+    std::string overflow;
+    const char *begin;
+    if (token.size() < sizeof(buf)) {
+        std::memcpy(buf, token.data(), token.size());
+        buf[token.size()] = '\0';
+        begin = buf;
+    } else {
+        overflow.assign(token);
+        begin = overflow.c_str();
+    }
+    char *end = nullptr;
+    value = std::strtod(begin, &end);
+    return end == begin + token.size();
+}
+
+/** What the banner declared. */
+struct MmFormat
+{
+    bool pattern = false;
+    bool symmetric = false;
+    bool skew = false;
+};
+
+MmFormat
+parseBanner(std::string_view banner)
+{
+    std::string_view rest = banner;
+    const std::string magic(nextToken(rest));
+    const std::string object(nextToken(rest));
+    const std::string layout(nextToken(rest));
+    std::string field(nextToken(rest));
+    std::string symmetry(nextToken(rest));
+
     fatalIf(magic != "%%MatrixMarket",
             "MatrixMarket: missing %%MatrixMarket banner");
     fatalIf(toLower(object) != "matrix",
             "MatrixMarket: unsupported object '" + object + "'");
     fatalIf(toLower(layout) != "coordinate",
             "MatrixMarket: unsupported layout '" + layout +
-            "' (only coordinate is supported)");
+                "' (only coordinate is supported)");
 
     field = toLower(field);
     symmetry = toLower(symmetry);
-    const bool pattern = field == "pattern";
-    fatalIf(field != "real" && field != "integer" && !pattern,
+    MmFormat fmt;
+    fmt.pattern = field == "pattern";
+    fatalIf(field != "real" && field != "integer" && !fmt.pattern,
             "MatrixMarket: unsupported field '" + field + "'");
-    const bool symmetric = symmetry == "symmetric";
-    const bool skew = symmetry == "skew-symmetric";
-    fatalIf(symmetry != "general" && !symmetric && !skew,
+    fmt.symmetric = symmetry == "symmetric";
+    fmt.skew = symmetry == "skew-symmetric";
+    fatalIf(symmetry != "general" && !fmt.symmetric && !fmt.skew,
             "MatrixMarket: unsupported symmetry '" + symmetry + "'");
+    fatalIf(fmt.pattern && fmt.skew,
+            "MatrixMarket: pattern matrices cannot be "
+            "skew-symmetric (a skew mirror needs a negated value)");
+    return fmt;
+}
 
-    std::string line;
-    fatalIf(!nextDataLine(in, line),
-            "MatrixMarket: missing size line");
-    std::istringstream size_line(line);
+/**
+ * Core coordinate parser, shared by the stream and mmap paths.
+ *
+ * @p LineSource provides `bool next(std::string_view &line)`,
+ * returning raw lines (no newline) until EOF; the view only has to
+ * stay valid until the following call.
+ */
+template <typename LineSource>
+TripletMatrix
+parseMatrixMarket(LineSource &&source)
+{
+    std::string_view line;
+    fatalIf(!source.next(line), "MatrixMarket: empty input stream");
+    const MmFormat fmt = parseBanner(stripCr(line));
+
+    const auto nextDataLine = [&source](std::string_view &out) {
+        while (source.next(out)) {
+            out = stripCr(out);
+            if (isBlank(out) || out.front() == '%')
+                continue;
+            return true;
+        }
+        return false;
+    };
+
+    fatalIf(!nextDataLine(line), "MatrixMarket: missing size line");
     std::uint64_t rows = 0, cols = 0, count = 0;
-    size_line >> rows >> cols >> count;
-    fatalIf(size_line.fail() || rows == 0 || cols == 0,
-            "MatrixMarket: malformed size line '" + line + "'");
+    {
+        std::string_view rest = line;
+        const NumParse rowsParse = parseU64(nextToken(rest), rows);
+        const NumParse colsParse = parseU64(nextToken(rest), cols);
+        const NumParse countParse = parseU64(nextToken(rest), count);
+        fatalIf(rowsParse == NumParse::Bad ||
+                    colsParse == NumParse::Bad ||
+                    countParse == NumParse::Bad || !isBlank(rest) ||
+                    countParse == NumParse::Overflow,
+                "MatrixMarket: malformed size line '" +
+                    std::string(line) + "'");
+        // Dimensions are stored as 32-bit Index; a header beyond that
+        // (or a u64-overflowing digit string) cannot be represented
+        // and must fail loudly instead of truncating.
+        constexpr std::uint64_t maxDim =
+            std::numeric_limits<Index>::max();
+        fatalIf(rowsParse == NumParse::Overflow ||
+                    colsParse == NumParse::Overflow || rows > maxDim ||
+                    cols > maxDim,
+                "MatrixMarket: size line '" + std::string(line) +
+                    "' exceeds the 32-bit index space (max " +
+                    std::to_string(maxDim) + " rows/cols)");
+        fatalIf(rows == 0 || cols == 0,
+                "MatrixMarket: malformed size line '" +
+                    std::string(line) + "'");
+    }
 
     TripletMatrix matrix(static_cast<Index>(rows),
                          static_cast<Index>(cols));
+    matrix.reserve((fmt.symmetric || fmt.skew) ? 2 * count : count);
     for (std::uint64_t i = 0; i < count; ++i) {
-        fatalIf(!nextDataLine(in, line),
+        fatalIf(!nextDataLine(line),
                 "MatrixMarket: fewer entries than declared");
-        std::istringstream entry(line);
+        std::string_view rest = line;
         std::uint64_t r = 0, c = 0;
         double v = 1.0;
-        entry >> r >> c;
-        if (!pattern)
-            entry >> v;
-        fatalIf(entry.fail() || r == 0 || c == 0 || r > rows || c > cols,
-                "MatrixMarket: malformed entry '" + line + "'");
+        bool ok = parseU64(nextToken(rest), r) == NumParse::Ok &&
+                  parseU64(nextToken(rest), c) == NumParse::Ok;
+        if (ok && !fmt.pattern)
+            ok = parseDouble(nextToken(rest), v);
+        fatalIf(!ok || !isBlank(rest) || r == 0 || c == 0 ||
+                    r > rows || c > cols,
+                "MatrixMarket: malformed entry '" + std::string(line) +
+                    "'");
+        fatalIf(fmt.skew && r == c,
+                "MatrixMarket: skew-symmetric entry on the diagonal "
+                "'" +
+                    std::string(line) + "'");
         const Index row = static_cast<Index>(r - 1);
         const Index col = static_cast<Index>(c - 1);
         matrix.add(row, col, static_cast<Value>(v));
-        if ((symmetric || skew) && row != col)
-            matrix.add(col, row, static_cast<Value>(skew ? -v : v));
+        if ((fmt.symmetric || fmt.skew) && row != col)
+            matrix.add(col, row,
+                       static_cast<Value>(fmt.skew ? -v : v));
     }
     matrix.finalize();
     return matrix;
 }
 
+/** Lines from a std::istream (buffered getline). */
+struct IstreamLineSource
+{
+    std::istream &in;
+    std::string buffer;
+
+    bool
+    next(std::string_view &line)
+    {
+        if (!std::getline(in, buffer))
+            return false;
+        line = buffer;
+        return true;
+    }
+};
+
+/**
+ * Lines straight out of an mmap'd file, zero-copy. Consumed pages are
+ * released every window, so parsing a multi-GB .mtx keeps a bounded
+ * resident set no matter the file size.
+ */
+struct MappedLineSource
+{
+    MmapFile &file;
+    std::size_t cursor = 0;
+    std::size_t lastDrop = 0;
+
+    /** Drop-behind granularity: 8 MB of parsed text per madvise. */
+    static constexpr std::size_t window = 8u << 20;
+
+    bool
+    next(std::string_view &line)
+    {
+        if (cursor >= file.size())
+            return false;
+        const char *base = reinterpret_cast<const char *>(file.data());
+        const void *nl = std::memchr(base + cursor, '\n',
+                                     file.size() - cursor);
+        const std::size_t end =
+            nl == nullptr
+                ? file.size()
+                : static_cast<std::size_t>(
+                      static_cast<const char *>(nl) - base);
+        line = std::string_view(base + cursor, end - cursor);
+        cursor = end + 1;
+        if (cursor - lastDrop >= window) {
+            file.dropPagesBefore(cursor);
+            lastDrop = cursor;
+        }
+        return true;
+    }
+};
+
+} // namespace
+
+TripletMatrix
+readMatrixMarket(std::istream &in)
+{
+    return parseMatrixMarket(IstreamLineSource{in, {}});
+}
+
 TripletMatrix
 readMatrixMarketFile(const std::string &path)
 {
-    std::ifstream in(path);
-    fatalIf(!in, "MatrixMarket: cannot open '" + path + "'");
-    return readMatrixMarket(in);
+    MmapFile file(path);
+    return parseMatrixMarket(MappedLineSource{file});
 }
 
 void

@@ -7,7 +7,16 @@
  * reader lets users drop in the real files. Supported: `matrix coordinate`
  * with field real/integer/pattern and symmetry general/symmetric/
  * skew-symmetric. Array (dense) and complex files are rejected with a
- * FatalError naming the unsupported feature.
+ * FatalError naming the unsupported feature, as are pattern
+ * skew-symmetric banners (a skew mirror needs a negated value) and
+ * headers whose dimensions exceed the 32-bit index space.
+ *
+ * The file path ingests through an mmap with drop-behind: parsed text
+ * pages are released every few MB, so reading a multi-GB .mtx holds a
+ * bounded window of the file (the triplets themselves still
+ * materialize in memory — convert to a .cbm container via mtx2cbm for
+ * out-of-core sweeps). Comment lines, blank/whitespace-only lines and
+ * CRLF endings are tolerated anywhere after the banner.
  */
 
 #ifndef COPERNICUS_MATRIX_MM_IO_HH

@@ -57,6 +57,9 @@ class TripletMatrix
      */
     void add(Index row, Index col, Value value);
 
+    /** Pre-allocate room for @p count entries (bulk ingestion). */
+    void reserve(std::size_t count) { entries.reserve(count); }
+
     /**
      * Sort entries row-major, sum duplicates and drop exact zeros.
      *

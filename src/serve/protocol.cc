@@ -6,6 +6,7 @@
 #include "common/rng.hh"
 #include "common/status.hh"
 #include "matrix/mm_io.hh"
+#include "store/container.hh"
 #include "workloads/generators.hh"
 
 namespace copernicus {
@@ -19,6 +20,7 @@ allEndpoints()
         Endpoint::RunStudy,   Endpoint::PlanFormats,
         Endpoint::Advise,     Endpoint::ValidateTile,
         Endpoint::Metrics,    Endpoint::DumpFlightRec,
+        Endpoint::StoreInfo,
     };
     return endpoints;
 }
@@ -37,6 +39,7 @@ endpointName(Endpoint endpoint)
       case Endpoint::ValidateTile: return "validate_tile";
       case Endpoint::Metrics: return "metrics";
       case Endpoint::DumpFlightRec: return "dump_flightrec";
+      case Endpoint::StoreInfo: return "store_info";
     }
     panic("endpointName: unhandled endpoint");
 }
@@ -254,6 +257,16 @@ matrixFromSpec(const JsonValue &spec, Index maxDim)
                     "' exceeds the server dimension cap of " +
                     std::to_string(maxDim));
         return matrix;
+    }
+    if (kind == "cbm") {
+        const std::string path = spec.stringOr("path", "");
+        fatalIf(path.empty(), "matrix spec: cbm kind needs a path");
+        const CbmReader reader(path);
+        fatalIf(reader.rows() > maxDim || reader.cols() > maxDim,
+                "cbm container '" + path +
+                    "' exceeds the server dimension cap of " +
+                    std::to_string(maxDim));
+        return reader.toTripletMatrix();
     }
     fatal("matrix spec: unknown kind '" + kind + "'");
 }

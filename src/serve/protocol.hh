@@ -48,6 +48,7 @@ enum class Endpoint
     ValidateTile, ///< grammar-validate every encoded tile
     Metrics,      ///< Prometheus text exposition scrape
     DumpFlightRec, ///< dump the flight recorder (to file or inline)
+    StoreInfo,    ///< inspect a .cbm binary matrix container
 };
 
 /** Every endpoint, in a fixed order (stats registration order). */
@@ -159,6 +160,7 @@ std::string errorResponse(std::uint64_t id, std::string_view op,
  *   {"kind": "rmat",      "n", "edges", "seed"}
  *   {"kind": "pruned",    "rows", "cols", "density", "seed", "block"}
  *   {"kind": "file",      "path"}
+ *   {"kind": "cbm",       "path"}
  *
  * All generators are deterministic given the spec, so a request is
  * reproducible offline from its JSON alone. Dimensions are capped at

@@ -57,7 +57,7 @@ documentedEndpoints()
         "ping",          "stats",       "shutdown",
         "sleep",         "run_study",   "plan_formats",
         "advise",        "validate_tile", "metrics",
-        "dump_flightrec",
+        "dump_flightrec", "store_info",
     };
     return table;
 }

@@ -24,6 +24,8 @@
 #include "formats/validate.hh"
 #include "matrix/stats.hh"
 #include "serve/protocol_doc.hh"
+#include "store/container.hh"
+#include "store/sweep_journal.hh"
 #include "trace/flight_recorder.hh"
 #include "trace/span.hh"
 #include "trace/trace_writer.hh"
@@ -713,12 +715,33 @@ Server::dispatch(const ServeRequest &request,
         // queue's meaning as "concurrent work units".
         cfg.jobs = 1;
         cfg.cancelCheck = deadlineHit;
+        // Optional sweep journal: completed cells of a previous
+        // (killed) run of the same matrix/config are reused, not
+        // re-simulated. The identity must bind before Study copies
+        // the config, and to the exact workload set Study will see.
+        std::size_t resumedCells = 0;
+        const std::string journalPath =
+            params.stringOr("journal", "");
+        if (!journalPath.empty()) {
+            JournalIdentity identity;
+            identity.matrixHash =
+                workloadSetHash({{"request", contentHashOf(matrix)}});
+            if (spec->stringOr("kind", "") == "cbm")
+                identity.matrixEpoch =
+                    CbmReader(spec->stringOr("path", "")).epoch();
+            identity.configHash =
+                sweepConfigHash(cfg.partitionSizes, cfg.formats);
+            cfg.journal =
+                std::make_shared<SweepJournal>(journalPath, identity);
+            resumedCells = cfg.journal->resumedCells();
+        }
         Study study(cfg);
         study.addWorkload("request", std::move(matrix));
         const StudyResult result = study.run();
 
         std::ostringstream out;
         out << "{\"rows\": " << result.rows.size()
+            << ", \"resumed_cells\": " << resumedCells
             << ", \"by_format\": [";
         const std::vector<FormatMetrics> agg =
             result.aggregateByFormat();
@@ -872,6 +895,43 @@ Server::dispatch(const ServeRequest &request,
         // No path: the dump document itself is the result.
         std::ostringstream out;
         recorder.dump(out);
+        return out.str();
+      }
+
+      case Endpoint::StoreInfo: {
+        const std::string path = params.stringOr("path", "");
+        fatalIf(path.empty(), "store_info: params.path is required");
+        const bool deep = params.boolOr("deep", false);
+        const std::vector<CbmIssue> issues =
+            inspectCbmFile(path, deep);
+        std::ostringstream out;
+        if (issues.empty()) {
+            const CbmReader reader(path);
+            out << "{\"valid\": true, \"deep\": "
+                << (deep ? "true" : "false")
+                << ", \"rows\": " << reader.rows()
+                << ", \"cols\": " << reader.cols()
+                << ", \"nnz\": " << reader.nnz()
+                << ", \"epoch\": " << reader.epoch()
+                << ", \"content_hash\": " << reader.contentHash()
+                << ", \"chunk_count\": " << reader.chunkCount()
+                << ", \"chunk_target_nnz\": "
+                << reader.chunkTargetNnz() << ", \"issues\": []}";
+            return out.str();
+        }
+        // A broken container is a valid answer to "inspect this
+        // file", not a request error: report what the inspector saw.
+        out << "{\"valid\": false, \"deep\": "
+            << (deep ? "true" : "false") << ", \"issues\": [";
+        for (std::size_t i = 0; i < issues.size(); ++i) {
+            if (i > 0)
+                out << ", ";
+            out << "{\"kind\": "
+                << jsonStr(cbmIssueKindName(issues[i].kind))
+                << ", \"message\": " << jsonStr(issues[i].message)
+                << '}';
+        }
+        out << "]}";
         return out.str();
       }
     }

@@ -1,0 +1,189 @@
+#include "store/stream_partitioner.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/math.hh"
+#include "common/status.hh"
+
+namespace copernicus {
+
+namespace {
+
+/**
+ * Occupied tile ids of one strip range, sorted, plus per-tile counts.
+ * Ids are local to the range: (tileRow - stripBegin) * gridCols +
+ * tileCol. Mirrors the dense/hashed split of the in-memory
+ * partitioner so both paths behave identically on hypersparse grids.
+ */
+std::vector<std::pair<std::uint64_t, Index>>
+countRangeTiles(const std::vector<Triplet> &buffer, Index partitionSize,
+                Index stripBegin, Index gridCols,
+                std::uint64_t localGrid)
+{
+    const auto localIdOf = [&](const Triplet &t) {
+        return static_cast<std::uint64_t>(t.row / partitionSize -
+                                          stripBegin) *
+                   gridCols +
+               t.col / partitionSize;
+    };
+    std::vector<std::pair<std::uint64_t, Index>> occupied;
+    constexpr std::uint64_t denseGridLimit = 1ULL << 24;
+    if (localGrid <= denseGridLimit) {
+        std::vector<Index> counts(localGrid, 0);
+        for (const Triplet &t : buffer)
+            ++counts[localIdOf(t)];
+        for (std::uint64_t id = 0; id < localGrid; ++id)
+            if (counts[id] != 0)
+                occupied.emplace_back(id, counts[id]);
+    } else {
+        std::unordered_map<std::uint64_t, Index> counts;
+        counts.reserve(buffer.size());
+        for (const Triplet &t : buffer)
+            ++counts[localIdOf(t)];
+        occupied.assign(counts.begin(), counts.end());
+        std::sort(occupied.begin(), occupied.end());
+    }
+    return occupied;
+}
+
+} // namespace
+
+StreamPartitionStats
+forEachTileStreaming(const TripletSource &source, Index partitionSize,
+                     const StreamPartitionOptions &options,
+                     const std::function<void(Tile &&)> &consume)
+{
+    fatalIf(partitionSize == 0, "partition size must be positive");
+
+    const Index gridRows =
+        static_cast<Index>(ceilDiv(source.rows(), partitionSize));
+    const Index gridCols =
+        static_cast<Index>(ceilDiv(source.cols(), partitionSize));
+    const std::uint64_t grid =
+        static_cast<std::uint64_t>(gridRows) * gridCols;
+
+    StreamPartitionStats stats;
+
+    // Counting pass: non-zeros per tile-row strip, O(gridRows) state.
+    std::vector<std::uint64_t> stripNnz(gridRows, 0);
+    std::uint64_t counted = 0;
+    source.scan([&](const Triplet &t) {
+        ++stripNnz[t.row / partitionSize];
+        ++counted;
+    });
+    stats.sourceScans = 1;
+    panicIf(counted != source.nnz(),
+            "TripletSource scan count disagrees with its nnz()");
+
+    const std::uint64_t budget =
+        std::max<std::uint64_t>(options.maxBufferedNnz, 1);
+
+    Index strip = 0;
+    while (strip < gridRows) {
+        // Greedy pass plan: consecutive strips while they fit the
+        // budget; a single over-budget strip still forms one pass
+        // (the strip is the emission granularity).
+        Index end = strip;
+        std::uint64_t passNnz = 0;
+        while (end < gridRows &&
+               (end == strip || passNnz + stripNnz[end] <= budget)) {
+            passNnz += stripNnz[end];
+            ++end;
+        }
+        if (passNnz == 0) {
+            strip = end; // nothing but zero tiles; no scan needed
+            continue;
+        }
+
+        // Buffer this range's triplets: a contiguous subsequence of
+        // the canonical stream, so the buffer is itself in canonical
+        // order and a stable scatter keeps every bucket row-major —
+        // byte-identical to the in-memory path.
+        const std::uint64_t rowLo =
+            static_cast<std::uint64_t>(strip) * partitionSize;
+        const std::uint64_t rowHi = std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(end) * partitionSize,
+            source.rows());
+        std::vector<Triplet> buffer;
+        buffer.reserve(passNnz);
+        source.scan([&](const Triplet &t) {
+            if (t.row >= rowLo && t.row < rowHi)
+                buffer.push_back(t);
+        });
+        ++stats.sourceScans;
+        ++stats.passes;
+        panicIf(buffer.size() != passNnz,
+                "streaming pass buffered a different count than the "
+                "counting pass predicted");
+        stats.peakBufferedNnz =
+            std::max<std::uint64_t>(stats.peakBufferedNnz,
+                                    buffer.size());
+
+        const std::uint64_t localGrid =
+            static_cast<std::uint64_t>(end - strip) * gridCols;
+        const auto occupied = countRangeTiles(
+            buffer, partitionSize, strip, gridCols, localGrid);
+
+        std::unordered_map<std::uint64_t, std::size_t> slotOf;
+        slotOf.reserve(occupied.size());
+        std::vector<std::vector<TileNonzero>> buckets(occupied.size());
+        for (std::size_t i = 0; i < occupied.size(); ++i) {
+            slotOf.emplace(occupied[i].first, i);
+            buckets[i].reserve(occupied[i].second);
+        }
+        for (const Triplet &t : buffer) {
+            const std::uint64_t id =
+                static_cast<std::uint64_t>(t.row / partitionSize -
+                                           strip) *
+                    gridCols +
+                t.col / partitionSize;
+            buckets[slotOf.find(id)->second].push_back(
+                {t.row % partitionSize, t.col % partitionSize,
+                 t.value});
+        }
+        buffer.clear();
+        buffer.shrink_to_fit();
+
+        for (std::size_t i = 0; i < occupied.size(); ++i) {
+            const std::uint64_t id = occupied[i].first;
+            consume(Tile(
+                partitionSize,
+                strip + static_cast<Index>(id / gridCols),
+                static_cast<Index>(id % gridCols),
+                std::move(buckets[i])));
+        }
+        stats.nonZeroTiles += occupied.size();
+        strip = end;
+    }
+
+    stats.zeroTiles =
+        static_cast<std::size_t>(grid - stats.nonZeroTiles);
+    return stats;
+}
+
+Partitioning
+partitionStreaming(const TripletSource &source, Index partitionSize,
+                   const StreamPartitionOptions &options,
+                   StreamPartitionStats *stats)
+{
+    Partitioning result;
+    result.partitionSize = partitionSize;
+    result.gridRows =
+        static_cast<Index>(ceilDiv(source.rows(), partitionSize));
+    result.gridCols =
+        static_cast<Index>(ceilDiv(source.cols(), partitionSize));
+    const StreamPartitionStats run = forEachTileStreaming(
+        source, partitionSize, options,
+        [&result](Tile &&tile) {
+            result.tiles.push_back(std::move(tile));
+        });
+    result.zeroTiles = run.zeroTiles;
+    if (stats != nullptr)
+        *stats = run;
+    return result;
+}
+
+} // namespace copernicus

@@ -150,10 +150,19 @@ suiteCatalog()
 const SuiteMatrixInfo &
 suiteMatrix(const std::string &id)
 {
+    const SuiteMatrixInfo *info = findSuiteMatrix(id);
+    if (info == nullptr)
+        fatal("unknown SuiteSparse surrogate id '" + id + "'");
+    return *info;
+}
+
+const SuiteMatrixInfo *
+findSuiteMatrix(const std::string &id)
+{
     for (const auto &info : suiteCatalog())
         if (info.id == id)
-            return info;
-    fatal("unknown SuiteSparse surrogate id '" + id + "'");
+            return &info;
+    return nullptr;
 }
 
 } // namespace copernicus

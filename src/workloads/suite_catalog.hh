@@ -82,6 +82,9 @@ const std::vector<SuiteMatrixInfo> &suiteCatalog();
 /** Lookup by two-letter id; FatalError if unknown. */
 const SuiteMatrixInfo &suiteMatrix(const std::string &id);
 
+/** Lookup by two-letter id; nullptr if unknown (CLI-friendly). */
+const SuiteMatrixInfo *findSuiteMatrix(const std::string &id);
+
 } // namespace copernicus
 
 #endif // COPERNICUS_WORKLOADS_SUITE_CATALOG_HH

@@ -8,6 +8,8 @@
  */
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <gtest/gtest.h>
 #include <sstream>
 
@@ -19,9 +21,13 @@
 #include "analysis/overflow_pass.hh"
 #include "analysis/pass_manager.hh"
 #include "analysis/protocol_pass.hh"
+#include "analysis/store_pass.hh"
 #include "analysis/thread_safety_pass.hh"
 #include "common/json.hh"
+#include "common/rng.hh"
 #include "serve/protocol_doc.hh"
+#include "store/container.hh"
+#include "workloads/generators.hh"
 
 namespace copernicus {
 namespace {
@@ -350,6 +356,72 @@ TEST(CompressPassTest, StoredNeverExceedsRawOnMixedTiles)
     for (FormatKind kind : allFormats())
         checkTileCompression(registry, kind, tile, report);
     EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+// ---------------------------------------------------------------- //
+// Store pass.
+
+TEST(StorePassTest, RegisteredWithContainerRules)
+{
+    const PassInfo *pass = PassManager::standard().find("store");
+    ASSERT_NE(pass, nullptr);
+    EXPECT_EQ(pass->ids,
+              (std::vector<std::string>{"COP110", "COP111", "COP112"}));
+}
+
+TEST(StorePassTest, SelfInjectionSuiteRunsClean)
+{
+    // The pass round-trips fresh containers and injects one defect per
+    // rule class; a sound inspector reports nothing at the top level.
+    LintReport report;
+    runStorePass(fastOptions(), report);
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+TEST(StorePassTest, GateSkipsThePass)
+{
+    LintOptions options = fastOptions();
+    options.runStore = false;
+    options.storeContainers.push_back("/nonexistent/matrix.cbm");
+    LintReport report;
+    runStorePass(options, report);
+    EXPECT_TRUE(report.diagnostics.empty());
+}
+
+TEST(StorePassTest, FlagsCorruptedUserContainer)
+{
+    Rng rng(0xC0B);
+    TripletMatrix m = randomMatrix(64, 0.1, rng);
+    m.finalize();
+    const std::string path =
+        testing::TempDir() + "/copernicus_lint_corrupt.cbm";
+    writeCbmFile(path, m, 1, /*chunkTargetNnz=*/64);
+    {
+        // Flip one payload value bit: header and directory still
+        // check out, only the content hash betrays it.
+        std::fstream f(path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekg(sizeof(CbmHeader) + 8);
+        char byte = 0;
+        f.read(&byte, 1);
+        byte = static_cast<char>(byte ^ 0x1);
+        f.seekp(sizeof(CbmHeader) + 8);
+        f.write(&byte, 1);
+    }
+
+    LintOptions options = fastOptions();
+    options.storeContainers.push_back(path);
+    LintReport report;
+    runStorePass(options, report);
+    EXPECT_TRUE(hasId(report, "COP112")) << report.toString();
+    EXPECT_FALSE(hasId(report, "COP110")) << report.toString();
+    EXPECT_FALSE(hasId(report, "COP111")) << report.toString();
+    std::remove(path.c_str());
+
+    // A container that cannot be opened at all is a header finding.
+    LintReport missing;
+    checkContainerFile(path, missing);
+    EXPECT_TRUE(hasId(missing, "COP110")) << missing.toString();
 }
 
 // ---------------------------------------------------------------- //

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Kill/resume driver for the sweep journal, in the style of
+ * smoke_cli_artifacts: a plain main() that runs the real
+ * helper_journal_sweep binary (argv[1]) as a child process.
+ *
+ * The scenario the journal exists for, end to end with a real SIGKILL
+ * rather than an in-process cancellation:
+ *
+ *   1. run the helper uninterrupted            -> baseline CSV
+ *   2. run it again on a fresh journal, wait until the journal holds
+ *      at least two completed cells, SIGKILL it mid-sweep
+ *   3. rerun against the same journal          -> must resume (skip
+ *      the completed cells) and write a CSV byte-identical to the
+ *      baseline
+ *   4. rerun with a different sweep config     -> the journal is
+ *      stale and the helper must refuse loudly
+ */
+
+#include <sys/wait.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+namespace {
+
+int failures = 0;
+
+#define CHECK(cond)                                                    \
+    do {                                                               \
+        if (!(cond)) {                                                 \
+            std::cerr << "FAIL " << __FILE__ << ":" << __LINE__        \
+                      << ": " << #cond << "\n";                        \
+            ++failures;                                                \
+        }                                                              \
+    } while (0)
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+std::size_t
+countLines(const std::string &text)
+{
+    std::size_t lines = 0;
+    for (char c : text)
+        if (c == '\n')
+            ++lines;
+    return lines;
+}
+
+/** Launch the helper with @p args; returns the child pid. */
+pid_t
+launch(const std::string &helper, std::vector<std::string> args,
+       const std::string &stderrPath)
+{
+    const pid_t pid = fork();
+    if (pid != 0)
+        return pid;
+    if (!stderrPath.empty())
+        if (!std::freopen(stderrPath.c_str(), "w", stderr))
+            _exit(127);
+    std::vector<char *> argv;
+    argv.push_back(const_cast<char *>(helper.c_str()));
+    for (std::string &arg : args)
+        argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    execv(helper.c_str(), argv.data());
+    _exit(127);
+}
+
+/** Run the helper to completion; returns its wait() status. */
+int
+run(const std::string &helper, const std::vector<std::string> &args,
+    const std::string &stderrPath = "")
+{
+    const pid_t pid = launch(helper, args, stderrPath);
+    int status = 0;
+    if (waitpid(pid, &status, 0) != pid)
+        return -1;
+    return status;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::cerr << "usage: test_journal_kill_resume "
+                     "<helper_journal_sweep binary>\n";
+        return 2;
+    }
+    const std::string helper = argv[1];
+
+    char tmpl[] = "/tmp/copernicus_kill_resume.XXXXXX";
+    const char *dirc = mkdtemp(tmpl);
+    if (dirc == nullptr) {
+        std::cerr << "mkdtemp failed\n";
+        return 2;
+    }
+    const std::string dir = dirc;
+    const std::string baseJournal = dir + "/base.ndjson";
+    const std::string baseCsv = dir + "/base.csv";
+    const std::string journal = dir + "/killed.ndjson";
+    const std::string csv = dir + "/killed.csv";
+    const std::string stats = dir + "/stats.txt";
+    const std::string staleErr = dir + "/stale.err";
+
+    // 1. Uninterrupted baseline.
+    int status = run(helper, {baseJournal, baseCsv});
+    CHECK(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+    const std::string baseline = readFile(baseCsv);
+    CHECK(!baseline.empty());
+    // header + 2 workloads x 2 partition sizes x 3 formats
+    CHECK(countLines(baseline) == 13);
+
+    // 2. Fresh journal, slowed sweep; SIGKILL once the journal shows
+    //    at least two completed cells (line 1 is the identity line).
+    const pid_t victim =
+        launch(helper, {journal, csv, "--slow-ms", "40"}, "");
+    bool sawProgress = false;
+    for (int spin = 0; spin < 4000; ++spin) {
+        if (countLines(readFile(journal)) >= 3) {
+            sawProgress = true;
+            break;
+        }
+        usleep(10 * 1000);
+    }
+    CHECK(sawProgress);
+    CHECK(kill(victim, SIGKILL) == 0);
+    CHECK(waitpid(victim, &status, 0) == victim);
+    CHECK(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+    CHECK(readFile(csv).empty()); // died before writing output
+
+    // 3. Resume against the same journal: completes, skips the
+    //    recorded cells, and the CSV matches the baseline exactly.
+    status = run(helper, {journal, csv, "--stats", stats});
+    CHECK(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+    CHECK(readFile(csv) == baseline);
+    const std::string resumed = readFile(stats);
+    CHECK(resumed.rfind("resumed=", 0) == 0);
+    const long cells = std::strtol(resumed.c_str() + 8, nullptr, 10);
+    CHECK(cells >= 2 && cells < 12);
+
+    // 4. Same journal, different sweep shape: stale, refused loudly.
+    status = run(helper, {journal, csv, "--partitions", "8,32"},
+                 staleErr);
+    CHECK(WIFEXITED(status) && WEXITSTATUS(status) != 0);
+    const std::string message = readFile(staleErr);
+    CHECK(message.find("stale") != std::string::npos);
+    CHECK(message.find("sweep config") != std::string::npos);
+
+    if (failures == 0)
+        std::printf("test_journal_kill_resume: all checks passed\n");
+    return failures == 0 ? 0 : 1;
+}

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "common/status.hh"
@@ -164,6 +166,140 @@ TEST(MmIoTest, MissingFileIsFatal)
 {
     EXPECT_THROW(readMatrixMarketFile("/nonexistent/file.mtx"),
                  FatalError);
+}
+
+TEST(MmIoTest, PatternSymmetricExpands)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern symmetric\n"
+        "3 3 2\n"
+        "2 1\n"
+        "3 3\n");
+    const auto m = readMatrixMarket(in);
+    EXPECT_EQ(m.nnz(), 3u);
+    EXPECT_FLOAT_EQ(m.at(1, 0), 1.0f);
+    EXPECT_FLOAT_EQ(m.at(0, 1), 1.0f);
+    EXPECT_FLOAT_EQ(m.at(2, 2), 1.0f);
+}
+
+TEST(MmIoTest, RejectsPatternSkewSymmetric)
+{
+    // A skew mirror carries a negated value; a pattern file has no
+    // value to negate, so the combination must be refused up front.
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern skew-symmetric\n"
+        "2 2 1\n"
+        "2 1\n");
+    EXPECT_THROW(readMatrixMarket(in), FatalError);
+}
+
+TEST(MmIoTest, RejectsSkewDiagonalEntry)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+        "2 2 1\n"
+        "2 2 3\n");
+    EXPECT_THROW(readMatrixMarket(in), FatalError);
+}
+
+TEST(MmIoTest, ToleratesCrlfBlankAndCommentLines)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\r\n"
+        "\r\n"
+        "% a comment between banner and size\r\n"
+        "   \t \r\n"
+        "2 2 2\r\n"
+        "% a comment between entries\r\n"
+        "1 1 2.5\r\n"
+        "\r\n"
+        "2 2 -1\r\n");
+    const auto m = readMatrixMarket(in);
+    EXPECT_EQ(m.nnz(), 2u);
+    EXPECT_FLOAT_EQ(m.at(0, 0), 2.5f);
+    EXPECT_FLOAT_EQ(m.at(1, 1), -1.0f);
+}
+
+TEST(MmIoTest, RejectsHeaderBeyondIndexSpace)
+{
+    // 5e9 rows parses as a u64 but cannot live in a 32-bit Index;
+    // silently truncating would mis-address every entry.
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "5000000000 3 1\n"
+        "1 1 1.0\n");
+    try {
+        readMatrixMarket(in);
+        FAIL() << "oversized header accepted";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what())
+                      .find("exceeds the 32-bit index space"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(MmIoTest, RejectsU64OverflowingDimension)
+{
+    // Larger than 2^64: from_chars reports overflow, which must not
+    // wrap around into a plausible small dimension.
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "99999999999999999999999999 3 1\n"
+        "1 1 1.0\n");
+    EXPECT_THROW(readMatrixMarket(in), FatalError);
+}
+
+TEST(MmIoTest, RejectsOverflowingEntryCount)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "3 3 99999999999999999999999999\n"
+        "1 1 1.0\n");
+    EXPECT_THROW(readMatrixMarket(in), FatalError);
+}
+
+TEST(MmIoTest, AcceptsLargeButRepresentableHeader)
+{
+    // 100M-row header (SuiteSparse scale): within the 32-bit index
+    // space, so the 1-based entries near the far corner must land.
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "100000000 100000000 2\n"
+        "1 1 1.5\n"
+        "100000000 100000000 -2.5\n");
+    const auto m = readMatrixMarket(in);
+    EXPECT_EQ(m.rows(), 100000000u);
+    EXPECT_EQ(m.cols(), 100000000u);
+    EXPECT_FLOAT_EQ(m.at(0, 0), 1.5f);
+    EXPECT_FLOAT_EQ(m.at(99999999, 99999999), -2.5f);
+}
+
+TEST(MmIoTest, MappedPathMatchesStreamPath)
+{
+    // Same messy input through the istream parser and the mmap-backed
+    // file parser: one shared grammar, identical matrices.
+    const std::string text =
+        "%%MatrixMarket matrix coordinate real symmetric\r\n"
+        "% mixed line endings and noise\r\n"
+        "\r\n"
+        "3 3 3\n"
+        "2 1 4\r\n"
+        "\n"
+        "3 3 5\n"
+        "3 1 -1\r\n";
+    std::istringstream in(text);
+    const auto fromStream = readMatrixMarket(in);
+
+    const std::string path =
+        testing::TempDir() + "/copernicus_mm_parity.mtx";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << text;
+    }
+    const auto fromMap = readMatrixMarketFile(path);
+    EXPECT_TRUE(fromStream == fromMap);
+    std::remove(path.c_str());
 }
 
 } // namespace
