@@ -38,6 +38,8 @@
  *
  *   --connect PATH         connect to the daemon's Unix socket
  *   --connect-tcp PORT     connect to the daemon's loopback TCP port
+ *   --binary               negotiate the CPB1 binary framing for the
+ *                          connection (default: NDJSON lines)
  *   --op NAME              endpoint to call (default ping)
  *   --params JSON          raw params object for the request
  *   --timeout-ms MS        server-side deadline for the request
@@ -132,6 +134,7 @@ struct CliOptions
     /** Client mode: non-empty path or non-negative port selects it. */
     std::string connectPath;
     int connectTcpPort = -1;
+    bool binaryFraming = false;
     std::string op = "ping";
     std::string paramsJson;
     double timeoutMs = 0;
@@ -195,6 +198,8 @@ parseArgs(int argc, char **argv)
             fatalIf(port < 1 || port > 65535,
                     "--connect-tcp wants a port in [1, 65535]");
             opts.connectTcpPort = static_cast<int>(port);
+        } else if (arg == "--binary") {
+            opts.binaryFraming = true;
         } else if (arg == "--op") {
             fatalIf(i + 1 >= argc, "--op needs an endpoint name");
             opts.op = argv[++i];
@@ -414,6 +419,8 @@ main(int argc, char **argv)
             opts.connectTcpPort >= 0
                 ? ServeClient::connectTcp(opts.connectTcpPort)
                 : ServeClient::connectUnix(opts.connectPath);
+        if (opts.binaryFraming)
+            client.enableBinaryFraming();
         if (opts.metrics)
             return scrapeMetrics(client, opts.timeoutMs);
         if (opts.top)

@@ -17,6 +17,10 @@
  *   --timeout-ms MS    default per-request deadline for requests that
  *                      do not carry timeout_ms (default: none)
  *   --max-dim N        per-request matrix dimension cap (default 4096)
+ *   --memo-bytes N     byte budget of the advise/plan_formats result
+ *                      memo (default 8 MiB; 0 disables memoization)
+ *   --max-frame-bytes N  per-frame payload cap on binary-framing
+ *                      connections (default 16 MiB)
  *   --stats-json PATH  write the serve/thread_pool/encode_cache stat
  *                      groups as JSON at drain
  *   --trace PATH       write the request-lane Chrome trace at drain
@@ -146,6 +150,16 @@ parseArgs(int argc, char **argv)
             const long n = numberArg(argc, argv, i, "--max-dim");
             fatalIf(n < 1, "--max-dim wants a positive dimension");
             opts.maxMatrixDim = static_cast<Index>(n);
+        } else if (arg == "--memo-bytes") {
+            const long n = numberArg(argc, argv, i, "--memo-bytes");
+            fatalIf(n < 0, "--memo-bytes wants a non-negative budget");
+            opts.memoBytes = static_cast<std::uint64_t>(n);
+        } else if (arg == "--max-frame-bytes") {
+            const long n =
+                numberArg(argc, argv, i, "--max-frame-bytes");
+            fatalIf(n < 1,
+                    "--max-frame-bytes wants a positive payload cap");
+            opts.maxFrameBytes = static_cast<std::uint64_t>(n);
         } else if (arg == "--stats-json") {
             fatalIf(i + 1 >= argc, "--stats-json needs a path");
             opts.statsJsonPath = argv[++i];

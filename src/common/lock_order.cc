@@ -10,8 +10,11 @@ const std::vector<LockLevel> &
 lockOrderRegistry()
 {
     static const std::vector<LockLevel> registry = {
-        {"serve.conns", lock_rank::serveConns},
+        {"serve.loop", lock_rank::serveLoop},
+        {"serve.tx", lock_rank::serveTx},
+        {"serve.streams", lock_rank::serveStreams},
         {"serve.admit", lock_rank::serveAdmit},
+        {"serve.memo", lock_rank::serveMemo},
         {"serve.inflight", lock_rank::serveInflight},
         {"serve.spans", lock_rank::serveSpans},
         {"study.cache", lock_rank::studyCache},

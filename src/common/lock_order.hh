@@ -45,8 +45,11 @@ namespace lock_rank {
 
 // The hierarchy, lowest first: a lower-ranked lock is *acquired
 // first* (outermost). Gaps leave room for future levels.
-inline constexpr int serveConns = 10;    ///< reader bookkeeping
+inline constexpr int serveLoop = 10;     ///< event-loop wake queue
+inline constexpr int serveTx = 14;       ///< per-connection tx buffer
+inline constexpr int serveStreams = 16;  ///< per-connection streams
 inline constexpr int serveAdmit = 20;    ///< admission state
+inline constexpr int serveMemo = 25;     ///< advise/plan result memo
 inline constexpr int serveInflight = 30; ///< --top in-flight registry
 inline constexpr int serveSpans = 40;    ///< request-span log
 inline constexpr int studyCache = 50;    ///< partitioning memo slots

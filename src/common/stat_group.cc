@@ -11,9 +11,14 @@
 namespace copernicus {
 
 StatBase::StatBase(StatGroup &group, std::string name, std::string desc)
-    : _name(std::move(name)), _desc(std::move(desc))
+    : _group(group), _name(std::move(name)), _desc(std::move(desc))
 {
     group.registerStat(this);
+}
+
+StatBase::~StatBase()
+{
+    _group.unregisterStat(this);
 }
 
 namespace {
@@ -318,6 +323,15 @@ StatGroup::registerStat(StatBase *stat)
                     _name + "'");
     }
     members.push_back(stat);
+}
+
+void
+StatGroup::unregisterStat(StatBase *stat)
+{
+    // A duplicate-name registration throws before push_back, so its
+    // destructor unregisters a stat that was never added: ignore it.
+    members.erase(std::remove(members.begin(), members.end(), stat),
+                  members.end());
 }
 
 const StatBase *

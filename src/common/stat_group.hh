@@ -38,7 +38,14 @@ class StatBase
      * @param desc One-line description for the dump.
      */
     StatBase(StatGroup &group, std::string name, std::string desc);
-    virtual ~StatBase() = default;
+
+    /**
+     * Unregisters from the group, so a stat whose derived constructor
+     * throws after the base is built (e.g. a DistributionStat with an
+     * invalid range) doesn't leave a dangling pointer behind in the
+     * group's member list.
+     */
+    virtual ~StatBase();
 
     StatBase(const StatBase &) = delete;
     StatBase &operator=(const StatBase &) = delete;
@@ -56,6 +63,7 @@ class StatBase
     virtual void writeJson(std::ostream &out) const = 0;
 
   private:
+    StatGroup &_group;
     std::string _name;
     std::string _desc;
 };
@@ -272,6 +280,9 @@ class StatGroup
 
     /** Called by StatBase; duplicate names are a FatalError. */
     void registerStat(StatBase *stat);
+
+    /** Called by ~StatBase; absent stats are ignored. */
+    void unregisterStat(StatBase *stat);
 
     /** All registered stats, registration order. */
     const std::vector<StatBase *> &stats() const { return members; }

@@ -69,7 +69,10 @@ ServeClient::~ServeClient()
 
 ServeClient::ServeClient(ServeClient &&other) noexcept
     : fd(other.fd), rxBuffer(std::move(other.rxBuffer)),
-      nextRequestId(other.nextRequestId)
+      nextRequestId(other.nextRequestId), binary(other.binary),
+      decoder(std::move(other.decoder)),
+      nextStreamId(other.nextStreamId),
+      readyResponses(std::move(other.readyResponses))
 {
     other.fd = -1;
 }
@@ -83,6 +86,10 @@ ServeClient::operator=(ServeClient &&other) noexcept
         fd = other.fd;
         rxBuffer = std::move(other.rxBuffer);
         nextRequestId = other.nextRequestId;
+        binary = other.binary;
+        decoder = std::move(other.decoder);
+        nextStreamId = other.nextStreamId;
+        readyResponses = std::move(other.readyResponses);
         other.fd = -1;
     }
     return *this;
@@ -104,6 +111,86 @@ ServeClient::setReceiveTimeoutMs(double ms)
                 std::strerror(errno));
 }
 
+void
+ServeClient::sendAll(const char *data, std::size_t size)
+{
+    std::size_t sent = 0;
+    while (sent < size) {
+        const ssize_t n =
+            ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR)
+            continue;
+        fatalIf(n <= 0, std::string("serve client: send(): ") +
+                            std::strerror(errno));
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+void
+ServeClient::enableBinaryFraming()
+{
+    fatalIf(fd < 0, "serve client: not connected");
+    fatalIf(binary, "serve client: binary framing already enabled");
+    // The magic must be the first bytes the server sees — its dialect
+    // sniff is settled by them. Nothing can have been received yet
+    // either (the server never speaks first).
+    fatalIf(!rxBuffer.empty(),
+            "serve client: enableBinaryFraming() after NDJSON traffic");
+    sendAll(framingMagic.data(), framingMagic.size());
+    binary = true;
+}
+
+std::uint64_t
+ServeClient::sendRequestFrame(const std::string &payload)
+{
+    const std::uint64_t streamId = nextStreamId++;
+    const std::string frame =
+        encodeFrame(FrameType::Request, streamId, payload);
+    sendAll(frame.data(), frame.size());
+    return streamId;
+}
+
+std::string
+ServeClient::awaitResponse(std::uint64_t streamId)
+{
+    for (;;) {
+        const auto it = readyResponses.find(streamId);
+        if (it != readyResponses.end()) {
+            std::string payload = std::move(it->second);
+            readyResponses.erase(it);
+            return payload;
+        }
+        char buf[4096];
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        fatalIf(n == 0,
+                "serve client: server closed the connection");
+        fatalIf(n < 0,
+                errno == EAGAIN || errno == EWOULDBLOCK
+                    ? std::string("serve client: receive timeout")
+                    : std::string("serve client: recv(): ") +
+                          std::strerror(errno));
+        decoder.feed(buf, static_cast<std::size_t>(n));
+        Frame frame;
+        for (;;) {
+            const DecodeResult result = decoder.next(frame);
+            if (result == DecodeResult::NeedMore)
+                break;
+            fatalIf(result == DecodeResult::Fatal,
+                    "serve client: broken frame stream: " +
+                        decoder.error());
+            fatalIf(result == DecodeResult::Oversized,
+                    "serve client: oversized response frame (" +
+                        std::to_string(decoder.declaredLength()) +
+                        " bytes)");
+            fatalIf(frame.type != FrameType::Response,
+                    "serve client: unexpected frame type from server");
+            readyResponses[frame.streamId] = std::move(frame.payload);
+        }
+    }
+}
+
 std::string
 ServeClient::requestLine(const std::string &line)
 {
@@ -113,21 +200,16 @@ ServeClient::requestLine(const std::string &line)
     // multi-line shell --params string) would split it into two wire
     // lines. Valid JSON never needs a newline inside a string literal,
     // so mapping them to spaces is lossless inter-token whitespace.
+    // Applied under binary framing too, so a request renders
+    // byte-identically on either dialect.
     for (char &c : framed)
         if (c == '\n' || c == '\r')
             c = ' ';
-    framed.push_back('\n');
-    std::size_t sent = 0;
-    while (sent < framed.size()) {
-        const ssize_t n = ::send(fd, framed.data() + sent,
-                                 framed.size() - sent, MSG_NOSIGNAL);
-        if (n < 0 && errno == EINTR)
-            continue;
-        fatalIf(n <= 0, std::string("serve client: send(): ") +
-                            std::strerror(errno));
-        sent += static_cast<std::size_t>(n);
-    }
+    if (binary)
+        return awaitResponse(sendRequestFrame(framed));
 
+    framed.push_back('\n');
+    sendAll(framed.data(), framed.size());
     for (;;) {
         const std::size_t pos = rxBuffer.find('\n');
         if (pos != std::string::npos) {
@@ -150,17 +232,16 @@ ServeClient::requestLine(const std::string &line)
     }
 }
 
-JsonValue
-ServeClient::call(const std::string &op, const std::string &paramsJson,
-                  double timeoutMs)
+std::string
+ServeClient::buildRequestJson(const std::string &op,
+                              const std::string &paramsJson,
+                              double timeoutMs)
 {
-    // When span recording is on in this process, the call itself is a
-    // span and its identity travels on the wire, so the server's
-    // serve.request span parents under this client span — one causal
-    // tree across the socket. With recording off span.context() is
+    // The caller's client.<op> span identity travels on the wire, so
+    // the server's serve.request span parents under it — one causal
+    // tree across the socket. With recording off the context is
     // invalid and the request carries no trace field.
-    const ScopedSpan span("client." + op, "client");
-    const TraceContext trace = span.context();
+    const TraceContext trace = currentTraceContext();
 
     std::ostringstream request;
     request << "{\"op\": ";
@@ -180,12 +261,60 @@ ServeClient::call(const std::string &op, const std::string &paramsJson,
     if (!paramsJson.empty())
         request << ", \"params\": " << paramsJson;
     request << '}';
+    return request.str();
+}
 
-    const std::string line = requestLine(request.str());
+JsonValue
+ServeClient::call(const std::string &op, const std::string &paramsJson,
+                  double timeoutMs)
+{
+    // The span covers the whole round trip; buildRequestJson picks its
+    // identity up from the thread-local context it establishes.
+    const ScopedSpan span("client." + op, "client");
+    const std::string line =
+        requestLine(buildRequestJson(op, paramsJson, timeoutMs));
     JsonValue response;
     fatalIf(!parseJson(line, response) || !response.isObject(),
             "serve client: malformed response line: " + line);
     return response;
+}
+
+std::uint64_t
+ServeClient::startCall(const std::string &op,
+                       const std::string &paramsJson, double timeoutMs)
+{
+    fatalIf(fd < 0, "serve client: not connected");
+    fatalIf(!binary,
+            "serve client: startCall() requires binary framing");
+    // The span covers only the send — the response is claimed later
+    // by awaitCall(), possibly out of order — but its identity still
+    // rides the wire, so the server side parents correctly.
+    const ScopedSpan span("client." + op, "client");
+    return sendRequestFrame(
+        buildRequestJson(op, paramsJson, timeoutMs));
+}
+
+JsonValue
+ServeClient::awaitCall(std::uint64_t streamId)
+{
+    fatalIf(!binary,
+            "serve client: awaitCall() requires binary framing");
+    const std::string payload = awaitResponse(streamId);
+    JsonValue response;
+    fatalIf(!parseJson(payload, response) || !response.isObject(),
+            "serve client: malformed response payload: " + payload);
+    return response;
+}
+
+void
+ServeClient::cancelCall(std::uint64_t streamId)
+{
+    fatalIf(fd < 0, "serve client: not connected");
+    fatalIf(!binary,
+            "serve client: cancelCall() requires binary framing");
+    const std::string frame =
+        encodeFrame(FrameType::Cancel, streamId, "");
+    sendAll(frame.data(), frame.size());
 }
 
 } // namespace copernicus

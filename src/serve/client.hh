@@ -1,13 +1,21 @@
 /**
  * @file
- * Blocking NDJSON client for the characterization daemon.
+ * Blocking client for the characterization daemon, speaking either
+ * wire dialect.
  *
- * One ServeClient wraps one connected socket. call() frames a request
- * line, sends it, and blocks until the matching response line arrives
- * (the protocol answers every request on the connection in order, so
- * no correlation table is needed). Shared by `copernicus_cli
- * --connect`, the bench_serve_load generator and tests/test_serve.cc,
- * so all of them speak exactly the wire dialect the server does.
+ * One ServeClient wraps one connected socket. By default it speaks
+ * NDJSON: call() frames a request line, sends it, and blocks until the
+ * matching response line arrives (that dialect answers every request
+ * on the connection in order, so no correlation table is needed).
+ * enableBinaryFraming() — before the first request — switches the
+ * connection to the CPB1 multiplexed framing (serve/framing.hh): the
+ * same call()/requestLine() surface keeps working one-request-at-a-
+ * time, and startCall()/awaitCall()/cancelCall() expose the
+ * multiplexing — many streams in flight, responses claimed in any
+ * order, cooperative per-stream cancellation. Shared by
+ * `copernicus_cli --connect`, the bench_serve_load generator and
+ * tests/test_serve.cc, so all of them speak exactly the wire dialects
+ * the server does.
  *
  * Thread safety: none — use one ServeClient per thread (that is what
  * the closed-loop load generator does).
@@ -17,9 +25,11 @@
 #define COPERNICUS_SERVE_CLIENT_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 
 #include "common/json.hh"
+#include "serve/framing.hh"
 
 namespace copernicus {
 
@@ -60,6 +70,36 @@ class ServeClient
      */
     std::string requestLine(const std::string &line);
 
+    /**
+     * Negotiate the CPB1 binary framing by sending the connection
+     * magic. Must be the first bytes on the wire — call it before any
+     * request. All subsequent calls (call, requestLine, startCall)
+     * travel as frames.
+     */
+    void enableBinaryFraming();
+
+    /** True once enableBinaryFraming() succeeded. */
+    bool binaryFraming() const { return binary; }
+
+    /**
+     * Send one request on a fresh stream without waiting (binary
+     * framing only). Returns the stream id to pass to awaitCall() or
+     * cancelCall(); any number of streams may be in flight.
+     */
+    std::uint64_t startCall(const std::string &op,
+                            const std::string &paramsJson = "",
+                            double timeoutMs = 0);
+
+    /** Block for the response of one in-flight stream (any order). */
+    JsonValue awaitCall(std::uint64_t streamId);
+
+    /**
+     * Ask the server to abort @p streamId cooperatively (binary
+     * framing only). The stream still gets its response — normally
+     * {"error": "cancelled"} — which awaitCall() must still claim.
+     */
+    void cancelCall(std::uint64_t streamId);
+
     /** SO_RCVTIMEO guard against a dead server; 0 disables. */
     void setReceiveTimeoutMs(double ms);
 
@@ -69,9 +109,22 @@ class ServeClient
   private:
     explicit ServeClient(int fd_) : fd(fd_) {}
 
+    void sendAll(const char *data, std::size_t size);
+    std::string buildRequestJson(const std::string &op,
+                                 const std::string &paramsJson,
+                                 double timeoutMs);
+    std::uint64_t sendRequestFrame(const std::string &payload);
+    std::string awaitResponse(std::uint64_t streamId);
+
     int fd = -1;
     std::string rxBuffer;
     std::uint64_t nextRequestId = 1;
+
+    bool binary = false;
+    FrameDecoder decoder;
+    std::uint64_t nextStreamId = 1;
+    /** Responses read while waiting for a different stream. */
+    std::map<std::uint64_t, std::string> readyResponses;
 };
 
 } // namespace copernicus

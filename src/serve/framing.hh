@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Length-prefixed binary framing for the characterization daemon.
+ *
+ * The wire dialect negotiated by a client that opens its connection
+ * with the 4-byte magic "CPB1" (NDJSON remains the fallback for every
+ * connection that does not). After the magic, the stream is a sequence
+ * of frames in both directions:
+ *
+ *   offset  size  field
+ *        0     4  payload length  (u32, little-endian, bytes)
+ *        4     1  frame type      (1 request, 2 response, 3 cancel)
+ *        5     1  flags           (must be 0; reserved)
+ *        6     2  reserved        (must be 0)
+ *        8     8  stream id       (u64, little-endian)
+ *       16     n  payload         (UTF-8 JSON, no trailing newline)
+ *
+ * The payload of a Request/Response frame is byte-for-byte the JSON
+ * object that would travel as one NDJSON line — the framing layer
+ * multiplexes and delimits, it never re-encodes. That makes protocol
+ * parity trivial to test (same request → identical payload bytes on
+ * either dialect) and keeps serve/protocol.hh the single source of
+ * truth for request/response shapes.
+ *
+ * Stream-id rules (enforced by the server):
+ *  - chosen by the client, must be non-zero;
+ *  - must not collide with a stream still in flight on the same
+ *    connection (the response retires the id for reuse);
+ *  - every Request receives exactly one Response frame with the same
+ *    stream id, including cancelled and rejected requests;
+ *  - a Cancel frame (empty payload) asks the server to abort the named
+ *    stream cooperatively; cancelling an unknown or already-finished
+ *    stream is a silent no-op, never an error.
+ *
+ * Error containment: a frame whose declared payload exceeds the
+ * receiver's limit is consumed in a streaming discard (never buffered)
+ * and answered with a per-stream bad_request — the connection and its
+ * other streams continue. Only structurally broken input (bad type,
+ * non-zero reserved bits, a length beyond the hard sanity cap) is
+ * connection-fatal, because after it the byte stream has no frame
+ * boundaries left to trust.
+ */
+
+#ifndef COPERNICUS_SERVE_FRAMING_HH
+#define COPERNICUS_SERVE_FRAMING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace copernicus {
+
+/** Connection preamble a client sends to negotiate binary framing. */
+inline constexpr std::string_view framingMagic = "CPB1";
+
+/** Fixed frame-header size in bytes. */
+inline constexpr std::size_t frameHeaderSize = 16;
+
+/** Default per-frame payload cap (ServeOptions::maxFrameBytes). */
+inline constexpr std::uint64_t defaultMaxFrameBytes = 16ull << 20;
+
+/**
+ * Hard sanity cap on a declared payload length. A peer declaring more
+ * than this is not a confused client with a big matrix, it is a
+ * desynchronized or hostile byte stream; the connection is torn down
+ * instead of discarded through.
+ */
+inline constexpr std::uint64_t frameLengthHardCap = 1ull << 30;
+
+/** Frame types on the wire. */
+enum class FrameType : std::uint8_t
+{
+    Request = 1,
+    Response = 2,
+    Cancel = 3,
+};
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameType type = FrameType::Request;
+    std::uint64_t streamId = 0;
+    std::string payload;
+};
+
+/** Serialise one frame (header + payload). */
+std::string encodeFrame(FrameType type, std::uint64_t streamId,
+                        std::string_view payload);
+
+/** encodeFrame() appending to @p out (hot path, no temporary). */
+void appendFrame(std::string &out, FrameType type,
+                 std::uint64_t streamId, std::string_view payload);
+
+/** What FrameDecoder::next() pulled out of the buffered bytes. */
+enum class DecodeResult
+{
+    NeedMore,  ///< no complete event yet; feed more bytes
+    GotFrame,  ///< @p out holds one complete frame
+    Oversized, ///< header of a too-large frame; payload being discarded
+    Fatal,     ///< structurally broken stream; close the connection
+};
+
+/**
+ * Incremental frame decoder.
+ *
+ * Feed arbitrary byte chunks (short reads, single bytes, many frames
+ * at once — any segmentation); pull events with next(). An oversized
+ * frame yields exactly one Oversized event carrying the offending
+ * header (type, stream id, declaredLength()); its payload is then
+ * consumed in-place without ever being buffered, so a 1 GiB declared
+ * length costs the decoder one read-chunk of memory, not 1 GiB.
+ *
+ * Not thread-safe; one decoder per connection, owned by the reader.
+ */
+class FrameDecoder
+{
+  public:
+    explicit FrameDecoder(
+        std::uint64_t maxFrameBytes = defaultMaxFrameBytes);
+
+    /** Buffer @p size bytes from the wire. */
+    void feed(const char *data, std::size_t size);
+
+    /** Decode the next event; GotFrame/Oversized fill @p out. */
+    DecodeResult next(Frame &out);
+
+    /**
+     * True when bytes of an incomplete frame are pending — at EOF this
+     * means the peer truncated its final frame mid-header or
+     * mid-payload.
+     */
+    bool midFrame() const;
+
+    /** Declared payload length of the current/last header. */
+    std::uint64_t declaredLength() const { return length; }
+
+    /** Human-readable reason after a Fatal result. */
+    const std::string &error() const { return fatalReason; }
+
+    /** Bytes currently buffered (tests; bounded by feed chunk size). */
+    std::size_t bufferedBytes() const { return buffer.size() - consumed; }
+
+  private:
+    enum class State
+    {
+        Header,  ///< collecting the 16 header bytes
+        Payload, ///< collecting a payload that fits the cap
+        Discard, ///< consuming an oversized payload unbuffered
+        Broken,  ///< Fatal was returned; everything else is ignored
+    };
+
+    void compact();
+
+    std::uint64_t maxFrame;
+    State state = State::Header;
+    std::string buffer;
+    std::size_t consumed = 0;
+
+    // Current header, valid once 16 bytes were parsed.
+    FrameType type = FrameType::Request;
+    std::uint64_t streamId = 0;
+    std::uint64_t length = 0;
+    std::uint64_t discardRemaining = 0;
+    std::string fatalReason;
+};
+
+} // namespace copernicus
+
+#endif // COPERNICUS_SERVE_FRAMING_HH

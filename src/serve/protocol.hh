@@ -66,6 +66,7 @@ namespace serve_error {
 inline constexpr std::string_view badRequest = "bad_request";
 inline constexpr std::string_view queueFull = "queue_full";
 inline constexpr std::string_view deadlineExceeded = "deadline_exceeded";
+inline constexpr std::string_view cancelled = "cancelled";
 inline constexpr std::string_view shuttingDown = "shutting_down";
 inline constexpr std::string_view internal = "internal";
 

@@ -46,7 +46,9 @@ buildWideEventJson(const WideEventInputs &in)
         << ", \"cache_hits\": " << in.cacheHits
         << ", \"cache_misses\": " << in.cacheMisses
         << ", \"compress_us\": " << in.compressUs
-        << ", \"formats_swept\": " << in.formatsSwept << '}';
+        << ", \"formats_swept\": " << in.formatsSwept
+        << ", \"memo_hit\": " << (in.memoHit ? "true" : "false")
+        << ", \"protocol\": " << quoted(in.protocol) << '}';
     return out.str();
 }
 
@@ -80,6 +82,8 @@ documentedWideEventFields()
         "cache_misses",
         "compress_us",
         "formats_swept",
+        "memo_hit",
+        "protocol",
     };
     return table;
 }
@@ -96,7 +100,14 @@ documentedMetricFamilies()
         "copernicus_serve_cache_misses_total",
         "copernicus_serve_bad_lines_total",
         "copernicus_serve_connections_total",
+        "copernicus_serve_frame_errors_total",
+        "copernicus_serve_streams_cancelled_total",
         "copernicus_serve_queue_depth",
+        "copernicus_serve_memo_hits_total",
+        "copernicus_serve_memo_misses_total",
+        "copernicus_serve_memo_evictions_total",
+        "copernicus_serve_memo_entries",
+        "copernicus_serve_memo_bytes",
         "copernicus_serve_request_duration_seconds",
         "copernicus_thread_pool_tasks_total",
         "copernicus_thread_pool_steals_total",

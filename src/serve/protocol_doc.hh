@@ -48,6 +48,8 @@ struct WideEventInputs
     std::uint64_t cacheMisses = 0;
     std::uint64_t compressUs = 0;
     std::uint64_t formatsSwept = 0;
+    bool memoHit = false;          ///< served from the result memo
+    std::string protocol = "ndjson"; ///< wire dialect ("binary")
 };
 
 /**

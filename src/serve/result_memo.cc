@@ -1,0 +1,82 @@
+#include "serve/result_memo.hh"
+
+namespace copernicus {
+
+ResultMemo::ResultMemo(std::uint64_t byteBudget) : budget(byteBudget)
+{
+}
+
+std::uint64_t
+ResultMemo::entryCost(std::size_t payloadBytes)
+{
+    // Payload bytes plus a flat estimate for the list node, the index
+    // slot and two string headers; keeps the budget honest for many
+    // small entries without weighing real allocations.
+    return static_cast<std::uint64_t>(payloadBytes) + 96;
+}
+
+bool
+ResultMemo::lookup(const MemoKey &key, std::string &payloadOut)
+{
+    if (!enabled())
+        return false;
+    const MutexLock lock(mutex);
+    const auto it = index.find(key);
+    if (it == index.end()) {
+        ++counters.misses;
+        return false;
+    }
+    lru.splice(lru.begin(), lru, it->second);
+    payloadOut = it->second->payload;
+    ++counters.hits;
+    return true;
+}
+
+void
+ResultMemo::evictUntilFits(std::uint64_t incomingCost)
+{
+    while (!lru.empty() &&
+           counters.bytes + incomingCost > budget) {
+        const Entry &victim = lru.back();
+        counters.bytes -= entryCost(victim.payload.size());
+        index.erase(victim.key);
+        lru.pop_back();
+        --counters.entries;
+        ++counters.evictions;
+    }
+}
+
+void
+ResultMemo::insert(const MemoKey &key, std::string_view payload)
+{
+    if (!enabled())
+        return;
+    const std::uint64_t cost = entryCost(payload.size());
+    if (cost > budget)
+        return; // would evict everything and still not fit
+    const MutexLock lock(mutex);
+    const auto it = index.find(key);
+    if (it != index.end()) {
+        // Refresh in place (same key can race two concurrent misses).
+        counters.bytes -= entryCost(it->second->payload.size());
+        it->second->payload.assign(payload.data(), payload.size());
+        counters.bytes += cost;
+        lru.splice(lru.begin(), lru, it->second);
+        evictUntilFits(0);
+        return;
+    }
+    evictUntilFits(cost);
+    lru.push_front(Entry{key, std::string(payload)});
+    index.emplace(key, lru.begin());
+    counters.bytes += cost;
+    ++counters.entries;
+}
+
+ResultMemoStats
+ResultMemo::stats() const
+{
+    const MutexLock lock(mutex);
+    return counters;
+}
+
+} // namespace copernicus

@@ -8,12 +8,15 @@
 #include <thread>
 
 #include <netinet/in.h>
-#include <poll.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include "analysis/schedule_check.hh"
+#include "common/fnv.hh"
 #include "common/logging.hh"
 #include "common/prometheus.hh"
 #include "common/status.hh"
@@ -34,7 +37,7 @@ namespace copernicus {
 
 namespace {
 
-/** Set by requestShutdownFromSignal(); polled by the acceptor tick. */
+/** Set by requestShutdownFromSignal(); polled by the event-loop tick. */
 std::atomic<bool> signalShutdown{false};
 
 std::string
@@ -78,6 +81,18 @@ Server::Server(ServeOptions options) : opts(std::move(options))
     badLinesOther = std::make_unique<ScalarStat>(
         grp, "bad_lines.other",
         "other frame errors (non-object, missing op, bad params)");
+    framesOversized = std::make_unique<ScalarStat>(
+        grp, "frames.oversized",
+        "binary frames rejected for exceeding the payload cap");
+    framesProtocolError = std::make_unique<ScalarStat>(
+        grp, "frames.protocol_error",
+        "binary frames violating the framing protocol");
+    framesTruncated = std::make_unique<ScalarStat>(
+        grp, "frames.truncated",
+        "binary connections that ended mid-frame");
+    streamsCancelled = std::make_unique<ScalarStat>(
+        grp, "streams.cancelled",
+        "streams cancelled by an explicit cancel frame");
     endpointStats.resize(allEndpoints().size());
     for (std::size_t i = 0; i < allEndpoints().size(); ++i) {
         const std::string prefix(endpointName(allEndpoints()[i]));
@@ -102,6 +117,7 @@ Server::Server(ServeOptions options) : opts(std::move(options))
             grp, prefix + ".latency_us",
             "admitted-request latency (microseconds)", 0, 100000, 1000);
     }
+    memo = std::make_unique<ResultMemo>(opts.memoBytes);
 }
 
 Server::~Server()
@@ -139,7 +155,9 @@ void
 Server::bindSocket()
 {
     if (opts.tcpPort >= 0) {
-        listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+        listenFd = ::socket(AF_INET,
+                            SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                            0);
         fatalIf(listenFd < 0, std::string("serve: socket(): ") +
                                   std::strerror(errno));
         const int one = 1;
@@ -171,7 +189,9 @@ Server::bindSocket()
         fatalIf(opts.socketPath.size() >= sizeof(addr.sun_path),
                 "serve: socket path '" + opts.socketPath +
                     "' is too long for sockaddr_un");
-        listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        listenFd = ::socket(AF_UNIX,
+                            SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                            0);
         fatalIf(listenFd < 0, std::string("serve: socket(): ") +
                                   std::strerror(errno));
         ::unlink(opts.socketPath.c_str());
@@ -184,7 +204,10 @@ Server::bindSocket()
                 "serve: cannot bind '" + opts.socketPath +
                     "': " + std::strerror(errno));
     }
-    fatalIf(::listen(listenFd, 64) != 0,
+    // SOMAXCONN instead of a hand-picked backlog: the load benchmark
+    // opens thousands of connections in a burst, and a short backlog
+    // turns that burst into ECONNREFUSED/retry latency at the client.
+    fatalIf(::listen(listenFd, SOMAXCONN) != 0,
             std::string("serve: listen(): ") + std::strerror(errno));
 }
 
@@ -226,10 +249,35 @@ Server::start()
         }
     }
 
-    pool = std::make_unique<ThreadPool>(opts.workers);
+    // One lane more than the handler concurrency: the event loop must
+    // never execute a handler inline (ThreadPool::submit degrades to
+    // inline execution on a 1-lane pool), or a sweep would stall every
+    // other connection's I/O. effectiveJobs(workers) lanes do handler
+    // work; the +1 lane is the loop's submitting thread, which never
+    // participates.
+    pool = std::make_unique<ThreadPool>(effectiveJobs(opts.workers) + 1);
     bindSocket();
+
+    epollFd = ::epoll_create1(EPOLL_CLOEXEC);
+    fatalIf(epollFd < 0, std::string("serve: epoll_create1(): ") +
+                             std::strerror(errno));
+    wakeFd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    fatalIf(wakeFd < 0, std::string("serve: eventfd(): ") +
+                            std::strerror(errno));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listenFd;
+    fatalIf(::epoll_ctl(epollFd, EPOLL_CTL_ADD, listenFd, &ev) != 0,
+            std::string("serve: epoll_ctl(listen): ") +
+                std::strerror(errno));
+    ev.data.fd = wakeFd;
+    fatalIf(::epoll_ctl(epollFd, EPOLL_CTL_ADD, wakeFd, &ev) != 0,
+            std::string("serve: epoll_ctl(wake): ") +
+                std::strerror(errno));
+
     started = true;
-    acceptor = std::thread([this] { acceptorLoop(); });
+    loopExit.store(false, std::memory_order_relaxed);
+    loopThread = std::thread([this] { loopMain(); });
 
     if (opts.tcpPort >= 0) {
         inform("serve: listening on 127.0.0.1:" +
@@ -277,125 +325,449 @@ Server::beginShutdown()
             return;
         draining = true;
     }
+    drainingFlag.store(true, std::memory_order_release);
     drainCv.notify_all();
     idleCv.notify_all();
+    wakeLoop();
     inform("serve: draining (in-flight requests will finish)");
 }
 
 void
-Server::sendLine(const std::shared_ptr<Conn> &conn,
-                 const std::string &line)
+Server::wakeLoop()
+{
+    if (wakeFd < 0)
+        return;
+    const std::uint64_t one = 1;
+    // An EAGAIN here means the counter is already non-zero — the loop
+    // is waking anyway, so the lost write is harmless.
+    [[maybe_unused]] const ssize_t n =
+        ::write(wakeFd, &one, sizeof(one));
+}
+
+bool
+Server::onLoopThread() const
+{
+    return std::this_thread::get_id() == loopThreadId;
+}
+
+void
+Server::respond(const std::shared_ptr<Conn> &conn, bool binary,
+                std::uint64_t streamId, std::string_view payload)
 {
     if (!conn->open.load(std::memory_order_relaxed))
         return;
-    std::string framed = line;
-    framed.push_back('\n');
-    const MutexLock lock(conn->writeMutex);
-    std::size_t sent = 0;
-    while (sent < framed.size()) {
-        const ssize_t n =
-            ::send(conn->fd, framed.data() + sent, framed.size() - sent,
-                   MSG_NOSIGNAL);
-        if (n <= 0) {
-            if (n < 0 && errno == EINTR)
-                continue;
-            // The client went away; the reader thread will see EOF and
-            // retire the connection.
-            conn->open.store(false, std::memory_order_relaxed);
-            return;
-        }
-        sent += static_cast<std::size_t>(n);
-    }
-}
-
-void
-Server::reapFinishedReaders()
-{
-    std::vector<std::thread> joinable;
     {
-        const MutexLock lock(connsMutex);
-        for (std::uint64_t id : finishedReaders) {
-            auto it = readers.find(id);
-            if (it != readers.end()) {
-                joinable.push_back(std::move(it->second));
-                readers.erase(it);
-            }
-            conns.erase(id);
+        const MutexLock lock(conn->txMutex);
+        if (binary) {
+            appendFrame(conn->txBuffer, FrameType::Response, streamId,
+                        payload);
+        } else {
+            conn->txBuffer.append(payload.data(), payload.size());
+            conn->txBuffer.push_back('\n');
         }
-        finishedReaders.clear();
     }
-    for (std::thread &t : joinable)
-        t.join();
+    if (onLoopThread()) {
+        flushConn(conn);
+        return;
+    }
+    {
+        const MutexLock lock(loopMutex);
+        dirtyConns.push_back(conn);
+    }
+    wakeLoop();
 }
 
 void
-Server::acceptorLoop()
+Server::loopMain()
 {
+    loopThreadId = std::this_thread::get_id();
+    std::map<int, std::shared_ptr<Conn>> connsByFd;
+    bool listenArmed = true;
+    epoll_event events[64];
+
     for (;;) {
         if (signalShutdown.load(std::memory_order_relaxed))
             beginShutdown();
-        {
-            const std::lock_guard<std::mutex> lock(admitMutex);
-            if (draining)
-                break;
+        if (listenArmed &&
+            drainingFlag.load(std::memory_order_acquire)) {
+            ::epoll_ctl(epollFd, EPOLL_CTL_DEL, listenFd, nullptr);
+            listenArmed = false;
         }
-        pollfd pfd{};
-        pfd.fd = listenFd;
-        pfd.events = POLLIN;
-        const int ready = ::poll(&pfd, 1, 100);
-        reapFinishedReaders();
-        if (ready <= 0)
-            continue;
-        const int fd = ::accept(listenFd, nullptr, nullptr);
-        if (fd < 0)
-            continue;
-        auto conn = std::make_shared<Conn>(fd);
-        *connections += 1;
-        const MutexLock lock(connsMutex);
-        const std::uint64_t id = nextConnId++;
-        conns.emplace(id, conn);
-        readers.emplace(id, std::thread([this, id, conn] {
-                            readerLoop(id, conn);
-                        }));
+        if (loopExit.load(std::memory_order_acquire))
+            break;
+
+        const int ready = ::epoll_wait(epollFd, events, 64, 100);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        for (int i = 0; i < ready; ++i) {
+            const int fd = events[i].data.fd;
+            if (fd == listenFd) {
+                if (listenArmed)
+                    loopAccept(connsByFd);
+                continue;
+            }
+            if (fd == wakeFd) {
+                drainWakeups();
+                continue;
+            }
+            const auto it = connsByFd.find(fd);
+            if (it == connsByFd.end())
+                continue;
+            // Copy the shared_ptr: closeConn() erases the map entry.
+            const std::shared_ptr<Conn> conn = it->second;
+            const std::uint32_t what = events[i].events;
+            if (what & EPOLLOUT)
+                flushConn(conn);
+            bool keep = conn->open.load(std::memory_order_relaxed);
+            if (keep && (what & (EPOLLIN | EPOLLHUP | EPOLLERR)))
+                keep = loopRead(conn);
+            if (!keep || !conn->open.load(std::memory_order_relaxed))
+                closeConn(connsByFd, conn);
+        }
+
+        // Flush the connections handlers marked dirty since the last
+        // tick (their responses were appended off-thread).
+        std::vector<std::shared_ptr<Conn>> dirty;
+        {
+            const MutexLock lock(loopMutex);
+            dirty.swap(dirtyConns);
+        }
+        for (const std::shared_ptr<Conn> &conn : dirty) {
+            if (!conn->open.load(std::memory_order_relaxed))
+                continue;
+            flushConn(conn);
+            if (!conn->open.load(std::memory_order_relaxed))
+                closeConn(connsByFd, conn);
+        }
     }
+
+    flushAllBeforeExit(connsByFd);
 }
 
 void
-Server::readerLoop(std::uint64_t connId, std::shared_ptr<Conn> conn)
+Server::loopAccept(std::map<int, std::shared_ptr<Conn>> &connsByFd)
 {
-    char buf[4096];
+    for (;;) {
+        const int fd = ::accept4(listenFd, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // EAGAIN, or a transient accept error; next tick
+        }
+        if (opts.tcpPort >= 0) {
+            // Request/response frames are small relative to an MTU;
+            // Nagle would add up to one delayed-ACK interval (~40 ms)
+            // to every response on loopback TCP, dwarfing the actual
+            // service time. Measured in BENCH_serve_load.json.
+            const int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+        }
+        *connections += 1;
+        auto conn = std::make_shared<Conn>(fd, opts.maxFrameBytes);
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        if (::epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &ev) != 0)
+            continue; // conn drops here, dtor closes fd
+        connsByFd.emplace(fd, std::move(conn));
+    }
+}
+
+bool
+Server::loopRead(const std::shared_ptr<Conn> &conn)
+{
+    char buf[65536];
     for (;;) {
         const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
-        if (n < 0 && errno == EINTR)
-            continue;
-        if (n <= 0)
-            break;
-        conn->rxBuffer.append(buf, static_cast<std::size_t>(n));
-        std::size_t pos;
-        while ((pos = conn->rxBuffer.find('\n')) != std::string::npos) {
-            std::string line = conn->rxBuffer.substr(0, pos);
-            conn->rxBuffer.erase(0, pos + 1);
-            if (!line.empty() && line.back() == '\r')
-                line.pop_back();
-            if (line.find_first_not_of(" \t") == std::string::npos)
+        if (n < 0) {
+            if (errno == EINTR)
                 continue;
-            handleLine(conn, line);
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return true;
+        }
+        if (n <= 0) {
+            // EOF or a hard error: the peer is gone. A binary
+            // connection that ends inside a frame truncated its final
+            // frame — worth a counter, it usually means a client
+            // crashed mid-send.
+            if (conn->protocol == Protocol::Binary &&
+                conn->decoder.midFrame())
+                *framesTruncated += 1;
+            return false;
+        }
+        switch (conn->protocol) {
+          case Protocol::Sniffing:
+            conn->rxBuffer.append(buf, static_cast<std::size_t>(n));
+            if (!consumeSniff(conn))
+                return false;
+            break;
+          case Protocol::Ndjson:
+            conn->rxBuffer.append(buf, static_cast<std::size_t>(n));
+            consumeNdjson(conn);
+            break;
+          case Protocol::Binary:
+            conn->decoder.feed(buf, static_cast<std::size_t>(n));
+            if (!consumeBinary(conn))
+                return false;
+            break;
         }
     }
-    conn->open.store(false, std::memory_order_relaxed);
-    const MutexLock lock(connsMutex);
-    finishedReaders.push_back(connId);
+}
+
+bool
+Server::consumeSniff(const std::shared_ptr<Conn> &conn)
+{
+    // A connection opens in one of two ways: the 4-byte "CPB1" magic
+    // (binary framing) or anything else (NDJSON). The magic contains
+    // no newline, so the first byte that diverges from it — including
+    // a newline — settles the dialect immediately; at most 3 bytes are
+    // ever held back waiting for the decision.
+    const std::string &rx = conn->rxBuffer;
+    const std::size_t probe =
+        std::min<std::size_t>(rx.size(), framingMagic.size());
+    if (rx.compare(0, probe, framingMagic.data(), probe) != 0) {
+        conn->protocol = Protocol::Ndjson;
+        consumeNdjson(conn);
+        return true;
+    }
+    if (rx.size() < framingMagic.size())
+        return true; // still a strict prefix of the magic; wait
+    conn->protocol = Protocol::Binary;
+    if (rx.size() > framingMagic.size())
+        conn->decoder.feed(rx.data() + framingMagic.size(),
+                           rx.size() - framingMagic.size());
+    conn->rxBuffer.clear();
+    conn->rxBuffer.shrink_to_fit();
+    return consumeBinary(conn);
 }
 
 void
-Server::handleLine(const std::shared_ptr<Conn> &conn,
-                   const std::string &line)
+Server::consumeNdjson(const std::shared_ptr<Conn> &conn)
+{
+    std::size_t pos;
+    while ((pos = conn->rxBuffer.find('\n')) != std::string::npos) {
+        std::string line = conn->rxBuffer.substr(0, pos);
+        conn->rxBuffer.erase(0, pos + 1);
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.find_first_not_of(" \t") == std::string::npos)
+            continue;
+        handlePayload(conn, line, /*binary=*/false, /*wireStreamId=*/0);
+    }
+}
+
+bool
+Server::consumeBinary(const std::shared_ptr<Conn> &conn)
+{
+    Frame frame;
+    for (;;) {
+        switch (conn->decoder.next(frame)) {
+          case DecodeResult::NeedMore:
+            return true;
+
+          case DecodeResult::GotFrame:
+            switch (frame.type) {
+              case FrameType::Request:
+                handlePayload(conn, frame.payload, /*binary=*/true,
+                              frame.streamId);
+                break;
+              case FrameType::Cancel:
+                handleCancel(conn, frame.streamId);
+                break;
+              case FrameType::Response:
+                // Only servers send Response frames. Misuse, but the
+                // stream boundaries are intact, so answer on the
+                // stream and keep the connection.
+                *framesProtocolError += 1;
+                respond(conn, true, frame.streamId,
+                        errorResponse(0, "", serve_error::badRequest,
+                                      "unexpected response frame from "
+                                      "client"));
+                break;
+            }
+            break;
+
+          case DecodeResult::Oversized:
+            // The declared payload exceeds the cap; the decoder is
+            // discarding it without buffering. The stream gets its
+            // one response; the connection and its other streams
+            // continue untouched.
+            *framesOversized += 1;
+            respond(conn, true, frame.streamId,
+                    errorResponse(
+                        0, "", serve_error::badRequest,
+                        "frame payload of " +
+                            std::to_string(conn->decoder.declaredLength()) +
+                            " bytes exceeds the " +
+                            std::to_string(opts.maxFrameBytes) +
+                            " byte limit"));
+            break;
+
+          case DecodeResult::Fatal:
+            *framesProtocolError += 1;
+            inform("serve: closing desynchronized binary connection: " +
+                   conn->decoder.error());
+            return false;
+        }
+    }
+}
+
+void
+Server::handleCancel(const std::shared_ptr<Conn> &conn,
+                     std::uint64_t streamId)
+{
+    std::shared_ptr<std::atomic<bool>> flag;
+    {
+        const MutexLock lock(conn->streamsMutex);
+        const auto it = conn->streams.find(streamId);
+        if (it != conn->streams.end())
+            flag = it->second;
+    }
+    // Unknown stream: the response already retired it, or the client
+    // made the id up. Either way cancel is best-effort and idempotent.
+    if (!flag)
+        return;
+    flag->store(true, std::memory_order_relaxed);
+    *streamsCancelled += 1;
+}
+
+void
+Server::closeConn(std::map<int, std::shared_ptr<Conn>> &connsByFd,
+                  const std::shared_ptr<Conn> &conn)
+{
+    conn->open.store(false, std::memory_order_relaxed);
+    ::epoll_ctl(epollFd, EPOLL_CTL_DEL, conn->fd, nullptr);
+    {
+        // A vanished client cancels everything it had in flight; the
+        // handlers unwind at their next cancel poll instead of
+        // sweeping for a peer that will never read the answer.
+        const MutexLock lock(conn->streamsMutex);
+        for (const auto &[id, flag] : conn->streams)
+            flag->store(true, std::memory_order_relaxed);
+        conn->streams.clear();
+    }
+    connsByFd.erase(conn->fd);
+    // The fd itself closes when the last shared_ptr (possibly held by
+    // an in-flight handler) releases the Conn.
+}
+
+void
+Server::flushConn(const std::shared_ptr<Conn> &conn)
+{
+    if (!conn->open.load(std::memory_order_relaxed))
+        return;
+    bool want = false;
+    {
+        const MutexLock lock(conn->txMutex);
+        while (conn->txOffset < conn->txBuffer.size()) {
+            const ssize_t n =
+                ::send(conn->fd, conn->txBuffer.data() + conn->txOffset,
+                       conn->txBuffer.size() - conn->txOffset,
+                       MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                    want = true;
+                    break;
+                }
+                // The peer is gone; drop the buffer, the event loop
+                // retires the connection on its next pass.
+                conn->open.store(false, std::memory_order_relaxed);
+                conn->txBuffer.clear();
+                conn->txOffset = 0;
+                return;
+            }
+            conn->txOffset += static_cast<std::size_t>(n);
+        }
+        if (conn->txOffset > 0) {
+            conn->txBuffer.erase(0, conn->txOffset);
+            conn->txOffset = 0;
+        }
+    }
+    updateWriteInterest(conn, want);
+}
+
+void
+Server::updateWriteInterest(const std::shared_ptr<Conn> &conn,
+                            bool want)
+{
+    if (want == conn->wantWrite ||
+        !conn->open.load(std::memory_order_relaxed))
+        return;
+    epoll_event ev{};
+    ev.events = want ? (EPOLLIN | EPOLLOUT)
+                     : static_cast<std::uint32_t>(EPOLLIN);
+    ev.data.fd = conn->fd;
+    if (::epoll_ctl(epollFd, EPOLL_CTL_MOD, conn->fd, &ev) == 0)
+        conn->wantWrite = want;
+}
+
+void
+Server::drainWakeups()
+{
+    std::uint64_t counter = 0;
+    while (::read(wakeFd, &counter, sizeof(counter)) > 0) {
+    }
+}
+
+void
+Server::flushAllBeforeExit(
+    std::map<int, std::shared_ptr<Conn>> &connsByFd)
+{
+    // All handlers have finished (waitDrained holds loopExit until
+    // inflight hit zero), so every response is in some tx buffer.
+    // Deliver them with a bounded retry window for peers applying
+    // backpressure, then retire everything.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    for (;;) {
+        drainWakeups();
+        {
+            const MutexLock lock(loopMutex);
+            dirtyConns.clear();
+        }
+        bool pending = false;
+        for (const auto &[fd, conn] : connsByFd) {
+            if (!conn->open.load(std::memory_order_relaxed))
+                continue;
+            flushConn(conn);
+            if (!conn->open.load(std::memory_order_relaxed))
+                continue;
+            const MutexLock lock(conn->txMutex);
+            if (conn->txOffset < conn->txBuffer.size())
+                pending = true;
+        }
+        if (!pending || std::chrono::steady_clock::now() >= deadline)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    for (const auto &[fd, conn] : connsByFd) {
+        ::shutdown(conn->fd, SHUT_RDWR);
+        conn->open.store(false, std::memory_order_relaxed);
+        const MutexLock lock(conn->streamsMutex);
+        for (const auto &[id, flag] : conn->streams)
+            flag->store(true, std::memory_order_relaxed);
+        conn->streams.clear();
+    }
+    connsByFd.clear();
+}
+
+void
+Server::handlePayload(const std::shared_ptr<Conn> &conn,
+                      const std::string &payload, bool binary,
+                      std::uint64_t wireStreamId)
 {
     const std::uint64_t receiptUs = nowUs();
     ServeRequest request;
     std::string parseError;
     RequestParseError why;
-    if (!parseRequest(line, request, parseError, why)) {
+    if (!parseRequest(payload, request, parseError, why)) {
         *badLines += 1;
         switch (why) {
           case RequestParseError::MalformedJson:
@@ -414,8 +786,22 @@ Server::handleLine(const std::shared_ptr<Conn> &conn,
                 jsonStr(requestParseErrorName(why)) +
                 ", \"receipt_us\": " + std::to_string(receiptUs) + "}");
         }
-        sendLine(conn, errorResponse(0, "", serve_error::badRequest,
-                                     parseError));
+        respond(conn, binary, wireStreamId,
+                errorResponse(0, "", serve_error::badRequest,
+                              parseError));
+        return;
+    }
+
+    if (binary && wireStreamId == 0) {
+        // Stream id 0 is reserved (it is the NDJSON synthetic space's
+        // "no stream" value); a request on it has no usable reply
+        // address.
+        *framesProtocolError += 1;
+        respond(conn, binary, 0,
+                errorResponse(request.id,
+                              endpointName(request.endpoint),
+                              serve_error::badRequest,
+                              "stream id 0 is reserved"));
         return;
     }
 
@@ -433,46 +819,85 @@ Server::handleLine(const std::shared_ptr<Conn> &conn,
     switch (tryAdmit()) {
       case Admit::Full:
         *statsFor(request.endpoint).rejected += 1;
-        recordWideEvent(request, serve_error::queueFull, receiptUs,
-                        receiptUs, nowUs(), 0, 0, 0, 0, RequestObs{});
-        sendLine(conn,
-                 errorResponse(request.id,
-                               endpointName(request.endpoint),
-                               serve_error::queueFull,
-                               "admission queue is full (capacity " +
-                                   std::to_string(opts.queueCapacity) +
-                                   "); retry later",
-                               request.trace.traceId));
+        recordWideEvent(request, serve_error::queueFull, binary,
+                        receiptUs, receiptUs, nowUs(), 0, 0, 0, 0,
+                        RequestObs{});
+        respond(conn, binary, wireStreamId,
+                errorResponse(request.id,
+                              endpointName(request.endpoint),
+                              serve_error::queueFull,
+                              "admission queue is full (capacity " +
+                                  std::to_string(opts.queueCapacity) +
+                                  "); retry later",
+                              request.trace.traceId));
         return;
       case Admit::Draining:
         *statsFor(request.endpoint).rejected += 1;
-        recordWideEvent(request, serve_error::shuttingDown, receiptUs,
-                        receiptUs, nowUs(), 0, 0, 0, 0, RequestObs{});
-        sendLine(conn,
-                 errorResponse(request.id,
-                               endpointName(request.endpoint),
-                               serve_error::shuttingDown,
-                               "server is draining",
-                               request.trace.traceId));
+        recordWideEvent(request, serve_error::shuttingDown, binary,
+                        receiptUs, receiptUs, nowUs(), 0, 0, 0, 0,
+                        RequestObs{});
+        respond(conn, binary, wireStreamId,
+                errorResponse(request.id,
+                              endpointName(request.endpoint),
+                              serve_error::shuttingDown,
+                              "server is draining",
+                              request.trace.traceId));
         return;
       case Admit::Ok:
         break;
     }
 
+    // Register the stream before the handler can run: its cancel flag
+    // is the rendezvous between a Cancel frame (or a disconnect) and
+    // the handler's cancelCheck polls. NDJSON requests get a synthetic
+    // id from a space the wire never uses, purely for disconnect
+    // cancellation.
+    StreamHandle stream;
+    stream.binary = binary;
+    stream.cancelFlag = std::make_shared<std::atomic<bool>>(false);
+    bool duplicate = false;
+    if (binary) {
+        stream.streamId = wireStreamId;
+        const MutexLock lock(conn->streamsMutex);
+        duplicate = !conn->streams
+                         .emplace(wireStreamId, stream.cancelFlag)
+                         .second;
+    } else {
+        stream.streamId = conn->nextSyntheticStream++;
+        const MutexLock lock(conn->streamsMutex);
+        conn->streams.emplace(stream.streamId, stream.cancelFlag);
+    }
+    if (duplicate) {
+        // The id is still owned by the earlier request; this one was
+        // admitted but never registered, so hand the slot back.
+        releaseAdmission();
+        *statsFor(request.endpoint).rejected += 1;
+        *framesProtocolError += 1;
+        respond(conn, binary, wireStreamId,
+                errorResponse(request.id,
+                              endpointName(request.endpoint),
+                              serve_error::badRequest,
+                              "stream id " +
+                                  std::to_string(wireStreamId) +
+                                  " is already in flight",
+                              request.trace.traceId));
+        return;
+    }
+
     *statsFor(request.endpoint).accepted += 1;
-    // The shared_ptr keeps the fd alive until the handler is done with
-    // it even if the client disconnects mid-request. On a one-lane
-    // pool submit() runs inline right here, which serializes requests
-    // per connection but keeps cross-connection concurrency.
-    pool->submit([this, conn, request = std::move(request), receiptUs,
-                  requestSpanId]() mutable {
-        runRequest(conn, std::move(request), receiptUs, requestSpanId);
+    // The shared_ptr keeps the Conn (and its fd) alive until the
+    // handler is done with it even if the client disconnects
+    // mid-request; the loop never blocks on this work.
+    pool->submit([this, conn, request = std::move(request), stream,
+                  receiptUs, requestSpanId]() mutable {
+        runRequest(conn, std::move(request), std::move(stream),
+                   receiptUs, requestSpanId);
     });
 }
 
 void
 Server::runRequest(std::shared_ptr<Conn> conn, ServeRequest request,
-                   std::uint64_t receiptUs,
+                   StreamHandle stream, std::uint64_t receiptUs,
                    std::uint64_t requestSpanId)
 {
     EndpointStats &stats = statsFor(request.endpoint);
@@ -510,6 +935,20 @@ Server::runRequest(std::shared_ptr<Conn> conn, ServeRequest request,
             return std::chrono::steady_clock::now() >= deadline;
         };
     }
+    // One predicate feeds every cancelCheck poll: explicit per-stream
+    // cancel (or disconnect) and the deadline look identical to the
+    // handler; which one fired is resolved after the unwind.
+    const std::shared_ptr<std::atomic<bool>> cancelFlag =
+        stream.cancelFlag;
+    std::function<bool()> abortRequested;
+    if (deadlineHit || cancelFlag) {
+        abortRequested = [deadlineHit, cancelFlag] {
+            if (cancelFlag &&
+                cancelFlag->load(std::memory_order_relaxed))
+                return true;
+            return deadlineHit && deadlineHit();
+        };
+    }
 
     std::string response;
     std::string outcome = "ok";
@@ -524,14 +963,20 @@ Server::runRequest(std::shared_ptr<Conn> conn, ServeRequest request,
         const ScopedSpan handler("serve.handler", "serve");
         try {
             response = okResponse(request,
-                                  dispatch(request, deadlineHit, obs));
+                                  dispatch(request, abortRequested, obs));
             *stats.completed += 1;
         } catch (const CancelledError &e) {
-            outcome = std::string(serve_error::deadlineExceeded);
-            response = errorResponse(request.id,
-                                     endpointName(request.endpoint),
-                                     serve_error::deadlineExceeded,
-                                     e.what(), request.trace.traceId);
+            const bool wasCancelled =
+                cancelFlag &&
+                cancelFlag->load(std::memory_order_relaxed);
+            outcome = std::string(wasCancelled
+                                      ? serve_error::cancelled
+                                      : serve_error::deadlineExceeded);
+            response = errorResponse(
+                request.id, endpointName(request.endpoint), outcome,
+                wasCancelled ? "stream cancelled by the client"
+                             : e.what(),
+                request.trace.traceId);
             *stats.errors += 1;
         } catch (const FatalError &e) {
             outcome = std::string(serve_error::badRequest);
@@ -584,22 +1029,30 @@ Server::runRequest(std::shared_ptr<Conn> conn, ServeRequest request,
              request.trace.spanId, "serve.request", "serve", receiptUs,
              endUs});
     }
-    recordWideEvent(request, outcome, receiptUs, startUs, endUs,
-                    timeoutMs, cacheHits, cacheMisses, compressUs,
-                    obs);
+    recordWideEvent(request, outcome, stream.binary, receiptUs,
+                    startUs, endUs, timeoutMs, cacheHits, cacheMisses,
+                    compressUs, obs);
 
-    sendLine(conn, response);
+    // Retire the stream id before the response leaves, so a client
+    // that reuses an id immediately after reading its response can
+    // never race the erase.
+    {
+        const MutexLock lock(conn->streamsMutex);
+        conn->streams.erase(stream.streamId);
+    }
+    respond(conn, stream.binary, stream.streamId, response);
     releaseAdmission();
 
-    // The shutdown endpoint's response must reach the wire before the
-    // drain can race the connection shutdown, so drain starts last.
+    // The shutdown endpoint's response must reach the tx buffer before
+    // the drain can race the connection teardown, so drain starts
+    // last.
     if (request.endpoint == Endpoint::Shutdown)
         beginShutdown();
 }
 
 void
 Server::recordWideEvent(const ServeRequest &request,
-                        std::string_view outcome,
+                        std::string_view outcome, bool binary,
                         std::uint64_t receiptUs, std::uint64_t startUs,
                         std::uint64_t endUs, double timeoutMs,
                         std::uint64_t cacheHits,
@@ -624,16 +1077,18 @@ Server::recordWideEvent(const ServeRequest &request,
     event.cacheMisses = cacheMisses;
     event.compressUs = compressUs;
     event.formatsSwept = obs.formatsSwept;
+    event.memoHit = obs.memoHit;
+    event.protocol = binary ? "binary" : "ndjson";
     FlightRecorder::global().record(buildWideEventJson(event));
 }
 
 std::string
 Server::dispatch(const ServeRequest &request,
-                 const std::function<bool()> &deadlineHit,
+                 const std::function<bool()> &abortRequested,
                  RequestObs &obs)
 {
-    const auto checkDeadline = [&deadlineHit] {
-        if (deadlineHit && deadlineHit())
+    const auto checkAbort = [&abortRequested] {
+        if (abortRequested && abortRequested())
             throw CancelledError("request deadline exceeded");
     };
     const JsonValue &params = request.params;
@@ -656,7 +1111,7 @@ Server::dispatch(const ServeRequest &request,
                 "sleep: ms must be in [0, 60000]");
         double slept = 0;
         while (slept < ms) {
-            checkDeadline();
+            checkAbort();
             const double slice = std::min(5.0, ms - slept);
             std::this_thread::sleep_for(std::chrono::microseconds(
                 static_cast<std::int64_t>(slice * 1000.0)));
@@ -670,13 +1125,33 @@ Server::dispatch(const ServeRequest &request,
         fatalIf(spec == nullptr, "advise: params.matrix is required");
         const TripletMatrix matrix =
             matrixFromSpec(*spec, opts.maxMatrixDim);
-        checkDeadline();
-        const MatrixStats mstats = computeStats(matrix);
+        checkAbort();
         const AdvisorGoal goal =
             goalFromName(params.stringOr("goal", "balanced"));
-        const Recommendation rec =
-            advise(mstats, goal,
-                   params.boolOr("tailored_engine", false));
+        const bool tailored = params.boolOr("tailored_engine", false);
+
+        // Advice is a pure function of (matrix content, goal,
+        // tailored-engine flag); the memo key binds exactly those.
+        // Params are validated *before* the lookup so a hit and a miss
+        // reject the same malformed requests.
+        MemoKey key;
+        std::string cached;
+        if (memo->enabled()) {
+            key.contentHash = contentHashOf(matrix);
+            std::uint64_t h = fnv1a("advise", 6);
+            const std::string_view goalStr = goalName(goal);
+            h = fnv1a(goalStr.data(), goalStr.size(), h);
+            h = fnv1aValue(tailored, h);
+            key.configHash = h;
+            if (memo->lookup(key, cached)) {
+                obs.memoHit = true;
+                const ScopedSpan span("serve.memo", "serve");
+                return cached;
+            }
+        }
+
+        const MatrixStats mstats = computeStats(matrix);
+        const Recommendation rec = advise(mstats, goal, tailored);
         std::ostringstream out;
         out << "{\"format\": " << jsonStr(formatName(rec.format))
             << ", \"partition_size\": " << rec.partitionSize
@@ -695,7 +1170,10 @@ Server::dispatch(const ServeRequest &request,
             << ", \"nnz\": " << mstats.nnz
             << ", \"density\": " << jsonNum(mstats.density)
             << ", \"bandwidth\": " << mstats.bandwidth << "}}";
-        return out.str();
+        const std::string payload = out.str();
+        if (memo->enabled())
+            memo->insert(key, payload);
+        return payload;
       }
 
       case Endpoint::RunStudy: {
@@ -714,7 +1192,7 @@ Server::dispatch(const ServeRequest &request,
         // per-request pool would oversubscribe and break the admission
         // queue's meaning as "concurrent work units".
         cfg.jobs = 1;
-        cfg.cancelCheck = deadlineHit;
+        cfg.cancelCheck = abortRequested;
         // Optional sweep journal: completed cells of a previous
         // (killed) run of the same matrix/config are reused, not
         // re-simulated. The identity must bind before Study copies
@@ -807,10 +1285,36 @@ Server::dispatch(const ServeRequest &request,
                         objectiveName +
                         "' (expected bottleneck|compute|bytes)");
         }
-        checkDeadline();
+
+        // Like advise: the plan depends only on (matrix content,
+        // partition size, candidate set, objective), all validated
+        // above, so key on exactly those.
+        MemoKey key;
+        std::string cached;
+        if (memo->enabled()) {
+            key.contentHash = contentHashOf(matrix);
+            std::uint64_t h = fnv1a("plan_formats", 12);
+            h = fnv1aValue(static_cast<std::uint64_t>(
+                               static_cast<Index>(p)),
+                           h);
+            for (FormatKind kind : candidates) {
+                const std::string_view name = formatName(kind);
+                h = fnv1a(name.data(), name.size(), h);
+                h = fnv1a("|", 1, h);
+            }
+            h = fnv1a(objectiveName.data(), objectiveName.size(), h);
+            key.configHash = h;
+            if (memo->lookup(key, cached)) {
+                obs.memoHit = true;
+                const ScopedSpan span("serve.memo", "serve");
+                return cached;
+            }
+        }
+
+        checkAbort();
         const Partitioning parts =
             partition(matrix, static_cast<Index>(p));
-        checkDeadline();
+        checkAbort();
         const FormatPlan plan =
             planFormats(parts, candidates, objective, HlsConfig(),
                         defaultRegistry(), 1);
@@ -825,7 +1329,10 @@ Server::dispatch(const ServeRequest &request,
             out << jsonStr(formatName(kind)) << ": " << tiles;
         }
         out << "}}";
-        return out.str();
+        const std::string payload = out.str();
+        if (memo->enabled())
+            memo->insert(key, payload);
+        return payload;
       }
 
       case Endpoint::ValidateTile: {
@@ -845,7 +1352,7 @@ Server::dispatch(const ServeRequest &request,
         std::vector<std::string> violations;
         std::size_t checked = 0;
         for (const Tile &tile : parts.tiles) {
-            checkDeadline();
+            checkAbort();
             for (FormatKind kind : kinds) {
                 const auto encoded =
                     encodeCached(defaultRegistry(), kind, tile);
@@ -872,7 +1379,7 @@ Server::dispatch(const ServeRequest &request,
       }
 
       case Endpoint::Metrics: {
-        // The exposition text rides inside the NDJSON envelope; a
+        // The exposition text rides inside the JSON envelope; a
         // scraper sidecar (or the CLI's --metrics) unwraps "body".
         return "{\"content_type\": "
                "\"text/plain; version=0.0.4; charset=utf-8\", "
@@ -945,15 +1452,16 @@ Server::statsJson() const
     dumpGroupsJson(out,
                    {&grp, &poolStats.group(), &cacheStats.group()});
     std::string json = out.str();
-    // dumpGroupsJson ends its document with '\n'; embedded in an
-    // NDJSON response that newline would split the line, so trim it.
+    // dumpGroupsJson ends its document with '\n'; embedded in a
+    // response payload that newline would split an NDJSON line, so
+    // trim it.
     while (!json.empty() &&
            (json.back() == '\n' || json.back() == '\r'))
         json.pop_back();
 
     // Splice live load state into the document: --top reads queue
-    // depth and per-request ages from here, so the stats endpoint
-    // stays the one poll target.
+    // depth, per-request ages and the memo occupancy from here, so
+    // the stats endpoint stays the one poll target.
     panicIf(json.empty() || json.back() != '}',
             "serve: stats dump is not a JSON object");
     json.pop_back();
@@ -982,7 +1490,14 @@ Server::statsJson() const
                     "}";
         }
     }
-    json += "]}";
+    json += "]";
+    const ResultMemoStats memoStats = memo->stats();
+    json += ", \"memo\": {\"hits\": " +
+            std::to_string(memoStats.hits) +
+            ", \"misses\": " + std::to_string(memoStats.misses) +
+            ", \"evictions\": " + std::to_string(memoStats.evictions) +
+            ", \"entries\": " + std::to_string(memoStats.entries) +
+            ", \"bytes\": " + std::to_string(memoStats.bytes) + "}}";
     return json;
 }
 
@@ -1032,6 +1547,16 @@ Server::metricsText() const
     writer.counter("copernicus_serve_connections_total",
                    "Client connections accepted.",
                    {{{}, connections->value()}});
+    writer.counter(
+        "copernicus_serve_frame_errors_total",
+        "Binary-framing protocol errors, by kind.",
+        {{{{"reason", "oversized"}}, framesOversized->value()},
+         {{{"reason", "protocol"}}, framesProtocolError->value()},
+         {{{"reason", "truncated"}}, framesTruncated->value()}});
+    writer.counter(
+        "copernicus_serve_streams_cancelled_total",
+        "Streams cancelled by an explicit cancel frame.",
+        {{{}, streamsCancelled->value()}});
 
     std::size_t depth;
     {
@@ -1041,6 +1566,25 @@ Server::metricsText() const
     writer.gauge("copernicus_serve_queue_depth",
                  "Requests currently admitted (in flight).",
                  {{{}, static_cast<double>(depth)}});
+
+    const ResultMemoStats memoStats = memo->stats();
+    writer.counter(
+        "copernicus_serve_memo_hits_total",
+        "Advise/plan_formats requests served from the result memo.",
+        {{{}, static_cast<double>(memoStats.hits)}});
+    writer.counter("copernicus_serve_memo_misses_total",
+                   "Result-memo lookups that missed.",
+                   {{{}, static_cast<double>(memoStats.misses)}});
+    writer.counter(
+        "copernicus_serve_memo_evictions_total",
+        "Result-memo entries evicted by the byte budget.",
+        {{{}, static_cast<double>(memoStats.evictions)}});
+    writer.gauge("copernicus_serve_memo_entries",
+                 "Entries resident in the result memo.",
+                 {{{}, static_cast<double>(memoStats.entries)}});
+    writer.gauge("copernicus_serve_memo_bytes",
+                 "Estimated bytes resident in the result memo.",
+                 {{{}, static_cast<double>(memoStats.bytes)}});
 
     // Latency histograms from snapshots: the one histogram copy per
     // endpoint is the only lock a scrape shares with request threads.
@@ -1110,43 +1654,31 @@ Server::waitDrained()
     panicIf(!started, "serve: waitDrained() before start()");
 
     // 1. Park until someone (signal, shutdown endpoint, or
-    //    beginShutdown()) starts the drain.
+    //    beginShutdown()) starts the drain. The event loop stops
+    //    accepting on its next tick but keeps reading and writing —
+    //    in-flight responses still need the wire.
     {
         std::unique_lock<std::mutex> lock(admitMutex);
         drainCv.wait(lock, [this] { return draining; });
     }
 
-    // 2. The acceptor exits on its next tick; no new connections.
-    if (acceptor.joinable())
-        acceptor.join();
-
-    // 3. Wait for the in-flight requests to finish. Admission is
-    //    closed (draining), so inflight can only fall.
+    // 2. Wait for the in-flight requests to finish. Admission is
+    //    closed (draining), so inflight can only fall; each completion
+    //    appends its response to a tx buffer before releasing.
     {
         std::unique_lock<std::mutex> lock(admitMutex);
         idleCv.wait(lock, [this] { return inflight == 0; });
     }
 
-    // 4. Unblock every reader: after SHUT_RDWR their recv() returns 0
-    //    and they retire. Responses already written are delivered —
-    //    SHUT_RDWR does not discard sent data on AF_UNIX/loopback.
-    std::map<std::uint64_t, std::thread> remaining;
-    {
-        const MutexLock lock(connsMutex);
-        for (auto &[id, conn] : conns)
-            ::shutdown(conn->fd, SHUT_RDWR);
-        remaining = std::move(readers);
-        readers.clear();
-    }
-    for (auto &[id, thread] : remaining)
-        thread.join();
-    {
-        const MutexLock lock(connsMutex);
-        conns.clear();
-        finishedReaders.clear();
-    }
+    // 3. Stop the event loop. Its exit path flushes every remaining
+    //    tx buffer to the wire before retiring the connections, so
+    //    the responses appended in step 2 are delivered.
+    loopExit.store(true, std::memory_order_release);
+    wakeLoop();
+    if (loopThread.joinable())
+        loopThread.join();
 
-    // 5. Drain the pool (joins its workers) before flushing artifacts
+    // 4. Drain the pool (joins its workers) before flushing artifacts
     //    so no handler can race the single-threaded writers below.
     pool.reset();
 
@@ -1201,6 +1733,14 @@ Server::waitDrained()
     if (listenFd >= 0) {
         ::close(listenFd);
         listenFd = -1;
+    }
+    if (epollFd >= 0) {
+        ::close(epollFd);
+        epollFd = -1;
+    }
+    if (wakeFd >= 0) {
+        ::close(wakeFd);
+        wakeFd = -1;
     }
     if (opts.tcpPort < 0 && !opts.socketPath.empty())
         ::unlink(opts.socketPath.c_str());

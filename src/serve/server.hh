@@ -3,33 +3,45 @@
  * The characterization service daemon.
  *
  * A Server owns one listening socket (Unix-domain by default, loopback
- * TCP optionally), one reader thread per connection, and a ThreadPool
- * that executes request handlers. Its load-shedding contract is the
- * point of the subsystem:
+ * TCP optionally), one epoll event loop driving every connection, and
+ * a ThreadPool that executes request handlers. Its load-shedding
+ * contract is the point of the subsystem:
  *
  *  - Admission is bounded: at most queueCapacity requests are in
  *    flight; request queueCapacity+1 receives an immediate
  *    {"error": "queue_full"} response instead of queueing invisibly.
  *    Overload degrades to explicit rejections, never to silent hangs.
  *  - Every admitted request runs under a deadline (its timeout_ms, or
- *    the server default). Long handlers poll the deadline at partition
+ *    the server default) and, on a multiplexed connection, under its
+ *    stream's cancel flag. Long handlers poll both at partition
  *    boundaries via StudyConfig::cancelCheck and unwind with
- *    CancelledError, which maps to {"error": "deadline_exceeded"}.
+ *    CancelledError, which maps to {"error": "deadline_exceeded"} or
+ *    {"error": "cancelled"}.
  *  - Drain is graceful: beginShutdown() stops accepting, new requests
  *    get {"error": "shutting_down"}, in-flight requests finish and
  *    their responses are delivered, then waitDrained() flushes the
  *    stats JSON and the request-lane trace and returns.
  *
- * Threading model: the acceptor thread polls the listen socket (100 ms
- * tick, so drain never races accept); each connection gets a reader
- * thread that parses lines and performs admission; admitted requests
- * run on the pool (inline on the reader thread when the pool has one
- * lane, which keeps single-core containers correct — concurrency
- * across connections is still real because each has its own reader).
- * Response writes are serialized per connection by Conn::writeMutex,
- * and the connection fd is closed by the last owner of the shared
- * Conn, so a handler finishing after its client disconnected can never
- * write to a recycled descriptor.
+ * Threading model (the PR-10 event-loop rewrite): a single I/O thread
+ * owns the epoll instance, the listening socket and every connection
+ * fd — it accepts, reads, parses frames/lines, performs admission and
+ * flushes output buffers; it never executes a handler. Admitted
+ * requests run on the pool (sized so at least one worker exists even
+ * on a single-core container — the loop must stay responsive while a
+ * sweep runs). Handlers never touch a socket: they append the
+ * serialized response to the connection's tx buffer (Conn::txMutex, a
+ * ranked leaf) and wake the loop through an eventfd; the loop performs
+ * the nonblocking sends and arms EPOLLOUT when a peer stops reading,
+ * so one slow client backpressures its own buffer, never a thread.
+ * The fd itself is closed by the last owner of the shared Conn, so a
+ * handler finishing after its client disconnected can never write to
+ * a recycled descriptor.
+ *
+ * Wire dialects: a connection whose first bytes are the "CPB1" magic
+ * speaks the multiplexed binary framing (serve/framing.hh) — many
+ * concurrent streams, per-stream cancellation; anything else is
+ * NDJSON, one request line at a time, exactly the PR-4 dialect, so
+ * every pre-existing client keeps working unmodified.
  */
 
 #ifndef COPERNICUS_SERVE_SERVER_HH
@@ -53,7 +65,9 @@
 #include "common/thread_annotations.hh"
 #include "common/thread_pool.hh"
 #include "formats/encode_cache.hh"
+#include "serve/framing.hh"
 #include "serve/protocol.hh"
+#include "serve/result_memo.hh"
 
 namespace copernicus {
 
@@ -80,6 +94,19 @@ struct ServeOptions
 
     /** Cap on generated/loaded matrix dimensions per request. */
     Index maxMatrixDim = 4096;
+
+    /**
+     * Per-frame payload cap on binary connections. A frame declaring
+     * more is answered bad_request on its stream and its payload is
+     * discarded without buffering; the connection survives.
+     */
+    std::uint64_t maxFrameBytes = defaultMaxFrameBytes;
+
+    /**
+     * Byte budget of the advise/plan_formats result memo (LRU, keyed
+     * on content hash + config fingerprint); 0 disables memoization.
+     */
+    std::uint64_t memoBytes = 8ull << 20;
 
     /** Where waitDrained() writes the stats dump; "" = nowhere. */
     std::string statsJsonPath;
@@ -145,21 +172,21 @@ class Server
 
     /**
      * Validate the registry (lint gate), bind the socket and spawn the
-     * acceptor. Throws FatalError when the registry fails lint or the
-     * socket cannot be bound.
+     * event loop. Throws FatalError when the registry fails lint or
+     * the socket cannot be bound.
      */
     void start();
 
     /**
      * Begin a graceful drain: stop admitting (new requests are
-     * answered shutting_down) and let the acceptor exit. Safe from any
-     * thread, including request handlers; idempotent.
+     * answered shutting_down) and deregister the listen socket. Safe
+     * from any thread, including request handlers; idempotent.
      */
     void beginShutdown();
 
     /**
-     * Async-signal-safe shutdown request (one atomic store); the
-     * acceptor notices within one poll tick. Wire SIGINT/SIGTERM here.
+     * Async-signal-safe shutdown request (one atomic store); the event
+     * loop notices within one epoll tick. Wire SIGINT/SIGTERM here.
      */
     static void requestShutdownFromSignal();
 
@@ -178,17 +205,19 @@ class Server
 
     /**
      * The serve/thread_pool/encode_cache groups plus live load state
-     * (`"queue_depth"`, an `"inflight"` array with per-request ages)
-     * as one JSON doc — the stats endpoint's payload, which is also
-     * what `copernicus_cli --top` polls.
+     * (`"queue_depth"`, an `"inflight"` array with per-request ages,
+     * a `"memo"` object with the result-memo counters) as one JSON
+     * doc — the stats endpoint's payload, which is also what
+     * `copernicus_cli --top` polls.
      */
     std::string statsJson() const;
 
     /**
      * Prometheus text exposition of the serve counters, latency
-     * histograms, pool and cache stats. Built entirely from atomic
-     * reads and DistributionStat snapshots — a scrape never holds a
-     * lock a request thread contends beyond one histogram copy.
+     * histograms, pool, cache and memo stats. Built entirely from
+     * atomic reads and DistributionStat snapshots — a scrape never
+     * holds a lock a request thread contends beyond one histogram
+     * copy.
      */
     std::string metricsText() const;
 
@@ -210,25 +239,53 @@ class Server
         std::unique_ptr<DistributionStat> latencyUs;
     };
 
+    /** Which wire dialect a connection settled on. */
+    enum class Protocol
+    {
+        Sniffing, ///< first bytes not seen yet
+        Ndjson,   ///< newline-delimited JSON (the PR-4 dialect)
+        Binary,   ///< CPB1 length-prefixed multiplexed frames
+    };
+
     /**
      * One accepted connection. The fd is owned by this struct and
-     * closed by its destructor, so whichever of the reader thread and
-     * the last in-flight handler drops its shared_ptr last also
-     * retires the descriptor — there is no window where the fd number
-     * can be recycled while a handler still holds it.
+     * closed by its destructor, so whichever of the event loop and the
+     * last in-flight handler drops its shared_ptr last also retires
+     * the descriptor — there is no window where the fd number can be
+     * recycled while a handler still holds it. Parse state (rxBuffer,
+     * decoder, protocol) is touched only by the loop thread; the tx
+     * buffer and the stream table are the two cross-thread surfaces,
+     * each behind its own ranked mutex.
      */
     struct Conn
     {
-        explicit Conn(int fd_) : fd(fd_) {}
+        Conn(int fd_, std::uint64_t maxFrameBytes)
+            : fd(fd_), decoder(maxFrameBytes)
+        {
+        }
         ~Conn();
         Conn(const Conn &) = delete;
         Conn &operator=(const Conn &) = delete;
 
-        int fd = -1;
-        /** Unranked leaf lock: nothing is acquired under a write. */
-        Mutex writeMutex;
+        const int fd;
         std::atomic<bool> open{true};
+
+        // --- loop-thread-only parse state ---
+        Protocol protocol = Protocol::Sniffing;
         std::string rxBuffer;
+        FrameDecoder decoder;
+        bool wantWrite = false; ///< EPOLLOUT currently armed
+        std::uint64_t nextSyntheticStream = 1; ///< NDJSON cancel keys
+
+        /** Buffered output; the loop flushes, handlers only append. */
+        Mutex txMutex{lock_rank::serveTx};
+        std::string txBuffer COPERNICUS_GUARDED_BY(txMutex);
+        std::size_t txOffset COPERNICUS_GUARDED_BY(txMutex) = 0;
+
+        /** In-flight streams; value = the stream's cancel flag. */
+        Mutex streamsMutex{lock_rank::serveStreams};
+        std::map<std::uint64_t, std::shared_ptr<std::atomic<bool>>>
+            streams COPERNICUS_GUARDED_BY(streamsMutex);
     };
 
     enum class Admit { Ok, Full, Draining };
@@ -237,6 +294,7 @@ class Server
     struct RequestObs
     {
         std::size_t formatsSwept = 0; ///< sweep endpoints only
+        bool memoHit = false; ///< advise/plan_formats served from memo
     };
 
     /** One in-flight request, for --top's per-request ages. */
@@ -247,30 +305,63 @@ class Server
         std::uint64_t startUs = 0;
     };
 
+    /** A request's identity on its connection. */
+    struct StreamHandle
+    {
+        bool binary = false;
+        std::uint64_t streamId = 0; ///< wire id, or synthetic (NDJSON)
+        std::shared_ptr<std::atomic<bool>> cancelFlag;
+    };
+
     void bindSocket();
-    void acceptorLoop();
-    void readerLoop(std::uint64_t connId, std::shared_ptr<Conn> conn);
-    void handleLine(const std::shared_ptr<Conn> &conn,
-                    const std::string &line);
+
+    // --- event loop (all private loop* methods run on loopThread) ---
+    void loopMain();
+    void loopAccept(
+        std::map<int, std::shared_ptr<Conn>> &connsByFd);
+    bool loopRead(const std::shared_ptr<Conn> &conn);
+    bool consumeSniff(const std::shared_ptr<Conn> &conn);
+    void consumeNdjson(const std::shared_ptr<Conn> &conn);
+    bool consumeBinary(const std::shared_ptr<Conn> &conn);
+    void closeConn(std::map<int, std::shared_ptr<Conn>> &connsByFd,
+                   const std::shared_ptr<Conn> &conn);
+    void flushConn(const std::shared_ptr<Conn> &conn);
+    void updateWriteInterest(const std::shared_ptr<Conn> &conn,
+                             bool want);
+    void drainWakeups();
+    void flushAllBeforeExit(
+        std::map<int, std::shared_ptr<Conn>> &connsByFd);
 
     /**
-     * @param receiptUs observeNowUs() when the line was read — the
+     * Parse + admit one request payload (a JSON object without its
+     * framing) and hand it to the pool. @p binary selects the response
+     * dialect; @p wireStreamId is the frame's stream id (ignored for
+     * NDJSON, which gets a synthetic key for disconnect-cancel).
+     */
+    void handlePayload(const std::shared_ptr<Conn> &conn,
+                       const std::string &payload, bool binary,
+                       std::uint64_t wireStreamId);
+    void handleCancel(const std::shared_ptr<Conn> &conn,
+                      std::uint64_t streamId);
+
+    /**
+     * @param receiptUs observeNowUs() when the payload was read — the
      *        queue-wait half of the latency split.
      * @param requestSpanId Pre-allocated id of the serve.request span,
      *        0 when span recording is off.
      */
     void runRequest(std::shared_ptr<Conn> conn, ServeRequest request,
-                    std::uint64_t receiptUs,
+                    StreamHandle stream, std::uint64_t receiptUs,
                     std::uint64_t requestSpanId);
 
     /** Dispatch to the endpoint handler; returns the result JSON. */
     std::string dispatch(const ServeRequest &request,
-                         const std::function<bool()> &deadlineHit,
+                         const std::function<bool()> &abortRequested,
                          RequestObs &obs);
 
     /** Record one wide event (no-op when observability is off). */
     void recordWideEvent(const ServeRequest &request,
-                         std::string_view outcome,
+                         std::string_view outcome, bool binary,
                          std::uint64_t receiptUs, std::uint64_t startUs,
                          std::uint64_t endUs, double timeoutMs,
                          std::uint64_t cacheHits,
@@ -280,28 +371,36 @@ class Server
 
     Admit tryAdmit();
     void releaseAdmission();
-    void sendLine(const std::shared_ptr<Conn> &conn,
-                  const std::string &line);
-    void reapFinishedReaders();
+
+    /**
+     * Append one response payload to the connection's tx buffer in its
+     * wire dialect (frame or line) and get it flushed: immediately
+     * when called on the loop thread, via a dirty-list entry plus an
+     * eventfd wakeup otherwise. Safe from any thread.
+     */
+    void respond(const std::shared_ptr<Conn> &conn, bool binary,
+                 std::uint64_t streamId, std::string_view payload);
+    void wakeLoop();
+    bool onLoopThread() const;
+
     std::uint64_t nowUs() const;
     EndpointStats &statsFor(Endpoint endpoint);
 
     ServeOptions opts;
     int listenFd = -1;
+    int epollFd = -1;
+    int wakeFd = -1;
     int boundTcpPort = -1;
     bool started = false;
 
-    std::thread acceptor;
+    std::thread loopThread;
+    std::atomic<bool> loopExit{false};
+    std::thread::id loopThreadId;
 
-    /** Reader bookkeeping, all under connsMutex. */
-    Mutex connsMutex{lock_rank::serveConns};
-    std::map<std::uint64_t, std::shared_ptr<Conn>> conns
-        COPERNICUS_GUARDED_BY(connsMutex);
-    std::map<std::uint64_t, std::thread> readers
-        COPERNICUS_GUARDED_BY(connsMutex);
-    std::vector<std::uint64_t> finishedReaders
-        COPERNICUS_GUARDED_BY(connsMutex);
-    std::uint64_t nextConnId COPERNICUS_GUARDED_BY(connsMutex) = 1;
+    /** Cross-thread handoff to the loop: connections with fresh tx. */
+    Mutex loopMutex{lock_rank::serveLoop};
+    std::vector<std::shared_ptr<Conn>> dirtyConns
+        COPERNICUS_GUARDED_BY(loopMutex);
 
     /**
      * Admission state, all under admitMutex. CV-paired, so it stays
@@ -312,8 +411,11 @@ class Server
     bool draining = false;
     std::condition_variable idleCv;  ///< inflight reached zero
     std::condition_variable drainCv; ///< draining flipped on
+    /** Mirror of `draining` the loop polls without the CV mutex. */
+    std::atomic<bool> drainingFlag{false};
 
     std::unique_ptr<ThreadPool> pool;
+    std::unique_ptr<ResultMemo> memo;
 
     StatGroup grp{"serve"};
     std::vector<EndpointStats> endpointStats; ///< allEndpoints() order
@@ -323,6 +425,11 @@ class Server
     std::unique_ptr<ScalarStat> badLinesMalformed;
     std::unique_ptr<ScalarStat> badLinesUnknownOp;
     std::unique_ptr<ScalarStat> badLinesOther;
+    /** Binary-framing protocol errors, by kind. */
+    std::unique_ptr<ScalarStat> framesOversized;
+    std::unique_ptr<ScalarStat> framesProtocolError;
+    std::unique_ptr<ScalarStat> framesTruncated;
+    std::unique_ptr<ScalarStat> streamsCancelled;
     ThreadPoolStats poolStats;
     EncodeCacheStats cacheStats;
 

@@ -249,6 +249,16 @@ TEST_F(ServeTest, OverloadIsRejectedExplicitlyNeverHung)
         EXPECT_TRUE(response.boolOr("ok", false));
     });
 
+    // Wait until the sleeper actually holds the slot before probing:
+    // otherwise a probe ping can win the race for the single slot and
+    // bounce the sleeper's own request instead.
+    const auto admitDeadline = std::chrono::steady_clock::now() +
+                               std::chrono::seconds(10);
+    while (server->statsJson().find("\"queue_depth\": 1") ==
+               std::string::npos &&
+           std::chrono::steady_clock::now() < admitDeadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
     // ...so a second client's requests must bounce with queue_full —
     // an immediate explicit rejection, not a queued/hung request.
     ServeClient probe = client();
